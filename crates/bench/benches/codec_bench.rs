@@ -1,0 +1,57 @@
+//! Communication cost (§IV-B2): the paper argues Crowd-ML transmits `N/b`
+//! gradients instead of `N` raw samples, a `b/2` reduction. These benches measure
+//! the per-message encode/decode cost of the wire protocol for the checkin payload
+//! (the dominant message) at several gradient dimensionalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_proto::auth::AuthToken;
+use crowd_proto::codec::{decode, encode};
+use crowd_proto::message::{CheckinRequest, CheckoutResponse, Message};
+use std::hint::black_box;
+
+fn checkin_message(dim: usize) -> Message {
+    Message::CheckinRequest(CheckinRequest {
+        device_id: 42,
+        token: AuthToken::derive(42, 7),
+        checkout_iteration: 1000,
+        gradient: (0..dim).map(|i| i as f64 * 1e-3).collect(),
+        num_samples: 20,
+        error_count: 3,
+        label_counts: vec![2; 10],
+    })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut encode_group = c.benchmark_group("encode_checkin");
+    for &dim in &[50usize, 500, 5000] {
+        let msg = checkin_message(dim);
+        encode_group.bench_with_input(BenchmarkId::from_parameter(dim), &msg, |bench, msg| {
+            bench.iter(|| black_box(encode(black_box(msg))))
+        });
+    }
+    encode_group.finish();
+
+    let mut decode_group = c.benchmark_group("decode_checkin");
+    for &dim in &[50usize, 500, 5000] {
+        let bytes = encode(&checkin_message(dim));
+        decode_group.bench_with_input(BenchmarkId::from_parameter(dim), &bytes, |bench, bytes| {
+            bench.iter(|| black_box(decode(black_box(bytes)).unwrap()))
+        });
+    }
+    decode_group.finish();
+
+    c.bench_function("roundtrip_checkout_response_d500", |bench| {
+        let msg = Message::CheckoutResponse(CheckoutResponse {
+            iteration: 5,
+            params: vec![0.5; 500],
+            stopped: false,
+        });
+        bench.iter(|| {
+            let bytes = encode(black_box(&msg));
+            black_box(decode(&bytes).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Device-side computation cost (§IV-B1): per-sample gradients and averaged
+//! minibatch gradients for the paper's multiclass logistic regression at the
+//! MNIST-like dimensionality (D = 50, C = 10).
+//!
+//! The scalability analysis claims the per-device load is "a gradient per sample,
+//! a vector summation per sample, and Laplace noise per minibatch" — cheap enough
+//! for a low-end device. These benches measure exactly those operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_data::Sample;
+use crowd_learning::model::{minibatch_statistics, Model};
+use crowd_learning::MulticlassLogistic;
+use crowd_linalg::ops::normalize_l1;
+use crowd_linalg::random::normal_vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn make_batch(rng: &mut StdRng, dim: usize, classes: usize, b: usize) -> Vec<Sample> {
+    (0..b)
+        .map(|_| {
+            let mut x = normal_vector(rng, dim);
+            normalize_l1(&mut x);
+            Sample::new(x, rng.gen_range(0..classes))
+        })
+        .collect()
+}
+
+fn bench_gradients(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let dim = 50;
+    let classes = 10;
+    let model = MulticlassLogistic::new(dim, classes).unwrap();
+    let w = normal_vector(&mut rng, model.param_dim());
+    let sample = make_batch(&mut rng, dim, classes, 1).pop().unwrap();
+
+    c.bench_function("per_sample_gradient_d50_c10", |bench| {
+        bench.iter(|| {
+            black_box(
+                model
+                    .gradient(black_box(&w), black_box(&sample.features), sample.label)
+                    .unwrap(),
+            )
+        })
+    });
+
+    c.bench_function("per_sample_prediction_d50_c10", |bench| {
+        bench.iter(|| black_box(model.predict(black_box(&w), &sample.features).unwrap()))
+    });
+
+    let mut group = c.benchmark_group("averaged_minibatch_gradient");
+    for &b in &[1usize, 10, 20, 64] {
+        let batch = make_batch(&mut rng, dim, classes, b);
+        group.bench_with_input(BenchmarkId::from_parameter(b), &batch, |bench, batch| {
+            bench.iter(|| {
+                black_box(minibatch_statistics(&model, &w, black_box(batch), 0.0, &[]).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gradients);
+criterion_main!(benches);

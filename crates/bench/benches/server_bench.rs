@@ -1,0 +1,52 @@
+//! Server-side computation cost (§IV-B1): the paper argues Crowd-ML "puts minimal
+//! load on the server which is the SGD update (3)". This bench measures one
+//! checkout and one checkin (projected update + counter accumulation) at the
+//! MNIST-like parameter dimensionality (500 parameters) and a larger model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_core::config::ServerConfig;
+use crowd_core::device::CheckinPayload;
+use crowd_core::server::Server;
+use crowd_learning::MulticlassLogistic;
+use crowd_linalg::Vector;
+use std::hint::black_box;
+
+fn payload(dim: usize, classes: usize) -> CheckinPayload {
+    CheckinPayload {
+        device_id: 1,
+        checkout_iteration: 0,
+        gradient: Vector::filled(dim * classes, 0.01),
+        num_samples: 20,
+        error_count: 2,
+        label_counts: vec![2; classes],
+    }
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_checkin_update");
+    for &(dim, classes) in &[(50usize, 10usize), (100, 10), (500, 10)] {
+        let model = MulticlassLogistic::new(dim, classes).unwrap();
+        let p = payload(dim, classes);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dim * classes),
+            &p,
+            |bench, p| {
+                bench.iter_batched(
+                    || Server::new(model, ServerConfig::new()).unwrap(),
+                    |mut server| black_box(server.checkin(black_box(p)).unwrap()),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("server_checkout_d50_c10", |bench| {
+        let model = MulticlassLogistic::new(50, 10).unwrap();
+        let server = Server::new(model, ServerConfig::new()).unwrap();
+        bench.iter(|| black_box(server.checkout()))
+    });
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

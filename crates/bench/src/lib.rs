@@ -1,0 +1,241 @@
+//! Shared harness code for the figure-regeneration binaries and Criterion benches.
+//!
+//! Every figure of the paper's evaluation (Figs. 3–9) has a binary in `src/bin/`
+//! that prints the same series the paper plots. By default the binaries run a
+//! scaled-down configuration (fewer devices, a fraction of the dataset, fewer
+//! passes) so the whole suite finishes in minutes; passing `--full` switches to
+//! the paper-scale parameters (M = 1000, full dataset, 5 passes).
+
+use crowd_core::config::PrivacyConfig;
+use crowd_core::experiment::{CrowdMlExperiment, ExperimentConfig};
+use crowd_core::report::FigureReport;
+use crowd_core::Result;
+
+/// Which of the two simulated workloads a figure uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimulatedWorkload {
+    /// The MNIST surrogate of §V-C (Figs. 4–6).
+    MnistLike,
+    /// The CIFAR-feature surrogate of Appendix D (Figs. 7–9).
+    CifarFeatureLike,
+}
+
+impl SimulatedWorkload {
+    /// Human-readable name used in report titles.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimulatedWorkload::MnistLike => "MNIST-like",
+            SimulatedWorkload::CifarFeatureLike => "CIFAR-feature-like",
+        }
+    }
+}
+
+/// Scale settings shared by the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunScale {
+    /// Fraction of the paper's dataset size to generate.
+    pub data_scale: f64,
+    /// Number of devices `M`.
+    pub devices: usize,
+    /// Passes over the training data.
+    pub passes: f64,
+    /// Curve evaluation points.
+    pub eval_points: usize,
+}
+
+impl RunScale {
+    /// The fast default used when no flag is passed: 10% of the data, 100 devices,
+    /// 3 passes. The privacy figures need enough server updates for the Laplace
+    /// noise to average out, so the quick scale cannot be made arbitrarily small
+    /// without flattening the b-sweep of Figs. 5/8.
+    pub fn quick() -> Self {
+        RunScale {
+            data_scale: 0.2,
+            devices: 100,
+            passes: 5.0,
+            eval_points: 25,
+        }
+    }
+
+    /// The paper-scale configuration selected by `--full`: full dataset,
+    /// M = 1000 devices, 5 passes.
+    pub fn full() -> Self {
+        RunScale {
+            data_scale: 1.0,
+            devices: 1000,
+            passes: 5.0,
+            eval_points: 40,
+        }
+    }
+
+    /// Parses the scale from command-line arguments (`--full` selects
+    /// [`RunScale::full`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            RunScale::full()
+        } else {
+            RunScale::quick()
+        }
+    }
+}
+
+/// Builds the experiment for a simulated workload at the given scale and
+/// parameters; `inverse_epsilon` follows the paper's ε⁻¹ convention and
+/// `delay_delta` the Δ delay unit.
+pub fn simulated_experiment(
+    workload: SimulatedWorkload,
+    scale: RunScale,
+    minibatch: usize,
+    inverse_epsilon: f64,
+    delay_delta: f64,
+    rate_constant: f64,
+    seed: u64,
+) -> Result<CrowdMlExperiment> {
+    let privacy = PrivacyConfig::from_inverse_epsilon(inverse_epsilon)?;
+    let config = ExperimentConfig::builder()
+        .devices(scale.devices)
+        .minibatch(minibatch)
+        .passes(scale.passes)
+        .privacy(privacy)
+        .delay_delta(delay_delta)
+        .rate_constant(rate_constant)
+        .eval_points(scale.eval_points)
+        .seed(seed)
+        .build();
+    Ok(match workload {
+        SimulatedWorkload::MnistLike => CrowdMlExperiment::mnist_like(scale.data_scale, config),
+        SimulatedWorkload::CifarFeatureLike => {
+            CrowdMlExperiment::cifar_feature_like(scale.data_scale, config)
+        }
+    })
+}
+
+/// Runs the Fig. 4 / Fig. 7 protocol: Central (batch) vs Crowd-ML (SGD) vs
+/// Decentralized (SGD), no privacy, no delay.
+pub fn run_no_privacy_comparison(
+    workload: SimulatedWorkload,
+    scale: RunScale,
+    seed: u64,
+) -> Result<FigureReport> {
+    let figure = match workload {
+        SimulatedWorkload::MnistLike => "Fig. 4",
+        SimulatedWorkload::CifarFeatureLike => "Fig. 7",
+    };
+    let mut report = FigureReport::new(format!(
+        "{figure}: {} — Central (batch) vs Crowd-ML vs Decentralized, no privacy, no delay",
+        workload.name()
+    ));
+    let experiment = simulated_experiment(workload, scale, 1, 0.0, 0.0, 1.0, seed)?;
+    let crowd = experiment.run()?;
+    report.add_curve("Crowd-ML (SGD)", crowd.curve);
+    let decentral = experiment.run_decentralized(20)?;
+    report.add_curve("Decentral (SGD)", decentral);
+    let batch_error = experiment.run_central_batch()?;
+    report.add_constant("Central (batch)", batch_error);
+    Ok(report)
+}
+
+/// Runs the Fig. 5 / Fig. 8 protocol: privacy ε⁻¹ = 0.1, minibatch sizes
+/// b ∈ {1, 10, 20}, Central (SGD) on perturbed inputs vs Crowd-ML vs Central
+/// (batch).
+pub fn run_privacy_minibatch_sweep(
+    workload: SimulatedWorkload,
+    scale: RunScale,
+    seed: u64,
+) -> Result<FigureReport> {
+    let figure = match workload {
+        SimulatedWorkload::MnistLike => "Fig. 5",
+        SimulatedWorkload::CifarFeatureLike => "Fig. 8",
+    };
+    let mut report = FigureReport::new(format!(
+        "{figure}: {} — privacy eps^-1 = 0.1, minibatch sweep, no delay",
+        workload.name()
+    ));
+    for &b in &[1usize, 10, 20] {
+        let experiment = simulated_experiment(workload, scale, b, 0.1, 0.0, 1.0, seed)?;
+        let crowd = experiment.run()?;
+        report.add_curve(format!("Crowd-ML (SGD,b={b})"), crowd.curve);
+        let central = experiment.run_central_sgd()?;
+        report.add_curve(format!("Central (SGD,b={b})"), central);
+    }
+    // The batch baseline trains on the perturbed pooled data once.
+    let experiment = simulated_experiment(workload, scale, 1, 0.1, 0.0, 1.0, seed)?;
+    report.add_constant("Central (batch)", experiment.run_central_batch()?);
+    Ok(report)
+}
+
+/// Runs the Fig. 6 / Fig. 9 protocol: privacy ε⁻¹ = 0.1, minibatch b ∈ {1, 20},
+/// maximum delays ∈ {1Δ, 10Δ, 100Δ, 1000Δ}.
+pub fn run_delay_sweep(
+    workload: SimulatedWorkload,
+    scale: RunScale,
+    seed: u64,
+) -> Result<FigureReport> {
+    let figure = match workload {
+        SimulatedWorkload::MnistLike => "Fig. 6",
+        SimulatedWorkload::CifarFeatureLike => "Fig. 9",
+    };
+    let mut report = FigureReport::new(format!(
+        "{figure}: {} — privacy eps^-1 = 0.1, delay sweep",
+        workload.name()
+    ));
+    for &b in &[1usize, 20] {
+        for &delta in &[1.0, 10.0, 100.0, 1000.0] {
+            let experiment = simulated_experiment(workload, scale, b, 0.1, delta, 1.0, seed)?;
+            let crowd = experiment.run()?;
+            report.add_curve(format!("Crowd-ML (b={b},{delta}D)"), crowd.curve);
+        }
+    }
+    let experiment = simulated_experiment(workload, scale, 1, 0.1, 0.0, 1.0, seed)?;
+    report.add_constant("Central (batch)", experiment.run_central_batch()?);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> RunScale {
+        RunScale {
+            data_scale: 0.005,
+            devices: 20,
+            passes: 1.0,
+            eval_points: 4,
+        }
+    }
+
+    #[test]
+    fn scales() {
+        assert!(RunScale::quick().data_scale < RunScale::full().data_scale);
+        assert_eq!(RunScale::full().devices, 1000);
+        // from_args without --full in the test harness returns quick.
+        assert_eq!(RunScale::from_args(), RunScale::quick());
+        assert_eq!(SimulatedWorkload::MnistLike.name(), "MNIST-like");
+    }
+
+    #[test]
+    fn no_privacy_comparison_produces_expected_series() {
+        let report =
+            run_no_privacy_comparison(SimulatedWorkload::MnistLike, tiny_scale(), 1).unwrap();
+        assert_eq!(report.curves.len(), 2);
+        assert_eq!(report.constants.len(), 1);
+        let rendered = report.render();
+        assert!(rendered.contains("Crowd-ML (SGD)"));
+        assert!(rendered.contains("Central (batch)"));
+    }
+
+    #[test]
+    fn privacy_sweep_produces_six_series() {
+        let report =
+            run_privacy_minibatch_sweep(SimulatedWorkload::MnistLike, tiny_scale(), 2).unwrap();
+        assert_eq!(report.curves.len(), 6);
+        assert!(report.summary_table().contains("Crowd-ML (SGD,b=20)"));
+    }
+
+    #[test]
+    fn delay_sweep_produces_eight_series() {
+        let report = run_delay_sweep(SimulatedWorkload::CifarFeatureLike, tiny_scale(), 3).unwrap();
+        assert_eq!(report.curves.len(), 8);
+        assert!(report.summary_table().contains("Crowd-ML (b=20,1000D)"));
+    }
+}

@@ -1,0 +1,308 @@
+//! Configuration types for devices, the server, and the privacy mechanisms.
+
+use crate::error::CoreError;
+use crate::Result;
+use crowd_dp::{Epsilon, PrivacyBudget};
+use crowd_learning::LearningRate;
+
+/// Privacy configuration for a Crowd-ML deployment.
+///
+/// Wraps the per-checkin [`PrivacyBudget`] (ε_g for gradients, ε_e for the error
+/// counter, ε_y for each label counter) plus the number of classes needed to
+/// compute the total `ε = ε_g + ε_e + C·ε_y` of Appendix B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyConfig {
+    /// Per-checkin budget split.
+    pub budget: PrivacyBudget,
+}
+
+impl PrivacyConfig {
+    /// Fully non-private configuration (the ε⁻¹ = 0 setting of Figs. 3–4).
+    pub fn non_private() -> Self {
+        PrivacyConfig {
+            budget: PrivacyBudget::non_private(),
+        }
+    }
+
+    /// Splits a total ε following the paper's guidance (Appendix B, Remark 1):
+    /// 99% of the budget to the gradient, 1% shared by the monitoring counters.
+    pub fn with_total_epsilon(total: f64) -> Self {
+        let eps = Epsilon::finite(total).unwrap_or(Epsilon::NonPrivate);
+        PrivacyConfig {
+            budget: PrivacyBudget::split_total(eps, 10, 0.01)
+                .unwrap_or_else(|_| PrivacyBudget::non_private()),
+        }
+    }
+
+    /// Builds the configuration from the inverse ε the paper reports
+    /// (`ε⁻¹ = 0.1` in Figs. 5–6 and 8–9; `ε⁻¹ = 0` means non-private).
+    pub fn from_inverse_epsilon(inverse: f64) -> Result<Self> {
+        let eps = Epsilon::from_inverse(inverse).map_err(CoreError::Privacy)?;
+        Ok(match eps {
+            Epsilon::NonPrivate => Self::non_private(),
+            Epsilon::Finite(v) => Self::with_total_epsilon(v),
+        })
+    }
+
+    /// The gradient budget ε_g.
+    pub fn gradient_epsilon(&self) -> Epsilon {
+        self.budget.gradient
+    }
+
+    /// `true` when no noise is added anywhere.
+    pub fn is_non_private(&self) -> bool {
+        self.budget.is_non_private()
+    }
+}
+
+impl Default for PrivacyConfig {
+    fn default() -> Self {
+        Self::non_private()
+    }
+}
+
+/// Per-device configuration (Algorithm 1 inputs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// Minibatch size `b`: the device checks out parameters once it has buffered
+    /// this many samples.
+    pub minibatch_size: usize,
+    /// Maximum buffer size `B`: sample collection pauses beyond this bound "to
+    /// prevent resource outage".
+    pub max_buffer: usize,
+    /// Fraction of buffered samples set aside as held-out test data (Remark 2);
+    /// their gradients are excluded from the average.
+    pub holdout_fraction: f64,
+}
+
+impl DeviceConfig {
+    /// Creates a device configuration with buffer bound `4·b` and no holdout.
+    pub fn new(minibatch_size: usize) -> Self {
+        DeviceConfig {
+            minibatch_size,
+            max_buffer: minibatch_size.saturating_mul(4).max(1),
+            holdout_fraction: 0.0,
+        }
+    }
+
+    /// Sets the maximum buffer size.
+    pub fn with_max_buffer(mut self, max_buffer: usize) -> Self {
+        self.max_buffer = max_buffer;
+        self
+    }
+
+    /// Sets the held-out fraction.
+    pub fn with_holdout_fraction(mut self, fraction: f64) -> Self {
+        self.holdout_fraction = fraction;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.minibatch_size == 0 {
+            return Err(CoreError::Config("minibatch_size must be positive".into()));
+        }
+        if self.max_buffer < self.minibatch_size {
+            return Err(CoreError::Config(format!(
+                "max_buffer {} must be at least the minibatch size {}",
+                self.max_buffer, self.minibatch_size
+            )));
+        }
+        if !(0.0..1.0).contains(&self.holdout_fraction) {
+            return Err(CoreError::Config(format!(
+                "holdout_fraction {} must be in [0, 1)",
+                self.holdout_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig::new(1)
+    }
+}
+
+/// Server configuration (Algorithm 2 inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Learning-rate schedule η(t); the paper's default is `c/√t`.
+    pub schedule: LearningRate,
+    /// L2 regularization strength λ.
+    pub lambda: f64,
+    /// Radius `R` of the parameter ball for the projection `Π_W`.
+    pub radius: f64,
+    /// Maximum number of server updates `T_max`.
+    pub max_iterations: u64,
+    /// Desired overall error ρ: the task stops when the (privately estimated)
+    /// error falls below this value. Use 0 to disable the error-based stop.
+    pub target_error: f64,
+}
+
+impl ServerConfig {
+    /// A default configuration: `η(t) = 1/√t`, no regularization, radius 100,
+    /// effectively unbounded iterations, no error-based stop.
+    pub fn new() -> Self {
+        ServerConfig {
+            schedule: LearningRate::InvSqrt { c: 1.0 },
+            lambda: 0.0,
+            radius: 100.0,
+            max_iterations: u64::MAX,
+            target_error: 0.0,
+        }
+    }
+
+    /// Sets the learning-rate constant `c` of the paper's `c/√t` schedule.
+    pub fn with_rate_constant(mut self, c: f64) -> Self {
+        self.schedule = LearningRate::InvSqrt { c };
+        self
+    }
+
+    /// Sets the regularization strength.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the maximum iteration count.
+    pub fn with_max_iterations(mut self, t_max: u64) -> Self {
+        self.max_iterations = t_max;
+        self
+    }
+
+    /// Sets the target error ρ.
+    pub fn with_target_error(mut self, rho: f64) -> Self {
+        self.target_error = rho;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.schedule.c() <= 0.0 || !self.schedule.c().is_finite() {
+            return Err(CoreError::Config("learning-rate constant must be positive".into()));
+        }
+        if self.lambda < 0.0 || !self.lambda.is_finite() {
+            return Err(CoreError::Config("lambda must be non-negative".into()));
+        }
+        if self.radius <= 0.0 || !self.radius.is_finite() {
+            return Err(CoreError::Config("radius must be positive".into()));
+        }
+        if self.max_iterations == 0 {
+            return Err(CoreError::Config("max_iterations must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.target_error) {
+            return Err(CoreError::Config("target_error must be in [0, 1]".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::new()
+    }
+}
+
+/// Complete configuration of a Crowd-ML task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrowdMlConfig {
+    /// Per-device configuration.
+    pub device: DeviceConfig,
+    /// Server configuration.
+    pub server: ServerConfig,
+    /// Privacy configuration.
+    pub privacy: PrivacyConfig,
+}
+
+impl CrowdMlConfig {
+    /// Creates a configuration from its parts, validating each.
+    pub fn new(device: DeviceConfig, server: ServerConfig, privacy: PrivacyConfig) -> Result<Self> {
+        device.validate()?;
+        server.validate()?;
+        Ok(CrowdMlConfig {
+            device,
+            server,
+            privacy,
+        })
+    }
+
+    /// A non-private single-sample-minibatch configuration (the paper's Fig. 4
+    /// Crowd-ML setting).
+    pub fn default_non_private() -> Self {
+        CrowdMlConfig {
+            device: DeviceConfig::new(1),
+            server: ServerConfig::new(),
+            privacy: PrivacyConfig::non_private(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privacy_config_constructors() {
+        assert!(PrivacyConfig::non_private().is_non_private());
+        assert!(PrivacyConfig::default().is_non_private());
+        let p = PrivacyConfig::with_total_epsilon(10.0);
+        assert!(!p.is_non_private());
+        assert!(p.gradient_epsilon().is_private());
+        // Inverse convention: 0 → non-private, 0.1 → ε = 10.
+        assert!(PrivacyConfig::from_inverse_epsilon(0.0).unwrap().is_non_private());
+        let q = PrivacyConfig::from_inverse_epsilon(0.1).unwrap();
+        assert!((q.budget.total_per_checkin(10) - 10.0).abs() < 1e-9);
+        assert!(PrivacyConfig::from_inverse_epsilon(-1.0).is_err());
+        // Degenerate total falls back to non-private rather than panicking.
+        assert!(PrivacyConfig::with_total_epsilon(0.0).is_non_private());
+    }
+
+    #[test]
+    fn device_config_validation() {
+        assert!(DeviceConfig::new(1).validate().is_ok());
+        assert!(DeviceConfig::new(0).validate().is_err());
+        assert!(DeviceConfig::new(10).with_max_buffer(5).validate().is_err());
+        assert!(DeviceConfig::new(10)
+            .with_holdout_fraction(1.5)
+            .validate()
+            .is_err());
+        let d = DeviceConfig::new(20);
+        assert_eq!(d.max_buffer, 80);
+        assert_eq!(DeviceConfig::default().minibatch_size, 1);
+    }
+
+    #[test]
+    fn server_config_validation() {
+        assert!(ServerConfig::new().validate().is_ok());
+        assert!(ServerConfig::new().with_rate_constant(0.0).validate().is_err());
+        assert!(ServerConfig::new().with_lambda(-1.0).validate().is_err());
+        let mut s = ServerConfig::new();
+        s.radius = 0.0;
+        assert!(s.validate().is_err());
+        s = ServerConfig::new();
+        s.max_iterations = 0;
+        assert!(s.validate().is_err());
+        assert!(ServerConfig::new().with_target_error(1.5).validate().is_err());
+        assert_eq!(ServerConfig::default(), ServerConfig::new());
+    }
+
+    #[test]
+    fn crowd_config_composition() {
+        let ok = CrowdMlConfig::new(
+            DeviceConfig::new(5),
+            ServerConfig::new().with_rate_constant(0.5),
+            PrivacyConfig::with_total_epsilon(1.0),
+        );
+        assert!(ok.is_ok());
+        let bad = CrowdMlConfig::new(
+            DeviceConfig::new(0),
+            ServerConfig::new(),
+            PrivacyConfig::non_private(),
+        );
+        assert!(bad.is_err());
+        let d = CrowdMlConfig::default_non_private();
+        assert!(d.privacy.is_non_private());
+        assert_eq!(d.device.minibatch_size, 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Device-side state machine: Device Routines 1–3 of Algorithm 1.
+//!
+//! A [`Device`] buffers locally generated samples (Routine 1), asks for a checkout
+//! once the buffer reaches the minibatch size `b`, and — when the server's
+//! parameters arrive — computes the averaged regularized gradient, the
+//! misclassification count, and the label counts over its buffer, sanitizes them
+//! (Routine 3 via [`crate::privacy::Sanitizer`]), and produces a
+//! [`CheckinPayload`] to upload (Routine 2). Failed checkouts simply leave the
+//! buffer intact so the device retries later (Remark 1 of the paper).
+
+use crate::config::{DeviceConfig, PrivacyConfig};
+use crate::error::CoreError;
+use crate::privacy::Sanitizer;
+use crate::Result;
+use crowd_data::Sample;
+use crowd_learning::model::{minibatch_statistics, Model};
+use crowd_linalg::Vector;
+use rand::Rng;
+
+/// What a device did with an observed sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceAction {
+    /// The sample was added to the buffer; nothing else to do yet.
+    Buffered,
+    /// The buffer is at its maximum size `B`; the sample was discarded
+    /// ("stop collection to prevent resource outage").
+    Dropped,
+    /// The buffer has reached the minibatch size: the device should check out the
+    /// current parameters from the server.
+    RequestCheckout,
+}
+
+/// The sanitized statistics a device uploads at checkin
+/// (`ĝ`, `n_s`, `n̂_e`, `n̂_y^k` plus bookkeeping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckinPayload {
+    /// The uploading device's id.
+    pub device_id: u64,
+    /// Server iteration at which the parameters used for this gradient were read.
+    pub checkout_iteration: u64,
+    /// The sanitized averaged gradient `ĝ`.
+    pub gradient: Vector,
+    /// The number of samples `n_s` the statistics were computed from.
+    pub num_samples: usize,
+    /// The sanitized misclassification count `n̂_e`.
+    pub error_count: i64,
+    /// The sanitized per-class label counts `n̂_y^k`.
+    pub label_counts: Vec<i64>,
+}
+
+/// A Crowd-ML device.
+#[derive(Debug, Clone)]
+pub struct Device {
+    id: u64,
+    config: DeviceConfig,
+    privacy: PrivacyConfig,
+    buffer: Vec<Sample>,
+    awaiting_params: bool,
+    samples_observed: u64,
+    samples_dropped: u64,
+    checkins_completed: u64,
+}
+
+impl Device {
+    /// Creates a device with the given configuration.
+    pub fn new(id: u64, config: DeviceConfig, privacy: PrivacyConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Device {
+            id,
+            config,
+            privacy,
+            buffer: Vec::with_capacity(config.minibatch_size),
+            awaiting_params: false,
+            samples_observed: 0,
+            samples_dropped: 0,
+            checkins_completed: 0,
+        })
+    }
+
+    /// The device id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of samples currently buffered.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Total samples observed (buffered or dropped).
+    pub fn samples_observed(&self) -> u64 {
+        self.samples_observed
+    }
+
+    /// Samples dropped because the buffer was full.
+    pub fn samples_dropped(&self) -> u64 {
+        self.samples_dropped
+    }
+
+    /// Completed checkins.
+    pub fn checkins_completed(&self) -> u64 {
+        self.checkins_completed
+    }
+
+    /// Whether the device has requested a checkout and is waiting for parameters.
+    pub fn is_awaiting_params(&self) -> bool {
+        self.awaiting_params
+    }
+
+    /// Whether the buffer has reached the minibatch size (and the device is not
+    /// already waiting on a checkout).
+    pub fn ready_for_checkout(&self) -> bool {
+        !self.awaiting_params && self.buffer.len() >= self.config.minibatch_size
+    }
+
+    /// Device Routine 1: receive one sample.
+    pub fn observe(&mut self, sample: Sample) -> DeviceAction {
+        self.samples_observed += 1;
+        if self.buffer.len() >= self.config.max_buffer {
+            self.samples_dropped += 1;
+            return DeviceAction::Dropped;
+        }
+        self.buffer.push(sample);
+        if self.ready_for_checkout() {
+            DeviceAction::RequestCheckout
+        } else {
+            DeviceAction::Buffered
+        }
+    }
+
+    /// Marks the device as having issued a checkout request. Returns an error if a
+    /// checkout is already outstanding.
+    pub fn begin_checkout(&mut self) -> Result<()> {
+        if self.awaiting_params {
+            return Err(CoreError::Protocol(format!(
+                "device {} already has an outstanding checkout",
+                self.id
+            )));
+        }
+        self.awaiting_params = true;
+        Ok(())
+    }
+
+    /// Abandons an outstanding checkout (e.g. after a network failure), keeping
+    /// the buffered samples so the device can retry later.
+    pub fn abort_checkout(&mut self) {
+        self.awaiting_params = false;
+    }
+
+    /// Device Routines 2 and 3: given the parameters received from the server,
+    /// compute the minibatch statistics over the buffered samples, sanitize them,
+    /// clear the buffer, and return the payload to upload.
+    ///
+    /// `lambda` is the regularization strength of the global risk (Eq. 2);
+    /// `checkout_iteration` is the server iteration tagged on the parameters.
+    pub fn compute_checkin<M: Model + ?Sized, R: Rng + ?Sized>(
+        &mut self,
+        model: &M,
+        params: &Vector,
+        checkout_iteration: u64,
+        lambda: f64,
+        rng: &mut R,
+    ) -> Result<CheckinPayload> {
+        if self.buffer.is_empty() {
+            return Err(CoreError::Protocol(format!(
+                "device {} has no buffered samples to check in",
+                self.id
+            )));
+        }
+
+        // Remark 2: optionally set aside a random fraction of the buffer as
+        // held-out samples whose gradients are excluded from the average.
+        let holdout: Vec<usize> = if self.config.holdout_fraction > 0.0 {
+            let count =
+                ((self.buffer.len() as f64) * self.config.holdout_fraction).floor() as usize;
+            let mut indices: Vec<usize> = (0..self.buffer.len()).collect();
+            for i in (1..indices.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                indices.swap(i, j);
+            }
+            indices.truncate(count.min(self.buffer.len().saturating_sub(1)));
+            indices
+        } else {
+            Vec::new()
+        };
+
+        let stats = minibatch_statistics(model, params, &self.buffer, lambda, &holdout)?;
+        let sanitizer = Sanitizer::new(&self.privacy, stats.num_samples)?;
+        let sanitized = sanitizer.sanitize(rng, &stats.gradient, stats.num_errors, &stats.label_counts);
+
+        self.buffer.clear();
+        self.awaiting_params = false;
+        self.checkins_completed += 1;
+
+        Ok(CheckinPayload {
+            device_id: self.id,
+            checkout_iteration,
+            gradient: sanitized.gradient,
+            num_samples: stats.num_samples,
+            error_count: sanitized.error_count,
+            label_counts: sanitized.label_counts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeviceConfig, PrivacyConfig};
+    use crowd_learning::MulticlassLogistic;
+    use crowd_linalg::Vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(label: usize) -> Sample {
+        Sample::new(Vector::from_vec(vec![0.3, -0.7]), label)
+    }
+
+    fn device(b: usize) -> Device {
+        Device::new(7, DeviceConfig::new(b), PrivacyConfig::non_private()).unwrap()
+    }
+
+    #[test]
+    fn observe_triggers_checkout_at_minibatch_size() {
+        let mut d = device(3);
+        assert_eq!(d.observe(sample(0)), DeviceAction::Buffered);
+        assert_eq!(d.observe(sample(1)), DeviceAction::Buffered);
+        assert_eq!(d.observe(sample(2)), DeviceAction::RequestCheckout);
+        assert!(d.ready_for_checkout());
+        assert_eq!(d.buffer_len(), 3);
+        assert_eq!(d.samples_observed(), 3);
+    }
+
+    #[test]
+    fn buffer_bound_drops_samples() {
+        let mut d = Device::new(
+            1,
+            DeviceConfig::new(2).with_max_buffer(2),
+            PrivacyConfig::non_private(),
+        )
+        .unwrap();
+        d.observe(sample(0));
+        d.observe(sample(1));
+        assert_eq!(d.observe(sample(2)), DeviceAction::Dropped);
+        assert_eq!(d.samples_dropped(), 1);
+        assert_eq!(d.buffer_len(), 2);
+    }
+
+    #[test]
+    fn checkout_state_machine() {
+        let mut d = device(1);
+        d.observe(sample(0));
+        assert!(d.begin_checkout().is_ok());
+        assert!(d.is_awaiting_params());
+        // Double checkout is a protocol error.
+        assert!(d.begin_checkout().is_err());
+        // While awaiting, new samples do not re-trigger a checkout.
+        assert_eq!(d.observe(sample(1)), DeviceAction::Buffered);
+        d.abort_checkout();
+        assert!(!d.is_awaiting_params());
+        assert!(d.ready_for_checkout());
+    }
+
+    #[test]
+    fn compute_checkin_produces_payload_and_clears_buffer() {
+        let mut d = device(2);
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let params = model.init_params();
+        d.observe(sample(0));
+        d.observe(sample(2));
+        d.begin_checkout().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let payload = d
+            .compute_checkin(&model, &params, 5, 0.0, &mut rng)
+            .unwrap();
+        assert_eq!(payload.device_id, 7);
+        assert_eq!(payload.checkout_iteration, 5);
+        assert_eq!(payload.num_samples, 2);
+        assert_eq!(payload.label_counts.len(), 3);
+        assert_eq!(payload.label_counts[0], 1);
+        assert_eq!(payload.label_counts[2], 1);
+        assert_eq!(payload.gradient.len(), model.param_dim());
+        assert_eq!(d.buffer_len(), 0);
+        assert!(!d.is_awaiting_params());
+        assert_eq!(d.checkins_completed(), 1);
+    }
+
+    #[test]
+    fn checkin_without_samples_is_protocol_error() {
+        let mut d = device(1);
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let params = model.init_params();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(d
+            .compute_checkin(&model, &params, 0, 0.0, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn private_checkin_noise_changes_gradient() {
+        let mut noisy = Device::new(
+            1,
+            DeviceConfig::new(1),
+            PrivacyConfig::with_total_epsilon(0.5),
+        )
+        .unwrap();
+        let mut clean = device(1);
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let params = model.init_params();
+        noisy.observe(sample(1));
+        clean.observe(sample(1));
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy_payload = noisy
+            .compute_checkin(&model, &params, 0, 0.0, &mut rng)
+            .unwrap();
+        let clean_payload = clean
+            .compute_checkin(&model, &params, 0, 0.0, &mut rng)
+            .unwrap();
+        assert_ne!(noisy_payload.gradient, clean_payload.gradient);
+    }
+
+    #[test]
+    fn holdout_fraction_excludes_gradients() {
+        let config = DeviceConfig::new(4).with_holdout_fraction(0.99);
+        let mut d = Device::new(1, config, PrivacyConfig::non_private()).unwrap();
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let params = model.init_params();
+        for label in [0, 1, 2, 0] {
+            d.observe(sample(label));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let payload = d
+            .compute_checkin(&model, &params, 0, 0.0, &mut rng)
+            .unwrap();
+        // At least one sample always contributes a gradient (we never hold out all
+        // of them), and the payload still reports the full sample count.
+        assert_eq!(payload.num_samples, 4);
+        assert!(payload.gradient.len() == model.param_dim());
+    }
+}

@@ -1,0 +1,145 @@
+//! Plain-text rendering of experiment results.
+//!
+//! The figure binaries in `crowd-bench` print one CSV block per curve (the same
+//! series the paper plots) followed by a compact summary table; EXPERIMENTS.md
+//! records the summary rows next to the paper's reported values.
+
+use crowd_learning::metrics::ErrorCurve;
+
+/// A named error curve (one line/series of a figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedCurve {
+    /// Legend label, e.g. "Crowd-ML (SGD, b=20)".
+    pub label: String,
+    /// The curve data.
+    pub curve: ErrorCurve,
+}
+
+impl NamedCurve {
+    /// Creates a named curve.
+    pub fn new(label: impl Into<String>, curve: ErrorCurve) -> Self {
+        NamedCurve {
+            label: label.into(),
+            curve,
+        }
+    }
+}
+
+/// A figure report: a title plus its series and optional constant reference lines
+/// (e.g. the "Central (batch)" horizontal line).
+#[derive(Debug, Clone, Default)]
+pub struct FigureReport {
+    /// Figure title, e.g. "Fig. 4: MNIST-like, no privacy, no delay".
+    pub title: String,
+    /// The plotted series.
+    pub curves: Vec<NamedCurve>,
+    /// Constant reference lines as `(label, value)`.
+    pub constants: Vec<(String, f64)>,
+}
+
+impl FigureReport {
+    /// Creates an empty report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        FigureReport {
+            title: title.into(),
+            curves: Vec::new(),
+            constants: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add_curve(&mut self, label: impl Into<String>, curve: ErrorCurve) {
+        self.curves.push(NamedCurve::new(label, curve));
+    }
+
+    /// Adds a constant reference line.
+    pub fn add_constant(&mut self, label: impl Into<String>, value: f64) {
+        self.constants.push((label.into(), value));
+    }
+
+    /// Renders the full report: one CSV block per series plus the summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n\n", self.title));
+        for named in &self.curves {
+            out.push_str(&format!("## series: {}\n", named.label));
+            out.push_str(&named.curve.to_csv());
+            out.push('\n');
+        }
+        for (label, value) in &self.constants {
+            out.push_str(&format!("## constant: {label}\nvalue,{value:.6}\n\n"));
+        }
+        out.push_str(&self.summary_table());
+        out
+    }
+
+    /// Renders only the summary table: final error and tail-mean error per series.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::from("series,final_error,tail_mean_error\n");
+        for named in &self.curves {
+            let last = named.curve.final_error().unwrap_or(f64::NAN);
+            let tail = named.curve.tail_mean(5).unwrap_or(f64::NAN);
+            out.push_str(&format!("{},{last:.4},{tail:.4}\n", named.label));
+        }
+        for (label, value) in &self.constants {
+            out.push_str(&format!("{label},{value:.4},{value:.4}\n"));
+        }
+        out
+    }
+}
+
+/// Renders a vector of `(x, y)` pairs as a CSV block with a custom header — used
+/// by the Fig. 3 binary for the time-averaged online error series.
+pub fn series_to_csv(header: &str, values: &[f64]) -> String {
+    let mut out = format!("index,{header}\n");
+    for (i, v) in values.iter().enumerate() {
+        out.push_str(&format!("{},{:.6}\n", i + 1, v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(values: &[(usize, f64)]) -> ErrorCurve {
+        let mut c = ErrorCurve::new();
+        for &(i, e) in values {
+            c.push(i, e);
+        }
+        c
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let mut report = FigureReport::new("Fig. X: test");
+        report.add_curve("Crowd-ML (b=1)", curve(&[(10, 0.5), (20, 0.25)]));
+        report.add_curve("Central (SGD)", curve(&[(10, 0.6), (20, 0.55)]));
+        report.add_constant("Central (batch)", 0.1);
+        let rendered = report.render();
+        assert!(rendered.contains("# Fig. X: test"));
+        assert!(rendered.contains("## series: Crowd-ML (b=1)"));
+        assert!(rendered.contains("20,0.250000"));
+        assert!(rendered.contains("## constant: Central (batch)"));
+        assert!(rendered.contains("value,0.100000"));
+        let summary = report.summary_table();
+        assert!(summary.contains("Crowd-ML (b=1),0.2500"));
+        assert!(summary.contains("Central (batch),0.1000"));
+    }
+
+    #[test]
+    fn empty_curve_summary_is_nan_not_panic() {
+        let mut report = FigureReport::new("empty");
+        report.add_curve("nothing", ErrorCurve::new());
+        let summary = report.summary_table();
+        assert!(summary.contains("NaN"));
+    }
+
+    #[test]
+    fn series_csv_is_one_indexed() {
+        let csv = series_to_csv("online_error", &[1.0, 0.5]);
+        assert!(csv.starts_with("index,online_error\n"));
+        assert!(csv.contains("1,1.000000"));
+        assert!(csv.contains("2,0.500000"));
+    }
+}

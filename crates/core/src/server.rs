@@ -1,0 +1,428 @@
+//! Server-side state machine: Server Routines 1–2 of Algorithm 2.
+//!
+//! The [`Server`] hands out the current parameters on checkout, applies the
+//! projected SGD update `w ← Π_W[w − η(t)·ĝ]` on checkin, accumulates the
+//! per-device counters `N_s^m`, `N_e^m`, `N_y^{k,m}`, and evaluates the stopping
+//! criterion `t ≥ T_max` or `Σ N_e / Σ N_s ≤ ρ`.
+
+use crate::config::ServerConfig;
+use crate::device::CheckinPayload;
+use crate::error::CoreError;
+use crate::Result;
+use crowd_learning::model::Model;
+use crowd_learning::LearningRate;
+use crowd_linalg::ops::project_l2_ball;
+use crowd_linalg::random::normal_vector;
+use crowd_linalg::Vector;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Per-device progress statistics maintained by the server.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceProgress {
+    /// Total samples reported (`N_s^m`).
+    pub samples: u64,
+    /// Total (perturbed) misclassifications reported (`N_e^m`).
+    pub errors: i64,
+    /// Total (perturbed) per-class label counts (`N_y^{k,m}`).
+    pub label_counts: Vec<i64>,
+    /// Number of checkins received from the device.
+    pub checkins: u64,
+}
+
+/// The result of serving a checkout request (Server Routine 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckoutTicket {
+    /// The server iteration at which the parameters were read.
+    pub iteration: u64,
+    /// A copy of the current parameters.
+    pub params: Vector,
+    /// Whether the stopping criterion has already been met.
+    pub stopped: bool,
+}
+
+/// The result of applying a checkin (Server Routine 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckinOutcome {
+    /// Whether the gradient was applied (a stopped server rejects new gradients).
+    pub accepted: bool,
+    /// The server iteration after this checkin.
+    pub iteration: u64,
+    /// Whether the stopping criterion is now met.
+    pub stopped: bool,
+    /// How many updates happened between the device's checkout and this checkin
+    /// (the staleness the delay analysis of §IV-B3 reasons about).
+    pub staleness: u64,
+}
+
+/// The Crowd-ML server.
+#[derive(Debug, Clone)]
+pub struct Server<M: Model> {
+    model: M,
+    config: ServerConfig,
+    schedule: LearningRate,
+    params: Vector,
+    iteration: u64,
+    progress: HashMap<u64, DeviceProgress>,
+    total_samples: u64,
+    total_errors: i64,
+}
+
+impl<M: Model> Server<M> {
+    /// Creates a server with zero-initialized parameters.
+    pub fn new(model: M, config: ServerConfig) -> Result<Self> {
+        config.validate()?;
+        let params = model.init_params();
+        Ok(Server {
+            schedule: config.schedule.clone(),
+            model,
+            config,
+            params,
+            iteration: 0,
+            progress: HashMap::new(),
+            total_samples: 0,
+            total_errors: 0,
+        })
+    }
+
+    /// Creates a server with small random initial parameters (Algorithm 2's
+    /// "randomized w" initialization), scaled to fit well inside the projection
+    /// ball.
+    pub fn with_random_init<R: Rng + ?Sized>(model: M, config: ServerConfig, rng: &mut R) -> Result<Self> {
+        let mut server = Server::new(model, config)?;
+        let mut init = normal_vector(rng, server.params.len());
+        init.scale(0.01);
+        project_l2_ball(&mut init, server.config.radius);
+        server.params = init;
+        Ok(server)
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The current parameters.
+    pub fn params(&self) -> &Vector {
+        &self.params
+    }
+
+    /// The current iteration `t` (number of applied checkins).
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Total samples reported across devices (`Σ_m N_s^m`).
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Number of devices that have checked in at least once.
+    pub fn active_devices(&self) -> usize {
+        self.progress.len()
+    }
+
+    /// Per-device progress, if the device has checked in.
+    pub fn device_progress(&self, device_id: u64) -> Option<&DeviceProgress> {
+        self.progress.get(&device_id)
+    }
+
+    /// The privately estimated overall error rate `Σ N_e / Σ N_s` (Eq. 14), or
+    /// `None` before any samples have been reported. Clamped to `[0, 1]` since the
+    /// perturbed counts can stray outside the valid range.
+    pub fn error_estimate(&self) -> Option<f64> {
+        if self.total_samples == 0 {
+            None
+        } else {
+            Some((self.total_errors as f64 / self.total_samples as f64).clamp(0.0, 1.0))
+        }
+    }
+
+    /// The privately estimated class prior `P(y = k)` (Eq. 14), or `None` before
+    /// any samples have been reported. Negative perturbed counts are clamped to 0
+    /// before normalization.
+    pub fn prior_estimate(&self) -> Option<Vec<f64>> {
+        if self.total_samples == 0 {
+            return None;
+        }
+        let mut totals = vec![0.0; self.model.num_classes()];
+        for p in self.progress.values() {
+            for (t, &c) in totals.iter_mut().zip(p.label_counts.iter()) {
+                *t += (c.max(0)) as f64;
+            }
+        }
+        let sum: f64 = totals.iter().sum();
+        if sum <= 0.0 {
+            return Some(vec![0.0; self.model.num_classes()]);
+        }
+        Some(totals.into_iter().map(|t| t / sum).collect())
+    }
+
+    /// Whether the stopping criterion (`t ≥ T_max` or error estimate ≤ ρ) is met.
+    pub fn stopped(&self) -> bool {
+        if self.iteration >= self.config.max_iterations {
+            return true;
+        }
+        if self.config.target_error > 0.0 {
+            if let Some(err) = self.error_estimate() {
+                // Require a minimal amount of evidence before trusting the noisy
+                // estimate.
+                if self.total_samples >= 20 && err <= self.config.target_error {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Server Routine 1: serve the current parameters.
+    pub fn checkout(&self) -> CheckoutTicket {
+        CheckoutTicket {
+            iteration: self.iteration,
+            params: self.params.clone(),
+            stopped: self.stopped(),
+        }
+    }
+
+    /// Server Routine 2: apply one sanitized checkin.
+    pub fn checkin(&mut self, payload: &CheckinPayload) -> Result<CheckinOutcome> {
+        if payload.gradient.len() != self.params.len() {
+            return Err(CoreError::Protocol(format!(
+                "checkin gradient has dimension {}, expected {}",
+                payload.gradient.len(),
+                self.params.len()
+            )));
+        }
+        if payload.label_counts.len() != self.model.num_classes() {
+            return Err(CoreError::Protocol(format!(
+                "checkin reports {} label counts, expected {}",
+                payload.label_counts.len(),
+                self.model.num_classes()
+            )));
+        }
+        if payload.num_samples == 0 {
+            return Err(CoreError::Protocol(
+                "checkin must cover at least one sample".into(),
+            ));
+        }
+
+        let staleness = self.iteration.saturating_sub(payload.checkout_iteration);
+
+        // Update the monitoring counters regardless of acceptance so the server's
+        // view of data volume stays accurate.
+        let progress = self.progress.entry(payload.device_id).or_insert_with(|| DeviceProgress {
+            label_counts: vec![0; self.model.num_classes()],
+            ..DeviceProgress::default()
+        });
+        progress.samples += payload.num_samples as u64;
+        progress.errors += payload.error_count;
+        for (acc, &c) in progress.label_counts.iter_mut().zip(payload.label_counts.iter()) {
+            *acc += c;
+        }
+        progress.checkins += 1;
+        self.total_samples += payload.num_samples as u64;
+        self.total_errors += payload.error_count;
+
+        if self.stopped() {
+            return Ok(CheckinOutcome {
+                accepted: false,
+                iteration: self.iteration,
+                stopped: true,
+                staleness,
+            });
+        }
+
+        // The projected SGD update of Eq. 3.
+        self.iteration += 1;
+        let eta = self.schedule.rate(self.iteration as usize, &payload.gradient);
+        self.params
+            .axpy(-eta, &payload.gradient)
+            .map_err(|e| CoreError::Protocol(format!("update failed: {e}")))?;
+        project_l2_ball(&mut self.params, self.config.radius);
+
+        Ok(CheckinOutcome {
+            accepted: true,
+            iteration: self.iteration,
+            stopped: self.stopped(),
+            staleness,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use crowd_learning::MulticlassLogistic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn payload(device_id: u64, grad: Vec<f64>, iteration: u64) -> CheckinPayload {
+        CheckinPayload {
+            device_id,
+            checkout_iteration: iteration,
+            gradient: Vector::from_vec(grad),
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1, 0],
+        }
+    }
+
+    fn server() -> Server<MulticlassLogistic> {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        Server::new(model, ServerConfig::new().with_rate_constant(1.0)).unwrap()
+    }
+
+    #[test]
+    fn checkout_returns_current_state() {
+        let s = server();
+        let ticket = s.checkout();
+        assert_eq!(ticket.iteration, 0);
+        assert_eq!(ticket.params.len(), 6);
+        assert!(!ticket.stopped);
+    }
+
+    #[test]
+    fn checkin_applies_projected_update_and_counts() {
+        let mut s = server();
+        let g = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let outcome = s.checkin(&payload(3, g, 0)).unwrap();
+        assert!(outcome.accepted);
+        assert_eq!(outcome.iteration, 1);
+        assert_eq!(outcome.staleness, 0);
+        // η(1) = 1/√1 = 1, so w moved by -1 on the first coordinate.
+        assert!((s.params()[0] + 1.0).abs() < 1e-12);
+        assert_eq!(s.total_samples(), 2);
+        assert_eq!(s.active_devices(), 1);
+        let progress = s.device_progress(3).unwrap();
+        assert_eq!(progress.samples, 2);
+        assert_eq!(progress.errors, 1);
+        assert_eq!(progress.checkins, 1);
+        assert_eq!(s.error_estimate(), Some(0.5));
+        let prior = s.prior_estimate().unwrap();
+        assert!((prior[0] - 0.5).abs() < 1e-12);
+        assert_eq!(prior[2], 0.0);
+    }
+
+    #[test]
+    fn staleness_is_measured_against_checkout_iteration() {
+        let mut s = server();
+        let g = vec![0.1; 6];
+        s.checkin(&payload(0, g.clone(), 0)).unwrap();
+        s.checkin(&payload(1, g.clone(), 0)).unwrap();
+        let outcome = s.checkin(&payload(2, g, 0)).unwrap();
+        assert_eq!(outcome.staleness, 2);
+        assert_eq!(s.iteration(), 3);
+    }
+
+    #[test]
+    fn projection_bounds_parameters() {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let mut config = ServerConfig::new().with_rate_constant(100.0);
+        config.radius = 1.0;
+        let mut s = Server::new(model, config).unwrap();
+        s.checkin(&payload(0, vec![5.0; 6], 0)).unwrap();
+        assert!(s.params().norm_l2() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn stopping_on_max_iterations() {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let config = ServerConfig::new().with_max_iterations(2);
+        let mut s = Server::new(model, config).unwrap();
+        assert!(s.checkin(&payload(0, vec![0.1; 6], 0)).unwrap().accepted);
+        let second = s.checkin(&payload(0, vec![0.1; 6], 1)).unwrap();
+        assert!(second.accepted);
+        assert!(second.stopped);
+        // Once stopped, further gradients are rejected but still counted.
+        let third = s.checkin(&payload(0, vec![0.1; 6], 2)).unwrap();
+        assert!(!third.accepted);
+        assert_eq!(s.iteration(), 2);
+        assert!(s.checkout().stopped);
+    }
+
+    #[test]
+    fn stopping_on_target_error() {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let config = ServerConfig::new().with_target_error(0.2);
+        let mut s = Server::new(model, config).unwrap();
+        // Report 30 samples with zero errors: estimate 0 ≤ 0.2 and enough evidence.
+        let p = CheckinPayload {
+            device_id: 1,
+            checkout_iteration: 0,
+            gradient: Vector::zeros(6),
+            num_samples: 30,
+            error_count: 0,
+            label_counts: vec![10, 10, 10],
+        };
+        let outcome = s.checkin(&p).unwrap();
+        assert!(outcome.stopped);
+    }
+
+    #[test]
+    fn malformed_checkins_rejected() {
+        let mut s = server();
+        let bad_dim = CheckinPayload {
+            device_id: 0,
+            checkout_iteration: 0,
+            gradient: Vector::zeros(5),
+            num_samples: 1,
+            error_count: 0,
+            label_counts: vec![0, 0, 0],
+        };
+        assert!(s.checkin(&bad_dim).is_err());
+        let bad_counts = CheckinPayload {
+            device_id: 0,
+            checkout_iteration: 0,
+            gradient: Vector::zeros(6),
+            num_samples: 1,
+            error_count: 0,
+            label_counts: vec![0, 0],
+        };
+        assert!(s.checkin(&bad_counts).is_err());
+        let zero_samples = CheckinPayload {
+            device_id: 0,
+            checkout_iteration: 0,
+            gradient: Vector::zeros(6),
+            num_samples: 0,
+            error_count: 0,
+            label_counts: vec![0, 0, 0],
+        };
+        assert!(s.checkin(&zero_samples).is_err());
+        assert_eq!(s.iteration(), 0);
+    }
+
+    #[test]
+    fn random_init_is_small_and_inside_ball() {
+        let model = MulticlassLogistic::new(4, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = Server::with_random_init(model, ServerConfig::new(), &mut rng).unwrap();
+        assert!(s.params().norm_l2() > 0.0);
+        assert!(s.params().norm_l2() <= s.config().radius);
+        assert_eq!(s.error_estimate(), None);
+        assert_eq!(s.prior_estimate(), None);
+    }
+
+    #[test]
+    fn negative_perturbed_counts_clamp_in_estimates() {
+        let mut s = server();
+        let p = CheckinPayload {
+            device_id: 0,
+            checkout_iteration: 0,
+            gradient: Vector::zeros(6),
+            num_samples: 5,
+            error_count: -3,
+            label_counts: vec![-2, 4, 1],
+        };
+        s.checkin(&p).unwrap();
+        assert_eq!(s.error_estimate(), Some(0.0));
+        let prior = s.prior_estimate().unwrap();
+        assert_eq!(prior[0], 0.0);
+        assert!((prior.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

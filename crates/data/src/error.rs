@@ -1,0 +1,85 @@
+//! Error type for dataset construction, loading, and partitioning.
+
+use std::fmt;
+
+/// Errors produced by the data layer.
+#[derive(Debug)]
+pub enum DataError {
+    /// A dataset was constructed with inconsistent feature/label lengths or shapes.
+    ShapeMismatch {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// A label was outside `0..num_classes`.
+    InvalidLabel {
+        /// The offending label.
+        label: usize,
+        /// The number of classes the dataset declares.
+        num_classes: usize,
+    },
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+    /// An IDX/MNIST file could not be read or parsed.
+    Io(std::io::Error),
+    /// An IDX file had an unexpected magic number or dimension header.
+    Format(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+            DataError::InvalidLabel { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            DataError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::ShapeMismatch {
+            reason: "rows".into()
+        }
+        .to_string()
+        .contains("rows"));
+        assert!(DataError::InvalidLabel {
+            label: 12,
+            num_classes: 10
+        }
+        .to_string()
+        .contains("12"));
+        assert!(DataError::InvalidArgument("x".into()).to_string().contains("x"));
+        assert!(DataError::Format("bad magic".into()).to_string().contains("magic"));
+    }
+
+    #[test]
+    fn io_error_conversion_and_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: DataError = io.into();
+        assert!(err.to_string().contains("missing"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

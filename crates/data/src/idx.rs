@@ -1,0 +1,221 @@
+//! Loader for the IDX file format used by the MNIST dataset.
+//!
+//! When the real MNIST files (`train-images-idx3-ubyte`, `train-labels-idx1-ubyte`,
+//! …) are available locally, [`load_mnist`] reads them, flattens the images to
+//! 784-dimensional vectors scaled to `[0, 1]`, and returns datasets ready for the
+//! paper's PCA + L1 preprocessing. When the files are absent the evaluation falls
+//! back to the synthetic surrogate in [`crate::synthetic::mnist_like`].
+
+use crate::dataset::{Dataset, Sample};
+use crate::error::DataError;
+use crate::Result;
+use crowd_linalg::Vector;
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+const IMAGE_MAGIC: u32 = 0x0000_0803;
+const LABEL_MAGIC: u32 = 0x0000_0801;
+
+fn read_u32_be(bytes: &[u8], offset: usize) -> Result<u32> {
+    if offset + 4 > bytes.len() {
+        return Err(DataError::Format(format!(
+            "unexpected end of file at offset {offset}"
+        )));
+    }
+    Ok(u32::from_be_bytes([
+        bytes[offset],
+        bytes[offset + 1],
+        bytes[offset + 2],
+        bytes[offset + 3],
+    ]))
+}
+
+/// Parses an IDX3 (images) byte buffer into per-image pixel vectors scaled to
+/// `[0, 1]`.
+pub fn parse_idx3_images(bytes: &[u8]) -> Result<Vec<Vec<f64>>> {
+    let magic = read_u32_be(bytes, 0)?;
+    if magic != IMAGE_MAGIC {
+        return Err(DataError::Format(format!(
+            "bad image magic {magic:#010x}, expected {IMAGE_MAGIC:#010x}"
+        )));
+    }
+    let count = read_u32_be(bytes, 4)? as usize;
+    let rows = read_u32_be(bytes, 8)? as usize;
+    let cols = read_u32_be(bytes, 12)? as usize;
+    let pixels = rows * cols;
+    let expected = 16 + count * pixels;
+    if bytes.len() < expected {
+        return Err(DataError::Format(format!(
+            "image file truncated: expected {expected} bytes, found {}",
+            bytes.len()
+        )));
+    }
+    let mut images = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = 16 + i * pixels;
+        let image: Vec<f64> = bytes[start..start + pixels]
+            .iter()
+            .map(|&b| b as f64 / 255.0)
+            .collect();
+        images.push(image);
+    }
+    Ok(images)
+}
+
+/// Parses an IDX1 (labels) byte buffer into label values.
+pub fn parse_idx1_labels(bytes: &[u8]) -> Result<Vec<usize>> {
+    let magic = read_u32_be(bytes, 0)?;
+    if magic != LABEL_MAGIC {
+        return Err(DataError::Format(format!(
+            "bad label magic {magic:#010x}, expected {LABEL_MAGIC:#010x}"
+        )));
+    }
+    let count = read_u32_be(bytes, 4)? as usize;
+    let expected = 8 + count;
+    if bytes.len() < expected {
+        return Err(DataError::Format(format!(
+            "label file truncated: expected {expected} bytes, found {}",
+            bytes.len()
+        )));
+    }
+    Ok(bytes[8..8 + count].iter().map(|&b| b as usize).collect())
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+/// Loads an image/label file pair into a [`Dataset`] with `num_classes` classes.
+pub fn load_idx_pair(
+    images_path: &Path,
+    labels_path: &Path,
+    num_classes: usize,
+) -> Result<Dataset> {
+    let images = parse_idx3_images(&read_file(images_path)?)?;
+    let labels = parse_idx1_labels(&read_file(labels_path)?)?;
+    if images.len() != labels.len() {
+        return Err(DataError::ShapeMismatch {
+            reason: format!("{} images but {} labels", images.len(), labels.len()),
+        });
+    }
+    let samples = images
+        .into_iter()
+        .zip(labels)
+        .map(|(img, label)| Sample::new(Vector::from_vec(img), label))
+        .collect();
+    Dataset::new(samples, num_classes)
+}
+
+/// Loads the four standard MNIST files from `dir`, returning `(train, test)`.
+///
+/// Expects the uncompressed original filenames.
+pub fn load_mnist(dir: &Path) -> Result<(Dataset, Dataset)> {
+    let train = load_idx_pair(
+        &dir.join("train-images-idx3-ubyte"),
+        &dir.join("train-labels-idx1-ubyte"),
+        10,
+    )?;
+    let test = load_idx_pair(
+        &dir.join("t10k-images-idx3-ubyte"),
+        &dir.join("t10k-labels-idx1-ubyte"),
+        10,
+    )?;
+    Ok((train, test))
+}
+
+/// Serializes images into IDX3 bytes (used by tests and tooling).
+pub fn encode_idx3_images(images: &[Vec<u8>], rows: usize, cols: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + images.len() * rows * cols);
+    out.extend_from_slice(&IMAGE_MAGIC.to_be_bytes());
+    out.extend_from_slice(&(images.len() as u32).to_be_bytes());
+    out.extend_from_slice(&(rows as u32).to_be_bytes());
+    out.extend_from_slice(&(cols as u32).to_be_bytes());
+    for img in images {
+        out.extend_from_slice(img);
+    }
+    out
+}
+
+/// Serializes labels into IDX1 bytes (used by tests and tooling).
+pub fn encode_idx1_labels(labels: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + labels.len());
+    out.extend_from_slice(&LABEL_MAGIC.to_be_bytes());
+    out.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+    out.extend_from_slice(labels);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    #[test]
+    fn image_round_trip() {
+        let images = vec![vec![0u8, 128, 255, 64], vec![10, 20, 30, 40]];
+        let bytes = encode_idx3_images(&images, 2, 2);
+        let parsed = parse_idx3_images(&bytes).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].len(), 4);
+        assert!((parsed[0][1] - 128.0 / 255.0).abs() < 1e-12);
+        assert!((parsed[0][2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_round_trip() {
+        let labels = vec![0u8, 3, 9, 1];
+        let bytes = encode_idx1_labels(&labels);
+        let parsed = parse_idx1_labels(&bytes).unwrap();
+        assert_eq!(parsed, vec![0, 3, 9, 1]);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let mut bytes = encode_idx1_labels(&[1, 2, 3]);
+        bytes[3] = 0xFF;
+        assert!(parse_idx1_labels(&bytes).is_err());
+
+        let images = encode_idx3_images(&[vec![1, 2, 3, 4]], 2, 2);
+        assert!(parse_idx3_images(&images[..18]).is_err());
+        assert!(parse_idx1_labels(&[0, 0]).is_err());
+        // Labels parsed as images must fail on magic.
+        assert!(parse_idx3_images(&encode_idx1_labels(&[1])).is_err());
+    }
+
+    #[test]
+    fn load_pair_from_disk() {
+        let dir = std::env::temp_dir().join(format!("crowd_ml_idx_test_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let images_path = dir.join("imgs");
+        let labels_path = dir.join("labels");
+        fs::write(
+            &images_path,
+            encode_idx3_images(&[vec![255, 0, 0, 255], vec![0, 255, 255, 0]], 2, 2),
+        )
+        .unwrap();
+        fs::write(&labels_path, encode_idx1_labels(&[7, 2])).unwrap();
+
+        let data = load_idx_pair(&images_path, &labels_path, 10).unwrap();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.dim(), 4);
+        assert_eq!(data.labels(), vec![7, 2]);
+
+        // Mismatched counts are rejected.
+        fs::write(&labels_path, encode_idx1_labels(&[7])).unwrap();
+        assert!(load_idx_pair(&images_path, &labels_path, 10).is_err());
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_mnist_missing_files_is_io_error() {
+        let missing = Path::new("/nonexistent/mnist/dir");
+        match load_mnist(missing) {
+            Err(DataError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Partitioning a dataset across `M` simulated devices.
+//!
+//! The paper's simulated experiments assign the training set to `M = 1000` devices
+//! ("each device has 60 training and 10 test samples on average", §V-C), which is
+//! an IID partition. Real crowdsensing deployments are rarely IID, so we also
+//! provide a label-skew shard partitioner and a Dirichlet partitioner — the two
+//! standard non-IID models in the federated-learning literature — for ablations.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::Result;
+use rand::Rng;
+
+/// How to divide samples across devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartitionStrategy {
+    /// Shuffle, then deal samples round-robin: every device sees (close to) the
+    /// global class distribution. This is the paper's setting.
+    Iid,
+    /// Sort by label into shards and give each device `shards_per_device`
+    /// contiguous shards, so each device sees only a few classes.
+    LabelShards {
+        /// Number of label-sorted shards handed to each device.
+        shards_per_device: usize,
+    },
+    /// Draw each device's class mixture from a symmetric Dirichlet(α) and assign
+    /// samples accordingly. Small α → highly skewed devices.
+    Dirichlet {
+        /// Concentration parameter α (must be positive).
+        alpha: f64,
+    },
+}
+
+/// Partitions `data` into `num_devices` per-device datasets.
+///
+/// Every sample is assigned to exactly one device; devices may end up with
+/// slightly different sizes. Errors if `num_devices` is zero or the strategy
+/// parameters are invalid.
+pub fn partition<R: Rng + ?Sized>(
+    data: &Dataset,
+    num_devices: usize,
+    strategy: PartitionStrategy,
+    rng: &mut R,
+) -> Result<Vec<Dataset>> {
+    if num_devices == 0 {
+        return Err(DataError::InvalidArgument(
+            "num_devices must be positive".into(),
+        ));
+    }
+    match strategy {
+        PartitionStrategy::Iid => partition_iid(data, num_devices, rng),
+        PartitionStrategy::LabelShards { shards_per_device } => {
+            partition_label_shards(data, num_devices, shards_per_device, rng)
+        }
+        PartitionStrategy::Dirichlet { alpha } => {
+            partition_dirichlet(data, num_devices, alpha, rng)
+        }
+    }
+}
+
+fn empty_partitions(data: &Dataset, num_devices: usize) -> Result<Vec<Dataset>> {
+    (0..num_devices)
+        .map(|_| Dataset::empty(data.dim(), data.num_classes()))
+        .collect()
+}
+
+fn partition_iid<R: Rng + ?Sized>(
+    data: &Dataset,
+    num_devices: usize,
+    rng: &mut R,
+) -> Result<Vec<Dataset>> {
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    for i in (1..indices.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        indices.swap(i, j);
+    }
+    let mut parts = empty_partitions(data, num_devices)?;
+    for (pos, &idx) in indices.iter().enumerate() {
+        parts[pos % num_devices].push(data.get(idx).clone())?;
+    }
+    Ok(parts)
+}
+
+fn partition_label_shards<R: Rng + ?Sized>(
+    data: &Dataset,
+    num_devices: usize,
+    shards_per_device: usize,
+    rng: &mut R,
+) -> Result<Vec<Dataset>> {
+    if shards_per_device == 0 {
+        return Err(DataError::InvalidArgument(
+            "shards_per_device must be positive".into(),
+        ));
+    }
+    // Sort indices by label, split into equal shards, deal shards to devices.
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    indices.sort_by_key(|&i| data.get(i).label);
+    let num_shards = num_devices * shards_per_device;
+    let shard_size = (data.len() + num_shards - 1) / num_shards.max(1);
+    let mut shards: Vec<Vec<usize>> = indices
+        .chunks(shard_size.max(1))
+        .map(|c| c.to_vec())
+        .collect();
+    // Shuffle shard order before dealing.
+    for i in (1..shards.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        shards.swap(i, j);
+    }
+    let mut parts = empty_partitions(data, num_devices)?;
+    for (s, shard) in shards.into_iter().enumerate() {
+        let device = s % num_devices;
+        for idx in shard {
+            parts[device].push(data.get(idx).clone())?;
+        }
+    }
+    Ok(parts)
+}
+
+fn partition_dirichlet<R: Rng + ?Sized>(
+    data: &Dataset,
+    num_devices: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> Result<Vec<Dataset>> {
+    if !(alpha.is_finite() && alpha > 0.0) {
+        return Err(DataError::InvalidArgument(format!(
+            "dirichlet alpha {alpha} must be positive"
+        )));
+    }
+    let num_classes = data.num_classes();
+    // For each class, draw a Dirichlet(α) split over devices and assign that
+    // class's samples proportionally.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, s) in data.iter().enumerate() {
+        by_class[s.label].push(i);
+    }
+    let mut parts = empty_partitions(data, num_devices)?;
+    for class_indices in by_class {
+        if class_indices.is_empty() {
+            continue;
+        }
+        let weights = sample_dirichlet(rng, alpha, num_devices);
+        // Convert weights to cumulative boundaries over the class's samples.
+        let n = class_indices.len();
+        let mut assigned = 0usize;
+        for (device, w) in weights.iter().enumerate() {
+            let take = if device + 1 == num_devices {
+                n - assigned
+            } else {
+                ((w * n as f64).round() as usize).min(n - assigned)
+            };
+            for &idx in &class_indices[assigned..assigned + take] {
+                parts[device].push(data.get(idx).clone())?;
+            }
+            assigned += take;
+            if assigned >= n {
+                break;
+            }
+        }
+    }
+    Ok(parts)
+}
+
+/// Samples a symmetric Dirichlet(α) vector of length `k` using the Gamma
+/// marginal representation with Marsaglia–Tsang for α ≥ 1 and the boost trick for
+/// α < 1.
+fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+    let mut gammas: Vec<f64> = (0..k).map(|_| sample_gamma(rng, alpha)).collect();
+    let sum: f64 = gammas.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate draw; fall back to uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    for g in &mut gammas {
+        *g /= sum;
+    }
+    gammas
+}
+
+fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    use crowd_linalg::random::standard_normal;
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    // Marsaglia–Tsang squeeze method.
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::GaussianMixtureSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(0);
+        GaussianMixtureSpec::new(4, 5)
+            .with_train_size(500)
+            .with_test_size(10)
+            .generate(&mut rng)
+            .unwrap()
+            .0
+    }
+
+    fn total_len(parts: &[Dataset]) -> usize {
+        parts.iter().map(|p| p.len()).sum()
+    }
+
+    #[test]
+    fn rejects_zero_devices_and_bad_params() {
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(partition(&d, 0, PartitionStrategy::Iid, &mut rng).is_err());
+        assert!(partition(
+            &d,
+            4,
+            PartitionStrategy::LabelShards {
+                shards_per_device: 0
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(partition(&d, 4, PartitionStrategy::Dirichlet { alpha: 0.0 }, &mut rng).is_err());
+        assert!(partition(&d, 4, PartitionStrategy::Dirichlet { alpha: -2.0 }, &mut rng).is_err());
+    }
+
+    #[test]
+    fn iid_partition_covers_all_samples_evenly() {
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(2);
+        let parts = partition(&d, 10, PartitionStrategy::Iid, &mut rng).unwrap();
+        assert_eq!(parts.len(), 10);
+        assert_eq!(total_len(&parts), d.len());
+        for p in &parts {
+            assert_eq!(p.len(), 50);
+            // Each device should see most classes under IID.
+            let nonzero = p.class_counts().iter().filter(|&&c| c > 0).count();
+            assert!(nonzero >= 4, "IID device saw only {nonzero} classes");
+        }
+    }
+
+    #[test]
+    fn label_shards_partition_is_skewed() {
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(3);
+        let parts = partition(
+            &d,
+            10,
+            PartitionStrategy::LabelShards {
+                shards_per_device: 1,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(total_len(&parts), d.len());
+        // With one shard per device, most devices should see very few classes.
+        let avg_classes: f64 = parts
+            .iter()
+            .map(|p| p.class_counts().iter().filter(|&&c| c > 0).count() as f64)
+            .sum::<f64>()
+            / parts.len() as f64;
+        assert!(avg_classes <= 3.0, "average classes per device {avg_classes}");
+    }
+
+    #[test]
+    fn dirichlet_partition_covers_all_samples() {
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(4);
+        let parts = partition(&d, 8, PartitionStrategy::Dirichlet { alpha: 0.3 }, &mut rng).unwrap();
+        assert_eq!(total_len(&parts), d.len());
+        assert_eq!(parts.len(), 8);
+    }
+
+    #[test]
+    fn dirichlet_small_alpha_is_more_skewed_than_large_alpha() {
+        let d = data();
+        let skew = |alpha: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let parts =
+                partition(&d, 10, PartitionStrategy::Dirichlet { alpha }, &mut rng).unwrap();
+            // Average, over devices, of the max class share on that device.
+            parts
+                .iter()
+                .filter(|p| !p.is_empty())
+                .map(|p| {
+                    let counts = p.class_counts();
+                    let max = *counts.iter().max().unwrap() as f64;
+                    max / p.len() as f64
+                })
+                .sum::<f64>()
+                / parts.len() as f64
+        };
+        let concentrated = skew(0.05, 5);
+        let spread = skew(100.0, 6);
+        assert!(
+            concentrated > spread,
+            "alpha=0.05 skew {concentrated} should exceed alpha=100 skew {spread}"
+        );
+    }
+
+    #[test]
+    fn dirichlet_sampler_is_a_distribution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &alpha in &[0.1, 1.0, 10.0] {
+            let w = sample_dirichlet(&mut rng, alpha, 12);
+            assert_eq!(w.len(), 12);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gamma_sampler_mean_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 20_000;
+        for &shape in &[0.5, 2.0, 5.0] {
+            let mean = (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() / shape < 0.1,
+                "gamma({shape}) empirical mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_devices_than_samples_leaves_some_empty() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let small = GaussianMixtureSpec::new(3, 2)
+            .with_train_size(5)
+            .with_test_size(2)
+            .generate(&mut rng)
+            .unwrap()
+            .0;
+        let parts = partition(&small, 10, PartitionStrategy::Iid, &mut rng).unwrap();
+        assert_eq!(total_len(&parts), 5);
+        assert!(parts.iter().filter(|p| p.is_empty()).count() >= 5);
+    }
+}

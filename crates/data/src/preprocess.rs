@@ -1,0 +1,264 @@
+//! Feature preprocessing: normalization, standardization, and PCA reduction.
+//!
+//! The paper preprocesses every workload the same way: reduce dimensionality with
+//! PCA (50 for MNIST, 100 for CIFAR features) and L1-normalize the result so that
+//! `‖x‖₁ ≤ 1`, which is the assumption the gradient-sensitivity bound of
+//! Appendix A relies on. Transformers are fit on the training set only and then
+//! applied to both splits.
+
+use crate::dataset::{Dataset, Sample};
+use crate::error::DataError;
+use crate::Result;
+use crowd_linalg::ops::{normalize_l1, normalize_l2};
+use crowd_linalg::{Pca, Vector};
+
+/// A fitted feature transformer.
+pub trait Transformer {
+    /// Applies the transform to a single feature vector.
+    fn transform_vector(&self, x: &Vector) -> Result<Vector>;
+
+    /// Applies the transform to every sample of a dataset, producing a new dataset.
+    fn transform(&self, data: &Dataset) -> Result<Dataset> {
+        let mut out = Vec::with_capacity(data.len());
+        for s in data.iter() {
+            out.push(Sample::new(self.transform_vector(&s.features)?, s.label));
+        }
+        Dataset::new(out, data.num_classes())
+    }
+}
+
+/// L1 normalization: `x ← x / ‖x‖₁` (zero vectors pass through unchanged).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L1Normalizer;
+
+impl Transformer for L1Normalizer {
+    fn transform_vector(&self, x: &Vector) -> Result<Vector> {
+        let mut out = x.clone();
+        normalize_l1(&mut out);
+        Ok(out)
+    }
+}
+
+/// L2 normalization: `x ← x / ‖x‖₂`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L2Normalizer;
+
+impl Transformer for L2Normalizer {
+    fn transform_vector(&self, x: &Vector) -> Result<Vector> {
+        let mut out = x.clone();
+        normalize_l2(&mut out);
+        Ok(out)
+    }
+}
+
+/// Per-feature standardization `x ← (x − μ) / σ`, fit on a training set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vector,
+    std_devs: Vector,
+}
+
+impl Standardizer {
+    /// Fits per-coordinate means and standard deviations on `data`. Coordinates
+    /// with zero variance get a standard deviation of 1 so they pass through.
+    pub fn fit(data: &Dataset) -> Result<Self> {
+        if data.is_empty() {
+            return Err(DataError::InvalidArgument(
+                "cannot fit a standardizer on an empty dataset".into(),
+            ));
+        }
+        let d = data.dim();
+        let n = data.len() as f64;
+        let mut means = vec![0.0; d];
+        for s in data.iter() {
+            for (m, v) in means.iter_mut().zip(s.features.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; d];
+        for s in data.iter() {
+            for ((v, x), m) in vars.iter_mut().zip(s.features.iter()).zip(means.iter()) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std_devs: Vec<f64> = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(Standardizer {
+            means: Vector::from_vec(means),
+            std_devs: Vector::from_vec(std_devs),
+        })
+    }
+
+    /// The fitted per-coordinate means.
+    pub fn means(&self) -> &Vector {
+        &self.means
+    }
+
+    /// The fitted per-coordinate standard deviations.
+    pub fn std_devs(&self) -> &Vector {
+        &self.std_devs
+    }
+}
+
+impl Transformer for Standardizer {
+    fn transform_vector(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.means.len() {
+            return Err(DataError::ShapeMismatch {
+                reason: format!(
+                    "standardizer fit on dimension {}, got {}",
+                    self.means.len(),
+                    x.len()
+                ),
+            });
+        }
+        Ok(Vector::from_vec(
+            x.iter()
+                .zip(self.means.iter())
+                .zip(self.std_devs.iter())
+                .map(|((v, m), s)| (v - m) / s)
+                .collect(),
+        ))
+    }
+}
+
+/// PCA dimensionality reduction fit on a training set, optionally followed by
+/// L1 normalization (the paper's pipeline).
+#[derive(Debug, Clone)]
+pub struct PcaReducer {
+    pca: Pca,
+    l1_normalize: bool,
+}
+
+impl PcaReducer {
+    /// Fits a `k`-component PCA on the training set.
+    pub fn fit(data: &Dataset, k: usize, l1_normalize: bool) -> Result<Self> {
+        if data.is_empty() {
+            return Err(DataError::InvalidArgument(
+                "cannot fit PCA on an empty dataset".into(),
+            ));
+        }
+        let pca = Pca::fit(&data.feature_matrix(), k)
+            .map_err(|e| DataError::InvalidArgument(format!("pca fit failed: {e}")))?;
+        Ok(PcaReducer { pca, l1_normalize })
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.pca.n_components()
+    }
+
+    /// The underlying fitted PCA.
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+}
+
+impl Transformer for PcaReducer {
+    fn transform_vector(&self, x: &Vector) -> Result<Vector> {
+        let mut z = self
+            .pca
+            .transform_vector(x)
+            .map_err(|e| DataError::InvalidArgument(format!("pca transform failed: {e}")))?;
+        if self.l1_normalize {
+            normalize_l1(&mut z);
+        }
+        Ok(z)
+    }
+}
+
+/// Convenience: fit a PCA reducer on `train` and transform both splits, matching
+/// the paper's preprocessing of MNIST and CIFAR features.
+pub fn pca_pipeline(
+    train: &Dataset,
+    test: &Dataset,
+    k: usize,
+    l1_normalize: bool,
+) -> Result<(Dataset, Dataset)> {
+    let reducer = PcaReducer::fit(train, k, l1_normalize)?;
+    Ok((reducer.transform(train)?, reducer.transform(test)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::GaussianMixtureSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_data(dim: usize, normalized: bool) -> (Dataset, Dataset) {
+        let mut rng = StdRng::seed_from_u64(0);
+        GaussianMixtureSpec::new(dim, 3)
+            .with_train_size(90)
+            .with_test_size(30)
+            .with_l1_normalization(normalized)
+            .generate(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn l1_and_l2_normalizers() {
+        let (train, _) = make_data(6, false);
+        let l1 = L1Normalizer.transform(&train).unwrap();
+        for s in l1.iter() {
+            assert!((s.features.norm_l1() - 1.0).abs() < 1e-9);
+        }
+        let l2 = L2Normalizer.transform(&train).unwrap();
+        for s in l2.iter() {
+            assert!((s.features.norm_l2() - 1.0).abs() < 1e-9);
+        }
+        // Labels and sizes are preserved.
+        assert_eq!(l1.len(), train.len());
+        assert_eq!(l1.labels(), train.labels());
+    }
+
+    #[test]
+    fn standardizer_centers_and_scales() {
+        let (train, test) = make_data(5, false);
+        let std = Standardizer::fit(&train).unwrap();
+        let transformed = std.transform(&train).unwrap();
+        let m = transformed.feature_matrix();
+        let means = m.column_means();
+        assert!(means.iter().all(|v| v.abs() < 1e-9));
+        // Test set transform uses train statistics and must preserve shape.
+        let t = std.transform(&test).unwrap();
+        assert_eq!(t.dim(), 5);
+        assert!(std.transform_vector(&Vector::zeros(3)).is_err());
+        assert!(Standardizer::fit(&Dataset::empty(4, 2).unwrap()).is_err());
+        assert_eq!(std.means().len(), 5);
+        assert_eq!(std.std_devs().len(), 5);
+    }
+
+    #[test]
+    fn pca_reducer_reduces_and_normalizes() {
+        let (train, test) = make_data(10, false);
+        let (rtrain, rtest) = pca_pipeline(&train, &test, 4, true).unwrap();
+        assert_eq!(rtrain.dim(), 4);
+        assert_eq!(rtest.dim(), 4);
+        for s in rtrain.iter() {
+            assert!(s.features.norm_l1() <= 1.0 + 1e-9);
+        }
+        let reducer = PcaReducer::fit(&train, 4, false).unwrap();
+        assert_eq!(reducer.n_components(), 4);
+        assert!(reducer.pca().explained_variance()[0] > 0.0);
+        assert!(PcaReducer::fit(&Dataset::empty(4, 2).unwrap(), 2, true).is_err());
+    }
+
+    #[test]
+    fn transformers_reject_wrong_dimensions() {
+        let (train, _) = make_data(8, false);
+        let reducer = PcaReducer::fit(&train, 3, false).unwrap();
+        assert!(reducer.transform_vector(&Vector::zeros(5)).is_err());
+    }
+}

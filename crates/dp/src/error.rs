@@ -1,0 +1,75 @@
+//! Error type for the differential-privacy crate.
+
+use std::fmt;
+
+/// Errors produced by privacy-mechanism construction or budget accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// The privacy parameter ε was non-positive, NaN, or otherwise unusable.
+    InvalidEpsilon(f64),
+    /// The failure probability δ of an (ε, δ) mechanism was outside `(0, 1)`.
+    InvalidDelta(f64),
+    /// A sensitivity bound was non-positive or non-finite.
+    InvalidSensitivity(f64),
+    /// An exponential-mechanism invocation had no candidates to choose from.
+    EmptyCandidateSet,
+    /// A budget accountant refused an operation that would exceed the total budget.
+    BudgetExhausted {
+        /// Budget already spent.
+        spent: f64,
+        /// Cost of the requested operation.
+        requested: f64,
+        /// Total available budget.
+        total: f64,
+    },
+    /// An unknown entity (e.g. device id) was referenced in the accountant.
+    UnknownEntity(String),
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidEpsilon(v) => write!(f, "invalid privacy parameter epsilon = {v}"),
+            DpError::InvalidDelta(v) => write!(f, "invalid failure probability delta = {v}"),
+            DpError::InvalidSensitivity(v) => write!(f, "invalid sensitivity bound {v}"),
+            DpError::EmptyCandidateSet => write!(f, "exponential mechanism needs a non-empty candidate set"),
+            DpError::BudgetExhausted {
+                spent,
+                requested,
+                total,
+            } => write!(
+                f,
+                "privacy budget exhausted: spent {spent}, requested {requested}, total {total}"
+            ),
+            DpError::UnknownEntity(name) => write!(f, "unknown entity `{name}` in budget accountant"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DpError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        assert!(DpError::InvalidDelta(2.0).to_string().contains("delta"));
+        assert!(DpError::InvalidSensitivity(0.0).to_string().contains("sensitivity"));
+        assert!(DpError::EmptyCandidateSet.to_string().contains("candidate"));
+        let b = DpError::BudgetExhausted {
+            spent: 0.9,
+            requested: 0.2,
+            total: 1.0,
+        };
+        assert!(b.to_string().contains("exhausted"));
+        assert!(DpError::UnknownEntity("dev-3".into()).to_string().contains("dev-3"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error>(_: &E) {}
+        takes_err(&DpError::EmptyCandidateSet);
+    }
+}

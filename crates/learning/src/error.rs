@@ -1,0 +1,76 @@
+//! Error type for the learning crate.
+
+use std::fmt;
+
+/// Errors produced by model construction, training, or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearningError {
+    /// A feature vector, parameter vector, or label had an unexpected shape.
+    ShapeMismatch {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// A hyperparameter was outside its valid domain.
+    InvalidHyperparameter {
+        /// Name of the hyperparameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Training was requested on an empty dataset or minibatch.
+    EmptyData,
+    /// A numerical failure (NaN/Inf) was detected during training.
+    NumericalFailure {
+        /// Where the failure was detected.
+        context: String,
+    },
+}
+
+impl fmt::Display for LearningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearningError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+            LearningError::InvalidHyperparameter { name, value } => {
+                write!(f, "invalid hyperparameter {name} = {value}")
+            }
+            LearningError::EmptyData => write!(f, "operation requires at least one sample"),
+            LearningError::NumericalFailure { context } => {
+                write!(f, "numerical failure during {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LearningError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LearningError::ShapeMismatch {
+            reason: "dim".into()
+        }
+        .to_string()
+        .contains("dim"));
+        assert!(LearningError::InvalidHyperparameter {
+            name: "lambda",
+            value: -1.0
+        }
+        .to_string()
+        .contains("lambda"));
+        assert!(LearningError::EmptyData.to_string().contains("sample"));
+        assert!(LearningError::NumericalFailure {
+            context: "sgd".into()
+        }
+        .to_string()
+        .contains("sgd"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&LearningError::EmptyData);
+    }
+}

@@ -1,0 +1,253 @@
+//! The [`Model`] trait: per-sample losses, gradients, and predictions over a flat
+//! parameter vector.
+//!
+//! All models expose their parameters as a single flat [`Vector`] so the server
+//! update (Eq. 3), the L2-ball projection, and the Laplace gradient perturbation
+//! (Eq. 10) operate uniformly regardless of the model family. Multiclass models
+//! store their `C × D` weight matrix row-major in that vector.
+
+use crate::error::LearningError;
+use crate::Result;
+use crowd_data::Sample;
+use crowd_linalg::Vector;
+
+/// A differentiable classification model with a flat parameter vector.
+pub trait Model: Send + Sync {
+    /// Feature dimensionality `D`.
+    fn input_dim(&self) -> usize;
+
+    /// Number of classes `C`.
+    fn num_classes(&self) -> usize;
+
+    /// Length of the flat parameter vector.
+    fn param_dim(&self) -> usize;
+
+    /// Initial parameter vector (zeros unless a model overrides it).
+    fn init_params(&self) -> Vector {
+        Vector::zeros(self.param_dim())
+    }
+
+    /// Per-class decision scores for a feature vector.
+    fn scores(&self, params: &Vector, x: &Vector) -> Result<Vec<f64>>;
+
+    /// Predicted class label (argmax of scores; Table I's `argmax_k w_k'x`).
+    fn predict(&self, params: &Vector, x: &Vector) -> Result<usize> {
+        let scores = self.scores(params, x)?;
+        crowd_linalg::ops::argmax(&scores).ok_or(LearningError::ShapeMismatch {
+            reason: "model produced no scores".into(),
+        })
+    }
+
+    /// Per-sample loss `l(h(x; w), y)` (without the regularization term).
+    fn loss(&self, params: &Vector, x: &Vector, y: usize) -> Result<f64>;
+
+    /// Per-sample (sub)gradient `∇_w l(h(x; w), y)` (without regularization).
+    fn gradient(&self, params: &Vector, x: &Vector, y: usize) -> Result<Vector>;
+
+    /// Validates that a feature/label pair is compatible with the model.
+    fn validate(&self, x: &Vector, y: usize) -> Result<()> {
+        if x.len() != self.input_dim() {
+            return Err(LearningError::ShapeMismatch {
+                reason: format!(
+                    "feature dimension {} does not match model input dimension {}",
+                    x.len(),
+                    self.input_dim()
+                ),
+            });
+        }
+        if y >= self.num_classes() {
+            return Err(LearningError::ShapeMismatch {
+                reason: format!("label {y} out of range for {} classes", self.num_classes()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The statistics a device computes over one minibatch in Device Routine 2:
+/// the averaged regularized gradient `g̃ = (1/n) Σ ∇l + λw`, the number of
+/// processed samples `n_s`, the misclassification count `n_e`, and the per-class
+/// label counts `n_y^k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinibatchStats {
+    /// Averaged regularized gradient over the minibatch.
+    pub gradient: Vector,
+    /// Number of samples in the minibatch (`n_s`).
+    pub num_samples: usize,
+    /// Number of misclassified samples under the current parameters (`n_e`).
+    pub num_errors: usize,
+    /// Per-class label counts (`n_y^k`, length `C`).
+    pub label_counts: Vec<u64>,
+    /// Average per-sample loss over the minibatch (not transmitted; used for
+    /// diagnostics and tests).
+    pub mean_loss: f64,
+}
+
+/// Computes the Device Routine 2 statistics for a minibatch: predictions, error and
+/// label counts, and the averaged gradient `g̃ = (1/n) Σ_i ∇l(x_i, y_i) + λ w`.
+///
+/// `holdout` optionally marks samples (by index) that are used only for error
+/// estimation — their gradients are excluded from the average, matching Remark 2
+/// of the paper.
+pub fn minibatch_statistics<M: Model + ?Sized>(
+    model: &M,
+    params: &Vector,
+    samples: &[Sample],
+    lambda: f64,
+    holdout: &[usize],
+) -> Result<MinibatchStats> {
+    if samples.is_empty() {
+        return Err(LearningError::EmptyData);
+    }
+    if lambda < 0.0 || !lambda.is_finite() {
+        return Err(LearningError::InvalidHyperparameter {
+            name: "lambda",
+            value: lambda,
+        });
+    }
+    let mut grad_sum = Vector::zeros(model.param_dim());
+    let mut num_errors = 0usize;
+    let mut label_counts = vec![0u64; model.num_classes()];
+    let mut loss_sum = 0.0;
+    let mut grad_count = 0usize;
+
+    for (i, s) in samples.iter().enumerate() {
+        model.validate(&s.features, s.label)?;
+        label_counts[s.label] += 1;
+        let pred = model.predict(params, &s.features)?;
+        if pred != s.label {
+            num_errors += 1;
+        }
+        loss_sum += model.loss(params, &s.features, s.label)?;
+        if holdout.contains(&i) {
+            continue;
+        }
+        let g = model.gradient(params, &s.features, s.label)?;
+        grad_sum.axpy(1.0, &g).map_err(|e| LearningError::ShapeMismatch {
+            reason: format!("gradient accumulation failed: {e}"),
+        })?;
+        grad_count += 1;
+    }
+
+    let mut gradient = grad_sum;
+    if grad_count > 0 {
+        gradient.scale(1.0 / grad_count as f64);
+    }
+    if lambda > 0.0 {
+        gradient.axpy(lambda, params).map_err(|e| LearningError::ShapeMismatch {
+            reason: format!("regularization failed: {e}"),
+        })?;
+    }
+    if !gradient.is_finite() {
+        return Err(LearningError::NumericalFailure {
+            context: "minibatch gradient".into(),
+        });
+    }
+
+    Ok(MinibatchStats {
+        gradient,
+        num_samples: samples.len(),
+        num_errors,
+        label_counts,
+        mean_loss: loss_sum / samples.len() as f64,
+    })
+}
+
+/// Numerically estimates the gradient of `model.loss` at `(params, x, y)` by
+/// central finite differences. Used by tests and the Table I verification bench to
+/// confirm the closed-form gradients.
+pub fn finite_difference_gradient<M: Model + ?Sized>(
+    model: &M,
+    params: &Vector,
+    x: &Vector,
+    y: usize,
+    step: f64,
+) -> Result<Vector> {
+    let mut grad = Vector::zeros(params.len());
+    for i in 0..params.len() {
+        let mut plus = params.clone();
+        plus[i] += step;
+        let mut minus = params.clone();
+        minus[i] -= step;
+        let f_plus = model.loss(&plus, x, y)?;
+        let f_minus = model.loss(&minus, x, y)?;
+        grad[i] = (f_plus - f_minus) / (2.0 * step);
+    }
+    Ok(grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::MulticlassLogistic;
+    use crowd_linalg::Vector;
+
+    fn samples() -> Vec<Sample> {
+        vec![
+            Sample::new(Vector::from_vec(vec![0.5, 0.5]), 0),
+            Sample::new(Vector::from_vec(vec![-0.5, 0.5]), 1),
+            Sample::new(Vector::from_vec(vec![0.25, -0.75]), 2),
+            Sample::new(Vector::from_vec(vec![0.9, 0.1]), 0),
+        ]
+    }
+
+    #[test]
+    fn minibatch_stats_counts_and_shape() {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let w = model.init_params();
+        let stats = minibatch_statistics(&model, &w, &samples(), 0.0, &[]).unwrap();
+        assert_eq!(stats.num_samples, 4);
+        assert_eq!(stats.label_counts, vec![2, 1, 1]);
+        assert_eq!(stats.gradient.len(), model.param_dim());
+        assert!(stats.mean_loss > 0.0);
+        // With zero weights every class ties, argmax picks class 0, so labels 1 and
+        // 2 are errors.
+        assert_eq!(stats.num_errors, 2);
+    }
+
+    #[test]
+    fn empty_minibatch_and_bad_lambda_rejected() {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let w = model.init_params();
+        assert_eq!(
+            minibatch_statistics(&model, &w, &[], 0.0, &[]),
+            Err(LearningError::EmptyData)
+        );
+        assert!(minibatch_statistics(&model, &w, &samples(), -0.1, &[]).is_err());
+        assert!(minibatch_statistics(&model, &w, &samples(), f64::NAN, &[]).is_err());
+    }
+
+    #[test]
+    fn holdout_excludes_gradient_but_not_error_counting() {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let w = model.init_params();
+        let all = minibatch_statistics(&model, &w, &samples(), 0.0, &[]).unwrap();
+        let held = minibatch_statistics(&model, &w, &samples(), 0.0, &[0, 1, 2, 3]).unwrap();
+        // All gradients held out: averaged gradient is zero, errors still counted.
+        assert_eq!(held.gradient.norm_l1(), 0.0);
+        assert_eq!(held.num_errors, all.num_errors);
+        assert_eq!(held.num_samples, 4);
+    }
+
+    #[test]
+    fn regularization_adds_lambda_w() {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let mut w = model.init_params();
+        for i in 0..w.len() {
+            w[i] = 0.1 * (i as f64 + 1.0);
+        }
+        let without = minibatch_statistics(&model, &w, &samples(), 0.0, &[]).unwrap();
+        let with = minibatch_statistics(&model, &w, &samples(), 0.5, &[]).unwrap();
+        let diff = &with.gradient - &without.gradient;
+        let expected = w.scaled(0.5);
+        assert!((diff.distance(&expected).unwrap()) < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        let model = MulticlassLogistic::new(3, 2).unwrap();
+        assert!(model.validate(&Vector::zeros(3), 1).is_ok());
+        assert!(model.validate(&Vector::zeros(2), 1).is_err());
+        assert!(model.validate(&Vector::zeros(3), 2).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Ridge (L2-regularized least-squares) regression for real-valued targets.
+//!
+//! Crowd-ML is presented as a framework for "classifiers or predictors"; the
+//! regression case (predicting a real value such as a temperature setting) uses the
+//! squared loss `½(w'x − y)²`. Regression targets are real numbers rather than
+//! class labels, so this module has its own small trainer instead of implementing
+//! the classification-oriented [`crate::model::Model`] trait. It is exercised by
+//! the quickstart example and tests but not by the paper's figures, which are all
+//! classification tasks.
+
+use crate::error::LearningError;
+use crate::schedule::LearningRate;
+use crate::Result;
+use crowd_linalg::ops::project_l2_ball;
+use crowd_linalg::Vector;
+
+/// A labeled regression sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionSample {
+    /// Feature vector.
+    pub features: Vector,
+    /// Real-valued target.
+    pub target: f64,
+}
+
+impl RegressionSample {
+    /// Creates a regression sample.
+    pub fn new(features: Vector, target: f64) -> Self {
+        RegressionSample { features, target }
+    }
+}
+
+/// Ridge regression trained by (projected) stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    input_dim: usize,
+    lambda: f64,
+    radius: f64,
+}
+
+impl RidgeRegression {
+    /// Creates a ridge-regression model with regularization `lambda ≥ 0` and
+    /// parameter-ball radius `radius > 0`.
+    pub fn new(input_dim: usize, lambda: f64, radius: f64) -> Result<Self> {
+        if input_dim == 0 {
+            return Err(LearningError::InvalidHyperparameter {
+                name: "input_dim",
+                value: 0.0,
+            });
+        }
+        if lambda < 0.0 || !lambda.is_finite() {
+            return Err(LearningError::InvalidHyperparameter {
+                name: "lambda",
+                value: lambda,
+            });
+        }
+        if radius <= 0.0 || !radius.is_finite() {
+            return Err(LearningError::InvalidHyperparameter {
+                name: "radius",
+                value: radius,
+            });
+        }
+        Ok(RidgeRegression {
+            input_dim,
+            lambda,
+            radius,
+        })
+    }
+
+    /// Feature dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Predicted value `w'x`.
+    pub fn predict(&self, params: &Vector, x: &Vector) -> Result<f64> {
+        params.dot(x).map_err(|e| LearningError::ShapeMismatch {
+            reason: e.to_string(),
+        })
+    }
+
+    /// Squared loss `½(w'x − y)²` plus the regularization term.
+    pub fn loss(&self, params: &Vector, sample: &RegressionSample) -> Result<f64> {
+        let err = self.predict(params, &sample.features)? - sample.target;
+        Ok(0.5 * err * err + 0.5 * self.lambda * params.norm_l2_squared())
+    }
+
+    /// Gradient of the regularized squared loss.
+    pub fn gradient(&self, params: &Vector, sample: &RegressionSample) -> Result<Vector> {
+        let err = self.predict(params, &sample.features)? - sample.target;
+        let mut g = sample.features.scaled(err);
+        if self.lambda > 0.0 {
+            g.axpy(self.lambda, params)
+                .map_err(|e| LearningError::ShapeMismatch {
+                    reason: e.to_string(),
+                })?;
+        }
+        Ok(g)
+    }
+
+    /// Trains with projected SGD for `passes` passes over the data, returning the
+    /// learned parameter vector.
+    pub fn fit(
+        &self,
+        data: &[RegressionSample],
+        schedule: &LearningRate,
+        passes: usize,
+    ) -> Result<Vector> {
+        if data.is_empty() {
+            return Err(LearningError::EmptyData);
+        }
+        let mut w = Vector::zeros(self.input_dim);
+        let mut schedule_state = schedule.clone();
+        let mut t = 0usize;
+        for _ in 0..passes.max(1) {
+            for sample in data {
+                t += 1;
+                let g = self.gradient(&w, sample)?;
+                let eta = schedule_state.rate(t, &g);
+                w.axpy(-eta, &g).map_err(|e| LearningError::ShapeMismatch {
+                    reason: e.to_string(),
+                })?;
+                project_l2_ball(&mut w, self.radius);
+            }
+        }
+        if !w.is_finite() {
+            return Err(LearningError::NumericalFailure {
+                context: "ridge regression".into(),
+            });
+        }
+        Ok(w)
+    }
+
+    /// Mean squared error of `params` over `data`.
+    pub fn mean_squared_error(&self, params: &Vector, data: &[RegressionSample]) -> Result<f64> {
+        if data.is_empty() {
+            return Err(LearningError::EmptyData);
+        }
+        let mut sum = 0.0;
+        for s in data {
+            let err = self.predict(params, &s.features)? - s.target;
+            sum += err * err;
+        }
+        Ok(sum / data.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_linalg::random::{normal_vector, standard_normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn linear_data(n: usize, seed: u64) -> (Vec<RegressionSample>, Vector) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let true_w = Vector::from_vec(vec![1.5, -2.0, 0.5]);
+        let data = (0..n)
+            .map(|_| {
+                let x = normal_vector(&mut rng, 3);
+                let y = true_w.dot(&x).unwrap() + 0.01 * standard_normal(&mut rng);
+                RegressionSample::new(x, y)
+            })
+            .collect();
+        (data, true_w)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(RidgeRegression::new(0, 0.0, 1.0).is_err());
+        assert!(RidgeRegression::new(3, -1.0, 1.0).is_err());
+        assert!(RidgeRegression::new(3, 0.0, 0.0).is_err());
+        assert!(RidgeRegression::new(3, 0.1, 10.0).is_ok());
+    }
+
+    #[test]
+    fn recovers_linear_relationship() {
+        let (data, true_w) = linear_data(2000, 0);
+        let model = RidgeRegression::new(3, 0.0, 100.0).unwrap();
+        let w = model
+            .fit(&data, &LearningRate::inv_sqrt(0.1).unwrap(), 3)
+            .unwrap();
+        assert!(w.distance(&true_w).unwrap() < 0.1, "learned {:?}", w.as_slice());
+        let mse = model.mean_squared_error(&w, &data).unwrap();
+        assert!(mse < 0.01, "mse {mse}");
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let (data, _) = linear_data(500, 1);
+        let schedule = LearningRate::inv_sqrt(0.1).unwrap();
+        let plain = RidgeRegression::new(3, 0.0, 100.0).unwrap();
+        let ridge = RidgeRegression::new(3, 1.0, 100.0).unwrap();
+        let w_plain = plain.fit(&data, &schedule, 2).unwrap();
+        let w_ridge = ridge.fit(&data, &schedule, 2).unwrap();
+        assert!(w_ridge.norm_l2() < w_plain.norm_l2());
+    }
+
+    #[test]
+    fn projection_bounds_parameters() {
+        let (data, _) = linear_data(300, 2);
+        let model = RidgeRegression::new(3, 0.0, 0.5).unwrap();
+        let w = model
+            .fit(&data, &LearningRate::constant(0.5).unwrap(), 2)
+            .unwrap();
+        assert!(w.norm_l2() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn error_paths() {
+        let model = RidgeRegression::new(3, 0.0, 1.0).unwrap();
+        assert!(model
+            .fit(&[], &LearningRate::constant(0.1).unwrap(), 1)
+            .is_err());
+        assert!(model.mean_squared_error(&Vector::zeros(3), &[]).is_err());
+        let bad = RegressionSample::new(Vector::zeros(2), 1.0);
+        assert!(model.gradient(&Vector::zeros(3), &bad).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Learning-rate schedules.
+//!
+//! The paper's default schedule is `η(t) = c/√t` (Eq. 5); Remark 3 notes that
+//! adaptive schedules such as AdaGrad can be dropped in "without affecting
+//! differential privacy nor changing device routines", since the schedule only
+//! changes how the *server* applies an already-sanitized gradient. [`LearningRate`]
+//! therefore carries its own per-coordinate state where needed (AdaGrad) and is
+//! consumed by both the server update and the local SGD baselines.
+
+use crate::error::LearningError;
+use crate::Result;
+use crowd_linalg::Vector;
+
+/// A learning-rate schedule, possibly stateful.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearningRate {
+    /// Constant rate `η(t) = c`.
+    Constant {
+        /// The constant step size.
+        c: f64,
+    },
+    /// The paper's default `η(t) = c/√t` (Eq. 5).
+    InvSqrt {
+        /// The numerator constant.
+        c: f64,
+    },
+    /// `η(t) = c/t`, the classical Robbins–Monro rate for strongly convex risks.
+    InvT {
+        /// The numerator constant.
+        c: f64,
+    },
+    /// AdaGrad (Duchi et al., 2010): per-coordinate rate
+    /// `c / √(δ + Σ_τ g_τ,i²)`. The accumulated squared gradients are carried in
+    /// the variant itself.
+    AdaGrad {
+        /// The base step size.
+        c: f64,
+        /// Stabilizer δ added inside the square root.
+        delta: f64,
+        /// Accumulated per-coordinate squared gradients.
+        accumulated: Vector,
+    },
+}
+
+impl LearningRate {
+    /// Constant schedule.
+    pub fn constant(c: f64) -> Result<Self> {
+        validate_c(c)?;
+        Ok(LearningRate::Constant { c })
+    }
+
+    /// The paper's `c/√t` schedule.
+    pub fn inv_sqrt(c: f64) -> Result<Self> {
+        validate_c(c)?;
+        Ok(LearningRate::InvSqrt { c })
+    }
+
+    /// The `c/t` schedule.
+    pub fn inv_t(c: f64) -> Result<Self> {
+        validate_c(c)?;
+        Ok(LearningRate::InvT { c })
+    }
+
+    /// AdaGrad with base rate `c` and stabilizer `delta`.
+    pub fn adagrad(c: f64, delta: f64) -> Result<Self> {
+        validate_c(c)?;
+        if delta <= 0.0 || !delta.is_finite() {
+            return Err(LearningError::InvalidHyperparameter {
+                name: "delta",
+                value: delta,
+            });
+        }
+        Ok(LearningRate::AdaGrad {
+            c,
+            delta,
+            accumulated: Vector::zeros(0),
+        })
+    }
+
+    /// The scalar rate for iteration `t ≥ 1`. For AdaGrad, which is per-coordinate,
+    /// this returns the base rate divided by the root-mean accumulated magnitude and
+    /// updates the internal state using `gradient`; scalar schedules ignore
+    /// `gradient`.
+    pub fn rate(&mut self, t: usize, gradient: &Vector) -> f64 {
+        let t = t.max(1) as f64;
+        match self {
+            LearningRate::Constant { c } => *c,
+            LearningRate::InvSqrt { c } => *c / t.sqrt(),
+            LearningRate::InvT { c } => *c / t,
+            LearningRate::AdaGrad {
+                c,
+                delta,
+                accumulated,
+            } => {
+                if accumulated.len() != gradient.len() {
+                    *accumulated = Vector::zeros(gradient.len());
+                }
+                for (a, g) in accumulated.iter_mut().zip(gradient.iter()) {
+                    *a += g * g;
+                }
+                // Use the mean accumulated squared gradient as the scalar proxy so
+                // the schedule still yields a single step size for the flat update.
+                let mean_acc = accumulated.mean();
+                *c / (*delta + mean_acc).sqrt()
+            }
+        }
+    }
+
+    /// The numerator constant `c` of the schedule.
+    pub fn c(&self) -> f64 {
+        match self {
+            LearningRate::Constant { c }
+            | LearningRate::InvSqrt { c }
+            | LearningRate::InvT { c }
+            | LearningRate::AdaGrad { c, .. } => *c,
+        }
+    }
+}
+
+fn validate_c(c: f64) -> Result<()> {
+    if c <= 0.0 || !c.is_finite() {
+        return Err(LearningError::InvalidHyperparameter { name: "c", value: c });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate_c() {
+        assert!(LearningRate::constant(0.0).is_err());
+        assert!(LearningRate::inv_sqrt(-1.0).is_err());
+        assert!(LearningRate::inv_t(f64::NAN).is_err());
+        assert!(LearningRate::adagrad(0.1, 0.0).is_err());
+        assert!(LearningRate::adagrad(0.1, 1e-8).is_ok());
+        assert_eq!(LearningRate::constant(0.3).unwrap().c(), 0.3);
+    }
+
+    #[test]
+    fn scalar_schedules_match_formulas() {
+        let g = Vector::zeros(3);
+        let mut constant = LearningRate::constant(0.5).unwrap();
+        assert_eq!(constant.rate(1, &g), 0.5);
+        assert_eq!(constant.rate(100, &g), 0.5);
+
+        let mut inv_sqrt = LearningRate::inv_sqrt(1.0).unwrap();
+        assert!((inv_sqrt.rate(4, &g) - 0.5).abs() < 1e-12);
+        assert!((inv_sqrt.rate(100, &g) - 0.1).abs() < 1e-12);
+
+        let mut inv_t = LearningRate::inv_t(2.0).unwrap();
+        assert!((inv_t.rate(4, &g) - 0.5).abs() < 1e-12);
+
+        // t = 0 is clamped to 1 rather than dividing by zero.
+        assert!(inv_sqrt.rate(0, &g).is_finite());
+    }
+
+    #[test]
+    fn inv_sqrt_is_decreasing() {
+        let g = Vector::zeros(1);
+        let mut s = LearningRate::inv_sqrt(1.0).unwrap();
+        let rates: Vec<f64> = (1..20).map(|t| s.rate(t, &g)).collect();
+        for pair in rates.windows(2) {
+            assert!(pair[1] <= pair[0]);
+        }
+    }
+
+    #[test]
+    fn adagrad_shrinks_with_large_gradients() {
+        let mut ada = LearningRate::adagrad(1.0, 1e-8).unwrap();
+        let small = Vector::from_vec(vec![0.01, 0.01]);
+        let large = Vector::from_vec(vec![10.0, 10.0]);
+        let r1 = ada.rate(1, &small);
+        let r2 = ada.rate(2, &large);
+        let r3 = ada.rate(3, &large);
+        assert!(r2 < r1, "rate should shrink after a large gradient");
+        assert!(r3 < r2);
+    }
+
+    #[test]
+    fn adagrad_adapts_to_gradient_dimension_change() {
+        let mut ada = LearningRate::adagrad(1.0, 1e-8).unwrap();
+        let g2 = Vector::from_vec(vec![1.0, 1.0]);
+        let g3 = Vector::from_vec(vec![1.0, 1.0, 1.0]);
+        let _ = ada.rate(1, &g2);
+        // Dimension change resets the accumulator rather than panicking.
+        let r = ada.rate(2, &g3);
+        assert!(r.is_finite() && r > 0.0);
+    }
+}

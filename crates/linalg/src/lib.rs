@@ -1,0 +1,39 @@
+//! Dense linear-algebra substrate for the Crowd-ML framework.
+//!
+//! The crate provides exactly the numerical machinery the paper's pipeline needs,
+//! implemented from scratch so the workspace has no external linear-algebra
+//! dependency:
+//!
+//! * [`Vector`] and [`Matrix`] — owned, row-major dense containers with the usual
+//!   BLAS-1/2/3-style operations (`dot`, `axpy`, `matvec`, `matmul`, …).
+//! * [`ops`] — free functions used throughout the learning stack: softmax,
+//!   log-sum-exp, argmax, L1/L2 normalization, and the L2-ball projection
+//!   `Π_W(w) = min(1, R/‖w‖)·w` from Eq. (3) of the paper.
+//! * [`fft`] — an iterative radix-2 FFT and the 64-bin magnitude-spectrum feature
+//!   extractor used by the activity-recognition workload (§V-B).
+//! * [`pca`] — covariance-based principal component analysis via power iteration
+//!   with deflation, used to reduce MNIST-like data to 50 dimensions and
+//!   CIFAR-feature-like data to 100 dimensions (§V-C, Appendix D).
+//! * [`stats`] — scalar summary statistics used by tests and the experiment
+//!   harness.
+//! * [`random`] — seeded random vector/matrix constructors (uniform, standard
+//!   normal via Box–Muller).
+//!
+//! All floating-point storage is `f64`.
+
+pub mod error;
+pub mod fft;
+pub mod matrix;
+pub mod ops;
+pub mod pca;
+pub mod random;
+pub mod stats;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use vector::Vector;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,470 @@
+//! Row-major dense matrix type and BLAS-2/3 style operations.
+
+use crate::error::LinalgError;
+use crate::vector::Vector;
+use crate::Result;
+
+/// An owned, dense, row-major `f64` matrix.
+///
+/// The multiclass models in the workspace store their parameters as a `C × D`
+/// matrix (one row of weights per class), so most of the hot operations here are
+/// row-oriented: [`Matrix::row`], [`Matrix::row_mut`], [`Matrix::matvec`], and the
+/// rank-1 update [`Matrix::add_outer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// Errors if `data.len() != rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::invalid(
+                "from_row_major",
+                format!(
+                    "expected {} elements for a {rows}x{cols} matrix, got {}",
+                    rows * cols,
+                    data.len()
+                ),
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equally sized rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::invalid(
+                    "from_rows",
+                    format!("row {i} has length {}, expected {cols}", r.len()),
+                ));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of stored elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the matrix stores no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor (panics on out-of-range indices, like slice indexing).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter (panics on out-of-range indices).
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Immutable view of row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r` as a slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index out of range");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies row `r` into a new [`Vector`].
+    pub fn row_vector(&self, r: usize) -> Vector {
+        Vector::from_vec(self.row(r).to_vec())
+    }
+
+    /// Copies column `c` into a new [`Vector`].
+    pub fn col_vector(&self, c: usize) -> Vector {
+        assert!(c < self.cols, "column index out of range");
+        Vector::from_vec((0..self.rows).map(|r| self.get(r, c)).collect())
+    }
+
+    /// Iterator over row slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Matrix-vector product `A·x`.
+    pub fn matvec(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        let xs = x.as_slice();
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(xs.iter()) {
+                acc += a * b;
+            }
+            out.push(acc);
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Transposed matrix-vector product `Aᵀ·x`.
+    pub fn matvec_transpose(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec_transpose",
+                left: (self.cols, self.rows),
+                right: (x.len(), 1),
+            });
+        }
+        let xs = x.as_slice();
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let scale = xs[r];
+            for (o, a) in out.iter_mut().zip(row.iter()) {
+                *o += scale * a;
+            }
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Matrix-matrix product `A·B`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// In-place scaling `A *= alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Returns a scaled copy.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale(alpha);
+        out
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matrix_axpy",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Rank-1 update `self += alpha * u·vᵀ` where `u` has `rows` elements and `v`
+    /// has `cols` elements.
+    pub fn add_outer(&mut self, alpha: f64, u: &Vector, v: &Vector) -> Result<()> {
+        if u.len() != self.rows || v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add_outer",
+                left: self.shape(),
+                right: (u.len(), v.len()),
+            });
+        }
+        for r in 0..self.rows {
+            let scale = alpha * u[r];
+            if scale == 0.0 {
+                continue;
+            }
+            let row = self.row_mut(r);
+            for (o, b) in row.iter_mut().zip(v.as_slice().iter()) {
+                *o += scale * b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm `‖A‖_F`.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// Entry-wise L1 norm `Σ|a_ij|`.
+    pub fn norm_l1(&self) -> f64 {
+        self.data.iter().map(|a| a.abs()).sum()
+    }
+
+    /// Fills the matrix with zeros without reallocating.
+    pub fn set_zero(&mut self) {
+        for a in &mut self.data {
+            *a = 0.0;
+        }
+    }
+
+    /// Returns `true` when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|a| a.is_finite())
+    }
+
+    /// Flattens the matrix into a [`Vector`] in row-major order.
+    pub fn flatten(&self) -> Vector {
+        Vector::from_vec(self.data.clone())
+    }
+
+    /// Rebuilds a matrix of the given shape from a flattened row-major vector.
+    pub fn from_flat(rows: usize, cols: usize, flat: &Vector) -> Result<Self> {
+        Matrix::from_row_major(rows, cols, flat.as_slice().to_vec())
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_in_place(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Column means as a [`Vector`] of length `cols`.
+    pub fn column_means(&self) -> Vector {
+        let mut means = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return Vector::from_vec(means);
+        }
+        for r in 0..self.rows {
+            for (m, a) in means.iter_mut().zip(self.row(r).iter()) {
+                *m += a;
+            }
+        }
+        let n = self.rows as f64;
+        for m in &mut means {
+            *m /= n;
+        }
+        Vector::from_vec(means)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+        assert!(Matrix::from_row_major(2, 2, vec![1.0]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let eye = Matrix::identity(3);
+        let x = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(eye.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let m = sample();
+        let x = Vector::from_vec(vec![1.0, 0.0, -1.0]);
+        let y = m.matvec(&x).unwrap();
+        assert_eq!(y.as_slice(), &[-2.0, -2.0]);
+        let z = m.matvec_transpose(&Vector::from_vec(vec![1.0, 1.0])).unwrap();
+        assert_eq!(z.as_slice(), &[5.0, 7.0, 9.0]);
+        assert!(m.matvec(&Vector::zeros(2)).is_err());
+        assert!(m.matvec_transpose(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = sample();
+        let b = a.transpose();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.get(0, 0), 14.0);
+        assert_eq!(c.get(0, 1), 32.0);
+        assert_eq!(c.get(1, 1), 77.0);
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn outer_update() {
+        let mut m = Matrix::zeros(2, 3);
+        let u = Vector::from_vec(vec![1.0, 2.0]);
+        let v = Vector::from_vec(vec![1.0, 0.0, -1.0]);
+        m.add_outer(2.0, &u, &v).unwrap();
+        assert_eq!(m.row(0), &[2.0, 0.0, -2.0]);
+        assert_eq!(m.row(1), &[4.0, 0.0, -4.0]);
+        assert!(m.add_outer(1.0, &v, &u).is_err());
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 1.0);
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(0, 1), 2.0);
+        a.scale(0.5);
+        assert_eq!(a.get(0, 0), 1.5);
+        assert!(a.axpy(1.0, &Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn norms_and_flatten() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0]]).unwrap();
+        assert_eq!(m.norm_frobenius(), 5.0);
+        assert_eq!(m.norm_l1(), 7.0);
+        let flat = m.flatten();
+        assert_eq!(flat.len(), 4);
+        let rebuilt = Matrix::from_flat(2, 2, &flat).unwrap();
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn column_means() {
+        let m = sample();
+        let means = m.column_means();
+        assert_eq!(means.as_slice(), &[2.5, 3.5, 4.5]);
+        assert_eq!(Matrix::zeros(0, 2).column_means().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn row_and_col_vectors() {
+        let m = sample();
+        assert_eq!(m.row_vector(1).as_slice(), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col_vector(2).as_slice(), &[3.0, 6.0]);
+        let rows: Vec<&[f64]> = m.row_iter().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn map_and_finiteness() {
+        let mut m = Matrix::filled(2, 2, -1.0);
+        m.map_in_place(f64::abs);
+        assert_eq!(m.get(1, 1), 1.0);
+        assert!(m.is_finite());
+        m.set(0, 0, f64::INFINITY);
+        assert!(!m.is_finite());
+        m.set_zero();
+        assert!(m.is_finite());
+    }
+}

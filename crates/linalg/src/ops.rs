@@ -1,0 +1,233 @@
+//! Free-standing numerical operations used across the learning stack.
+//!
+//! The projection [`project_l2_ball`] implements `Π_W` from Eq. (3) of the paper;
+//! [`softmax`] / [`log_sum_exp`] implement the multiclass-logistic posterior of
+//! Table I in a numerically stable way; the normalization helpers implement the
+//! `‖x‖₁ ≤ 1` preprocessing the privacy analysis (Appendix A) relies on.
+
+use crate::vector::Vector;
+
+/// Numerically stable log-sum-exp: `log Σ_i exp(x_i)`.
+///
+/// Returns negative infinity for an empty slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let max = xs.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Numerically stable softmax returning a probability vector.
+///
+/// An empty input yields an empty output.
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let max = xs.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+    let exps: Vec<f64> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// In-place softmax over a mutable slice.
+pub fn softmax_in_place(xs: &mut [f64]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Index of the largest element; ties resolve to the smallest index.
+///
+/// Returns `None` for an empty slice.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, v) in xs.iter().enumerate() {
+        if *v > xs[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`, stable for large `|x|`.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Projects `w` onto the L2 ball of radius `radius`: `Π_W(w) = min(1, R/‖w‖)·w`.
+///
+/// This is the projection used in the server update (Eq. 3). A non-positive radius
+/// projects onto the origin.
+pub fn project_l2_ball(w: &mut Vector, radius: f64) {
+    if radius <= 0.0 {
+        w.set_zero();
+        return;
+    }
+    let norm = w.norm_l2();
+    if norm > radius {
+        w.scale(radius / norm);
+    }
+}
+
+/// Normalizes `x` to unit L1 norm in place (`‖x‖₁ = 1`); leaves the zero vector
+/// untouched.
+///
+/// The privacy sensitivity analysis of Appendix A assumes `‖x‖₁ ≤ 1`, which this
+/// preprocessing step guarantees.
+pub fn normalize_l1(x: &mut Vector) {
+    let norm = x.norm_l1();
+    if norm > 0.0 {
+        x.scale(1.0 / norm);
+    }
+}
+
+/// Normalizes `x` to unit L2 norm in place; leaves the zero vector untouched.
+pub fn normalize_l2(x: &mut Vector) {
+    let norm = x.norm_l2();
+    if norm > 0.0 {
+        x.scale(1.0 / norm);
+    }
+}
+
+/// Clamps every element of `x` into `[lo, hi]` in place.
+pub fn clamp(x: &mut Vector, lo: f64, hi: f64) {
+    debug_assert!(lo <= hi, "clamp bounds must be ordered");
+    x.map_in_place(|v| v.clamp(lo, hi));
+}
+
+/// Linear interpolation `a + t (b - a)`.
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + t * (b - a)
+}
+
+/// Returns `true` when `a` and `b` differ by at most `tol` (absolute).
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Returns `true` when two slices are element-wise equal within `tol`.
+pub fn approx_eq_slice(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| approx_eq(*x, *y, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_exp_matches_naive() {
+        let xs = [0.1_f64, 0.2, 0.3];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!(approx_eq(log_sum_exp(&xs), naive, 1e-12));
+    }
+
+    #[test]
+    fn log_sum_exp_stable_for_large_inputs() {
+        let xs = [1000.0, 1000.0];
+        let lse = log_sum_exp(&xs);
+        assert!(approx_eq(lse, 1000.0 + 2.0_f64.ln(), 1e-9));
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!(approx_eq(p.iter().sum::<f64>(), 1.0, 1e-12));
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_in_place_matches_softmax() {
+        let xs = [0.5, -1.0, 2.0, 0.0];
+        let expected = softmax(&xs);
+        let mut ys = xs;
+        softmax_in_place(&mut ys);
+        assert!(approx_eq_slice(&ys, &expected, 1e-12));
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let p = softmax(&[1e4, 0.0]);
+        assert!(p[0] > 0.999999);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn argmax_ties_and_empty() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_saturation() {
+        assert!(approx_eq(sigmoid(0.0), 0.5, 1e-12));
+        assert!(approx_eq(sigmoid(3.0) + sigmoid(-3.0), 1.0, 1e-12));
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+    }
+
+    #[test]
+    fn projection_shrinks_only_outside_ball() {
+        let mut w = Vector::from_vec(vec![3.0, 4.0]);
+        project_l2_ball(&mut w, 10.0);
+        assert_eq!(w.as_slice(), &[3.0, 4.0]);
+        project_l2_ball(&mut w, 1.0);
+        assert!(approx_eq(w.norm_l2(), 1.0, 1e-12));
+        project_l2_ball(&mut w, 0.0);
+        assert_eq!(w.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut x = Vector::from_vec(vec![2.0, -2.0]);
+        normalize_l1(&mut x);
+        assert!(approx_eq(x.norm_l1(), 1.0, 1e-12));
+        let mut y = Vector::from_vec(vec![3.0, 4.0]);
+        normalize_l2(&mut y);
+        assert!(approx_eq(y.norm_l2(), 1.0, 1e-12));
+        let mut z = Vector::zeros(3);
+        normalize_l1(&mut z);
+        assert_eq!(z.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn clamp_and_lerp() {
+        let mut x = Vector::from_vec(vec![-2.0, 0.5, 3.0]);
+        clamp(&mut x, -1.0, 1.0);
+        assert_eq!(x.as_slice(), &[-1.0, 0.5, 1.0]);
+        assert_eq!(lerp(0.0, 10.0, 0.25), 2.5);
+    }
+
+    #[test]
+    fn approx_helpers() {
+        assert!(approx_eq(1.0, 1.0 + 1e-13, 1e-12));
+        assert!(!approx_eq(1.0, 1.1, 1e-3));
+        assert!(approx_eq_slice(&[1.0, 2.0], &[1.0, 2.0], 0.0));
+        assert!(!approx_eq_slice(&[1.0], &[1.0, 2.0], 1.0));
+    }
+}

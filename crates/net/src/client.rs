@@ -1,0 +1,265 @@
+//! Device-side TCP client running Device Routines 1–3 against a remote server.
+
+use crate::error::NetError;
+use crate::Result;
+use crowd_core::config::{DeviceConfig, PrivacyConfig};
+use crowd_core::device::{Device, DeviceAction};
+use crowd_data::Dataset;
+use crowd_learning::model::Model;
+use crowd_linalg::Vector;
+use crowd_proto::auth::AuthToken;
+use crowd_proto::frame::{read_message, write_message};
+use crowd_proto::message::{CheckinRequest, CheckoutRequest, Message};
+use crowd_proto::PROTOCOL_VERSION;
+use rand::Rng;
+use std::net::{SocketAddr, TcpStream};
+
+/// A device's view of a checkout: the parameters and the server iteration they
+/// were read at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedOutParams {
+    /// Server iteration at checkout time.
+    pub iteration: u64,
+    /// The parameter vector.
+    pub params: Vector,
+    /// Whether the server reports the task as stopped.
+    pub stopped: bool,
+}
+
+/// Summary of one device's participation in a networked task.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceReport {
+    /// Samples observed by the device.
+    pub samples_observed: u64,
+    /// Checkins successfully acknowledged by the server.
+    pub checkins: u64,
+    /// Whether the device stopped because the server reported the task ended.
+    pub stopped_by_server: bool,
+}
+
+/// A TCP client for one device.
+#[derive(Debug, Clone)]
+pub struct DeviceClient {
+    addr: SocketAddr,
+    device_id: u64,
+    token: AuthToken,
+}
+
+impl DeviceClient {
+    /// Creates a client for `device_id` talking to the server at `addr`.
+    pub fn new(addr: SocketAddr, device_id: u64, token: AuthToken) -> Self {
+        DeviceClient {
+            addr,
+            device_id,
+            token,
+        }
+    }
+
+    /// The device id this client authenticates as.
+    pub fn device_id(&self) -> u64 {
+        self.device_id
+    }
+
+    fn exchange(&self, request: &Message) -> Result<Message> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        write_message(&mut stream, request)?;
+        Ok(read_message(&mut stream)?)
+    }
+
+    /// Checks out the current parameters from the server (Fig. 2, steps 2–3).
+    pub fn checkout(&self) -> Result<CheckedOutParams> {
+        let reply = self.exchange(&Message::CheckoutRequest(CheckoutRequest {
+            version: PROTOCOL_VERSION,
+            device_id: self.device_id,
+            token: self.token,
+        }))?;
+        match reply {
+            Message::CheckoutResponse(r) => Ok(CheckedOutParams {
+                iteration: r.iteration,
+                params: Vector::from_vec(r.params),
+                stopped: r.stopped,
+            }),
+            Message::Error(e) => Err(NetError::ServerError {
+                code: e.code,
+                detail: e.detail,
+            }),
+            other => Err(NetError::UnexpectedMessage {
+                expected: "checkout_response",
+                received: other.name(),
+            }),
+        }
+    }
+
+    /// Checks in a sanitized payload (Fig. 2, steps 4–5). Returns
+    /// `(accepted, stopped)`.
+    pub fn checkin(&self, payload: &crowd_core::device::CheckinPayload) -> Result<(bool, bool)> {
+        let reply = self.exchange(&Message::CheckinRequest(CheckinRequest {
+            device_id: self.device_id,
+            token: self.token,
+            checkout_iteration: payload.checkout_iteration,
+            gradient: payload.gradient.as_slice().to_vec(),
+            num_samples: payload.num_samples as u32,
+            error_count: payload.error_count,
+            label_counts: payload.label_counts.clone(),
+        }))?;
+        match reply {
+            Message::CheckinAck(ack) => Ok((ack.accepted, ack.stopped)),
+            Message::Error(e) => Err(NetError::ServerError {
+                code: e.code,
+                detail: e.detail,
+            }),
+            other => Err(NetError::UnexpectedMessage {
+                expected: "checkin_ack",
+                received: other.name(),
+            }),
+        }
+    }
+
+    /// Runs the full device loop over a local data stream: buffer samples, check
+    /// out when the minibatch fills, compute and sanitize the statistics, check in,
+    /// and stop when the stream is exhausted or the server reports the task ended.
+    pub fn run_task<M: Model + ?Sized, R: Rng + ?Sized>(
+        &self,
+        model: &M,
+        local_data: &Dataset,
+        device_config: DeviceConfig,
+        privacy: PrivacyConfig,
+        lambda: f64,
+        rng: &mut R,
+    ) -> Result<DeviceReport> {
+        let mut device = Device::new(self.device_id, device_config, privacy)?;
+        let mut report = DeviceReport::default();
+        for sample in local_data.iter() {
+            report.samples_observed += 1;
+            let action = device.observe(sample.clone());
+            if action != DeviceAction::RequestCheckout {
+                continue;
+            }
+            device.begin_checkout()?;
+            let checked_out = match self.checkout() {
+                Ok(c) => c,
+                Err(e) => {
+                    // Remark 1: a failed checkout is non-critical — keep the buffer
+                    // and retry on a later sample.
+                    device.abort_checkout();
+                    if matches!(e, NetError::ServerError { .. }) {
+                        return Err(e);
+                    }
+                    continue;
+                }
+            };
+            if checked_out.stopped {
+                report.stopped_by_server = true;
+                break;
+            }
+            let payload = device.compute_checkin(
+                model,
+                &checked_out.params,
+                checked_out.iteration,
+                lambda,
+                rng,
+            )?;
+            match self.checkin(&payload) {
+                Ok((_accepted, stopped)) => {
+                    report.checkins += 1;
+                    if stopped {
+                        report.stopped_by_server = true;
+                        break;
+                    }
+                }
+                Err(NetError::ServerError { code, detail }) => {
+                    return Err(NetError::ServerError { code, detail })
+                }
+                Err(_) => {
+                    // Transport failure on checkin is likewise non-critical; the
+                    // minibatch is simply lost (the buffer was already cleared).
+                    continue;
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::NetServer;
+    use crowd_core::config::ServerConfig;
+    use crowd_learning::MulticlassLogistic;
+    use crowd_proto::auth::TokenRegistry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn checkout_and_checkin_against_live_server() {
+        let model = MulticlassLogistic::new(3, 2).unwrap();
+        let tokens = TokenRegistry::with_derived_tokens(2, 5);
+        let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
+        let client = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 5));
+        assert_eq!(client.device_id(), 1);
+
+        let checked_out = client.checkout().unwrap();
+        assert_eq!(checked_out.iteration, 0);
+        assert_eq!(checked_out.params.len(), 6);
+
+        let payload = crowd_core::device::CheckinPayload {
+            device_id: 1,
+            checkout_iteration: 0,
+            gradient: Vector::from_vec(vec![0.1; 6]),
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1],
+        };
+        let (accepted, stopped) = client.checkin(&payload).unwrap();
+        assert!(accepted);
+        assert!(!stopped);
+        assert_eq!(handle.iteration(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unauthorized_client_gets_server_error() {
+        let model = MulticlassLogistic::new(3, 2).unwrap();
+        let tokens = TokenRegistry::with_derived_tokens(1, 5);
+        let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
+        let bad = DeviceClient::new(handle.addr(), 0, AuthToken::derive(0, 999));
+        match bad.checkout() {
+            Err(NetError::ServerError { .. }) => {}
+            other => panic!("expected ServerError, got {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn run_task_trains_the_server_model() {
+        use crowd_data::synthetic::GaussianMixtureSpec;
+        let mut rng = StdRng::seed_from_u64(0);
+        let (train, _test) = GaussianMixtureSpec::new(6, 3)
+            .with_train_size(60)
+            .with_test_size(10)
+            .generate(&mut rng)
+            .unwrap();
+        let model = MulticlassLogistic::new(6, 3).unwrap();
+        let tokens = TokenRegistry::with_derived_tokens(1, 7);
+        let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
+        let client = DeviceClient::new(handle.addr(), 0, AuthToken::derive(0, 7));
+        let model = MulticlassLogistic::new(6, 3).unwrap();
+        let report = client
+            .run_task(
+                &model,
+                &train,
+                DeviceConfig::new(5),
+                PrivacyConfig::non_private(),
+                0.0,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(report.samples_observed, 60);
+        assert_eq!(report.checkins, 12);
+        assert_eq!(handle.iteration(), 12);
+        assert_eq!(handle.total_samples(), 60);
+        handle.shutdown();
+    }
+}

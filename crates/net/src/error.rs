@@ -1,0 +1,107 @@
+//! Error type for the networking crate.
+
+use std::fmt;
+
+/// Errors produced by the TCP deployment.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket or I/O failure.
+    Io(std::io::Error),
+    /// Protocol encode/decode/framing failure.
+    Proto(crowd_proto::ProtoError),
+    /// The core framework reported an error while serving a request.
+    Core(crowd_core::CoreError),
+    /// The server replied with a protocol-level error.
+    ServerError {
+        /// The error code reported by the server.
+        code: crowd_proto::message::ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The peer sent a message that does not fit the current protocol state.
+    UnexpectedMessage {
+        /// What was expected.
+        expected: &'static str,
+        /// What was received.
+        received: &'static str,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Proto(e) => write!(f, "protocol error: {e}"),
+            NetError::Core(e) => write!(f, "core error: {e}"),
+            NetError::ServerError { code, detail } => {
+                write!(f, "server error {code:?}: {detail}")
+            }
+            NetError::UnexpectedMessage { expected, received } => {
+                write!(f, "expected {expected}, received {received}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Proto(e) => Some(e),
+            NetError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<crowd_proto::ProtoError> for NetError {
+    fn from(e: crowd_proto::ProtoError) -> Self {
+        NetError::Proto(e)
+    }
+}
+
+impl From<crowd_core::CoreError> for NetError {
+    fn from(e: crowd_core::CoreError) -> Self {
+        NetError::Core(e)
+    }
+}
+
+impl From<crowd_learning::LearningError> for NetError {
+    fn from(e: crowd_learning::LearningError) -> Self {
+        NetError::Core(crowd_core::CoreError::Learning(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_proto::message::ErrorCode;
+
+    #[test]
+    fn display_and_sources() {
+        let io: NetError = std::io::Error::new(std::io::ErrorKind::Other, "socket").into();
+        assert!(io.to_string().contains("socket"));
+        assert!(std::error::Error::source(&io).is_some());
+        let proto: NetError = crowd_proto::ProtoError::UnknownMessageTag(9).into();
+        assert!(proto.to_string().contains("protocol"));
+        let core: NetError = crowd_core::CoreError::Config("bad".into()).into();
+        assert!(core.to_string().contains("bad"));
+        let server = NetError::ServerError {
+            code: ErrorCode::Unauthorized,
+            detail: "token mismatch".into(),
+        };
+        assert!(server.to_string().contains("token mismatch"));
+        let unexpected = NetError::UnexpectedMessage {
+            expected: "checkout_response",
+            received: "checkin_ack",
+        };
+        assert!(unexpected.to_string().contains("checkout_response"));
+        assert!(std::error::Error::source(&unexpected).is_none());
+    }
+}

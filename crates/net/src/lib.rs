@@ -1,0 +1,27 @@
+//! TCP deployment of the Crowd-ML protocol.
+//!
+//! The paper's prototype runs Algorithm 2 behind an Apache/MySQL web stack and the
+//! devices talk to it over HTTPS. This crate provides the equivalent deployment
+//! for the Rust implementation: a threaded TCP [`server::NetServer`] that hosts
+//! Server Routines 1–2 behind the `crowd-proto` wire protocol, a
+//! [`client::DeviceClient`] that runs Device Routines 1–3 against it, and a
+//! [`cluster::LocalCluster`] helper that spins up a server plus a fleet of device
+//! threads on localhost for examples and integration tests.
+//!
+//! Transport security (the prototype's TLS) is out of scope — the privacy
+//! guarantees of Crowd-ML come from the *local* sanitization on the device, which
+//! is unchanged — but device authentication tokens are enforced exactly as the
+//! server routines require.
+
+pub mod client;
+pub mod cluster;
+pub mod error;
+pub mod server;
+
+pub use client::DeviceClient;
+pub use cluster::{ClusterReport, LocalCluster};
+pub use error::NetError;
+pub use server::{NetServer, NetServerHandle};
+
+/// Result alias for networking operations.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,329 @@
+//! Threaded TCP server hosting Server Routines 1–2.
+//!
+//! Every accepted connection gets its own handler thread; the shared Crowd-ML
+//! [`Server`] state sits behind a `parking_lot::Mutex`, mirroring the paper's
+//! single central server that serializes parameter updates (Server Routine 2 is a
+//! sequential `w ← w − η(t)ĝ` loop). Devices are authenticated against a
+//! [`TokenRegistry`] before any parameters are served or gradients accepted.
+
+use crate::Result;
+use crowd_core::config::ServerConfig;
+use crowd_core::device::CheckinPayload;
+use crowd_core::server::Server;
+use crowd_learning::MulticlassLogistic;
+use crowd_linalg::Vector;
+use crowd_proto::auth::TokenRegistry;
+use crowd_proto::frame::{read_message, write_message};
+use crowd_proto::message::{
+    CheckinAck, CheckoutResponse, ErrorCode, ErrorReply, Message,
+};
+use crowd_proto::PROTOCOL_VERSION;
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct Shared {
+    server: Mutex<Server<MulticlassLogistic>>,
+    tokens: TokenRegistry,
+    stop: AtomicBool,
+}
+
+/// The Crowd-ML TCP server.
+pub struct NetServer;
+
+/// A handle to a running server: address, shared state, and the accept thread.
+pub struct NetServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Starts a server on `127.0.0.1` (ephemeral port) for the given model,
+    /// configuration, and device-token registry.
+    pub fn start(
+        model: MulticlassLogistic,
+        config: ServerConfig,
+        tokens: TokenRegistry,
+    ) -> Result<NetServerHandle> {
+        let core_server = Server::new(model, config)?;
+        let shared = Arc::new(Shared {
+            server: Mutex::new(core_server),
+            tokens,
+            stop: AtomicBool::new(false),
+        });
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        // A short accept timeout lets the loop notice the stop flag promptly.
+        listener.set_nonblocking(false)?;
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(NetServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    // Use a polling accept so shutdown() can terminate the loop.
+    listener
+        .set_nonblocking(true)
+        .expect("listener supports non-blocking mode");
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                handlers.push(std::thread::spawn(move || {
+                    // Per-connection failures only affect that device (Remark 1 of
+                    // the paper: failed checkouts/checkins are non-critical).
+                    let _ = handle_connection(stream, conn_shared);
+                }));
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) -> Result<()> {
+    stream.set_nodelay(true).ok();
+    loop {
+        let message = match read_message(&mut stream) {
+            Ok(m) => m,
+            // EOF or broken pipe: the device closed its connection.
+            Err(crowd_proto::ProtoError::Io(_)) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let reply = handle_message(&shared, message);
+        write_message(&mut stream, &reply)?;
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+fn handle_message(shared: &Shared, message: Message) -> Message {
+    match message {
+        Message::CheckoutRequest(req) => {
+            if req.version != PROTOCOL_VERSION {
+                return error_reply(
+                    ErrorCode::BadRequest,
+                    format!("unsupported protocol version {}", req.version),
+                );
+            }
+            if !shared.tokens.verify(req.device_id, &req.token) {
+                return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
+            }
+            let server = shared.server.lock();
+            let ticket = server.checkout();
+            Message::CheckoutResponse(CheckoutResponse {
+                iteration: ticket.iteration,
+                params: ticket.params.into_vec(),
+                stopped: ticket.stopped,
+            })
+        }
+        Message::CheckinRequest(req) => {
+            if !shared.tokens.verify(req.device_id, &req.token) {
+                return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
+            }
+            let payload = CheckinPayload {
+                device_id: req.device_id,
+                checkout_iteration: req.checkout_iteration,
+                gradient: Vector::from_vec(req.gradient),
+                num_samples: req.num_samples as usize,
+                error_count: req.error_count,
+                label_counts: req.label_counts,
+            };
+            let mut server = shared.server.lock();
+            match server.checkin(&payload) {
+                Ok(outcome) => Message::CheckinAck(CheckinAck {
+                    accepted: outcome.accepted,
+                    iteration: outcome.iteration,
+                    stopped: outcome.stopped,
+                }),
+                Err(e) => error_reply(ErrorCode::BadRequest, e.to_string()),
+            }
+        }
+        other => error_reply(
+            ErrorCode::BadRequest,
+            format!("unexpected message {}", other.name()),
+        ),
+    }
+}
+
+fn error_reply(code: ErrorCode, detail: impl Into<String>) -> Message {
+    Message::Error(ErrorReply {
+        code,
+        detail: detail.into(),
+    })
+}
+
+impl NetServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server iteration (number of applied checkins).
+    pub fn iteration(&self) -> u64 {
+        self.shared.server.lock().iteration()
+    }
+
+    /// A copy of the current parameters.
+    pub fn params(&self) -> Vector {
+        self.shared.server.lock().params().clone()
+    }
+
+    /// Whether the stopping criterion has been met.
+    pub fn stopped(&self) -> bool {
+        self.shared.server.lock().stopped()
+    }
+
+    /// The total number of samples reported by devices.
+    pub fn total_samples(&self) -> u64 {
+        self.shared.server.lock().total_samples()
+    }
+
+    /// The privately estimated error rate (Eq. 14), if any samples were reported.
+    pub fn error_estimate(&self) -> Option<f64> {
+        self.shared.server.lock().error_estimate()
+    }
+
+    /// Signals the accept loop to stop and waits for it to finish.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServerHandle {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_proto::auth::AuthToken;
+    use crowd_proto::message::CheckoutRequest;
+
+    fn start_test_server() -> (NetServerHandle, AuthToken) {
+        let model = MulticlassLogistic::new(4, 3).unwrap();
+        let tokens = TokenRegistry::with_derived_tokens(4, 99);
+        let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
+        (handle, AuthToken::derive(0, 99))
+    }
+
+    fn roundtrip(addr: SocketAddr, msg: &Message) -> Message {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_message(&mut stream, msg).unwrap();
+        read_message(&mut stream).unwrap()
+    }
+
+    #[test]
+    fn checkout_round_trip_over_tcp() {
+        let (handle, token) = start_test_server();
+        let reply = roundtrip(
+            handle.addr(),
+            &Message::CheckoutRequest(CheckoutRequest {
+                version: PROTOCOL_VERSION,
+                device_id: 0,
+                token,
+            }),
+        );
+        match reply {
+            Message::CheckoutResponse(r) => {
+                assert_eq!(r.iteration, 0);
+                assert_eq!(r.params.len(), 12);
+                assert!(!r.stopped);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn bad_token_and_bad_version_rejected() {
+        let (handle, _token) = start_test_server();
+        let bad_token = roundtrip(
+            handle.addr(),
+            &Message::CheckoutRequest(CheckoutRequest {
+                version: PROTOCOL_VERSION,
+                device_id: 0,
+                token: AuthToken::derive(0, 12345),
+            }),
+        );
+        assert!(matches!(
+            bad_token,
+            Message::Error(ErrorReply {
+                code: ErrorCode::Unauthorized,
+                ..
+            })
+        ));
+        let bad_version = roundtrip(
+            handle.addr(),
+            &Message::CheckoutRequest(CheckoutRequest {
+                version: 999,
+                device_id: 0,
+                token: AuthToken::derive(0, 99),
+            }),
+        );
+        assert!(matches!(
+            bad_version,
+            Message::Error(ErrorReply {
+                code: ErrorCode::BadRequest,
+                ..
+            })
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unexpected_message_type_is_bad_request() {
+        let (handle, _) = start_test_server();
+        let reply = roundtrip(
+            handle.addr(),
+            &Message::CheckinAck(CheckinAck {
+                accepted: true,
+                iteration: 0,
+                stopped: false,
+            }),
+        );
+        assert!(matches!(
+            reply,
+            Message::Error(ErrorReply {
+                code: ErrorCode::BadRequest,
+                ..
+            })
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn handle_reports_state() {
+        let (handle, _) = start_test_server();
+        assert_eq!(handle.iteration(), 0);
+        assert_eq!(handle.total_samples(), 0);
+        assert_eq!(handle.error_estimate(), None);
+        assert!(!handle.stopped());
+        assert_eq!(handle.params().len(), 12);
+        handle.shutdown();
+    }
+}

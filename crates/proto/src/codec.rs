@@ -1,0 +1,362 @@
+//! Deterministic binary encoding/decoding of protocol messages.
+//!
+//! Layout conventions: all integers little-endian; `f64` as IEEE-754 bit patterns;
+//! vectors prefixed by a `u32` element count; strings UTF-8 with a `u32` byte
+//! length; booleans a single byte. The message itself is `[tag: u8][body]`; the
+//! framing layer (`crate::frame`) adds the outer length prefix.
+
+use crate::auth::{AuthToken, TOKEN_LEN};
+use crate::error::ProtoError;
+use crate::message::{
+    CheckinAck, CheckinRequest, CheckoutRequest, CheckoutResponse, ErrorCode, ErrorReply, Message,
+};
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum number of elements accepted in any decoded vector (gradients, label
+/// counts). Prevents a malicious length prefix from triggering a huge allocation.
+pub const MAX_VEC_LEN: usize = 16 * 1024 * 1024;
+
+/// Encodes a message into a standalone byte buffer (without the frame length
+/// prefix).
+pub fn encode(message: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u8(message.tag());
+    match message {
+        Message::CheckoutRequest(m) => {
+            buf.put_u16_le(m.version);
+            buf.put_u64_le(m.device_id);
+            buf.put_slice(m.token.as_bytes());
+        }
+        Message::CheckoutResponse(m) => {
+            buf.put_u64_le(m.iteration);
+            put_bool(&mut buf, m.stopped);
+            put_f64_vec(&mut buf, &m.params);
+        }
+        Message::CheckinRequest(m) => {
+            buf.put_u64_le(m.device_id);
+            buf.put_slice(m.token.as_bytes());
+            buf.put_u64_le(m.checkout_iteration);
+            buf.put_u32_le(m.num_samples);
+            buf.put_i64_le(m.error_count);
+            put_f64_vec(&mut buf, &m.gradient);
+            put_i64_vec(&mut buf, &m.label_counts);
+        }
+        Message::CheckinAck(m) => {
+            put_bool(&mut buf, m.accepted);
+            buf.put_u64_le(m.iteration);
+            put_bool(&mut buf, m.stopped);
+        }
+        Message::Error(m) => {
+            buf.put_u8(m.code.as_u8());
+            put_string(&mut buf, &m.detail);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a message from a byte buffer produced by [`encode`].
+pub fn decode(mut buf: &[u8]) -> Result<Message> {
+    let tag = get_u8(&mut buf, "message tag")?;
+    let message = match tag {
+        1 => {
+            let version = get_u16(&mut buf, "version")?;
+            let device_id = get_u64(&mut buf, "device_id")?;
+            let token = get_token(&mut buf)?;
+            Message::CheckoutRequest(CheckoutRequest {
+                version,
+                device_id,
+                token,
+            })
+        }
+        2 => {
+            let iteration = get_u64(&mut buf, "iteration")?;
+            let stopped = get_bool(&mut buf, "stopped")?;
+            let params = get_f64_vec(&mut buf, "params")?;
+            Message::CheckoutResponse(CheckoutResponse {
+                iteration,
+                params,
+                stopped,
+            })
+        }
+        3 => {
+            let device_id = get_u64(&mut buf, "device_id")?;
+            let token = get_token(&mut buf)?;
+            let checkout_iteration = get_u64(&mut buf, "checkout_iteration")?;
+            let num_samples = get_u32(&mut buf, "num_samples")?;
+            let error_count = get_i64(&mut buf, "error_count")?;
+            let gradient = get_f64_vec(&mut buf, "gradient")?;
+            let label_counts = get_i64_vec(&mut buf, "label_counts")?;
+            Message::CheckinRequest(CheckinRequest {
+                device_id,
+                token,
+                checkout_iteration,
+                gradient,
+                num_samples,
+                error_count,
+                label_counts,
+            })
+        }
+        4 => {
+            let accepted = get_bool(&mut buf, "accepted")?;
+            let iteration = get_u64(&mut buf, "iteration")?;
+            let stopped = get_bool(&mut buf, "stopped")?;
+            Message::CheckinAck(CheckinAck {
+                accepted,
+                iteration,
+                stopped,
+            })
+        }
+        5 => {
+            let raw_code = get_u8(&mut buf, "error code")?;
+            let code = ErrorCode::from_u8(raw_code).ok_or(ProtoError::InvalidField {
+                field: "error_code",
+                reason: format!("unknown code {raw_code}"),
+            })?;
+            let detail = get_string(&mut buf, "detail")?;
+            Message::Error(ErrorReply { code, detail })
+        }
+        other => return Err(ProtoError::UnknownMessageTag(other)),
+    };
+    if !buf.is_empty() {
+        return Err(ProtoError::InvalidField {
+            field: "message",
+            reason: format!("{} trailing bytes after decoding", buf.len()),
+        });
+    }
+    Ok(message)
+}
+
+fn put_bool(buf: &mut BytesMut, value: bool) {
+    buf.put_u8(u8::from(value));
+}
+
+fn put_f64_vec(buf: &mut BytesMut, values: &[f64]) {
+    buf.put_u32_le(values.len() as u32);
+    for &v in values {
+        buf.put_f64_le(v);
+    }
+}
+
+fn put_i64_vec(buf: &mut BytesMut, values: &[i64]) {
+    buf.put_u32_le(values.len() as u32);
+    for &v in values {
+        buf.put_i64_le(v);
+    }
+}
+
+fn put_string(buf: &mut BytesMut, value: &str) {
+    buf.put_u32_le(value.len() as u32);
+    buf.put_slice(value.as_bytes());
+}
+
+fn ensure(buf: &[u8], needed: usize, context: &'static str) -> Result<()> {
+    if buf.remaining() < needed {
+        Err(ProtoError::Truncated { context })
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(buf: &mut &[u8], context: &'static str) -> Result<u8> {
+    ensure(buf, 1, context)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut &[u8], context: &'static str) -> Result<u16> {
+    ensure(buf, 2, context)?;
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut &[u8], context: &'static str) -> Result<u32> {
+    ensure(buf, 4, context)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8], context: &'static str) -> Result<u64> {
+    ensure(buf, 8, context)?;
+    Ok(buf.get_u64_le())
+}
+
+fn get_i64(buf: &mut &[u8], context: &'static str) -> Result<i64> {
+    ensure(buf, 8, context)?;
+    Ok(buf.get_i64_le())
+}
+
+fn get_bool(buf: &mut &[u8], context: &'static str) -> Result<bool> {
+    Ok(get_u8(buf, context)? != 0)
+}
+
+fn get_token(buf: &mut &[u8]) -> Result<AuthToken> {
+    ensure(buf, TOKEN_LEN, "auth token")?;
+    let mut raw = [0u8; TOKEN_LEN];
+    buf.copy_to_slice(&mut raw);
+    Ok(AuthToken::from_bytes(raw))
+}
+
+fn get_vec_len(buf: &mut &[u8], context: &'static str) -> Result<usize> {
+    let len = get_u32(buf, context)? as usize;
+    if len > MAX_VEC_LEN {
+        return Err(ProtoError::InvalidField {
+            field: context,
+            reason: format!("declared length {len} exceeds maximum {MAX_VEC_LEN}"),
+        });
+    }
+    Ok(len)
+}
+
+fn get_f64_vec(buf: &mut &[u8], context: &'static str) -> Result<Vec<f64>> {
+    let len = get_vec_len(buf, context)?;
+    ensure(buf, len * 8, context)?;
+    Ok((0..len).map(|_| buf.get_f64_le()).collect())
+}
+
+fn get_i64_vec(buf: &mut &[u8], context: &'static str) -> Result<Vec<i64>> {
+    let len = get_vec_len(buf, context)?;
+    ensure(buf, len * 8, context)?;
+    Ok((0..len).map(|_| buf.get_i64_le()).collect())
+}
+
+fn get_string(buf: &mut &[u8], context: &'static str) -> Result<String> {
+    let len = get_vec_len(buf, context)?;
+    ensure(buf, len, context)?;
+    let bytes = buf[..len].to_vec();
+    buf.advance(len);
+    String::from_utf8(bytes).map_err(|e| ProtoError::InvalidField {
+        field: context,
+        reason: format!("invalid UTF-8: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::CheckoutRequest(CheckoutRequest {
+                version: 1,
+                device_id: 42,
+                token: AuthToken::derive(42, 7),
+            }),
+            Message::CheckoutResponse(CheckoutResponse {
+                iteration: 1234,
+                params: vec![0.5, -1.25, 3.75, f64::MIN_POSITIVE],
+                stopped: true,
+            }),
+            Message::CheckinRequest(CheckinRequest {
+                device_id: 9,
+                token: AuthToken::derive(9, 7),
+                checkout_iteration: 55,
+                gradient: vec![1e-9, -2.5, 0.0],
+                num_samples: 20,
+                error_count: -3,
+                label_counts: vec![5, -1, 0, 16],
+            }),
+            Message::CheckinAck(CheckinAck {
+                accepted: true,
+                iteration: 56,
+                stopped: false,
+            }),
+            Message::Error(ErrorReply {
+                code: ErrorCode::Unauthorized,
+                detail: "bad token".into(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_message_types() {
+        for msg in sample_messages() {
+            let encoded = encode(&msg);
+            let decoded = decode(&encoded).unwrap();
+            assert_eq!(decoded, msg, "round trip failed for {}", msg.name());
+        }
+    }
+
+    #[test]
+    fn empty_vectors_round_trip() {
+        let msg = Message::CheckoutResponse(CheckoutResponse {
+            iteration: 0,
+            params: vec![],
+            stopped: false,
+        });
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            decode(&[0xFFu8]),
+            Err(ProtoError::UnknownMessageTag(0xFF))
+        ));
+        assert!(matches!(decode(&[]), Err(ProtoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn truncated_buffers_rejected() {
+        for msg in sample_messages() {
+            let encoded = encode(&msg);
+            // Every strict prefix must fail cleanly, never panic.
+            for cut in 0..encoded.len() {
+                assert!(
+                    decode(&encoded[..cut]).is_err(),
+                    "prefix of length {cut} of {} unexpectedly decoded",
+                    msg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let msg = Message::CheckinAck(CheckinAck {
+            accepted: false,
+            iteration: 1,
+            stopped: false,
+        });
+        let mut bytes = encode(&msg).to_vec();
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_vector_length_rejected() {
+        // Craft a checkout response that declares a gigantic parameter vector.
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        buf.put_u64_le(0);
+        buf.put_u8(0);
+        buf.put_u32_le(u32::MAX);
+        assert!(matches!(
+            decode(&buf),
+            Err(ProtoError::InvalidField { field: "params", .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_error_code_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(5);
+        buf.put_u8(200);
+        buf.put_u32_le(0);
+        assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn special_float_values_survive() {
+        let msg = Message::CheckoutResponse(CheckoutResponse {
+            iteration: 7,
+            params: vec![f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, 1e300],
+            stopped: false,
+        });
+        let decoded = decode(&encode(&msg)).unwrap();
+        if let Message::CheckoutResponse(r) = decoded {
+            assert_eq!(r.params[0], f64::INFINITY);
+            assert_eq!(r.params[1], f64::NEG_INFINITY);
+            assert_eq!(r.params[4], 1e300);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

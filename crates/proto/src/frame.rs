@@ -1,0 +1,132 @@
+//! Length-prefixed framing over arbitrary byte streams.
+//!
+//! Each frame is `[len: u32 little-endian][payload: len bytes]` where the payload
+//! is an encoded [`crate::Message`]. The reader enforces a maximum frame size so a
+//! corrupt or hostile peer cannot force an unbounded allocation.
+
+use crate::codec::{decode, encode};
+use crate::error::ProtoError;
+use crate::message::Message;
+use crate::Result;
+use std::io::{Read, Write};
+
+/// Default maximum frame size: large enough for a 1M-parameter gradient
+/// (8 MiB of floats) plus headers.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Writes one framed message to `writer`.
+pub fn write_message<W: Write>(writer: &mut W, message: &Message) -> Result<()> {
+    let payload = encode(message);
+    let len = payload.len() as u32;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(&payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message from `reader`, enforcing `max_frame` bytes.
+pub fn read_message_with_limit<R: Read>(reader: &mut R, max_frame: usize) -> Result<Message> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_frame {
+        return Err(ProtoError::FrameTooLarge {
+            declared: len,
+            max: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    decode(&payload)
+}
+
+/// Reads one framed message with the default size limit.
+pub fn read_message<R: Read>(reader: &mut R) -> Result<Message> {
+    read_message_with_limit(reader, DEFAULT_MAX_FRAME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthToken;
+    use crate::message::{CheckinAck, CheckoutRequest, CheckoutResponse};
+    use std::io::Cursor;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let messages = vec![
+            Message::CheckoutRequest(CheckoutRequest {
+                version: 1,
+                device_id: 3,
+                token: AuthToken::derive(3, 9),
+            }),
+            Message::CheckoutResponse(CheckoutResponse {
+                iteration: 10,
+                params: vec![1.0; 500],
+                stopped: false,
+            }),
+            Message::CheckinAck(CheckinAck {
+                accepted: true,
+                iteration: 11,
+                stopped: true,
+            }),
+        ];
+        let mut buf = Vec::new();
+        for m in &messages {
+            write_message(&mut buf, m).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for m in &messages {
+            let read = read_message(&mut cursor).unwrap();
+            assert_eq!(&read, m);
+        }
+        // Stream exhausted: the next read reports an I/O error.
+        assert!(matches!(read_message(&mut cursor), Err(ProtoError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = Cursor::new(buf);
+        match read_message_with_limit(&mut cursor, 1024) {
+            Err(ProtoError::FrameTooLarge { declared, max }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_io_error() {
+        let msg = Message::CheckinAck(CheckinAck {
+            accepted: true,
+            iteration: 2,
+            stopped: false,
+        });
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(read_message(&mut cursor), Err(ProtoError::Io(_))));
+    }
+
+    #[test]
+    fn corrupt_payload_is_decode_error() {
+        let msg = Message::CheckinAck(CheckinAck {
+            accepted: true,
+            iteration: 2,
+            stopped: false,
+        });
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        // Corrupt the message tag inside the frame.
+        buf[4] = 0xEE;
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ProtoError::UnknownMessageTag(0xEE))
+        ));
+    }
+}

@@ -1,0 +1,32 @@
+//! Wire protocol for Crowd-ML device/server communication.
+//!
+//! The paper's prototype exchanges checkouts and checkins over HTTPS with an
+//! Apache/MySQL backend; the distributed-systems behaviour the evaluation cares
+//! about lives entirely in the *messages* (what a device requests, what it
+//! uploads) rather than the transport. This crate defines those messages and a
+//! compact, hand-rolled binary encoding:
+//!
+//! * [`message::Message`] — checkout request/response, checkin request/ack, and an
+//!   error variant, mirroring Device Routines 1–3 and Server Routines 1–2;
+//! * [`codec`] — deterministic little-endian encoding/decoding built on `bytes`;
+//! * [`frame`] — length-prefixed framing over any `Read`/`Write` stream, with a
+//!   maximum-frame-size guard;
+//! * [`auth`] — the device authentication tokens the server checks before
+//!   accepting a checkout or checkin.
+
+pub mod auth;
+pub mod codec;
+pub mod error;
+pub mod frame;
+pub mod message;
+
+pub use auth::AuthToken;
+pub use error::ProtoError;
+pub use message::Message;
+
+/// Result alias for protocol operations.
+pub type Result<T> = std::result::Result<T, ProtoError>;
+
+/// Protocol version carried in every checkout request; bumped on incompatible
+/// message changes.
+pub const PROTOCOL_VERSION: u16 = 1;

@@ -1,0 +1,211 @@
+//! Protocol message types mirroring the Crowd-ML workflow (Fig. 2).
+//!
+//! * A device that has filled its minibatch sends a [`CheckoutRequest`]; the server
+//!   authenticates it and replies with a [`CheckoutResponse`] carrying the current
+//!   parameters `w` and the server iteration at which they were read.
+//! * After computing and sanitizing its statistics, the device sends a
+//!   [`CheckinRequest`] carrying `(ĝ, n_s, n̂_e, n̂_y^k)`; the server replies with a
+//!   [`CheckinAck`] that also tells the device whether the global stopping
+//!   criterion has been met.
+//! * [`ErrorReply`] reports authentication or protocol failures.
+
+use crate::auth::AuthToken;
+
+/// A checkout request (Device Routine 1 → Server Routine 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckoutRequest {
+    /// Protocol version of the sender.
+    pub version: u16,
+    /// Device identifier.
+    pub device_id: u64,
+    /// Authentication token.
+    pub token: AuthToken,
+}
+
+/// A checkout response carrying the current model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckoutResponse {
+    /// The server iteration `t` at which the parameters were read (used to measure
+    /// staleness at checkin time).
+    pub iteration: u64,
+    /// The flat parameter vector `w`.
+    pub params: Vec<f64>,
+    /// Whether the stopping criterion has already been met (devices should stop
+    /// collecting when set).
+    pub stopped: bool,
+}
+
+/// A checkin request carrying the sanitized device statistics (Device Routine 2/3
+/// → Server Routine 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckinRequest {
+    /// Device identifier.
+    pub device_id: u64,
+    /// Authentication token.
+    pub token: AuthToken,
+    /// Server iteration at which the device checked out the parameters it used.
+    pub checkout_iteration: u64,
+    /// The sanitized averaged gradient `ĝ`.
+    pub gradient: Vec<f64>,
+    /// The (unperturbed) number of samples `n_s` in the minibatch.
+    pub num_samples: u32,
+    /// The sanitized misclassification count `n̂_e` (may be negative after
+    /// perturbation).
+    pub error_count: i64,
+    /// The sanitized per-class label counts `n̂_y^k` (may be negative).
+    pub label_counts: Vec<i64>,
+}
+
+/// Acknowledgement of a checkin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckinAck {
+    /// Whether the gradient was applied.
+    pub accepted: bool,
+    /// The server iteration after applying this checkin.
+    pub iteration: u64,
+    /// Whether the stopping criterion has been met.
+    pub stopped: bool,
+}
+
+/// An error reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// Machine-readable error code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Machine-readable protocol error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The device could not be authenticated.
+    Unauthorized,
+    /// The message was malformed or had an unsupported version.
+    BadRequest,
+    /// The server is shutting down or the task has ended.
+    TaskEnded,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable numeric encoding of the code.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::Unauthorized => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::TaskEnded => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    /// Decodes a numeric code.
+    pub fn from_u8(value: u8) -> Option<Self> {
+        match value {
+            1 => Some(ErrorCode::Unauthorized),
+            2 => Some(ErrorCode::BadRequest),
+            3 => Some(ErrorCode::TaskEnded),
+            4 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// The protocol message envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Device → server: request current parameters.
+    CheckoutRequest(CheckoutRequest),
+    /// Server → device: current parameters.
+    CheckoutResponse(CheckoutResponse),
+    /// Device → server: sanitized minibatch statistics.
+    CheckinRequest(CheckinRequest),
+    /// Server → device: checkin acknowledgement.
+    CheckinAck(CheckinAck),
+    /// Server → device: error reply.
+    Error(ErrorReply),
+}
+
+impl Message {
+    /// The one-byte tag used on the wire.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::CheckoutRequest(_) => 1,
+            Message::CheckoutResponse(_) => 2,
+            Message::CheckinRequest(_) => 3,
+            Message::CheckinAck(_) => 4,
+            Message::Error(_) => 5,
+        }
+    }
+
+    /// Short human-readable name for logging.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::CheckoutRequest(_) => "checkout_request",
+            Message::CheckoutResponse(_) => "checkout_response",
+            Message::CheckinRequest(_) => "checkin_request",
+            Message::CheckinAck(_) => "checkin_ack",
+            Message::Error(_) => "error",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct() {
+        let msgs = vec![
+            Message::CheckoutRequest(CheckoutRequest {
+                version: 1,
+                device_id: 0,
+                token: AuthToken::derive(0, 0),
+            }),
+            Message::CheckoutResponse(CheckoutResponse {
+                iteration: 0,
+                params: vec![],
+                stopped: false,
+            }),
+            Message::CheckinRequest(CheckinRequest {
+                device_id: 0,
+                token: AuthToken::derive(0, 0),
+                checkout_iteration: 0,
+                gradient: vec![],
+                num_samples: 0,
+                error_count: 0,
+                label_counts: vec![],
+            }),
+            Message::CheckinAck(CheckinAck {
+                accepted: true,
+                iteration: 0,
+                stopped: false,
+            }),
+            Message::Error(ErrorReply {
+                code: ErrorCode::Internal,
+                detail: String::new(),
+            }),
+        ];
+        let mut tags: Vec<u8> = msgs.iter().map(|m| m.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 5);
+        assert_eq!(msgs[0].name(), "checkout_request");
+        assert_eq!(msgs[4].name(), "error");
+    }
+
+    #[test]
+    fn error_code_round_trip() {
+        for code in [
+            ErrorCode::Unauthorized,
+            ErrorCode::BadRequest,
+            ErrorCode::TaskEnded,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(99), None);
+    }
+}

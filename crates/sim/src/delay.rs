@@ -1,0 +1,127 @@
+//! Network-delay models for the simulated environment.
+//!
+//! §V-C of the paper: "The τ is the maximum delay, and the actual delays are
+//! sampled randomly and uniformly from [0, τ] for each communication instance",
+//! with a footnote that any other distribution could be used. [`DelayModel`]
+//! provides the uniform model plus the constant and exponential alternatives used
+//! in ablations.
+
+use rand::Rng;
+
+/// How long one message (checkout request, parameter download, or checkin upload)
+/// takes to traverse the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// No delay at all (the idealized setting of Figs. 4–5).
+    None,
+    /// Every message takes exactly this long.
+    Constant(f64),
+    /// Delays drawn uniformly from `[0, max]` — the paper's model (Fig. 6).
+    Uniform {
+        /// Maximum delay τ.
+        max: f64,
+    },
+    /// Exponentially distributed delays with the given mean (heavy-tail ablation).
+    Exponential {
+        /// Mean delay.
+        mean: f64,
+    },
+}
+
+impl DelayModel {
+    /// Samples one delay. Always non-negative and finite.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            DelayModel::None => 0.0,
+            DelayModel::Constant(d) => d.max(0.0),
+            DelayModel::Uniform { max } => {
+                if max <= 0.0 {
+                    0.0
+                } else {
+                    rng.gen::<f64>() * max
+                }
+            }
+            DelayModel::Exponential { mean } => {
+                if mean <= 0.0 {
+                    0.0
+                } else {
+                    let u: f64 = 1.0 - rng.gen::<f64>();
+                    -mean * u.ln()
+                }
+            }
+        }
+    }
+
+    /// The expected delay of the model.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            DelayModel::None => 0.0,
+            DelayModel::Constant(d) => d.max(0.0),
+            DelayModel::Uniform { max } => max.max(0.0) / 2.0,
+            DelayModel::Exponential { mean } => mean.max(0.0),
+        }
+    }
+
+    /// The maximum possible delay (`f64::INFINITY` for the exponential model).
+    pub fn max(&self) -> f64 {
+        match *self {
+            DelayModel::None => 0.0,
+            DelayModel::Constant(d) => d.max(0.0),
+            DelayModel::Uniform { max } => max.max(0.0),
+            DelayModel::Exponential { mean } => {
+                if mean <= 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_and_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(DelayModel::None.sample(&mut rng), 0.0);
+        assert_eq!(DelayModel::Constant(3.0).sample(&mut rng), 3.0);
+        assert_eq!(DelayModel::Constant(-1.0).sample(&mut rng), 0.0);
+        assert_eq!(DelayModel::None.mean(), 0.0);
+        assert_eq!(DelayModel::Constant(3.0).mean(), 3.0);
+        assert_eq!(DelayModel::Constant(3.0).max(), 3.0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = DelayModel::Uniform { max: 8.0 };
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| model.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&d| (0.0..8.0).contains(&d)));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "uniform mean {mean}");
+        assert_eq!(model.mean(), 4.0);
+        assert_eq!(model.max(), 8.0);
+        assert_eq!(DelayModel::Uniform { max: 0.0 }.sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = DelayModel::Exponential { mean: 2.0 };
+        let n = 30_000;
+        let samples: Vec<f64> = (0..n).map(|_| model.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&d| d >= 0.0 && d.is_finite()));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "exponential mean {mean}");
+        assert_eq!(model.mean(), 2.0);
+        assert_eq!(model.max(), f64::INFINITY);
+        assert_eq!(DelayModel::Exponential { mean: 0.0 }.sample(&mut rng), 0.0);
+        assert_eq!(DelayModel::Exponential { mean: -1.0 }.max(), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Lightweight simulation trace collection.
+//!
+//! The Crowd-ML simulation (in `crowd-core`) records per-event counters and
+//! latency observations here so experiments can report, e.g., how many checkins
+//! each device completed or how stale the parameters were at checkin time —
+//! the quantities the scalability analysis of §IV-B reasons about.
+
+use std::collections::HashMap;
+
+/// Named counters plus latency samples.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    counters: HashMap<String, u64>,
+    latencies: Vec<f64>,
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        TraceCollector::default()
+    }
+
+    /// Increments a named counter by one.
+    pub fn count(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments a named counter by `amount`.
+    pub fn add(&mut self, name: &str, amount: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += amount;
+    }
+
+    /// Reads a counter (zero when never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        *self.counters.get(name).unwrap_or(&0)
+    }
+
+    /// Records a latency observation (negative or non-finite values are ignored).
+    pub fn record_latency(&mut self, value: f64) {
+        if value.is_finite() && value >= 0.0 {
+            self.latencies.push(value);
+        }
+    }
+
+    /// Number of recorded latency observations.
+    pub fn latency_count(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Mean recorded latency, or `None` when nothing was recorded.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.latencies.is_empty() {
+            None
+        } else {
+            Some(self.latencies.iter().sum::<f64>() / self.latencies.len() as f64)
+        }
+    }
+
+    /// Maximum recorded latency, or `None` when nothing was recorded.
+    pub fn max_latency(&self) -> Option<f64> {
+        self.latencies
+            .iter()
+            .copied()
+            .fold(None, |acc, x| Some(acc.map_or(x, |m: f64| m.max(x))))
+    }
+
+    /// All counters, sorted by name (for stable reporting).
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let mut entries: Vec<(String, u64)> =
+            self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        entries.sort();
+        entries
+    }
+
+    /// Merges another collector into this one (summing counters, concatenating
+    /// latencies).
+    pub fn merge(&mut self, other: &TraceCollector) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        self.latencies.extend_from_slice(&other.latencies);
+    }
+
+    /// Clears all recorded data.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.latencies.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = TraceCollector::new();
+        assert_eq!(t.get("checkins"), 0);
+        t.count("checkins");
+        t.count("checkins");
+        t.add("samples", 10);
+        assert_eq!(t.get("checkins"), 2);
+        assert_eq!(t.get("samples"), 10);
+        let listed = t.counters();
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].0, "checkins");
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let mut t = TraceCollector::new();
+        assert_eq!(t.mean_latency(), None);
+        assert_eq!(t.max_latency(), None);
+        t.record_latency(1.0);
+        t.record_latency(3.0);
+        t.record_latency(-1.0); // ignored
+        t.record_latency(f64::NAN); // ignored
+        assert_eq!(t.latency_count(), 2);
+        assert_eq!(t.mean_latency(), Some(2.0));
+        assert_eq!(t.max_latency(), Some(3.0));
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = TraceCollector::new();
+        a.count("x");
+        a.record_latency(1.0);
+        let mut b = TraceCollector::new();
+        b.add("x", 4);
+        b.count("y");
+        b.record_latency(5.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
+        assert_eq!(a.latency_count(), 2);
+        a.reset();
+        assert_eq!(a.get("x"), 0);
+        assert_eq!(a.latency_count(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Activity recognition on a simulated fleet of smartphones (§V-B of the paper).
+//!
+//! Seven simulated devices carry accelerometers sampled at 20 Hz; 3.2 s windows of
+//! acceleration magnitude are turned into 64-bin FFT features and a sample is kept
+//! only when the activity ("Still", "On Foot", "In Vehicle") changes. A 3-class
+//! logistic regression is learned collaboratively with Crowd-ML and the
+//! time-averaged online error is printed — the Fig. 3 curve.
+//!
+//! Run with: `cargo run --release --example activity_recognition`
+
+use crowd_ml::core::experiment::{CrowdMlExperiment, ExperimentConfig};
+use crowd_ml::data::activity::Activity;
+
+fn main() {
+    let devices = 7;
+    let samples_per_device = 43; // ≈300 samples in total, as in the paper's figure
+
+    println!("Activity recognition with Crowd-ML ({devices} devices)");
+    println!("classes: {:?}", Activity::ALL.map(|a| a.name()));
+    println!();
+
+    for &c in &[1e-6, 1e-4, 1e-2, 1.0] {
+        let config = ExperimentConfig::builder()
+            .devices(devices)
+            .minibatch(1)
+            .rate_constant(c)
+            .eval_points(5)
+            .seed(42)
+            .build();
+        let experiment = CrowdMlExperiment::activity(samples_per_device, 200, config);
+        let outcome = experiment.run().expect("activity experiment");
+
+        let online = &outcome.online_error;
+        let checkpoints = [10, 50, 100, 200, online.len() - 1];
+        print!("c = {c:>8.0e}:  time-averaged error at sample ");
+        for &i in &checkpoints {
+            if i < online.len() {
+                print!("{}:{:.2}  ", i + 1, online[i]);
+            }
+        }
+        println!("| final test error {:.3}", outcome.final_test_error());
+    }
+
+    println!();
+    println!("As in the paper, once the learning rate is large enough to move the weights,");
+    println!("the classifier converges within a few samples per device. (On these synthetic");
+    println!("traces the very small constants have not learned yet after ~300 samples;");
+    println!("EXPERIMENTS.md discusses this deviation from Fig. 3.)");
+}

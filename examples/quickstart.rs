@@ -1,0 +1,67 @@
+//! Quickstart: learn a private classifier from a simulated crowd of devices.
+//!
+//! Generates a small synthetic classification task, distributes it across 20
+//! devices, trains with Crowd-ML under a total privacy budget of ε = 1 per
+//! checkin, and compares the result against the non-private centralized batch
+//! baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use crowd_ml::core::config::PrivacyConfig;
+use crowd_ml::core::experiment::{CrowdMlExperiment, ExperimentConfig};
+use crowd_ml::data::synthetic::GaussianMixtureSpec;
+
+fn main() {
+    let spec = GaussianMixtureSpec::new(16, 5)
+        .with_train_size(4000)
+        .with_test_size(1000)
+        .with_mean_scale(2.0)
+        .with_noise_std(0.7);
+
+    let private_config = ExperimentConfig::builder()
+        .devices(20)
+        .minibatch(20)
+        .passes(2.0)
+        .privacy(PrivacyConfig::with_total_epsilon(1.0))
+        .rate_constant(2.0)
+        .eval_points(10)
+        .seed(7)
+        .build();
+    let private = CrowdMlExperiment::gaussian_mixture(spec.clone(), private_config);
+
+    let non_private_config = ExperimentConfig::builder()
+        .devices(20)
+        .minibatch(1)
+        .passes(2.0)
+        .rate_constant(2.0)
+        .eval_points(10)
+        .seed(7)
+        .build();
+    let non_private = CrowdMlExperiment::gaussian_mixture(spec, non_private_config);
+
+    println!("Crowd-ML quickstart: 5-class synthetic task, 20 devices");
+    println!("========================================================");
+
+    let outcome = non_private.run().expect("non-private run");
+    println!(
+        "Crowd-ML, non-private (b=1):        test error {:.3} after {} server updates",
+        outcome.final_test_error(),
+        outcome.server_iterations
+    );
+
+    let outcome = private.run().expect("private run");
+    println!(
+        "Crowd-ML, eps=1 per checkin (b=20): test error {:.3} after {} server updates",
+        outcome.final_test_error(),
+        outcome.server_iterations
+    );
+
+    let batch_error = non_private.run_central_batch().expect("central batch");
+    println!("Centralized batch (non-private):    test error {batch_error:.3}");
+
+    println!();
+    println!("Error curve of the private run (iteration, test error):");
+    for point in private.run().expect("private rerun").curve.points() {
+        println!("  {:>6}  {:.3}", point.iteration, point.error);
+    }
+}

@@ -1,0 +1,46 @@
+//! # Crowd-ML
+//!
+//! A Rust reproduction of *"Crowd-ML: A Privacy-Preserving Learning Framework for a
+//! Crowd of Smart Devices"* (Hamm et al., ICDCS 2015).
+//!
+//! This facade crate re-exports the public API of every crate in the workspace so
+//! downstream users can depend on a single crate:
+//!
+//! * [`linalg`] — dense linear algebra, FFT, PCA.
+//! * [`dp`] — differential-privacy mechanisms and budget accounting.
+//! * [`data`] — datasets, synthetic generators, partitioners, preprocessing.
+//! * [`learning`] — models, losses, SGD, schedules, metrics.
+//! * [`sim`] — discrete-event simulation of asynchronous devices and delays.
+//! * [`proto`] — wire protocol for device/server communication.
+//! * [`net`] — TCP deployment of the protocol.
+//! * [`core`] — the Crowd-ML framework itself: device/server routines, baselines,
+//!   and experiment runners.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use crowd_ml::core::config::{CrowdMlConfig, PrivacyConfig};
+//! use crowd_ml::core::experiment::{CrowdMlExperiment, ExperimentConfig};
+//! use crowd_ml::data::synthetic::GaussianMixtureSpec;
+//!
+//! // Generate a small synthetic task and learn it privately with 10 devices.
+//! let spec = GaussianMixtureSpec::new(8, 4).with_train_size(400).with_test_size(100);
+//! let config = ExperimentConfig::builder()
+//!     .devices(10)
+//!     .minibatch(5)
+//!     .passes(1.0)
+//!     .privacy(PrivacyConfig::with_total_epsilon(1.0))
+//!     .seed(7)
+//!     .build();
+//! let outcome = CrowdMlExperiment::gaussian_mixture(spec, config).run().unwrap();
+//! assert!(outcome.final_test_error() < 0.9);
+//! ```
+
+pub use crowd_core as core;
+pub use crowd_data as data;
+pub use crowd_dp as dp;
+pub use crowd_learning as learning;
+pub use crowd_linalg as linalg;
+pub use crowd_net as net;
+pub use crowd_proto as proto;
+pub use crowd_sim as sim;

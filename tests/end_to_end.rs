@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the qualitative claims of the paper's
+//! evaluation must hold on the synthetic workloads.
+
+use crowd_ml::core::config::PrivacyConfig;
+use crowd_ml::core::experiment::{CrowdMlExperiment, ExperimentConfig};
+use crowd_ml::data::synthetic::GaussianMixtureSpec;
+
+fn spec() -> GaussianMixtureSpec {
+    GaussianMixtureSpec::new(12, 5)
+        .with_train_size(2500)
+        .with_test_size(500)
+        .with_mean_scale(2.2)
+        .with_noise_std(0.65)
+}
+
+fn config(minibatch: usize, privacy: PrivacyConfig, delay: f64, seed: u64) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .devices(50)
+        .minibatch(minibatch)
+        .passes(1.0)
+        .privacy(privacy)
+        .delay_delta(delay)
+        .rate_constant(1.5)
+        .eval_points(8)
+        .seed(seed)
+        .build()
+}
+
+/// Fig. 4's qualitative claim: without privacy or delay, Crowd-ML converges to
+/// roughly the centralized batch error while the decentralized approach stays far
+/// behind.
+#[test]
+fn crowd_ml_matches_central_and_beats_decentralized() {
+    let experiment =
+        CrowdMlExperiment::gaussian_mixture(spec(), config(1, PrivacyConfig::non_private(), 0.0, 1));
+    let crowd_err = experiment.run().expect("crowd run").final_test_error();
+    let central_err = experiment.run_central_batch().expect("central batch");
+    let decentral_err = experiment
+        .run_decentralized(15)
+        .expect("decentralized")
+        .final_error()
+        .unwrap();
+
+    assert!(central_err < 0.2, "central batch error {central_err}");
+    assert!(
+        crowd_err < central_err + 0.1,
+        "crowd error {crowd_err} should approach central {central_err}"
+    );
+    assert!(
+        decentral_err > crowd_err + 0.1,
+        "decentralized {decentral_err} should trail crowd {crowd_err} clearly"
+    );
+}
+
+/// Fig. 5's qualitative claim: under local differential privacy, increasing the
+/// minibatch size recovers accuracy, and Crowd-ML beats centralized SGD on
+/// input-perturbed data.
+#[test]
+fn minibatch_mitigates_privacy_noise_and_beats_input_perturbation() {
+    let privacy = PrivacyConfig::from_inverse_epsilon(0.1).expect("privacy from inverse epsilon");
+
+    let b1 = CrowdMlExperiment::gaussian_mixture(spec(), config(1, privacy, 0.0, 2))
+        .run()
+        .expect("b=1 run")
+        .final_test_error();
+    let b20_experiment = CrowdMlExperiment::gaussian_mixture(spec(), config(20, privacy, 0.0, 2));
+    let b20 = b20_experiment.run().expect("b=20 run").final_test_error();
+
+    assert!(
+        b20 < b1,
+        "larger minibatch should reduce the error under privacy: b1 {b1}, b20 {b20}"
+    );
+
+    let central_sgd_err = b20_experiment
+        .run_central_sgd()
+        .expect("central sgd")
+        .final_error()
+        .unwrap();
+    assert!(
+        b20 < central_sgd_err,
+        "crowd (b=20) {b20} should beat central SGD on perturbed inputs {central_sgd_err}"
+    );
+}
+
+/// Fig. 6's qualitative claim: with a reasonable minibatch, even large delays do
+/// not destroy learning.
+#[test]
+fn large_delays_do_not_break_learning_with_minibatch() {
+    let privacy = PrivacyConfig::from_inverse_epsilon(0.1).expect("privacy");
+    let no_delay = CrowdMlExperiment::gaussian_mixture(spec(), config(20, privacy, 0.0, 3))
+        .run()
+        .expect("no delay")
+        .final_test_error();
+    let delayed = CrowdMlExperiment::gaussian_mixture(spec(), config(20, privacy, 500.0, 3))
+        .run()
+        .expect("delayed")
+        .final_test_error();
+    assert!(
+        delayed < no_delay + 0.15,
+        "delayed error {delayed} should stay close to undelayed {no_delay}"
+    );
+    // Both must beat the 0.8 chance level of a 5-class problem by a wide margin.
+    assert!(delayed < 0.5);
+}
+
+/// The activity-recognition workload (Fig. 3) converges quickly and, within the
+/// range of learning rates that move the parameters at all on ~300 samples, is
+/// insensitive to the exact constant (the paper sweeps down to 1e-6 on its real
+/// traces; on the synthetic traces the very small constants simply have not
+/// learned yet, which EXPERIMENTS.md records as a deviation).
+#[test]
+fn activity_recognition_converges_for_wide_rate_range() {
+    let mut test_errors = Vec::new();
+    let mut online_finals = Vec::new();
+    for &c in &[1e-1, 1.0] {
+        let config = ExperimentConfig::builder()
+            .devices(7)
+            .minibatch(1)
+            .rate_constant(c)
+            .eval_points(3)
+            .seed(42)
+            .build();
+        let outcome = CrowdMlExperiment::activity(40, 150, config)
+            .run()
+            .expect("activity run");
+        test_errors.push(outcome.final_test_error());
+        online_finals.push(*outcome.online_error.last().unwrap());
+    }
+    // Both runs end with a classifier that beats the 2/3 chance level of the
+    // 3-class task, and the learning rates land in a similar range.
+    for &err in &test_errors {
+        assert!(err < 0.55, "final test error {err}");
+    }
+    for &err in &online_finals {
+        assert!(err < 0.65, "time-averaged online error {err}");
+    }
+    let spread = test_errors.iter().cloned().fold(f64::MIN, f64::max)
+        - test_errors.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 0.25, "rate sensitivity too high: {test_errors:?}");
+}

@@ -1,0 +1,64 @@
+//! Integration test of the TCP deployment: the networked cluster must learn the
+//! same kind of model as the in-process simulation, with authentication enforced.
+
+use crowd_ml::core::config::{DeviceConfig, PrivacyConfig, ServerConfig};
+use crowd_ml::data::partition::{partition, PartitionStrategy};
+use crowd_ml::data::synthetic::GaussianMixtureSpec;
+use crowd_ml::learning::metrics::error_rate;
+use crowd_ml::learning::MulticlassLogistic;
+use crowd_ml::net::{DeviceClient, LocalCluster, NetError, NetServer};
+use crowd_ml::proto::auth::{AuthToken, TokenRegistry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn tcp_cluster_learns_with_privacy() {
+    let dim = 10;
+    let classes = 3;
+    let mut rng = StdRng::seed_from_u64(5);
+    let (train, test) = GaussianMixtureSpec::new(dim, classes)
+        .with_train_size(900)
+        .with_test_size(300)
+        .with_mean_scale(2.5)
+        .with_noise_std(0.6)
+        .generate(&mut rng)
+        .unwrap();
+    let parts = partition(&train, 6, PartitionStrategy::Iid, &mut rng).unwrap();
+
+    let cluster = LocalCluster::new(ServerConfig::new().with_rate_constant(2.0))
+        .with_device(DeviceConfig::new(10))
+        .with_privacy(PrivacyConfig::with_total_epsilon(20.0))
+        .with_seed(9);
+    let report = cluster.run(dim, classes, &parts).expect("cluster run");
+
+    assert_eq!(report.total_samples, 900);
+    assert_eq!(report.server_iterations, 90);
+    let model = MulticlassLogistic::new(dim, classes).unwrap();
+    let err = error_rate(&model, &report.params, &test).unwrap();
+    assert!(err < 0.3, "networked private training error {err}");
+}
+
+#[test]
+fn unauthenticated_devices_are_rejected() {
+    let model = MulticlassLogistic::new(4, 2).unwrap();
+    let tokens = TokenRegistry::with_derived_tokens(2, 1234);
+    let handle = NetServer::start(model, ServerConfig::new(), tokens).expect("server start");
+
+    // Correct token works.
+    let good = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 1234));
+    assert!(good.checkout().is_ok());
+
+    // Wrong secret and unknown device id are both rejected with a server error.
+    let wrong_secret = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 9999));
+    assert!(matches!(
+        wrong_secret.checkout(),
+        Err(NetError::ServerError { .. })
+    ));
+    let unknown_device = DeviceClient::new(handle.addr(), 7, AuthToken::derive(7, 1234));
+    assert!(matches!(
+        unknown_device.checkout(),
+        Err(NetError::ServerError { .. })
+    ));
+
+    handle.shutdown();
+}

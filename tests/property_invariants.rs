@@ -1,0 +1,161 @@
+//! Property-based tests (proptest) on the core invariants the paper's guarantees
+//! rest on: the gradient sensitivity bound behind Theorem 1, the projection of
+//! Eq. 3, the wire-codec round trip, partition coverage, and the counter
+//! mechanisms of Theorem 2.
+
+use crowd_ml::core::config::PrivacyConfig;
+use crowd_ml::core::privacy::Sanitizer;
+use crowd_ml::data::partition::{partition, PartitionStrategy};
+use crowd_ml::data::{Dataset, Sample};
+use crowd_ml::dp::{DiscreteLaplaceMechanism, Epsilon};
+use crowd_ml::learning::model::{minibatch_statistics, Model};
+use crowd_ml::learning::MulticlassLogistic;
+use crowd_ml::linalg::ops::{normalize_l1, project_l2_ball};
+use crowd_ml::linalg::Vector;
+use crowd_ml::proto::auth::AuthToken;
+use crowd_ml::proto::codec::{decode, encode};
+use crowd_ml::proto::message::{CheckinRequest, CheckoutResponse, Message};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Appendix A / Theorem 1: for L1-normalized features, two minibatches of size
+    /// b differing in one sample have averaged gradients at most 4/b apart in L1.
+    #[test]
+    fn averaged_gradient_sensitivity_bound(
+        seed in 0u64..1000,
+        b in 1usize..12,
+        labels in prop::collection::vec(0usize..5, 12),
+        swap_label in 0usize..5,
+    ) {
+        let dim = 6;
+        let classes = 5;
+        let model = MulticlassLogistic::new(dim, classes).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = crowd_ml::linalg::random::normal_vector(&mut rng, model.param_dim());
+
+        let make_sample = |rng: &mut StdRng, label: usize| {
+            let mut x = crowd_ml::linalg::random::normal_vector(rng, dim);
+            normalize_l1(&mut x);
+            Sample::new(x, label)
+        };
+        let batch: Vec<Sample> = labels.iter().take(b).map(|&l| make_sample(&mut rng, l)).collect();
+        prop_assume!(!batch.is_empty());
+        let mut neighbour = batch.clone();
+        neighbour[0] = make_sample(&mut rng, swap_label);
+
+        let g1 = minibatch_statistics(&model, &params, &batch, 0.0, &[]).unwrap().gradient;
+        let g2 = minibatch_statistics(&model, &params, &neighbour, 0.0, &[]).unwrap().gradient;
+        let sensitivity = (&g1 - &g2).norm_l1();
+        prop_assert!(sensitivity <= 4.0 / batch.len() as f64 + 1e-9,
+            "sensitivity {} exceeds 4/b = {}", sensitivity, 4.0 / batch.len() as f64);
+    }
+
+    /// The projection of Eq. 3 never increases the norm, is idempotent, and leaves
+    /// in-ball vectors untouched.
+    #[test]
+    fn projection_properties(values in prop::collection::vec(-1e3f64..1e3, 1..40), radius in 0.1f64..50.0) {
+        let original = Vector::from_vec(values);
+        let mut projected = original.clone();
+        project_l2_ball(&mut projected, radius);
+        prop_assert!(projected.norm_l2() <= radius + 1e-9);
+        let mut twice = projected.clone();
+        project_l2_ball(&mut twice, radius);
+        prop_assert!(twice.distance(&projected).unwrap() < 1e-9);
+        if original.norm_l2() <= radius {
+            prop_assert_eq!(projected, original);
+        }
+    }
+
+    /// Codec round trip: every well-formed checkin/checkout message survives
+    /// encode → decode unchanged.
+    #[test]
+    fn codec_round_trip(
+        device_id in any::<u64>(),
+        iteration in any::<u64>(),
+        gradient in prop::collection::vec(-1e6f64..1e6, 0..128),
+        counts in prop::collection::vec(-1000i64..1000, 0..16),
+        num_samples in 0u32..10_000,
+        error_count in -1000i64..1000,
+        stopped in any::<bool>(),
+    ) {
+        let checkin = Message::CheckinRequest(CheckinRequest {
+            device_id,
+            token: AuthToken::derive(device_id, 99),
+            checkout_iteration: iteration,
+            gradient: gradient.clone(),
+            num_samples,
+            error_count,
+            label_counts: counts,
+        });
+        prop_assert_eq!(decode(&encode(&checkin)).unwrap(), checkin);
+
+        let checkout = Message::CheckoutResponse(CheckoutResponse {
+            iteration,
+            params: gradient,
+            stopped,
+        });
+        prop_assert_eq!(decode(&encode(&checkout)).unwrap(), checkout);
+    }
+
+    /// Partitioning never loses or duplicates samples and preserves class counts,
+    /// for every strategy.
+    #[test]
+    fn partition_preserves_samples(
+        seed in 0u64..500,
+        n in 20usize..150,
+        devices in 1usize..12,
+        strategy_idx in 0usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            samples.push(Sample::new(Vector::from_vec(vec![i as f64, (i % 7) as f64]), i % 4));
+        }
+        let data = Dataset::new(samples, 4).unwrap();
+        let strategy = match strategy_idx {
+            0 => PartitionStrategy::Iid,
+            1 => PartitionStrategy::LabelShards { shards_per_device: 2 },
+            _ => PartitionStrategy::Dirichlet { alpha: 0.5 },
+        };
+        let parts = partition(&data, devices, strategy, &mut rng).unwrap();
+        prop_assert_eq!(parts.len(), devices);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, data.len());
+        let mut combined = vec![0usize; 4];
+        for p in &parts {
+            for (acc, c) in combined.iter_mut().zip(p.class_counts()) {
+                *acc += c;
+            }
+        }
+        prop_assert_eq!(combined, data.class_counts());
+    }
+
+    /// Theorem 2 machinery: discrete Laplace noise is integer-valued and the
+    /// non-private sanitizer is exactly the identity.
+    #[test]
+    fn sanitizer_and_counter_properties(
+        count in 0i64..10_000,
+        eps in 0.01f64..20.0,
+        gradient in prop::collection::vec(-5.0f64..5.0, 1..32),
+        errors in 0usize..50,
+    ) {
+        let mechanism = DiscreteLaplaceMechanism::new(Epsilon::finite(eps).unwrap());
+        let mut rng = StdRng::seed_from_u64(count as u64);
+        let perturbed = mechanism.perturb_count(&mut rng, count);
+        // Integer output by construction; difference is finite and symmetric noise
+        // can take either sign, so only sanity-check the magnitude is bounded by
+        // something enormous (no overflow).
+        prop_assert!((perturbed - count).abs() < 1_000_000);
+
+        let g = Vector::from_vec(gradient);
+        let sanitizer = Sanitizer::new(&PrivacyConfig::non_private(), 5).unwrap();
+        let out = sanitizer.sanitize(&mut rng, &g, errors, &[errors as u64, 3]);
+        prop_assert_eq!(out.gradient, g);
+        prop_assert_eq!(out.error_count, errors as i64);
+        prop_assert_eq!(out.label_counts, vec![errors as i64, 3]);
+    }
+}
