@@ -35,31 +35,35 @@ fn bench_minibatch_ablation(c: &mut Criterion) {
                 Sample::new(x, rng.gen_range(0..classes))
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(b), &samples, |bench, samples| {
-            bench.iter_batched(
-                || {
-                    let mut device = Device::new(
-                        0,
-                        DeviceConfig::new(samples.len()),
-                        PrivacyConfig::with_total_epsilon(10.0),
-                    )
-                    .unwrap();
-                    for s in samples {
-                        device.observe(s.clone());
-                    }
-                    device.begin_checkout().unwrap();
-                    (device, StdRng::seed_from_u64(7))
-                },
-                |(mut device, mut rng)| {
-                    black_box(
-                        device
-                            .compute_checkin(&model, &params, 0, 0.0, &mut rng)
-                            .unwrap(),
-                    )
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(b),
+            &samples,
+            |bench, samples| {
+                bench.iter_batched(
+                    || {
+                        let mut device = Device::new(
+                            0,
+                            DeviceConfig::new(samples.len()),
+                            PrivacyConfig::with_total_epsilon(10.0),
+                        )
+                        .unwrap();
+                        for s in samples {
+                            device.observe(s.clone());
+                        }
+                        device.begin_checkout().unwrap();
+                        (device, StdRng::seed_from_u64(7))
+                    },
+                    |(mut device, mut rng)| {
+                        black_box(
+                            device
+                                .compute_checkin(&model, &params, 0, 0.0, &mut rng)
+                                .unwrap(),
+                        )
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }

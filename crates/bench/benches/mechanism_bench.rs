@@ -3,7 +3,9 @@
 //! label flip used by the centralized baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use crowd_dp::{DiscreteLaplaceMechanism, Epsilon, ExponentialMechanism, GaussianMechanism, LaplaceMechanism};
+use crowd_dp::{
+    DiscreteLaplaceMechanism, Epsilon, ExponentialMechanism, GaussianMechanism, LaplaceMechanism,
+};
 use crowd_linalg::Vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

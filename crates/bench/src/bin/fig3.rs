@@ -34,8 +34,7 @@ fn main() {
         match experiment.run() {
             Ok(outcome) => {
                 println!("\n## series: c={c:e}");
-                let truncated: Vec<f64> =
-                    outcome.online_error.iter().copied().take(300).collect();
+                let truncated: Vec<f64> = outcome.online_error.iter().copied().take(300).collect();
                 print!("{}", series_to_csv("time_averaged_error", &truncated));
                 finals.push((c, *truncated.last().unwrap_or(&1.0)));
             }

@@ -180,7 +180,9 @@ impl ServerConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.schedule.c() <= 0.0 || !self.schedule.c().is_finite() {
-            return Err(CoreError::Config("learning-rate constant must be positive".into()));
+            return Err(CoreError::Config(
+                "learning-rate constant must be positive".into(),
+            ));
         }
         if self.lambda < 0.0 || !self.lambda.is_finite() {
             return Err(CoreError::Config("lambda must be non-negative".into()));
@@ -250,7 +252,9 @@ mod tests {
         assert!(!p.is_non_private());
         assert!(p.gradient_epsilon().is_private());
         // Inverse convention: 0 → non-private, 0.1 → ε = 10.
-        assert!(PrivacyConfig::from_inverse_epsilon(0.0).unwrap().is_non_private());
+        assert!(PrivacyConfig::from_inverse_epsilon(0.0)
+            .unwrap()
+            .is_non_private());
         let q = PrivacyConfig::from_inverse_epsilon(0.1).unwrap();
         assert!((q.budget.total_per_checkin(10) - 10.0).abs() < 1e-9);
         assert!(PrivacyConfig::from_inverse_epsilon(-1.0).is_err());
@@ -275,7 +279,10 @@ mod tests {
     #[test]
     fn server_config_validation() {
         assert!(ServerConfig::new().validate().is_ok());
-        assert!(ServerConfig::new().with_rate_constant(0.0).validate().is_err());
+        assert!(ServerConfig::new()
+            .with_rate_constant(0.0)
+            .validate()
+            .is_err());
         assert!(ServerConfig::new().with_lambda(-1.0).validate().is_err());
         let mut s = ServerConfig::new();
         s.radius = 0.0;
@@ -283,7 +290,10 @@ mod tests {
         s = ServerConfig::new();
         s.max_iterations = 0;
         assert!(s.validate().is_err());
-        assert!(ServerConfig::new().with_target_error(1.5).validate().is_err());
+        assert!(ServerConfig::new()
+            .with_target_error(1.5)
+            .validate()
+            .is_err());
         assert_eq!(ServerConfig::default(), ServerConfig::new());
     }
 

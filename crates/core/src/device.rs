@@ -186,7 +186,8 @@ impl Device {
 
         let stats = minibatch_statistics(model, params, &self.buffer, lambda, &holdout)?;
         let sanitizer = Sanitizer::new(&self.privacy, stats.num_samples)?;
-        let sanitized = sanitizer.sanitize(rng, &stats.gradient, stats.num_errors, &stats.label_counts);
+        let sanitized =
+            sanitizer.sanitize(rng, &stats.gradient, stats.num_errors, &stats.label_counts);
 
         self.buffer.clear();
         self.awaiting_params = false;

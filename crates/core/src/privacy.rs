@@ -140,8 +140,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let g = Vector::zeros(1);
         let draw = |s: &Sanitizer, rng: &mut StdRng| -> Vec<f64> {
-            (0..20_000).map(|_| s.sanitize(rng, &g, 0, &[])
-                .gradient[0]).collect()
+            (0..20_000)
+                .map(|_| s.sanitize(rng, &g, 0, &[]).gradient[0])
+                .collect()
         };
         let var_small = stats::variance(&draw(&small, &mut rng));
         let var_large = stats::variance(&draw(&large, &mut rng));

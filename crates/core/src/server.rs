@@ -88,7 +88,11 @@ impl<M: Model> Server<M> {
     /// Creates a server with small random initial parameters (Algorithm 2's
     /// "randomized w" initialization), scaled to fit well inside the projection
     /// ball.
-    pub fn with_random_init<R: Rng + ?Sized>(model: M, config: ServerConfig, rng: &mut R) -> Result<Self> {
+    pub fn with_random_init<R: Rng + ?Sized>(
+        model: M,
+        config: ServerConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
         let mut server = Server::new(model, config)?;
         let mut init = normal_vector(rng, server.params.len());
         init.scale(0.01);
@@ -215,13 +219,20 @@ impl<M: Model> Server<M> {
 
         // Update the monitoring counters regardless of acceptance so the server's
         // view of data volume stays accurate.
-        let progress = self.progress.entry(payload.device_id).or_insert_with(|| DeviceProgress {
-            label_counts: vec![0; self.model.num_classes()],
-            ..DeviceProgress::default()
-        });
+        let progress = self
+            .progress
+            .entry(payload.device_id)
+            .or_insert_with(|| DeviceProgress {
+                label_counts: vec![0; self.model.num_classes()],
+                ..DeviceProgress::default()
+            });
         progress.samples += payload.num_samples as u64;
         progress.errors += payload.error_count;
-        for (acc, &c) in progress.label_counts.iter_mut().zip(payload.label_counts.iter()) {
+        for (acc, &c) in progress
+            .label_counts
+            .iter_mut()
+            .zip(payload.label_counts.iter())
+        {
             *acc += c;
         }
         progress.checkins += 1;
@@ -239,7 +250,9 @@ impl<M: Model> Server<M> {
 
         // The projected SGD update of Eq. 3.
         self.iteration += 1;
-        let eta = self.schedule.rate(self.iteration as usize, &payload.gradient);
+        let eta = self
+            .schedule
+            .rate(self.iteration as usize, &payload.gradient);
         self.params
             .axpy(-eta, &payload.gradient)
             .map_err(|e| CoreError::Protocol(format!("update failed: {e}")))?;

@@ -357,7 +357,11 @@ mod tests {
         let sim = SimulationConfig::new().with_eval_every(300);
         let mut rng = StdRng::seed_from_u64(2);
         let result = run_crowd_ml(&model, &parts, &test, &config, &sim, &mut rng).unwrap();
-        assert!(result.final_test_error() < 0.15, "error {}", result.final_test_error());
+        assert!(
+            result.final_test_error() < 0.15,
+            "error {}",
+            result.final_test_error()
+        );
         assert_eq!(result.trace.get("samples_generated"), 1500);
         assert_eq!(result.server_iterations, 1500);
         assert_eq!(result.online_mistakes.len(), 1500);
@@ -448,7 +452,11 @@ mod tests {
         assert!(clean.final_test_error() < 0.2);
         // With ε = 10 and b = 20 the noise is modest; learning must stay usable
         // (far better than the 0.75 chance level of a 4-class task).
-        assert!(noisy.final_test_error() < 0.5, "noisy error {}", noisy.final_test_error());
+        assert!(
+            noisy.final_test_error() < 0.5,
+            "noisy error {}",
+            noisy.final_test_error()
+        );
     }
 
     #[test]
@@ -475,8 +483,24 @@ mod tests {
         let sim = SimulationConfig::new()
             .with_delay(DelayModel::Uniform { max: 20.0 })
             .with_eval_every(200);
-        let a = run_crowd_ml(&model, &parts, &test, &config, &sim, &mut StdRng::seed_from_u64(99)).unwrap();
-        let b = run_crowd_ml(&model, &parts, &test, &config, &sim, &mut StdRng::seed_from_u64(99)).unwrap();
+        let a = run_crowd_ml(
+            &model,
+            &parts,
+            &test,
+            &config,
+            &sim,
+            &mut StdRng::seed_from_u64(99),
+        )
+        .unwrap();
+        let b = run_crowd_ml(
+            &model,
+            &parts,
+            &test,
+            &config,
+            &sim,
+            &mut StdRng::seed_from_u64(99),
+        )
+        .unwrap();
         assert_eq!(a.params, b.params);
         assert_eq!(a.curve, b.curve);
         assert_eq!(a.online_mistakes, b.online_mistakes);

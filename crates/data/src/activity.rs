@@ -167,9 +167,8 @@ impl ActivitySimulator {
 
     /// Extracts the FFT magnitude feature vector from a raw window.
     pub fn featurize(&self, window: &[f64]) -> Result<Vector> {
-        let mags = magnitude_spectrum(window).map_err(|e| {
-            DataError::InvalidArgument(format!("feature extraction failed: {e}"))
-        })?;
+        let mags = magnitude_spectrum(window)
+            .map_err(|e| DataError::InvalidArgument(format!("feature extraction failed: {e}")))?;
         let mut x = Vector::from_vec(mags);
         // Remove the DC (gravity) bin so features describe motion, then normalize.
         if !x.is_empty() {
@@ -263,14 +262,20 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let mut bad = ActivityConfig::default();
-        bad.window_len = 63;
+        let bad = ActivityConfig {
+            window_len: 63,
+            ..ActivityConfig::default()
+        };
         assert!(ActivitySimulator::new(bad, Activity::Still).is_err());
-        let mut bad_rate = ActivityConfig::default();
-        bad_rate.sample_rate_hz = 0.0;
+        let bad_rate = ActivityConfig {
+            sample_rate_hz: 0.0,
+            ..ActivityConfig::default()
+        };
         assert!(ActivitySimulator::new(bad_rate, Activity::Still).is_err());
-        let mut bad_dwell = ActivityConfig::default();
-        bad_dwell.mean_dwell_windows = 0.5;
+        let bad_dwell = ActivityConfig {
+            mean_dwell_windows: 0.5,
+            ..ActivityConfig::default()
+        };
         assert!(ActivitySimulator::new(bad_dwell, Activity::Still).is_err());
         assert!(ActivitySimulator::new(ActivityConfig::default(), Activity::Still).is_ok());
     }

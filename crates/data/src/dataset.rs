@@ -47,10 +47,7 @@ impl Dataset {
         for (i, s) in samples.iter().enumerate() {
             if s.dim() != dim {
                 return Err(DataError::ShapeMismatch {
-                    reason: format!(
-                        "sample {i} has dimension {}, expected {dim}",
-                        s.dim()
-                    ),
+                    reason: format!("sample {i} has dimension {}, expected {dim}", s.dim()),
                 });
             }
             if s.label >= num_classes {
@@ -135,7 +132,11 @@ impl Dataset {
         }
         if sample.dim() != self.dim {
             return Err(DataError::ShapeMismatch {
-                reason: format!("sample has dimension {}, expected {}", sample.dim(), self.dim),
+                reason: format!(
+                    "sample has dimension {}, expected {}",
+                    sample.dim(),
+                    self.dim
+                ),
             });
         }
         if sample.label >= self.num_classes {
@@ -300,10 +301,7 @@ mod tests {
     #[test]
     fn construction_validates() {
         assert!(Dataset::new(vec![], 0).is_err());
-        let bad_label = Dataset::new(
-            vec![Sample::new(Vector::from_vec(vec![1.0]), 5)],
-            3,
-        );
+        let bad_label = Dataset::new(vec![Sample::new(Vector::from_vec(vec![1.0]), 5)], 3);
         assert!(bad_label.is_err());
         let bad_dim = Dataset::new(
             vec![
@@ -331,17 +329,17 @@ mod tests {
     #[test]
     fn push_validates_shape_and_label() {
         let mut d = Dataset::empty(2, 3).unwrap();
-        d.push(Sample::new(Vector::from_vec(vec![1.0, 2.0]), 1)).unwrap();
-        assert!(d
-            .push(Sample::new(Vector::from_vec(vec![1.0]), 1))
-            .is_err());
+        d.push(Sample::new(Vector::from_vec(vec![1.0, 2.0]), 1))
+            .unwrap();
+        assert!(d.push(Sample::new(Vector::from_vec(vec![1.0]), 1)).is_err());
         assert!(d
             .push(Sample::new(Vector::from_vec(vec![1.0, 2.0]), 7))
             .is_err());
         assert_eq!(d.len(), 1);
         // Empty accumulator with dim 0 adopts the first sample's dimension.
         let mut e = Dataset::empty(0, 2).unwrap();
-        e.push(Sample::new(Vector::from_vec(vec![1.0, 2.0, 3.0]), 0)).unwrap();
+        e.push(Sample::new(Vector::from_vec(vec![1.0, 2.0, 3.0]), 0))
+            .unwrap();
         assert_eq!(e.dim(), 3);
     }
 

@@ -71,8 +71,12 @@ mod tests {
         }
         .to_string()
         .contains("12"));
-        assert!(DataError::InvalidArgument("x".into()).to_string().contains("x"));
-        assert!(DataError::Format("bad magic".into()).to_string().contains("magic"));
+        assert!(DataError::InvalidArgument("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(DataError::Format("bad magic".into())
+            .to_string()
+            .contains("magic"));
     }
 
     #[test]

@@ -239,7 +239,13 @@ mod tests {
         )
         .is_err());
         assert!(partition(&d, 4, PartitionStrategy::Dirichlet { alpha: 0.0 }, &mut rng).is_err());
-        assert!(partition(&d, 4, PartitionStrategy::Dirichlet { alpha: -2.0 }, &mut rng).is_err());
+        assert!(partition(
+            &d,
+            4,
+            PartitionStrategy::Dirichlet { alpha: -2.0 },
+            &mut rng
+        )
+        .is_err());
     }
 
     #[test]
@@ -277,14 +283,18 @@ mod tests {
             .map(|p| p.class_counts().iter().filter(|&&c| c > 0).count() as f64)
             .sum::<f64>()
             / parts.len() as f64;
-        assert!(avg_classes <= 3.0, "average classes per device {avg_classes}");
+        assert!(
+            avg_classes <= 3.0,
+            "average classes per device {avg_classes}"
+        );
     }
 
     #[test]
     fn dirichlet_partition_covers_all_samples() {
         let d = data();
         let mut rng = StdRng::seed_from_u64(4);
-        let parts = partition(&d, 8, PartitionStrategy::Dirichlet { alpha: 0.3 }, &mut rng).unwrap();
+        let parts =
+            partition(&d, 8, PartitionStrategy::Dirichlet { alpha: 0.3 }, &mut rng).unwrap();
         assert_eq!(total_len(&parts), d.len());
         assert_eq!(parts.len(), 8);
     }

@@ -220,12 +220,16 @@ mod tests {
             .with_l1_normalization(false)
             .generate(&mut rng)
             .unwrap();
-        assert!(raw.iter().any(|s| (s.features.norm_l1() - 1.0).abs() > 1e-6));
+        assert!(raw
+            .iter()
+            .any(|s| (s.features.norm_l1() - 1.0).abs() > 1e-6));
     }
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let spec = GaussianMixtureSpec::new(5, 2).with_train_size(50).with_test_size(10);
+        let spec = GaussianMixtureSpec::new(5, 2)
+            .with_train_size(50)
+            .with_test_size(10);
         let (a, _) = spec.generate(&mut StdRng::seed_from_u64(7)).unwrap();
         let (b, _) = spec.generate(&mut StdRng::seed_from_u64(7)).unwrap();
         assert_eq!(a, b);
@@ -257,7 +261,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         // Only check the argument handling logic; use the builder directly to avoid
         // allocating the full 60k set in tests.
-        let spec = GaussianMixtureSpec::new(4, 2).with_train_size(10).with_test_size(10);
+        let spec = GaussianMixtureSpec::new(4, 2)
+            .with_train_size(10)
+            .with_test_size(10);
         assert!(spec.generate(&mut rng).is_ok());
     }
 }

@@ -241,8 +241,7 @@ mod tests {
         let mut acc = BudgetAccountant::new(f64::INFINITY);
         acc.charge("a", 1.0).unwrap();
         acc.charge("b", 2.0).unwrap();
-        let mut entries: Vec<(String, f64)> =
-            acc.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let mut entries: Vec<(String, f64)> = acc.iter().map(|(k, v)| (k.to_string(), v)).collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         assert_eq!(entries[0], ("a".to_string(), 1.0));
         assert_eq!(entries[1], ("b".to_string(), 2.0));

@@ -114,7 +114,10 @@ mod tests {
     fn parameter_p_matches_definition() {
         let m = DiscreteLaplaceMechanism::new(Epsilon::finite(2.0).unwrap());
         assert!((m.p() - (-1.0_f64).exp()).abs() < 1e-15);
-        assert_eq!(DiscreteLaplaceMechanism::new(Epsilon::non_private()).p(), 0.0);
+        assert_eq!(
+            DiscreteLaplaceMechanism::new(Epsilon::non_private()).p(),
+            0.0
+        );
     }
 
     #[test]
@@ -130,7 +133,9 @@ mod tests {
     fn noise_mean_is_zero_and_variance_matches_formula() {
         let m = DiscreteLaplaceMechanism::new(Epsilon::finite(1.0).unwrap());
         let mut rng = StdRng::seed_from_u64(13);
-        let samples: Vec<f64> = (0..60_000).map(|_| m.sample_noise(&mut rng) as f64).collect();
+        let samples: Vec<f64> = (0..60_000)
+            .map(|_| m.sample_noise(&mut rng) as f64)
+            .collect();
         let mean = stats::mean(&samples);
         let var = stats::variance(&samples);
         assert!(mean.abs() < 0.05, "mean {mean}");

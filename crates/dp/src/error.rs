@@ -32,7 +32,9 @@ impl fmt::Display for DpError {
             DpError::InvalidEpsilon(v) => write!(f, "invalid privacy parameter epsilon = {v}"),
             DpError::InvalidDelta(v) => write!(f, "invalid failure probability delta = {v}"),
             DpError::InvalidSensitivity(v) => write!(f, "invalid sensitivity bound {v}"),
-            DpError::EmptyCandidateSet => write!(f, "exponential mechanism needs a non-empty candidate set"),
+            DpError::EmptyCandidateSet => {
+                write!(f, "exponential mechanism needs a non-empty candidate set")
+            }
             DpError::BudgetExhausted {
                 spent,
                 requested,
@@ -41,7 +43,9 @@ impl fmt::Display for DpError {
                 f,
                 "privacy budget exhausted: spent {spent}, requested {requested}, total {total}"
             ),
-            DpError::UnknownEntity(name) => write!(f, "unknown entity `{name}` in budget accountant"),
+            DpError::UnknownEntity(name) => {
+                write!(f, "unknown entity `{name}` in budget accountant")
+            }
         }
     }
 }
@@ -56,7 +60,9 @@ mod tests {
     fn display_messages() {
         assert!(DpError::InvalidEpsilon(-1.0).to_string().contains("-1"));
         assert!(DpError::InvalidDelta(2.0).to_string().contains("delta"));
-        assert!(DpError::InvalidSensitivity(0.0).to_string().contains("sensitivity"));
+        assert!(DpError::InvalidSensitivity(0.0)
+            .to_string()
+            .contains("sensitivity"));
         assert!(DpError::EmptyCandidateSet.to_string().contains("candidate"));
         let b = DpError::BudgetExhausted {
             spent: 0.9,
@@ -64,7 +70,9 @@ mod tests {
             total: 1.0,
         };
         assert!(b.to_string().contains("exhausted"));
-        assert!(DpError::UnknownEntity("dev-3".into()).to_string().contains("dev-3"));
+        assert!(DpError::UnknownEntity("dev-3".into())
+            .to_string()
+            .contains("dev-3"));
     }
 
     #[test]

@@ -168,7 +168,10 @@ mod tests {
             .filter(|_| m.perturb_label(&mut rng, 3, classes).unwrap() == 3)
             .count();
         let frac = kept as f64 / n as f64;
-        assert!((frac - expected).abs() < 0.02, "kept fraction {frac}, expected {expected}");
+        assert!(
+            (frac - expected).abs() < 0.02,
+            "kept fraction {frac}, expected {expected}"
+        );
     }
 
     #[test]

@@ -127,7 +127,9 @@ mod tests {
     fn noise_variance_is_realized_empirically() {
         let m = GaussianMechanism::new(Epsilon::finite(1.0).unwrap(), 1e-3, 1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let samples: Vec<f64> = (0..40_000).map(|_| m.perturb_scalar(&mut rng, 0.0)).collect();
+        let samples: Vec<f64> = (0..40_000)
+            .map(|_| m.perturb_scalar(&mut rng, 0.0))
+            .collect();
         let var = stats::variance(&samples);
         assert!((var - m.noise_variance()).abs() / m.noise_variance() < 0.1);
         assert!(stats::mean(&samples).abs() < 0.1);

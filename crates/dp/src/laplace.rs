@@ -151,11 +151,16 @@ mod tests {
         // Laplace(0, s) has mean 0 and variance 2 s².
         let m = LaplaceMechanism::new(Epsilon::finite(2.0).unwrap(), 1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(17);
-        let samples: Vec<f64> = (0..50_000).map(|_| m.perturb_scalar(&mut rng, 0.0)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| m.perturb_scalar(&mut rng, 0.0))
+            .collect();
         let mean = stats::mean(&samples);
         let var = stats::variance(&samples);
         assert!(mean.abs() < 0.02, "mean {mean}");
-        assert!((var - m.noise_variance()).abs() / m.noise_variance() < 0.1, "var {var}");
+        assert!(
+            (var - m.noise_variance()).abs() / m.noise_variance() < 0.1,
+            "var {var}"
+        );
     }
 
     #[test]

@@ -191,7 +191,11 @@ mod tests {
         let model = MulticlassLogistic::new(8, 3).unwrap();
         let trainer = BatchTrainer::new(model, BatchConfig::new()).unwrap();
         let outcome = trainer.train(&train).unwrap();
-        assert!(outcome.train_error < 0.12, "train error {}", outcome.train_error);
+        assert!(
+            outcome.train_error < 0.12,
+            "train error {}",
+            outcome.train_error
+        );
         let test_err = error_rate(trainer.model(), &outcome.params, &test).unwrap();
         assert!(test_err < 0.15, "test error {test_err}");
         assert!(outcome.iterations <= 200);
@@ -203,12 +207,8 @@ mod tests {
         let (train, test) = task(1);
         let model = MulticlassLogistic::new(8, 3).unwrap();
         let batch = BatchTrainer::new(model, BatchConfig::new()).unwrap();
-        let batch_err = error_rate(
-            batch.model(),
-            &batch.train(&train).unwrap().params,
-            &test,
-        )
-        .unwrap();
+        let batch_err =
+            error_rate(batch.model(), &batch.train(&train).unwrap().params, &test).unwrap();
 
         let sgd_model = MulticlassLogistic::new(8, 3).unwrap();
         let sgd = SgdTrainer::new(sgd_model, SgdConfig::new()).unwrap();
@@ -219,7 +219,10 @@ mod tests {
             &test,
         )
         .unwrap();
-        assert!(batch_err <= sgd_err + 0.05, "batch {batch_err} vs sgd {sgd_err}");
+        assert!(
+            batch_err <= sgd_err + 0.05,
+            "batch {batch_err} vs sgd {sgd_err}"
+        );
     }
 
     #[test]

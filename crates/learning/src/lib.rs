@@ -30,7 +30,7 @@ pub mod svm;
 
 pub use error::LearningError;
 pub use logistic::MulticlassLogistic;
-pub use model::{minibatch_statistics, Model, MinibatchStats};
+pub use model::{minibatch_statistics, MinibatchStats, Model};
 pub use schedule::LearningRate;
 pub use sgd::{SgdConfig, SgdTrainer};
 

@@ -240,7 +240,10 @@ mod tests {
         let w = Vector::from_vec(vec![1.0, 0.0, 0.0, 1.0, -1.0, -1.0]);
         assert_eq!(m.predict(&w, &Vector::from_vec(vec![1.0, 0.0])).unwrap(), 0);
         assert_eq!(m.predict(&w, &Vector::from_vec(vec![0.0, 1.0])).unwrap(), 1);
-        assert_eq!(m.predict(&w, &Vector::from_vec(vec![-1.0, -1.0])).unwrap(), 2);
+        assert_eq!(
+            m.predict(&w, &Vector::from_vec(vec![-1.0, -1.0])).unwrap(),
+            2
+        );
     }
 
     #[test]
@@ -283,7 +286,11 @@ mod tests {
             let mut x = normal_vector(&mut rng, 6);
             crowd_linalg::ops::normalize_l1(&mut x);
             let g = m.gradient(&w, &x, 3).unwrap();
-            assert!(g.norm_l1() <= 2.0 + 1e-9, "gradient L1 norm {}", g.norm_l1());
+            assert!(
+                g.norm_l1() <= 2.0 + 1e-9,
+                "gradient L1 norm {}",
+                g.norm_l1()
+            );
         }
     }
 
@@ -313,11 +320,18 @@ mod tests {
     fn binary_probability_behaviour() {
         let b = BinaryLogistic::new(2).unwrap();
         let w = Vector::from_vec(vec![3.0, 0.0]);
-        let p_pos = b.probability(&w, &Vector::from_vec(vec![1.0, 0.0])).unwrap();
-        let p_neg = b.probability(&w, &Vector::from_vec(vec![-1.0, 0.0])).unwrap();
+        let p_pos = b
+            .probability(&w, &Vector::from_vec(vec![1.0, 0.0]))
+            .unwrap();
+        let p_neg = b
+            .probability(&w, &Vector::from_vec(vec![-1.0, 0.0]))
+            .unwrap();
         assert!(p_pos > 0.9);
         assert!(p_neg < 0.1);
         assert_eq!(b.predict(&w, &Vector::from_vec(vec![1.0, 0.0])).unwrap(), 1);
-        assert_eq!(b.predict(&w, &Vector::from_vec(vec![-1.0, 0.0])).unwrap(), 0);
+        assert_eq!(
+            b.predict(&w, &Vector::from_vec(vec![-1.0, 0.0])).unwrap(),
+            0
+        );
     }
 }

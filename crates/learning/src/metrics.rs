@@ -68,7 +68,10 @@ impl ConfusionMatrix {
 
     /// Total number of samples.
     pub fn total(&self) -> usize {
-        self.counts.iter().map(|row| row.iter().sum::<usize>()).sum()
+        self.counts
+            .iter()
+            .map(|row| row.iter().sum::<usize>())
+            .sum()
     }
 
     /// Overall accuracy from the diagonal.

@@ -123,9 +123,11 @@ pub fn minibatch_statistics<M: Model + ?Sized>(
             continue;
         }
         let g = model.gradient(params, &s.features, s.label)?;
-        grad_sum.axpy(1.0, &g).map_err(|e| LearningError::ShapeMismatch {
-            reason: format!("gradient accumulation failed: {e}"),
-        })?;
+        grad_sum
+            .axpy(1.0, &g)
+            .map_err(|e| LearningError::ShapeMismatch {
+                reason: format!("gradient accumulation failed: {e}"),
+            })?;
         grad_count += 1;
     }
 
@@ -134,9 +136,11 @@ pub fn minibatch_statistics<M: Model + ?Sized>(
         gradient.scale(1.0 / grad_count as f64);
     }
     if lambda > 0.0 {
-        gradient.axpy(lambda, params).map_err(|e| LearningError::ShapeMismatch {
-            reason: format!("regularization failed: {e}"),
-        })?;
+        gradient
+            .axpy(lambda, params)
+            .map_err(|e| LearningError::ShapeMismatch {
+                reason: format!("regularization failed: {e}"),
+            })?;
     }
     if !gradient.is_finite() {
         return Err(LearningError::NumericalFailure {

@@ -180,7 +180,11 @@ mod tests {
         let w = model
             .fit(&data, &LearningRate::inv_sqrt(0.1).unwrap(), 3)
             .unwrap();
-        assert!(w.distance(&true_w).unwrap() < 0.1, "learned {:?}", w.as_slice());
+        assert!(
+            w.distance(&true_w).unwrap() < 0.1,
+            "learned {:?}",
+            w.as_slice()
+        );
         let mse = model.mean_squared_error(&w, &data).unwrap();
         assert!(mse < 0.01, "mse {mse}");
     }

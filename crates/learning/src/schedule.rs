@@ -119,7 +119,10 @@ impl LearningRate {
 
 fn validate_c(c: f64) -> Result<()> {
     if c <= 0.0 || !c.is_finite() {
-        return Err(LearningError::InvalidHyperparameter { name: "c", value: c });
+        return Err(LearningError::InvalidHyperparameter {
+            name: "c",
+            value: c,
+        });
     }
     Ok(())
 }

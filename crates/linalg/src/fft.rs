@@ -29,33 +29,39 @@ impl Complex {
         Complex { re: 0.0, im: 0.0 }
     }
 
-    /// Complex multiplication.
-    pub fn mul(self, other: Complex) -> Complex {
-        Complex {
-            re: self.re * other.re - self.im * other.im,
-            im: self.re * other.im + self.im * other.re,
-        }
+    /// Magnitude (modulus).
+    pub fn abs(self) -> f64 {
+        (self.re * self.re + self.im * self.im).sqrt()
     }
+}
 
-    /// Complex addition.
-    pub fn add(self, other: Complex) -> Complex {
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, other: Complex) -> Complex {
         Complex {
             re: self.re + other.re,
             im: self.im + other.im,
         }
     }
+}
 
-    /// Complex subtraction.
-    pub fn sub(self, other: Complex) -> Complex {
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, other: Complex) -> Complex {
         Complex {
             re: self.re - other.re,
             im: self.im - other.im,
         }
     }
+}
 
-    /// Magnitude (modulus).
-    pub fn abs(self) -> f64 {
-        (self.re * self.re + self.im * self.im).sqrt()
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
     }
 }
 
@@ -104,10 +110,10 @@ pub fn fft_in_place(data: &mut [Complex], invert: bool) -> Result<()> {
             let mut w = Complex::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let u = data[i + k];
-                let v = data[i + k + len / 2].mul(w);
-                data[i + k] = u.add(v);
-                data[i + k + len / 2] = u.sub(v);
-                w = w.mul(wlen);
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
             }
             i += len;
         }
@@ -168,7 +174,7 @@ mod tests {
                 let mut acc = Complex::zero();
                 for (t, &x) in signal.iter().enumerate() {
                     let angle = -2.0 * std::f64::consts::PI * k as f64 * t as f64 / n as f64;
-                    acc = acc.add(Complex::new(x * angle.cos(), x * angle.sin()));
+                    acc = acc + Complex::new(x * angle.cos(), x * angle.sin());
                 }
                 acc
             })
@@ -255,11 +261,11 @@ mod tests {
     fn complex_arithmetic() {
         let a = Complex::new(1.0, 2.0);
         let b = Complex::new(3.0, -1.0);
-        let prod = a.mul(b);
+        let prod = a * b;
         assert!(approx_eq(prod.re, 5.0, 1e-12));
         assert!(approx_eq(prod.im, 5.0, 1e-12));
         assert!(approx_eq(a.abs(), 5.0_f64.sqrt(), 1e-12));
-        let diff = a.sub(b);
+        let diff = a - b;
         assert!(approx_eq(diff.re, -2.0, 1e-12));
         assert!(approx_eq(diff.im, 3.0, 1e-12));
     }

@@ -193,9 +193,8 @@ impl Matrix {
         }
         let xs = x.as_slice();
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &scale) in xs.iter().enumerate() {
             let row = self.row(r);
-            let scale = xs[r];
             for (o, a) in out.iter_mut().zip(row.iter()) {
                 *o += scale * a;
             }
@@ -380,7 +379,9 @@ mod tests {
         let x = Vector::from_vec(vec![1.0, 0.0, -1.0]);
         let y = m.matvec(&x).unwrap();
         assert_eq!(y.as_slice(), &[-2.0, -2.0]);
-        let z = m.matvec_transpose(&Vector::from_vec(vec![1.0, 1.0])).unwrap();
+        let z = m
+            .matvec_transpose(&Vector::from_vec(vec![1.0, 1.0]))
+            .unwrap();
         assert_eq!(z.as_slice(), &[5.0, 7.0, 9.0]);
         assert!(m.matvec(&Vector::zeros(2)).is_err());
         assert!(m.matvec_transpose(&Vector::zeros(3)).is_err());

@@ -34,12 +34,16 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// Minimum value; `NaN` for an empty slice.
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::NAN, |m, x| if m.is_nan() || x < m { x } else { m })
+    xs.iter()
+        .copied()
+        .fold(f64::NAN, |m, x| if m.is_nan() || x < m { x } else { m })
 }
 
 /// Maximum value; `NaN` for an empty slice.
 pub fn max(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::NAN, |m, x| if m.is_nan() || x > m { x } else { m })
+    xs.iter()
+        .copied()
+        .fold(f64::NAN, |m, x| if m.is_nan() || x > m { x } else { m })
 }
 
 /// Median via sorting a copy; `NaN` for an empty slice.

@@ -7,12 +7,12 @@
 use crate::client::{DeviceClient, DeviceReport};
 use crate::server::NetServer;
 use crate::Result;
+use crossbeam::channel;
 use crowd_core::config::{DeviceConfig, PrivacyConfig, ServerConfig};
 use crowd_data::Dataset;
 use crowd_learning::MulticlassLogistic;
 use crowd_linalg::Vector;
 use crowd_proto::auth::{AuthToken, TokenRegistry};
-use crossbeam::channel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -78,7 +78,12 @@ impl LocalCluster {
     /// logistic regression and one thread per entry of `partitions`, each running
     /// the full device loop over its local data. Returns once every device thread
     /// finished.
-    pub fn run(&self, dim: usize, num_classes: usize, partitions: &[Dataset]) -> Result<ClusterReport> {
+    pub fn run(
+        &self,
+        dim: usize,
+        num_classes: usize,
+        partitions: &[Dataset],
+    ) -> Result<ClusterReport> {
         let model = MulticlassLogistic::new(dim, num_classes)?;
         let tokens = TokenRegistry::with_derived_tokens(partitions.len() as u64, self.auth_secret);
         let handle = NetServer::start(model, self.server.clone(), tokens)?;
@@ -103,7 +108,8 @@ impl LocalCluster {
                 let model = MulticlassLogistic::new(dim, num_classes)
                     .expect("validated by the server constructor");
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(device_id as u64));
-                let result = client.run_task(&model, &part, device_config, privacy, lambda, &mut rng);
+                let result =
+                    client.run_task(&model, &part, device_config, privacy, lambda, &mut rng);
                 let _ = tx.send((device_id, result));
             }));
         }

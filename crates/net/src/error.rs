@@ -85,7 +85,7 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        let io: NetError = std::io::Error::new(std::io::ErrorKind::Other, "socket").into();
+        let io: NetError = std::io::Error::other("socket").into();
         assert!(io.to_string().contains("socket"));
         assert!(std::error::Error::source(&io).is_some());
         let proto: NetError = crowd_proto::ProtoError::UnknownMessageTag(9).into();

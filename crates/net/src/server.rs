@@ -14,9 +14,7 @@ use crowd_learning::MulticlassLogistic;
 use crowd_linalg::Vector;
 use crowd_proto::auth::TokenRegistry;
 use crowd_proto::frame::{read_message, write_message};
-use crowd_proto::message::{
-    CheckinAck, CheckoutResponse, ErrorCode, ErrorReply, Message,
-};
+use crowd_proto::message::{CheckinAck, CheckoutResponse, ErrorCode, ErrorReply, Message};
 use crowd_proto::PROTOCOL_VERSION;
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpListener, TcpStream};

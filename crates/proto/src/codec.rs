@@ -330,7 +330,10 @@ mod tests {
         buf.put_u32_le(u32::MAX);
         assert!(matches!(
             decode(&buf),
-            Err(ProtoError::InvalidField { field: "params", .. })
+            Err(ProtoError::InvalidField {
+                field: "params",
+                ..
+            })
         ));
     }
 

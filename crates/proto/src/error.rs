@@ -69,10 +69,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ProtoError::Truncated { context: "gradient" }
+        assert!(ProtoError::Truncated {
+            context: "gradient"
+        }
+        .to_string()
+        .contains("gradient"));
+        assert!(ProtoError::UnknownMessageTag(0xFF)
             .to_string()
-            .contains("gradient"));
-        assert!(ProtoError::UnknownMessageTag(0xFF).to_string().contains("0xff"));
+            .contains("0xff"));
         assert!(ProtoError::FrameTooLarge {
             declared: 100,
             max: 10
@@ -85,7 +89,7 @@ mod tests {
         }
         .to_string()
         .contains("version"));
-        let io: ProtoError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let io: ProtoError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
         assert!(std::error::Error::source(&io).is_some());
     }

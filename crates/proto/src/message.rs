@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn tags_are_distinct() {
-        let msgs = vec![
+        let msgs = [
             Message::CheckoutRequest(CheckoutRequest {
                 version: 1,
                 device_id: 0,

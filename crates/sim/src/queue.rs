@@ -65,7 +65,11 @@ impl<T> EventQueue<T> {
     /// Schedules `payload` for delivery `delay` time units from now (negative
     /// delays are treated as zero).
     pub fn schedule_after(&mut self, delay: f64, payload: T) {
-        let delay = if delay.is_nan() || delay < 0.0 { 0.0 } else { delay };
+        let delay = if delay.is_nan() || delay < 0.0 {
+            0.0
+        } else {
+            delay
+        };
         self.schedule(self.now + delay, payload);
     }
 

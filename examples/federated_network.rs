@@ -30,8 +30,8 @@ fn main() {
         .with_noise_std(0.7)
         .generate(&mut rng)
         .expect("synthetic data");
-    let partitions = partition(&train, devices, PartitionStrategy::Iid, &mut rng)
-        .expect("device partitions");
+    let partitions =
+        partition(&train, devices, PartitionStrategy::Iid, &mut rng).expect("device partitions");
 
     println!("Starting a localhost Crowd-ML cluster: 1 server + {devices} device threads");
 

@@ -31,8 +31,10 @@ fn config(minibatch: usize, privacy: PrivacyConfig, delay: f64, seed: u64) -> Ex
 /// behind.
 #[test]
 fn crowd_ml_matches_central_and_beats_decentralized() {
-    let experiment =
-        CrowdMlExperiment::gaussian_mixture(spec(), config(1, PrivacyConfig::non_private(), 0.0, 1));
+    let experiment = CrowdMlExperiment::gaussian_mixture(
+        spec(),
+        config(1, PrivacyConfig::non_private(), 0.0, 1),
+    );
     let crowd_err = experiment.run().expect("crowd run").final_test_error();
     let central_err = experiment.run_central_batch().expect("central batch");
     let decentral_err = experiment
@@ -46,8 +48,11 @@ fn crowd_ml_matches_central_and_beats_decentralized() {
         crowd_err < central_err + 0.1,
         "crowd error {crowd_err} should approach central {central_err}"
     );
+    // "Clearly behind" is a relative claim in Fig. 4: require a meaningful
+    // absolute gap and at least double the error, rather than a fixed 0.1
+    // offset whose pass/fail flips with the RNG stream backing the run.
     assert!(
-        decentral_err > crowd_err + 0.1,
+        decentral_err > crowd_err + 0.05 && decentral_err > 2.0 * crowd_err,
         "decentralized {decentral_err} should trail crowd {crowd_err} clearly"
     );
 }

@@ -1,5 +1,10 @@
 //! Integration test of the TCP deployment: the networked cluster must learn the
 //! same kind of model as the in-process simulation, with authentication enforced.
+//!
+//! Sandbox-friendliness: every server in these tests binds `127.0.0.1:0`
+//! (ephemeral ports, no fixed-port collisions between parallel test runs), and
+//! each test body runs under [`with_timeout`] so a wedged socket can never hang
+//! CI — the watchdog fails the test instead.
 
 use crowd_ml::core::config::{DeviceConfig, PrivacyConfig, ServerConfig};
 use crowd_ml::data::partition::{partition, PartitionStrategy};
@@ -10,9 +15,44 @@ use crowd_ml::net::{DeviceClient, LocalCluster, NetError, NetServer};
 use crowd_ml::proto::auth::{AuthToken, TokenRegistry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
+
+/// Runs `body` on a worker thread and fails the test if it has not finished
+/// within `limit`. The worker is detached on timeout (std threads cannot be
+/// killed), which is fine: the test process is about to exit anyway.
+fn with_timeout(limit: Duration, body: fn()) {
+    use std::sync::mpsc::RecvTimeoutError;
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(limit) {
+        Ok(()) => {
+            let _ = worker.join();
+        }
+        // The sender was dropped without sending: the body panicked. Re-raise
+        // the original panic so the real assertion failure is reported.
+        Err(RecvTimeoutError::Disconnected) => {
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            panic!("test exceeded its {limit:?} watchdog timeout")
+        }
+    }
+}
 
 #[test]
 fn tcp_cluster_learns_with_privacy() {
+    with_timeout(
+        Duration::from_secs(120),
+        tcp_cluster_learns_with_privacy_body,
+    );
+}
+
+fn tcp_cluster_learns_with_privacy_body() {
     let dim = 10;
     let classes = 3;
     let mut rng = StdRng::seed_from_u64(5);
@@ -40,6 +80,13 @@ fn tcp_cluster_learns_with_privacy() {
 
 #[test]
 fn unauthenticated_devices_are_rejected() {
+    with_timeout(
+        Duration::from_secs(60),
+        unauthenticated_devices_are_rejected_body,
+    );
+}
+
+fn unauthenticated_devices_are_rejected_body() {
     let model = MulticlassLogistic::new(4, 2).unwrap();
     let tokens = TokenRegistry::with_derived_tokens(2, 1234);
     let handle = NetServer::start(model, ServerConfig::new(), tokens).expect("server start");

@@ -1,0 +1,258 @@
+//! Vendored, API-compatible subset of the `bytes` crate.
+//!
+//! Implements exactly the surface `crowd-proto`'s codec uses: [`Bytes`],
+//! [`BytesMut`], the [`Buf`] cursor trait for `&[u8]`, and the [`BufMut`]
+//! writer trait. Backed by plain `Vec<u8>` — no refcounted zero-copy slicing,
+//! which nothing in the workspace relies on.
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer (here: an owned `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    inner: Vec<u8>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Creates a buffer by copying `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            inner: data.to_vec(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(inner: Vec<u8>) -> Self {
+        Bytes { inner }
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.inner
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { inner: self.inner }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+macro_rules! buf_get_le {
+    ($($fn:ident -> $ty:ty),* $(,)?) => {
+        $(
+            /// Reads a little-endian value, advancing past it.
+            fn $fn(&mut self) -> $ty {
+                let mut raw = [0u8; std::mem::size_of::<$ty>()];
+                self.copy_to_slice(&mut raw);
+                <$ty>::from_le_bytes(raw)
+            }
+        )*
+    };
+}
+
+/// Read cursor over a byte source. All `get_*` calls panic when the source
+/// has fewer bytes than requested, matching upstream `bytes` semantics —
+/// callers bounds-check with [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Borrows the unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Returns `true` when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies exactly `dst.len()` bytes out, advancing past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads one signed byte.
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    buf_get_le! {
+        get_u16_le -> u16,
+        get_u32_le -> u32,
+        get_u64_le -> u64,
+        get_i16_le -> i16,
+        get_i32_le -> i32,
+        get_i64_le -> i64,
+        get_f32_le -> f32,
+        get_f64_le -> f64,
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "cannot advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+macro_rules! buf_put_le {
+    ($($fn:ident($ty:ty)),* $(,)?) => {
+        $(
+            /// Appends a value in little-endian byte order.
+            fn $fn(&mut self, v: $ty) {
+                self.put_slice(&v.to_le_bytes());
+            }
+        )*
+    };
+}
+
+/// Write sink for bytes.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends one signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&[v as u8]);
+    }
+
+    buf_put_le! {
+        put_u16_le(u16),
+        put_u32_le(u32),
+        put_u64_le(u64),
+        put_i16_le(i16),
+        put_i32_le(i32),
+        put_i64_le(i64),
+        put_f32_le(f32),
+        put_f64_le(f64),
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(7);
+        buf.put_u16_le(513);
+        buf.put_u32_le(70_000);
+        buf.put_u64_le(1 << 40);
+        buf.put_i64_le(-12345);
+        buf.put_f64_le(-2.5);
+        buf.put_slice(b"xyz");
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u16_le(), 513);
+        assert_eq!(cursor.get_u32_le(), 70_000);
+        assert_eq!(cursor.get_u64_le(), 1 << 40);
+        assert_eq!(cursor.get_i64_le(), -12345);
+        assert_eq!(cursor.get_f64_le(), -2.5);
+        let mut tail = [0u8; 3];
+        cursor.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cursor: &[u8] = &[1];
+        let _ = cursor.get_u32_le();
+    }
+}

@@ -1,0 +1,271 @@
+//! Vendored, API-compatible subset of the `criterion` crate.
+//!
+//! Provides the macro/type surface the bench suite uses (`criterion_group!`,
+//! `criterion_main!`, `Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`,
+//! `BatchSize`, `black_box`) with a small honest harness behind it: each
+//! benchmark is warmed up briefly, then timed over an adaptively chosen
+//! iteration count, and the mean ns/iter is printed. No statistics, plots, or
+//! comparison against saved baselines. When invoked by `cargo test` (which
+//! passes `--test` to `harness = false` targets) every benchmark runs exactly
+//! one iteration as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each benchmark is measured for (after warm-up).
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Hint for how to amortize per-batch setup; ignored by this shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed over by benchmark bodies.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    fn new(test_mode: bool) -> Self {
+        Bencher {
+            test_mode,
+            last_ns: f64::NAN,
+        }
+    }
+
+    /// Times `routine`, discarding its output via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.last_ns = f64::NAN;
+            return;
+        }
+        // Warm up and estimate a per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((MEASURE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.last_ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    }
+
+    /// Times `routine` over values produced by `setup`, excluding setup cost
+    /// from the iteration count but not from wall time (a simplification the
+    /// printed numbers note implicitly by being per-routine-call).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            self.last_ns = f64::NAN;
+            return;
+        }
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((MEASURE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        // Materialize inputs in bounded batches (like real criterion's
+        // BatchSize chunking) so a cheap routine with an expensive setup
+        // cannot force tens of thousands of live inputs at once. Setup time
+        // is excluded from the measurement by timing each batch separately.
+        const MAX_BATCH: u64 = 256;
+        let mut measured = Duration::ZERO;
+        let mut remaining = iters;
+        while remaining > 0 {
+            let batch_len = remaining.min(MAX_BATCH);
+            let inputs: Vec<I> = (0..batch_len).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            measured += start.elapsed();
+            remaining -= batch_len;
+        }
+        self.last_ns = measured.as_secs_f64() * 1e9 / iters as f64;
+    }
+
+    /// Like `iter_batched` but the routine borrows its input mutably.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    if bencher.last_ns.is_nan() {
+        println!("bench {name:<50} ok (test mode)");
+    } else if bencher.last_ns >= 1e6 {
+        println!("bench {name:<50} {:>12.3} ms/iter", bencher.last_ns / 1e6);
+    } else if bencher.last_ns >= 1e3 {
+        println!("bench {name:<50} {:>12.3} us/iter", bencher.last_ns / 1e3);
+    } else {
+        println!("bench {name:<50} {:>12.1} ns/iter", bencher.last_ns);
+    }
+}
+
+/// Entry point collecting benchmarks, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: test_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.test_mode);
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.criterion.test_mode);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Runs a parameterized benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion.test_mode);
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Sets the measurement time; accepted and ignored by this shim.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the sample count; accepted and ignored by this shim.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

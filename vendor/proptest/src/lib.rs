@@ -1,0 +1,219 @@
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! Provides the `proptest!` macro, range/`any`/`collection::vec` strategies,
+//! `prop_assume!`, and `prop_assert*!` — the surface the workspace's property
+//! tests use. Cases are sampled from a deterministic RNG seeded from the test
+//! name, so failures reproduce across runs. Unlike real proptest there is no
+//! shrinking: a failing case panics with the sampled inputs left to the
+//! assertion message.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected samples (`prop_assume!` failures) tolerated before
+    /// the test aborts, mirroring proptest's global rejection cap.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+/// Strategy producing any value of `T` (uniform over the type's domain).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Returns the [`Any`] strategy for `T`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Marker returned (via `Err`) by `prop_assume!` to reject the current case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// Builds the deterministic RNG for a named test. Seeded from an FNV-1a hash
+/// of the fully qualified test name: stable across runs and processes.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+pub mod prelude {
+    //! One-stop imports for property tests, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        ProptestConfig,
+    };
+
+    pub mod prop {
+        //! Namespace mirror of `proptest::prelude::prop`.
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Syntax (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..10, v in prop::collection::vec(0usize..5, 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut __cases_done: u32 = 0;
+                let mut __rejects: u32 = 0;
+                while __cases_done < __config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
+                    )+
+                    // The body runs inside a closure so `prop_assume!` can
+                    // bail out with `Err(Rejected)` without counting the case.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::core::result::Result<(), $crate::Rejected> = (|| {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        Ok(()) => __cases_done += 1,
+                        Err($crate::Rejected) => {
+                            __rejects += 1;
+                            if __rejects > __config.max_global_rejects {
+                                panic!(
+                                    "proptest: too many prop_assume! rejections ({})",
+                                    __rejects
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Skips the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::Rejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_sample_in_bounds(
+            x in 1u64..100,
+            y in -5i64..=5,
+            f in 0.25f64..4.0,
+            v in prop::collection::vec(0usize..3, 1..10),
+            b in any::<bool>(),
+            w in any::<u64>(),
+        ) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..4.0).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&e| e < 3));
+            let _ = (b, w);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+}
