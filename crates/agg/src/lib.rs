@@ -1,0 +1,107 @@
+//! `crowd-agg`: a sharded, batched gradient-aggregation runtime behind the
+//! Crowd-ML server.
+//!
+//! The paper's server is conceptually a single sequential loop — devices check
+//! out the current parameters `w` and check in sanitized gradients that the
+//! server folds into the projected SGD update `w ← Π_W[w − η(t)ĝ]` — but a
+//! crowd of devices hammers that loop concurrently. Serializing every checkout
+//! *and* checkin through one mutex collapses throughput exactly where the
+//! paper's premise demands scale. This crate decomposes the server into:
+//!
+//! * **Sharded accumulators** ([`shard::ShardSet`]) — N lock stripes, each
+//!   holding per-device running gradient sums, merged in a fixed device order
+//!   at epoch boundaries so the aggregate is bitwise reproducible no matter how
+//!   threads interleave (see the related trick of combining many narrow
+//!   Hamming/ECC accumulators into one wide word, Freitas et al.,
+//!   arXiv:2306.16259).
+//! * **Epoch-snapshotted parameters** ([`runtime::ParamSnapshot`]) — checkouts
+//!   clone an `Arc` published at the last update; the read path never waits on
+//!   gradient application.
+//! * **Bounded ingest with backpressure** ([`queue::BoundedQueue`]) — a full
+//!   queue rejects with [`AggError::Busy`] and a retry hint instead of growing
+//!   an unbounded thread pileup; a small worker pool drains the queue into the
+//!   shards and applies merged epochs.
+//!
+//! All knobs live on `crowd_core::config::ServerConfig::agg`
+//! ([`crowd_core::config::AggSettings`]). With the default `epoch_size = 1`
+//! the runtime reproduces the paper's per-checkin update bit for bit; larger
+//! epochs apply the mean of the epoch's gradients as one step.
+
+pub mod queue;
+pub mod runtime;
+pub mod shard;
+
+pub use queue::BoundedQueue;
+pub use runtime::{AggRuntime, CompletionHandle, ParamSnapshot};
+pub use shard::ShardSet;
+
+use std::fmt;
+
+/// Errors produced by the aggregation runtime.
+#[derive(Debug)]
+pub enum AggError {
+    /// The ingest queue is full; retry after the indicated backoff.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The checkin payload failed validation.
+    Invalid(String),
+    /// The runtime is shutting down and no longer accepts checkins.
+    ShuttingDown,
+    /// A bounded wait for an epoch application elapsed.
+    Timeout,
+    /// The core framework reported an error.
+    Core(crowd_core::CoreError),
+}
+
+impl fmt::Display for AggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggError::Busy { retry_after_ms } => {
+                write!(f, "server busy; retry after {retry_after_ms} ms")
+            }
+            AggError::Invalid(detail) => write!(f, "invalid checkin: {detail}"),
+            AggError::ShuttingDown => write!(f, "aggregation runtime is shutting down"),
+            AggError::Timeout => write!(f, "timed out waiting for epoch application"),
+            AggError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AggError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AggError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crowd_core::CoreError> for AggError {
+    fn from(e: crowd_core::CoreError) -> Self {
+        AggError::Core(e)
+    }
+}
+
+/// Result alias for aggregation operations.
+pub type Result<T> = std::result::Result<T, AggError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_sources() {
+        let busy = AggError::Busy { retry_after_ms: 3 };
+        assert!(busy.to_string().contains("3 ms"));
+        assert!(std::error::Error::source(&busy).is_none());
+        let invalid = AggError::Invalid("bad dim".into());
+        assert!(invalid.to_string().contains("bad dim"));
+        let core: AggError = crowd_core::CoreError::Config("broken".into()).into();
+        assert!(core.to_string().contains("broken"));
+        assert!(std::error::Error::source(&core).is_some());
+        assert!(AggError::ShuttingDown.to_string().contains("shutting down"));
+        assert!(AggError::Timeout.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,604 @@
+//! The aggregation runtime: lock-free-read checkouts, sharded checkin ingest,
+//! and a worker pool that applies merged epochs to the core server.
+//!
+//! Request flow:
+//!
+//! ```text
+//! checkout  ──►  RwLock<Arc<ParamSnapshot>>      (read: clone an Arc)
+//! checkin   ──►  BoundedQueue ──► worker ──► shard accumulator
+//!                                    │ (epoch full or traffic idle)
+//!                                    ▼
+//!                        Mutex<Server> ── apply_aggregate ── swap snapshot
+//! ```
+//!
+//! The only global exclusion is the epoch application itself (one projected SGD
+//! step per epoch); everything a checkin does per-request — validation, queue
+//! admission, gradient summing — touches at most one shard lock. A full queue
+//! rejects with [`AggError::Busy`] carrying a retry hint instead of letting
+//! connection handlers pile up.
+
+use crate::queue::{BoundedQueue, Pop, PushError};
+use crate::shard::{ShardSet, Waiter};
+use crate::{AggError, Result};
+use crowd_core::config::AggSettings;
+use crowd_core::device::CheckinPayload;
+use crowd_core::server::{CheckinOutcome, CheckoutTicket, Server};
+use crowd_learning::model::Model;
+use crowd_linalg::Vector;
+use crowd_sim::trace::{SharedTrace, TraceCollector};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An immutable view of the global parameters at some server iteration.
+///
+/// Checkouts clone an `Arc` to one of these under a briefly held read lock (the
+/// writer only swaps a pointer), so the read path never waits on gradient
+/// application and never copies the parameter vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSnapshot {
+    /// Server iteration at which the snapshot was taken.
+    pub iteration: u64,
+    /// The global parameters `w`.
+    pub params: Vector,
+    /// Whether the stopping criterion was met.
+    pub stopped: bool,
+}
+
+struct Job {
+    payload: CheckinPayload,
+    reply: mpsc::Sender<CheckinOutcome>,
+}
+
+struct Inner<M: Model> {
+    core: Mutex<Server<M>>,
+    shards: ShardSet,
+    snapshot: RwLock<Arc<ParamSnapshot>>,
+    queue: BoundedQueue<Job>,
+    /// Checkins accumulated on a shard but not yet merged into an epoch.
+    /// Signed: a merge may drain a payload just before the ingesting worker's
+    /// increment lands, dipping the counter below zero for an instant.
+    pending: AtomicI64,
+    settings: AggSettings,
+    param_dim: usize,
+    num_classes: usize,
+    stats: SharedTrace,
+}
+
+/// A ticket for a submitted checkin: blocks until the checkin's epoch has been
+/// applied and the outcome is known.
+pub struct CompletionHandle {
+    rx: mpsc::Receiver<CheckinOutcome>,
+}
+
+impl CompletionHandle {
+    /// Waits for the checkin's epoch to be applied.
+    pub fn wait(self) -> Result<CheckinOutcome> {
+        self.rx.recv().map_err(|_| AggError::ShuttingDown)
+    }
+
+    /// Waits up to `timeout`; `Err(ShuttingDown)` if the runtime died,
+    /// `Err(Timeout)` if the epoch was not applied in time.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<CheckinOutcome> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => Ok(outcome),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(AggError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(AggError::ShuttingDown),
+        }
+    }
+}
+
+/// The sharded, batched aggregation runtime wrapping a [`Server`].
+pub struct AggRuntime<M: Model + Send + 'static> {
+    inner: Arc<Inner<M>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<M: Model + Send + 'static> AggRuntime<M> {
+    /// Wraps `server` in a runtime configured by `server.config().agg`.
+    pub fn new(server: Server<M>) -> Result<Self> {
+        let settings = server.config().agg;
+        settings.validate().map_err(AggError::Core)?;
+        let param_dim = server.params().len();
+        let num_classes = server.model().num_classes();
+        let ticket = server.checkout();
+        let inner = Arc::new(Inner {
+            shards: ShardSet::new(settings.shard_count, param_dim, num_classes),
+            snapshot: RwLock::new(Arc::new(ParamSnapshot {
+                iteration: ticket.iteration,
+                params: ticket.params,
+                stopped: ticket.stopped,
+            })),
+            queue: BoundedQueue::new(settings.queue_bound),
+            pending: AtomicI64::new(0),
+            core: Mutex::new(server),
+            settings,
+            param_dim,
+            num_classes,
+            stats: SharedTrace::new(),
+        });
+        let workers = (0..settings.worker_threads)
+            .map(|_| {
+                let worker_inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(worker_inner))
+            })
+            .collect();
+        Ok(AggRuntime {
+            inner,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The runtime's settings.
+    pub fn settings(&self) -> &AggSettings {
+        &self.inner.settings
+    }
+
+    /// The read path: the current parameter snapshot, shared not copied.
+    pub fn snapshot(&self) -> Arc<ParamSnapshot> {
+        Arc::clone(&self.inner.snapshot.read())
+    }
+
+    /// The read path as a core [`CheckoutTicket`] (copies the parameters).
+    pub fn checkout(&self) -> CheckoutTicket {
+        let snap = self.snapshot();
+        CheckoutTicket {
+            iteration: snap.iteration,
+            params: snap.params.clone(),
+            stopped: snap.stopped,
+        }
+    }
+
+    /// Admits one checkin into the ingest queue.
+    ///
+    /// Fails fast with [`AggError::Invalid`] on malformed payloads and
+    /// [`AggError::Busy`] when the queue is full (backpressure: the caller
+    /// should retry after the indicated delay rather than block).
+    ///
+    /// The merged aggregate is bitwise independent of shard count and device
+    /// interleaving as long as each *individual device's* checkins accumulate
+    /// in a fixed order — guaranteed when devices await their acks before
+    /// submitting again (the protocol's behavior), or with one worker thread.
+    pub fn submit(&self, payload: CheckinPayload) -> Result<CompletionHandle> {
+        self.validate(&payload)?;
+        let (tx, rx) = mpsc::channel();
+        let job = Job { payload, reply: tx };
+        match self.inner.queue.try_push(job) {
+            Ok(()) => Ok(CompletionHandle { rx }),
+            Err(PushError::Full(_)) => {
+                self.inner.stats.count("busy_rejections");
+                Err(AggError::Busy {
+                    retry_after_ms: self.inner.settings.retry_after_ms,
+                })
+            }
+            Err(PushError::Closed(_)) => Err(AggError::ShuttingDown),
+        }
+    }
+
+    /// Submits a checkin and blocks until its epoch is applied.
+    pub fn checkin(&self, payload: CheckinPayload) -> Result<CheckinOutcome> {
+        self.submit(payload)?.wait()
+    }
+
+    fn validate(&self, payload: &CheckinPayload) -> Result<()> {
+        if payload.gradient.len() != self.inner.param_dim {
+            return Err(AggError::Invalid(format!(
+                "checkin gradient has dimension {}, expected {}",
+                payload.gradient.len(),
+                self.inner.param_dim
+            )));
+        }
+        if payload.label_counts.len() != self.inner.num_classes {
+            return Err(AggError::Invalid(format!(
+                "checkin reports {} label counts, expected {}",
+                payload.label_counts.len(),
+                self.inner.num_classes
+            )));
+        }
+        if payload.num_samples == 0 {
+            return Err(AggError::Invalid(
+                "checkin must cover at least one sample".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Server iteration (number of applied epochs).
+    pub fn iteration(&self) -> u64 {
+        self.inner.core.lock().iteration()
+    }
+
+    /// A copy of the current parameters.
+    pub fn params(&self) -> Vector {
+        self.inner.core.lock().params().clone()
+    }
+
+    /// Whether the stopping criterion has been met.
+    pub fn stopped(&self) -> bool {
+        self.inner.core.lock().stopped()
+    }
+
+    /// Total samples reported across devices.
+    pub fn total_samples(&self) -> u64 {
+        self.inner.core.lock().total_samples()
+    }
+
+    /// The privately estimated error rate, if any samples were reported.
+    pub fn error_estimate(&self) -> Option<f64> {
+        self.inner.core.lock().error_estimate()
+    }
+
+    /// Number of devices that have checked in at least once.
+    pub fn active_devices(&self) -> usize {
+        self.inner.core.lock().active_devices()
+    }
+
+    /// A snapshot of the runtime counters (`epoch_merges`, `checkins_applied`,
+    /// `busy_rejections`, …).
+    pub fn stats(&self) -> TraceCollector {
+        self.inner.stats.snapshot()
+    }
+
+    /// Stops accepting checkins, applies everything already admitted, and joins
+    /// the worker pool. Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        let workers: Vec<JoinHandle<()>> = self.workers.lock().drain(..).collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<M: Model + Send + 'static> Drop for AggRuntime<M> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop<M: Model>(inner: Arc<Inner<M>>) {
+    let flush_on_idle = inner.settings.flush_idle_ms > 0;
+    let idle = if flush_on_idle {
+        Duration::from_millis(inner.settings.flush_idle_ms as u64)
+    } else {
+        // Without idle flushing, the timeout only paces shutdown polling.
+        Duration::from_millis(50)
+    };
+    // Clamp instead of casting: `u64::MAX as i64` would wrap to -1 and make
+    // "epoch never closes by size" close on every single ingest.
+    let epoch_threshold = inner.settings.epoch_size.min(i64::MAX as u64) as i64;
+    loop {
+        match inner.queue.pop_timeout(idle) {
+            Pop::Item(job) => {
+                // Per-checkin epochs must stay per-checkin even when several
+                // workers race (a shard drain would coalesce concurrently
+                // ingested payloads into one epoch and under-count server
+                // iterations), so epoch_size = 1 bypasses the shards and
+                // applies each payload as its own singleton epoch.
+                if inner.settings.epoch_size == 1 {
+                    apply_singleton(&inner, job);
+                    continue;
+                }
+                // Ingest first, count after. A concurrent merge may drain the
+                // payload before its increment lands, sending `pending`
+                // transiently negative (it is signed for exactly this reason);
+                // the increment then restores it. Counting first instead would
+                // let a merge fire between this worker's increment and its
+                // ingest, stranding the not-yet-ingested checkin below the
+                // epoch threshold with nothing left to trigger a flush.
+                inner.shards.ingest(
+                    &job.payload,
+                    Waiter {
+                        checkout_iteration: job.payload.checkout_iteration,
+                        reply: job.reply,
+                    },
+                );
+                let counted = inner.pending.fetch_add(1, Ordering::SeqCst) + 1;
+                if counted >= epoch_threshold {
+                    merge(&inner);
+                }
+            }
+            Pop::TimedOut => {
+                if flush_on_idle && inner.pending.load(Ordering::SeqCst) > 0 {
+                    merge(&inner);
+                }
+            }
+            Pop::Closed => {
+                // Final flush: apply whatever was admitted before shutdown.
+                if inner.pending.load(Ordering::SeqCst) > 0 {
+                    merge(&inner);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Applies one checkin as its own epoch (the `epoch_size = 1` fast path): the
+/// classic Server Routine 2 update, bit for bit, one iteration per checkin.
+fn apply_singleton<M: Model>(inner: &Inner<M>, job: Job) {
+    let mut core = inner.core.lock();
+    match core.checkin(&job.payload) {
+        Ok(outcome) => {
+            let snapshot = Arc::new(ParamSnapshot {
+                iteration: core.iteration(),
+                params: core.params().clone(),
+                stopped: outcome.stopped,
+            });
+            *inner.snapshot.write() = snapshot;
+            drop(core);
+            inner.stats.count("epoch_merges");
+            inner.stats.count("checkins_applied");
+            let _ = job.reply.send(outcome);
+        }
+        Err(_) => {
+            // Unreachable for payloads that passed submit-time validation.
+            let outcome = CheckinOutcome {
+                accepted: false,
+                iteration: core.iteration(),
+                stopped: core.stopped(),
+                staleness: 0,
+            };
+            drop(core);
+            inner.stats.count("apply_errors");
+            let _ = job.reply.send(outcome);
+        }
+    }
+}
+
+/// Applies one epoch: drain the shards (fixed merge order), take one projected
+/// SGD step on the core server, publish the new snapshot, wake the waiters.
+fn merge<M: Model>(inner: &Inner<M>) {
+    let mut core = inner.core.lock();
+    let drained = inner.shards.drain();
+    let Some(epoch) = drained.epoch else {
+        return;
+    };
+    inner
+        .pending
+        .fetch_sub(drained.count as i64, Ordering::SeqCst);
+    let (outcome, waiters) = match core.apply_aggregate(&epoch) {
+        Ok(outcome) => {
+            let snapshot = Arc::new(ParamSnapshot {
+                iteration: core.iteration(),
+                params: core.params().clone(),
+                stopped: outcome.stopped,
+            });
+            *inner.snapshot.write() = snapshot;
+            drop(core);
+            inner.stats.count("epoch_merges");
+            inner.stats.add("checkins_applied", drained.count);
+            if drained.count > 1 {
+                inner.stats.count("batched_epochs");
+            }
+            (outcome, drained.waiters)
+        }
+        Err(_) => {
+            // Unreachable for payloads that passed submit-time validation; fail
+            // the epoch's checkins without taking a step.
+            let outcome = CheckinOutcome {
+                accepted: false,
+                iteration: core.iteration(),
+                stopped: core.stopped(),
+                staleness: 0,
+            };
+            drop(core);
+            inner.stats.count("apply_errors");
+            (outcome, drained.waiters)
+        }
+    };
+    // Staleness is per-checkin: measured against the iteration the epoch was
+    // applied at (the pre-update iteration, as in the classic checkin path).
+    let pre_iteration = outcome.iteration - u64::from(outcome.accepted);
+    for waiter in waiters {
+        let _ = waiter.reply.send(CheckinOutcome {
+            accepted: outcome.accepted,
+            iteration: outcome.iteration,
+            stopped: outcome.stopped,
+            staleness: pre_iteration.saturating_sub(waiter.checkout_iteration),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::config::ServerConfig;
+    use crowd_learning::MulticlassLogistic;
+
+    fn payload(device_id: u64, grad: Vec<f64>, checkout: u64) -> CheckinPayload {
+        CheckinPayload {
+            device_id,
+            checkout_iteration: checkout,
+            gradient: Vector::from_vec(grad),
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1, 0],
+        }
+    }
+
+    fn runtime(config: ServerConfig) -> AggRuntime<MulticlassLogistic> {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        AggRuntime::new(Server::new(model, config).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn checkout_reads_snapshot_without_blocking() {
+        let rt = runtime(ServerConfig::new());
+        let snap = rt.snapshot();
+        assert_eq!(snap.iteration, 0);
+        assert_eq!(snap.params.len(), 6);
+        assert!(!snap.stopped);
+        let ticket = rt.checkout();
+        assert_eq!(ticket.iteration, 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn checkin_applies_update_and_advances_snapshot() {
+        let rt = runtime(ServerConfig::new().with_rate_constant(1.0));
+        let outcome = rt
+            .checkin(payload(3, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 0))
+            .unwrap();
+        assert!(outcome.accepted);
+        assert_eq!(outcome.iteration, 1);
+        assert_eq!(outcome.staleness, 0);
+        // η(1) = 1, so w moved by -1 on the first coordinate; the snapshot the
+        // next checkout sees reflects the update.
+        let snap = rt.snapshot();
+        assert_eq!(snap.iteration, 1);
+        assert!((snap.params[0] + 1.0).abs() < 1e-12);
+        assert_eq!(rt.iteration(), 1);
+        assert_eq!(rt.total_samples(), 2);
+        assert_eq!(rt.active_devices(), 1);
+        assert_eq!(rt.stats().get("checkins_applied"), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn invalid_payloads_fail_fast() {
+        let rt = runtime(ServerConfig::new());
+        assert!(matches!(
+            rt.checkin(payload(0, vec![1.0; 5], 0)),
+            Err(AggError::Invalid(_))
+        ));
+        let mut zero = payload(0, vec![0.0; 6], 0);
+        zero.num_samples = 0;
+        assert!(matches!(rt.checkin(zero), Err(AggError::Invalid(_))));
+        let mut counts = payload(0, vec![0.0; 6], 0);
+        counts.label_counts = vec![0, 0];
+        assert!(matches!(rt.checkin(counts), Err(AggError::Invalid(_))));
+        assert_eq!(rt.iteration(), 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        // One-deep queue and an epoch size nothing reaches without the idle
+        // flush: submissions beyond the first are rejected with a retry hint.
+        let config = ServerConfig::new().with_agg(crowd_core::config::AggSettings {
+            shard_count: 2,
+            queue_bound: 1,
+            epoch_size: u64::MAX,
+            worker_threads: 1,
+            retry_after_ms: 7,
+            flush_idle_ms: 0,
+        });
+        let rt = runtime(config);
+        let mut handles = Vec::new();
+        let mut busy = 0;
+        for i in 0..50u64 {
+            match rt.submit(payload(i, vec![0.1; 6], 0)) {
+                Ok(h) => handles.push(h),
+                Err(AggError::Busy { retry_after_ms }) => {
+                    assert_eq!(retry_after_ms, 7);
+                    busy += 1;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(busy > 0, "a 1-deep queue must reject under a burst of 50");
+        assert_eq!(rt.stats().get("busy_rejections"), busy);
+        // Shutdown flushes the admitted checkins; every handle resolves.
+        rt.shutdown();
+        for h in handles {
+            let outcome = h.wait().unwrap();
+            assert!(outcome.accepted);
+        }
+    }
+
+    #[test]
+    fn batched_epochs_apply_mean_gradient() {
+        let config =
+            ServerConfig::new()
+                .with_rate_constant(1.0)
+                .with_agg(crowd_core::config::AggSettings {
+                    shard_count: 4,
+                    queue_bound: 64,
+                    epoch_size: 4,
+                    worker_threads: 1,
+                    retry_after_ms: 1,
+                    flush_idle_ms: 0,
+                });
+        let rt = runtime(config);
+        let handles: Vec<CompletionHandle> = (0..4u64)
+            .map(|d| {
+                rt.submit(payload(d, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 0))
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            let outcome = h.wait_timeout(Duration::from_secs(10)).unwrap();
+            assert!(outcome.accepted);
+            assert_eq!(outcome.iteration, 1, "4 checkins fold into ONE epoch");
+        }
+        // Mean gradient (1, 0, …) with η(1) = 1 moves w by exactly -1.
+        assert!((rt.params()[0] + 1.0).abs() < 1e-12);
+        assert_eq!(rt.iteration(), 1);
+        assert_eq!(rt.total_samples(), 8);
+        assert_eq!(rt.stats().get("batched_epochs"), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn idle_flush_applies_partial_epochs() {
+        let config = ServerConfig::new().with_agg(crowd_core::config::AggSettings {
+            shard_count: 2,
+            queue_bound: 16,
+            epoch_size: 1000,
+            worker_threads: 1,
+            retry_after_ms: 1,
+            flush_idle_ms: 1,
+        });
+        let rt = runtime(config);
+        // Far fewer checkins than the epoch size: the idle flush must still
+        // apply them promptly rather than stalling the devices forever.
+        let outcome = rt
+            .submit(payload(0, vec![0.5; 6], 0))
+            .unwrap()
+            .wait_timeout(Duration::from_secs(10))
+            .unwrap();
+        assert!(outcome.accepted);
+        assert_eq!(rt.iteration(), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn stopped_server_rejects_but_counts() {
+        let rt = runtime(ServerConfig::new().with_max_iterations(1));
+        assert!(rt.checkin(payload(0, vec![0.1; 6], 0)).unwrap().accepted);
+        let second = rt.checkin(payload(1, vec![0.1; 6], 1)).unwrap();
+        assert!(!second.accepted);
+        assert!(second.stopped);
+        assert!(rt.snapshot().stopped);
+        assert_eq!(rt.iteration(), 1);
+        // The rejected checkin's statistics still count (Server Routine 2).
+        assert_eq!(rt.total_samples(), 4);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrent_checkins_from_many_devices() {
+        let config = ServerConfig::new().with_shard_count(8);
+        let rt = Arc::new(runtime(config));
+        let mut threads = Vec::new();
+        for device in 0..8u64 {
+            let rt = Arc::clone(&rt);
+            threads.push(std::thread::spawn(move || {
+                for step in 0..10u64 {
+                    let outcome = rt.checkin(payload(device, vec![0.01; 6], step)).unwrap();
+                    assert!(outcome.accepted);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(rt.total_samples(), 160);
+        assert_eq!(rt.active_devices(), 8);
+        assert_eq!(rt.stats().get("checkins_applied"), 80);
+        rt.shutdown();
+    }
+}

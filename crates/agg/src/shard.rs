@@ -1,0 +1,296 @@
+//! Sharded gradient accumulators with a deterministic merge.
+//!
+//! Checkins hash to one of N lock stripes by device id, so concurrent devices
+//! almost never contend on the same lock, and the expensive O(d) work of a
+//! checkin — summing its gradient into a running accumulator — happens under
+//! the stripe lock, not a global one.
+//!
+//! Determinism: every stripe keeps a *per-device* running sum (a device's own
+//! checkins are sequential, so that sum is reproducible), and [`ShardSet::drain`]
+//! folds the per-device sums in ascending device-id order regardless of which
+//! stripe held them. The merged [`EpochAggregate`] is therefore bitwise
+//! identical to what a single-lock sequential accumulator would produce from
+//! the same per-device contributions — shard count and thread interleaving
+//! cannot change a single bit of the aggregate.
+
+use crowd_core::device::CheckinPayload;
+use crowd_core::server::{CheckinOutcome, DeviceEpochStats, EpochAggregate};
+use crowd_linalg::Vector;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+/// A checkin waiting for its epoch to be applied: the handler thread blocks on
+/// the receiving half until the merge sends the outcome.
+pub(crate) struct Waiter {
+    pub(crate) checkout_iteration: u64,
+    pub(crate) reply: mpsc::Sender<CheckinOutcome>,
+}
+
+/// Running per-device accumulation within the current epoch.
+struct DeviceAccum {
+    gradient_sum: Vector,
+    checkins: u64,
+    samples: u64,
+    errors: i64,
+    label_counts: Vec<i64>,
+}
+
+/// One lock stripe: per-device accumulators plus the epoch's pending waiters.
+#[derive(Default)]
+struct Shard {
+    devices: BTreeMap<u64, DeviceAccum>,
+    waiters: Vec<Waiter>,
+    payloads: u64,
+    min_checkout_iteration: u64,
+}
+
+/// Everything removed from the stripes by one [`ShardSet::drain`] call.
+pub(crate) struct DrainedEpoch {
+    /// The merged aggregate, or `None` when nothing was pending.
+    pub(crate) epoch: Option<EpochAggregate>,
+    /// The handler threads waiting on this epoch.
+    pub(crate) waiters: Vec<Waiter>,
+    /// Number of checkins merged.
+    pub(crate) count: u64,
+}
+
+/// N independently locked gradient accumulators.
+pub struct ShardSet {
+    shards: Vec<Mutex<Shard>>,
+    param_dim: usize,
+    num_classes: usize,
+}
+
+impl ShardSet {
+    /// Creates `shard_count` stripes for gradients of dimension `param_dim`.
+    pub fn new(shard_count: usize, param_dim: usize, num_classes: usize) -> Self {
+        let shards = (0..shard_count.max(1))
+            .map(|_| {
+                Mutex::new(Shard {
+                    min_checkout_iteration: u64::MAX,
+                    ..Shard::default()
+                })
+            })
+            .collect();
+        ShardSet {
+            shards,
+            param_dim,
+            num_classes,
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Folds one (pre-validated) checkin into its device's stripe accumulator.
+    pub(crate) fn ingest(&self, payload: &CheckinPayload, waiter: Waiter) {
+        let idx = (payload.device_id % self.shards.len() as u64) as usize;
+        let mut shard = self.shards[idx].lock();
+        let accum = shard
+            .devices
+            .entry(payload.device_id)
+            .or_insert_with(|| DeviceAccum {
+                gradient_sum: Vector::zeros(self.param_dim),
+                checkins: 0,
+                samples: 0,
+                errors: 0,
+                label_counts: vec![0; self.num_classes],
+            });
+        accum
+            .gradient_sum
+            .axpy(1.0, &payload.gradient)
+            .expect("payload dimension validated at submit");
+        accum.checkins += 1;
+        accum.samples += payload.num_samples as u64;
+        accum.errors += payload.error_count;
+        for (acc, &c) in accum
+            .label_counts
+            .iter_mut()
+            .zip(payload.label_counts.iter())
+        {
+            *acc += c;
+        }
+        shard.payloads += 1;
+        shard.min_checkout_iteration = shard.min_checkout_iteration.min(payload.checkout_iteration);
+        shard.waiters.push(waiter);
+    }
+
+    /// Takes everything accumulated so far and merges it into one epoch.
+    ///
+    /// Stripes are locked one at a time (their contents moved out), then the
+    /// per-device sums are folded in ascending device-id order — the fixed merge
+    /// order that makes the aggregate bitwise reproducible.
+    pub(crate) fn drain(&self) -> DrainedEpoch {
+        let mut combined: BTreeMap<u64, DeviceAccum> = BTreeMap::new();
+        let mut waiters = Vec::new();
+        let mut count = 0u64;
+        let mut min_checkout = u64::MAX;
+        for stripe in &self.shards {
+            let mut shard = stripe.lock();
+            if shard.payloads == 0 {
+                continue;
+            }
+            count += shard.payloads;
+            min_checkout = min_checkout.min(shard.min_checkout_iteration);
+            combined.append(&mut shard.devices);
+            waiters.append(&mut shard.waiters);
+            shard.payloads = 0;
+            shard.min_checkout_iteration = u64::MAX;
+        }
+        if count == 0 {
+            return DrainedEpoch {
+                epoch: None,
+                waiters,
+                count: 0,
+            };
+        }
+        let mut gradient_sum = Vector::zeros(self.param_dim);
+        let mut device_stats = Vec::with_capacity(combined.len());
+        for (device_id, accum) in combined {
+            gradient_sum
+                .axpy(1.0, &accum.gradient_sum)
+                .expect("accumulators share the configured dimension");
+            device_stats.push(DeviceEpochStats {
+                device_id,
+                checkins: accum.checkins,
+                samples: accum.samples,
+                errors: accum.errors,
+                label_counts: accum.label_counts,
+            });
+        }
+        DrainedEpoch {
+            epoch: Some(EpochAggregate {
+                gradient_sum,
+                checkin_count: count,
+                min_checkout_iteration: min_checkout,
+                device_stats,
+            }),
+            waiters,
+            count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn payload(device_id: u64, grad: Vec<f64>, checkout: u64) -> CheckinPayload {
+        CheckinPayload {
+            device_id,
+            checkout_iteration: checkout,
+            gradient: Vector::from_vec(grad),
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1],
+        }
+    }
+
+    fn waiter() -> (Waiter, mpsc::Receiver<CheckinOutcome>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Waiter {
+                checkout_iteration: 0,
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn drain_merges_devices_in_id_order() {
+        let set = ShardSet::new(4, 3, 2);
+        for device in [9u64, 2, 5] {
+            let (w, _rx) = waiter();
+            set.ingest(&payload(device, vec![device as f64, 0.0, 0.0], device), w);
+        }
+        let drained = set.drain();
+        let epoch = drained.epoch.unwrap();
+        assert_eq!(drained.count, 3);
+        assert_eq!(epoch.checkin_count, 3);
+        assert_eq!(epoch.min_checkout_iteration, 2);
+        let ids: Vec<u64> = epoch.device_stats.iter().map(|d| d.device_id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+        assert_eq!(epoch.gradient_sum.as_slice(), &[16.0, 0.0, 0.0]);
+        assert_eq!(drained.waiters.len(), 3);
+        // A second drain finds nothing.
+        assert!(set.drain().epoch.is_none());
+    }
+
+    #[test]
+    fn repeat_checkins_accumulate_per_device() {
+        let set = ShardSet::new(2, 2, 2);
+        for step in 0..3u64 {
+            let (w, _rx) = waiter();
+            set.ingest(&payload(7, vec![1.0, 2.0], step), w);
+        }
+        let epoch = set.drain().epoch.unwrap();
+        assert_eq!(epoch.device_stats.len(), 1);
+        let stats = &epoch.device_stats[0];
+        assert_eq!(stats.checkins, 3);
+        assert_eq!(stats.samples, 6);
+        assert_eq!(stats.errors, 3);
+        assert_eq!(stats.label_counts, vec![3, 3]);
+        assert_eq!(epoch.gradient_sum.as_slice(), &[3.0, 6.0]);
+    }
+
+    /// The determinism contract: concurrent ingest through many shards yields an
+    /// aggregate bitwise identical to sequential ingest through a single lock.
+    #[test]
+    fn concurrent_sharded_ingest_matches_sequential_single_lock_bitwise() {
+        let dim = 24;
+        let devices = 12u64;
+        let checkins_per_device = 5u64;
+        let make_grad = move |device: u64, step: u64| -> Vec<f64> {
+            let mut rng = StdRng::seed_from_u64(device * 1000 + step);
+            (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+        };
+
+        // Sequential reference: one stripe, one thread, device-major order.
+        let reference = ShardSet::new(1, dim, 2);
+        for device in 0..devices {
+            for step in 0..checkins_per_device {
+                let (w, _rx) = waiter();
+                reference.ingest(&payload(device, make_grad(device, step), step), w);
+            }
+        }
+        let expected = reference.drain().epoch.unwrap();
+
+        // Concurrent sharded run: one thread per device, 5 stripes.
+        let sharded = Arc::new(ShardSet::new(5, dim, 2));
+        let mut handles = Vec::new();
+        for device in 0..devices {
+            let set = Arc::clone(&sharded);
+            handles.push(std::thread::spawn(move || {
+                for step in 0..checkins_per_device {
+                    let (tx, _rx) = mpsc::channel();
+                    set.ingest(
+                        &payload(device, make_grad(device, step), step),
+                        Waiter {
+                            checkout_iteration: step,
+                            reply: tx,
+                        },
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let merged = sharded.drain().epoch.unwrap();
+
+        assert_eq!(merged.checkin_count, expected.checkin_count);
+        assert_eq!(merged.device_stats, expected.device_stats);
+        // Bit-for-bit: compare the raw f64 slices with exact equality.
+        assert_eq!(
+            merged.gradient_sum.as_slice(),
+            expected.gradient_sum.as_slice()
+        );
+    }
+}

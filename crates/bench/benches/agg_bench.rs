@@ -1,0 +1,185 @@
+//! Server throughput comparison: the original single-mutex path (every
+//! checkout clones the parameter vector under the global lock and every
+//! checkin serializes a full projected SGD update behind it) versus the
+//! `crowd-agg` sharded runtime, varying device concurrency, shard count, and
+//! epoch size.
+//!
+//! Each measured iteration runs `threads` devices through rounds of the
+//! protocol's natural unit of work — one checkout followed by a window of
+//! checkins — until `threads × CHECKINS_PER_DEVICE` checkins have been applied,
+//! so ms/iter is directly comparable across paths: lower is higher sustained
+//! throughput. Two submission styles are timed for the runtime: `sync` (each
+//! device blocks on its ack before the next checkin, the lockstep worst case
+//! for batching — it pays the sharding machinery without amortizing anything)
+//! and `pipelined` (devices submit their round's window before collecting
+//! acks, as a gateway or async device would), which lets large epochs amortize
+//! the projection and bookkeeping of the update across many gradients while
+//! checkouts ride the lock-free snapshot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowd_agg::AggRuntime;
+use crowd_core::config::{AggSettings, ServerConfig};
+use crowd_core::device::CheckinPayload;
+use crowd_core::server::Server;
+use crowd_learning::MulticlassLogistic;
+use crowd_linalg::Vector;
+use parking_lot::Mutex;
+use std::hint::black_box;
+use std::sync::Arc;
+
+// A large model (d = DIM·CLASSES = 100 000 parameters) so the per-request
+// O(d) work — the thing sharding, batching, and snapshotting amortize —
+// dominates the fixed per-request synchronization cost. 24 checkins per device
+// keeps the totals (48 / 192) aligned with the benched epoch sizes, so no
+// measured configuration depends on the idle-flush timer.
+const DIM: usize = 1000;
+const CLASSES: usize = 100;
+const CHECKINS_PER_DEVICE: u64 = 24;
+// Checkins per checkout round: a device that has buffered a few minibatches
+// (or a gateway fronting co-located devices) uploads them against one
+// parameter snapshot.
+const ROUND: u64 = 4;
+
+fn payload(device_id: u64, step: u64) -> CheckinPayload {
+    CheckinPayload {
+        device_id,
+        checkout_iteration: step,
+        gradient: Vector::filled(DIM * CLASSES, 0.001),
+        num_samples: 20,
+        error_count: 2,
+        label_counts: vec![2; CLASSES],
+    }
+}
+
+fn new_server() -> Server<MulticlassLogistic> {
+    let model = MulticlassLogistic::new(DIM, CLASSES).unwrap();
+    Server::new(model, ServerConfig::new()).unwrap()
+}
+
+/// The pre-`crowd-agg` design: one global mutex around the whole server, so a
+/// checkout copies the parameters under the same lock every update serializes
+/// behind.
+fn run_single_mutex(threads: u64) -> u64 {
+    let server = Arc::new(Mutex::new(new_server()));
+    let mut handles = Vec::new();
+    for device in 0..threads {
+        let server = Arc::clone(&server);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..CHECKINS_PER_DEVICE / ROUND {
+                let ticket = server.lock().checkout();
+                black_box(ticket.iteration);
+                for slot in 0..ROUND {
+                    let p = payload(device, round * ROUND + slot);
+                    let mut guard = server.lock();
+                    black_box(guard.checkin(&p).unwrap());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let iterations = server.lock().iteration();
+    assert_eq!(iterations, threads * CHECKINS_PER_DEVICE);
+    iterations
+}
+
+fn sharded_runtime(shards: usize, epoch: u64) -> AggRuntime<MulticlassLogistic> {
+    let config = ServerConfig::new().with_agg(AggSettings {
+        shard_count: shards,
+        queue_bound: 4096,
+        epoch_size: epoch,
+        worker_threads: 2,
+        retry_after_ms: 1,
+        flush_idle_ms: 1,
+    });
+    let model = MulticlassLogistic::new(DIM, CLASSES).unwrap();
+    AggRuntime::new(Server::new(model, config).unwrap()).unwrap()
+}
+
+/// Lockstep devices: checkout a snapshot each round, then block on each ack
+/// before the next checkin.
+fn run_sharded_sync(threads: u64, shards: usize, epoch: u64) -> u64 {
+    let runtime = Arc::new(sharded_runtime(shards, epoch));
+    let mut handles = Vec::new();
+    for device in 0..threads {
+        let runtime = Arc::clone(&runtime);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..CHECKINS_PER_DEVICE / ROUND {
+                black_box(runtime.snapshot().iteration);
+                for slot in 0..ROUND {
+                    let p = payload(device, round * ROUND + slot);
+                    black_box(runtime.checkin(p).unwrap());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let applied = runtime.stats().get("checkins_applied");
+    assert_eq!(applied, threads * CHECKINS_PER_DEVICE);
+    runtime.shutdown();
+    applied
+}
+
+/// Pipelined devices: checkout a snapshot, submit the round's window, then
+/// collect the acks.
+fn run_sharded_pipelined(threads: u64, shards: usize, epoch: u64) -> u64 {
+    let runtime = Arc::new(sharded_runtime(shards, epoch));
+    let mut handles = Vec::new();
+    for device in 0..threads {
+        let runtime = Arc::clone(&runtime);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..CHECKINS_PER_DEVICE / ROUND {
+                black_box(runtime.snapshot().iteration);
+                let tickets: Vec<_> = (0..ROUND)
+                    .map(|slot| {
+                        runtime
+                            .submit(payload(device, round * ROUND + slot))
+                            .unwrap()
+                    })
+                    .collect();
+                for ticket in tickets {
+                    black_box(ticket.wait().unwrap());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let applied = runtime.stats().get("checkins_applied");
+    assert_eq!(applied, threads * CHECKINS_PER_DEVICE);
+    runtime.shutdown();
+    applied
+}
+
+fn bench_agg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkin_throughput");
+    for &threads in &[2u64, 8] {
+        group.bench_function(format!("single_mutex/devices{threads}"), |b| {
+            b.iter(|| run_single_mutex(threads))
+        });
+        group.bench_function(format!("sharded_sync_e1/devices{threads}"), |b| {
+            b.iter(|| run_sharded_sync(threads, 8, 1))
+        });
+        group.bench_function(
+            format!("sharded_pipelined_e{threads}/devices{threads}"),
+            |b| b.iter(|| run_sharded_pipelined(threads, 8, threads)),
+        );
+        group.bench_function(format!("sharded_pipelined_e64/devices{threads}"), |b| {
+            b.iter(|| run_sharded_pipelined(threads, 8, 64))
+        });
+    }
+    // Shard-count sweep at fixed (high) concurrency.
+    for &shards in &[1usize, 4, 16] {
+        group.bench_function(format!("sharded_pipelined_e64/shards{shards}"), |b| {
+            b.iter(|| run_sharded_pipelined(8, shards, 64))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_agg);
+criterion_main!(benches);

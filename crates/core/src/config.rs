@@ -124,6 +124,76 @@ impl Default for DeviceConfig {
     }
 }
 
+/// Tuning knobs of the sharded aggregation runtime (`crowd-agg`) that serves the
+/// checkin write path behind a deployed server.
+///
+/// The runtime keeps `shard_count` independently locked gradient accumulators,
+/// admits at most `queue_bound` checkins into its ingest queue (rejecting the
+/// rest with a retry-after hint instead of piling up handler threads), and folds
+/// the accumulated gradients into one projected SGD step once `epoch_size`
+/// checkins have arrived. `epoch_size = 1` reproduces the paper's per-checkin
+/// update `w ← Π_W[w − η(t)ĝ]` exactly; larger epochs apply the *mean* of the
+/// epoch's gradients as a single step (synchronous minibatch aggregation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggSettings {
+    /// Number of lock stripes for the gradient accumulators. Checkins hash to a
+    /// stripe by device id, so concurrent devices rarely contend.
+    pub shard_count: usize,
+    /// Capacity of the bounded ingest queue. A full queue rejects checkins with
+    /// a "server busy" reply carrying [`AggSettings::retry_after_ms`].
+    pub queue_bound: usize,
+    /// Number of checkins folded into one server update. 1 = per-checkin SGD.
+    pub epoch_size: u64,
+    /// Worker threads draining the ingest queue into the shards.
+    pub worker_threads: usize,
+    /// Retry hint (milliseconds) returned with backpressure rejections.
+    pub retry_after_ms: u32,
+    /// Idle flush interval in milliseconds: a partially filled epoch is applied
+    /// once the ingest queue stays empty this long, so a trickle of checkins
+    /// never stalls behind an unreachable `epoch_size`. 0 disables idle flushes
+    /// (epochs then close only on `epoch_size` or shutdown), which makes epoch
+    /// boundaries — and therefore the whole run — independent of thread timing.
+    pub flush_idle_ms: u32,
+}
+
+impl AggSettings {
+    /// Defaults: 8 shards, 1024-deep queue, per-checkin updates, 2 workers,
+    /// 2 ms retry hint, 1 ms idle flush.
+    pub fn new() -> Self {
+        AggSettings {
+            shard_count: 8,
+            queue_bound: 1024,
+            epoch_size: 1,
+            worker_threads: 2,
+            retry_after_ms: 2,
+            flush_idle_ms: 1,
+        }
+    }
+
+    /// Validates the settings.
+    pub fn validate(&self) -> Result<()> {
+        if self.shard_count == 0 {
+            return Err(CoreError::Config("shard_count must be positive".into()));
+        }
+        if self.queue_bound == 0 {
+            return Err(CoreError::Config("queue_bound must be positive".into()));
+        }
+        if self.epoch_size == 0 {
+            return Err(CoreError::Config("epoch_size must be positive".into()));
+        }
+        if self.worker_threads == 0 {
+            return Err(CoreError::Config("worker_threads must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AggSettings {
+    fn default() -> Self {
+        AggSettings::new()
+    }
+}
+
 /// Server configuration (Algorithm 2 inputs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
@@ -138,6 +208,8 @@ pub struct ServerConfig {
     /// Desired overall error ρ: the task stops when the (privately estimated)
     /// error falls below this value. Use 0 to disable the error-based stop.
     pub target_error: f64,
+    /// Aggregation-runtime knobs used by deployed (networked) servers.
+    pub agg: AggSettings,
 }
 
 impl ServerConfig {
@@ -150,6 +222,7 @@ impl ServerConfig {
             radius: 100.0,
             max_iterations: u64::MAX,
             target_error: 0.0,
+            agg: AggSettings::new(),
         }
     }
 
@@ -177,6 +250,30 @@ impl ServerConfig {
         self
     }
 
+    /// Replaces the aggregation-runtime settings wholesale.
+    pub fn with_agg(mut self, agg: AggSettings) -> Self {
+        self.agg = agg;
+        self
+    }
+
+    /// Sets the number of accumulator shards of the aggregation runtime.
+    pub fn with_shard_count(mut self, shards: usize) -> Self {
+        self.agg.shard_count = shards;
+        self
+    }
+
+    /// Sets the ingest-queue capacity of the aggregation runtime.
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        self.agg.queue_bound = bound;
+        self
+    }
+
+    /// Sets how many checkins are folded into one server update.
+    pub fn with_epoch_size(mut self, epoch: u64) -> Self {
+        self.agg.epoch_size = epoch;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.schedule.c() <= 0.0 || !self.schedule.c().is_finite() {
@@ -196,6 +293,7 @@ impl ServerConfig {
         if !(0.0..=1.0).contains(&self.target_error) {
             return Err(CoreError::Config("target_error must be in [0, 1]".into()));
         }
+        self.agg.validate()?;
         Ok(())
     }
 }
@@ -295,6 +393,41 @@ mod tests {
             .validate()
             .is_err());
         assert_eq!(ServerConfig::default(), ServerConfig::new());
+    }
+
+    #[test]
+    fn agg_settings_validation_and_builders() {
+        assert!(AggSettings::new().validate().is_ok());
+        assert_eq!(AggSettings::default(), AggSettings::new());
+        for broken in [
+            AggSettings {
+                shard_count: 0,
+                ..AggSettings::new()
+            },
+            AggSettings {
+                queue_bound: 0,
+                ..AggSettings::new()
+            },
+            AggSettings {
+                epoch_size: 0,
+                ..AggSettings::new()
+            },
+            AggSettings {
+                worker_threads: 0,
+                ..AggSettings::new()
+            },
+        ] {
+            assert!(broken.validate().is_err());
+            assert!(ServerConfig::new().with_agg(broken).validate().is_err());
+        }
+        let tuned = ServerConfig::new()
+            .with_shard_count(4)
+            .with_queue_bound(16)
+            .with_epoch_size(32);
+        assert_eq!(tuned.agg.shard_count, 4);
+        assert_eq!(tuned.agg.queue_bound, 16);
+        assert_eq!(tuned.agg.epoch_size, 32);
+        assert!(tuned.validate().is_ok());
     }
 
     #[test]

@@ -146,6 +146,7 @@ impl ExperimentConfig {
                 radius: self.radius,
                 max_iterations: u64::MAX,
                 target_error: 0.0,
+                agg: crate::config::AggSettings::new(),
             },
             self.privacy,
         )

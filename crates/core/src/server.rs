@@ -41,6 +41,64 @@ pub struct CheckoutTicket {
     pub stopped: bool,
 }
 
+/// Per-device contribution to one aggregation epoch.
+///
+/// Produced by the sharded accumulation runtime (`crowd-agg`): each device's
+/// checkins within the epoch are pre-summed on the device's shard, and the
+/// merged epoch lists devices in ascending-id order so the floating-point fold
+/// is bitwise reproducible regardless of shard count or thread interleaving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceEpochStats {
+    /// The contributing device.
+    pub device_id: u64,
+    /// Checkins the device contributed to this epoch.
+    pub checkins: u64,
+    /// Samples reported (`Σ n_s` over the device's epoch checkins).
+    pub samples: u64,
+    /// Perturbed misclassification counts (`Σ n̂_e`).
+    pub errors: i64,
+    /// Perturbed per-class label counts (`Σ n̂_y^k`).
+    pub label_counts: Vec<i64>,
+}
+
+/// A merged aggregation epoch: the write-path input of the split server.
+///
+/// [`Server::checkout`] is the read path (a parameter snapshot); applying one of
+/// these is the entire write path. With `checkin_count == 1` the update is
+/// bit-for-bit the paper's per-checkin step `w ← Π_W[w − η(t)ĝ]`; with more
+/// checkins the *mean* of the epoch's gradients is applied as one step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochAggregate {
+    /// Sum of the sanitized gradients folded in fixed device order.
+    pub gradient_sum: Vector,
+    /// Number of checkins in the epoch (the divisor for the mean gradient).
+    pub checkin_count: u64,
+    /// The oldest checkout iteration among the epoch's checkins (staleness is
+    /// measured against the most out-of-date contribution).
+    pub min_checkout_iteration: u64,
+    /// Per-device monitoring statistics, ascending by device id.
+    pub device_stats: Vec<DeviceEpochStats>,
+}
+
+impl EpochAggregate {
+    /// The aggregate of a single checkin; applying it is equivalent to the
+    /// classic [`Server::checkin`].
+    pub fn from_payload(payload: &CheckinPayload) -> Self {
+        EpochAggregate {
+            gradient_sum: payload.gradient.clone(),
+            checkin_count: 1,
+            min_checkout_iteration: payload.checkout_iteration,
+            device_stats: vec![DeviceEpochStats {
+                device_id: payload.device_id,
+                checkins: 1,
+                samples: payload.num_samples as u64,
+                errors: payload.error_count,
+                label_counts: payload.label_counts.clone(),
+            }],
+        }
+    }
+}
+
 /// The result of applying a checkin (Server Routine 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckinOutcome {
@@ -215,29 +273,62 @@ impl<M: Model> Server<M> {
             ));
         }
 
-        let staleness = self.iteration.saturating_sub(payload.checkout_iteration);
+        self.apply_aggregate(&EpochAggregate::from_payload(payload))
+    }
 
-        // Update the monitoring counters regardless of acceptance so the server's
-        // view of data volume stays accurate.
-        let progress = self
-            .progress
-            .entry(payload.device_id)
-            .or_insert_with(|| DeviceProgress {
-                label_counts: vec![0; self.model.num_classes()],
-                ..DeviceProgress::default()
-            });
-        progress.samples += payload.num_samples as u64;
-        progress.errors += payload.error_count;
-        for (acc, &c) in progress
-            .label_counts
-            .iter_mut()
-            .zip(payload.label_counts.iter())
-        {
-            *acc += c;
+    /// The write path of the split server: applies one merged aggregation epoch.
+    ///
+    /// Folds every contributing device's monitoring counters (regardless of
+    /// acceptance, so the server's view of data volume stays accurate) and, if
+    /// the task has not stopped, takes one projected SGD step with the epoch's
+    /// *mean* gradient `w ← Π_W[w − η(t)·(Σĝ)/k]`.
+    pub fn apply_aggregate(&mut self, epoch: &EpochAggregate) -> Result<CheckinOutcome> {
+        if epoch.gradient_sum.len() != self.params.len() {
+            return Err(CoreError::Protocol(format!(
+                "epoch gradient has dimension {}, expected {}",
+                epoch.gradient_sum.len(),
+                self.params.len()
+            )));
         }
-        progress.checkins += 1;
-        self.total_samples += payload.num_samples as u64;
-        self.total_errors += payload.error_count;
+        if epoch.checkin_count == 0 || epoch.device_stats.is_empty() {
+            return Err(CoreError::Protocol(
+                "epoch must contain at least one checkin".into(),
+            ));
+        }
+        for stats in &epoch.device_stats {
+            if stats.label_counts.len() != self.model.num_classes() {
+                return Err(CoreError::Protocol(format!(
+                    "epoch reports {} label counts for device {}, expected {}",
+                    stats.label_counts.len(),
+                    stats.device_id,
+                    self.model.num_classes()
+                )));
+            }
+        }
+
+        let staleness = self.iteration.saturating_sub(epoch.min_checkout_iteration);
+
+        for stats in &epoch.device_stats {
+            let progress = self
+                .progress
+                .entry(stats.device_id)
+                .or_insert_with(|| DeviceProgress {
+                    label_counts: vec![0; self.model.num_classes()],
+                    ..DeviceProgress::default()
+                });
+            progress.samples += stats.samples;
+            progress.errors += stats.errors;
+            for (acc, &c) in progress
+                .label_counts
+                .iter_mut()
+                .zip(stats.label_counts.iter())
+            {
+                *acc += c;
+            }
+            progress.checkins += stats.checkins;
+            self.total_samples += stats.samples;
+            self.total_errors += stats.errors;
+        }
 
         if self.stopped() {
             return Ok(CheckinOutcome {
@@ -248,13 +339,15 @@ impl<M: Model> Server<M> {
             });
         }
 
-        // The projected SGD update of Eq. 3.
+        // The projected SGD update of Eq. 3, on the epoch's mean gradient.
+        // Dividing by 1 is exact, so a singleton epoch reproduces the classic
+        // per-checkin update bit for bit.
+        let mut mean = epoch.gradient_sum.clone();
+        mean.scale(1.0 / epoch.checkin_count as f64);
         self.iteration += 1;
-        let eta = self
-            .schedule
-            .rate(self.iteration as usize, &payload.gradient);
+        let eta = self.schedule.rate(self.iteration as usize, &mean);
         self.params
-            .axpy(-eta, &payload.gradient)
+            .axpy(-eta, &mean)
             .map_err(|e| CoreError::Protocol(format!("update failed: {e}")))?;
         project_l2_ball(&mut self.params, self.config.radius);
 
@@ -419,6 +512,98 @@ mod tests {
         assert!(s.params().norm_l2() <= s.config().radius);
         assert_eq!(s.error_estimate(), None);
         assert_eq!(s.prior_estimate(), None);
+    }
+
+    #[test]
+    fn singleton_aggregate_matches_classic_checkin_bitwise() {
+        let mut classic = server();
+        let mut split = server();
+        for (device, step) in [(0u64, 0u64), (1, 0), (0, 1), (2, 2)] {
+            let g: Vec<f64> = (0..6).map(|i| 0.3 * (i as f64 + 1.0) / 7.0).collect();
+            let a = classic.checkin(&payload(device, g.clone(), step)).unwrap();
+            let b = split
+                .apply_aggregate(&EpochAggregate::from_payload(&payload(device, g, step)))
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(classic.params().as_slice(), split.params().as_slice());
+        assert_eq!(classic.iteration(), split.iteration());
+        assert_eq!(classic.total_samples(), split.total_samples());
+    }
+
+    #[test]
+    fn multi_checkin_epoch_applies_mean_gradient_once() {
+        let mut s = server();
+        let epoch = EpochAggregate {
+            // Two checkins whose gradients sum to (2, 0, ...): the mean (1, 0, ...)
+            // moves w by -η(1)·1 = -1 on the first coordinate, in ONE iteration.
+            gradient_sum: Vector::from_vec(vec![2.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+            checkin_count: 2,
+            min_checkout_iteration: 0,
+            device_stats: vec![
+                DeviceEpochStats {
+                    device_id: 1,
+                    checkins: 1,
+                    samples: 2,
+                    errors: 1,
+                    label_counts: vec![1, 1, 0],
+                },
+                DeviceEpochStats {
+                    device_id: 2,
+                    checkins: 1,
+                    samples: 3,
+                    errors: 0,
+                    label_counts: vec![0, 2, 1],
+                },
+            ],
+        };
+        let outcome = s.apply_aggregate(&epoch).unwrap();
+        assert!(outcome.accepted);
+        assert_eq!(outcome.iteration, 1);
+        assert!((s.params()[0] + 1.0).abs() < 1e-12);
+        assert_eq!(s.total_samples(), 5);
+        assert_eq!(s.active_devices(), 2);
+        assert_eq!(s.device_progress(2).unwrap().checkins, 1);
+    }
+
+    #[test]
+    fn malformed_epochs_rejected() {
+        let mut s = server();
+        let empty = EpochAggregate {
+            gradient_sum: Vector::zeros(6),
+            checkin_count: 0,
+            min_checkout_iteration: 0,
+            device_stats: vec![],
+        };
+        assert!(s.apply_aggregate(&empty).is_err());
+        let bad_dim = EpochAggregate {
+            gradient_sum: Vector::zeros(5),
+            checkin_count: 1,
+            min_checkout_iteration: 0,
+            device_stats: vec![DeviceEpochStats {
+                device_id: 0,
+                checkins: 1,
+                samples: 1,
+                errors: 0,
+                label_counts: vec![0, 0, 0],
+            }],
+        };
+        assert!(s.apply_aggregate(&bad_dim).is_err());
+        let bad_counts = EpochAggregate {
+            gradient_sum: Vector::zeros(6),
+            checkin_count: 1,
+            min_checkout_iteration: 0,
+            device_stats: vec![DeviceEpochStats {
+                device_id: 0,
+                checkins: 1,
+                samples: 1,
+                errors: 0,
+                label_counts: vec![0, 0],
+            }],
+        };
+        assert!(s.apply_aggregate(&bad_counts).is_err());
+        assert_eq!(s.iteration(), 0);
+        assert_eq!(s.total_samples(), 0);
     }
 
     #[test]

@@ -9,10 +9,65 @@ use crowd_learning::model::Model;
 use crowd_linalg::Vector;
 use crowd_proto::auth::AuthToken;
 use crowd_proto::frame::{read_message, write_message};
-use crowd_proto::message::{CheckinRequest, CheckoutRequest, Message};
+use crowd_proto::message::{
+    BatchAck, BatchCheckinRequest, CheckinRequest, CheckoutRequest, Message,
+};
 use crowd_proto::PROTOCOL_VERSION;
 use rand::Rng;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Bounded retry-with-backoff policy for "server busy" backpressure replies.
+///
+/// The aggregation runtime sheds load by rejecting checkins when its ingest
+/// queue is full; those rejections are transient by design, so the client
+/// retries them transparently with exponential backoff, preferring the server's
+/// own retry-after hint over the local schedule when one is provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before retry k (1-based) is `base_backoff · 2^(k-1)`, capped.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// Default policy: 5 attempts, 1 ms base backoff, 50 ms cap.
+    pub fn new() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The sleep before retry attempt `attempt` (0-based count of failures so
+    /// far), honoring the server's retry-after hint when present.
+    fn backoff(&self, attempt: u32, hint_ms: u32) -> Duration {
+        let scheduled = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff);
+        scheduled.max(Duration::from_millis(hint_ms as u64))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new()
+    }
+}
 
 /// A device's view of a checkout: the parameters and the server iteration they
 /// were read at.
@@ -43,16 +98,25 @@ pub struct DeviceClient {
     addr: SocketAddr,
     device_id: u64,
     token: AuthToken,
+    retry: RetryPolicy,
 }
 
 impl DeviceClient {
-    /// Creates a client for `device_id` talking to the server at `addr`.
+    /// Creates a client for `device_id` talking to the server at `addr`, with
+    /// the default busy-retry policy.
     pub fn new(addr: SocketAddr, device_id: u64, token: AuthToken) -> Self {
         DeviceClient {
             addr,
             device_id,
             token,
+            retry: RetryPolicy::new(),
         }
+    }
+
+    /// Replaces the busy-retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The device id this client authenticates as.
@@ -60,11 +124,36 @@ impl DeviceClient {
         self.device_id
     }
 
-    fn exchange(&self, request: &Message) -> Result<Message> {
+    fn exchange_once(&self, request: &Message) -> Result<Message> {
         let mut stream = TcpStream::connect(self.addr)?;
         stream.set_nodelay(true).ok();
         write_message(&mut stream, request)?;
         Ok(read_message(&mut stream)?)
+    }
+
+    /// One request/reply exchange, transparently retrying "server busy"
+    /// backpressure replies (either a dedicated `Busy` message or an
+    /// `ErrorReply` with the retryable [`ErrorCode::Busy`]) with backoff.
+    ///
+    /// [`ErrorCode::Busy`]: crowd_proto::message::ErrorCode::Busy
+    fn exchange(&self, request: &Message) -> Result<Message> {
+        let mut failures = 0u32;
+        loop {
+            let reply = self.exchange_once(request)?;
+            let hint_ms = match &reply {
+                Message::Busy(b) => b.retry_after_ms,
+                Message::Error(e) if e.code.is_retryable() => 0,
+                _ => return Ok(reply),
+            };
+            failures += 1;
+            if failures >= self.retry.max_attempts {
+                return Err(NetError::ServerError {
+                    code: crowd_proto::message::ErrorCode::Busy,
+                    detail: format!("server still busy after {failures} attempts"),
+                });
+            }
+            std::thread::sleep(self.retry.backoff(failures - 1, hint_ms));
+        }
     }
 
     /// Checks out the current parameters from the server (Fig. 2, steps 2–3).
@@ -116,6 +205,93 @@ impl DeviceClient {
         }
     }
 
+    /// Checks in several buffered minibatches per frame (the `BatchCheckin`
+    /// message), amortizing connection and framing overhead for co-located
+    /// payloads. Batches larger than the codec's [`MAX_BATCH_ITEMS`] decode cap
+    /// are split across frames transparently. Returns one positional
+    /// acknowledgement per payload.
+    ///
+    /// [`MAX_BATCH_ITEMS`]: crowd_proto::codec::MAX_BATCH_ITEMS
+    pub fn checkin_batch(
+        &self,
+        payloads: &[crowd_core::device::CheckinPayload],
+    ) -> Result<Vec<BatchAck>> {
+        use crowd_proto::message::ErrorCode;
+        let mut acks = Vec::with_capacity(payloads.len());
+        for chunk in payloads.chunks(crowd_proto::codec::MAX_BATCH_ITEMS) {
+            let items: Vec<CheckinRequest> = chunk
+                .iter()
+                .map(|payload| CheckinRequest {
+                    device_id: self.device_id,
+                    token: self.token,
+                    checkout_iteration: payload.checkout_iteration,
+                    gradient: payload.gradient.as_slice().to_vec(),
+                    num_samples: payload.num_samples as u32,
+                    error_count: payload.error_count,
+                    label_counts: payload.label_counts.clone(),
+                })
+                .collect();
+            let mut chunk_acks = self.batch_exchange(items.clone())?;
+            // Backpressure inside a batch reply arrives per item
+            // (reject = Busy), not as a whole-message Busy that `exchange`
+            // would retry — resend just the rejected items under the same
+            // retry policy so they are not silently dropped.
+            let mut failures = 0u32;
+            loop {
+                let busy: Vec<usize> = chunk_acks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ack)| ack.reject == Some(ErrorCode::Busy))
+                    .map(|(i, _)| i)
+                    .collect();
+                if busy.is_empty() {
+                    break;
+                }
+                failures += 1;
+                if failures >= self.retry.max_attempts {
+                    // Out of retries: the Busy rejections are reported to the
+                    // caller in the acks rather than swallowed.
+                    break;
+                }
+                std::thread::sleep(self.retry.backoff(failures - 1, 0));
+                let retry_items: Vec<CheckinRequest> =
+                    busy.iter().map(|&i| items[i].clone()).collect();
+                let retry_acks = self.batch_exchange(retry_items)?;
+                for (slot, ack) in busy.into_iter().zip(retry_acks) {
+                    chunk_acks[slot] = ack;
+                }
+            }
+            acks.extend(chunk_acks);
+        }
+        Ok(acks)
+    }
+
+    /// One batch-checkin frame exchange, validated to return exactly one ack
+    /// per item.
+    fn batch_exchange(&self, items: Vec<CheckinRequest>) -> Result<Vec<BatchAck>> {
+        let expected = items.len();
+        let reply = self.exchange(&Message::BatchCheckinRequest(BatchCheckinRequest { items }))?;
+        match reply {
+            Message::BatchCheckinAck(ack) => {
+                if ack.acks.len() != expected {
+                    return Err(NetError::UnexpectedMessage {
+                        expected: "one ack per batch item",
+                        received: "mismatched batch ack",
+                    });
+                }
+                Ok(ack.acks)
+            }
+            Message::Error(e) => Err(NetError::ServerError {
+                code: e.code,
+                detail: e.detail,
+            }),
+            other => Err(NetError::UnexpectedMessage {
+                expected: "batch_checkin_ack",
+                received: other.name(),
+            }),
+        }
+    }
+
     /// Runs the full device loop over a local data stream: buffer samples, check
     /// out when the minibatch fills, compute and sanitize the statistics, check in,
     /// and stop when the stream is exhausted or the server reports the task ended.
@@ -160,22 +336,41 @@ impl DeviceClient {
                 lambda,
                 rng,
             )?;
-            match self.checkin(&payload) {
-                Ok((_accepted, stopped)) => {
-                    report.checkins += 1;
-                    if stopped {
-                        report.stopped_by_server = true;
+            // The payload is already computed, so sustained backpressure is
+            // survivable: after `checkin`'s own per-request retries are
+            // exhausted, keep resending at the policy's backoff ceiling until
+            // the server has queue capacity again. Only a persistently wedged
+            // server (~200 rounds) makes a device give the minibatch up.
+            let mut busy_rounds = 0u32;
+            loop {
+                match self.checkin(&payload) {
+                    Ok((_accepted, stopped)) => {
+                        report.checkins += 1;
+                        if stopped {
+                            report.stopped_by_server = true;
+                        }
+                        break;
+                    }
+                    Err(NetError::ServerError { code, detail }) => {
+                        if code.is_retryable() && busy_rounds < 200 {
+                            busy_rounds += 1;
+                            std::thread::sleep(
+                                self.retry.max_backoff.max(Duration::from_millis(1)),
+                            );
+                            continue;
+                        }
+                        return Err(NetError::ServerError { code, detail });
+                    }
+                    Err(_) => {
+                        // Transport failure on checkin is likewise non-critical;
+                        // the minibatch is simply lost (the buffer was already
+                        // cleared).
                         break;
                     }
                 }
-                Err(NetError::ServerError { code, detail }) => {
-                    return Err(NetError::ServerError { code, detail })
-                }
-                Err(_) => {
-                    // Transport failure on checkin is likewise non-critical; the
-                    // minibatch is simply lost (the buffer was already cleared).
-                    continue;
-                }
+            }
+            if report.stopped_by_server {
+                break;
             }
         }
         Ok(report)
@@ -217,6 +412,42 @@ mod tests {
         assert!(!stopped);
         assert_eq!(handle.iteration(), 1);
         handle.shutdown();
+    }
+
+    #[test]
+    fn batch_checkin_amortizes_framing() {
+        let model = MulticlassLogistic::new(3, 2).unwrap();
+        let tokens = TokenRegistry::with_derived_tokens(2, 5);
+        let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
+        let client = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 5));
+        let payloads: Vec<crowd_core::device::CheckinPayload> = (0..3)
+            .map(|i| crowd_core::device::CheckinPayload {
+                device_id: 1,
+                checkout_iteration: i,
+                gradient: Vector::from_vec(vec![0.1; 6]),
+                num_samples: 2,
+                error_count: 0,
+                label_counts: vec![1, 1],
+            })
+            .collect();
+        let acks = client.checkin_batch(&payloads).unwrap();
+        assert_eq!(acks.len(), 3);
+        assert!(acks.iter().all(|a| a.accepted && a.reject.is_none()));
+        assert_eq!(handle.iteration(), 3);
+        assert_eq!(handle.total_samples(), 6);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn retry_policy_backoff_honors_hint_and_cap() {
+        let policy = RetryPolicy::new();
+        // Scheduled backoff doubles from the base and saturates at the cap.
+        assert_eq!(policy.backoff(0, 0), Duration::from_millis(1));
+        assert_eq!(policy.backoff(3, 0), Duration::from_millis(8));
+        assert_eq!(policy.backoff(16, 0), Duration::from_millis(50));
+        // A larger server hint wins over the local schedule.
+        assert_eq!(policy.backoff(0, 30), Duration::from_millis(30));
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
     }
 
     #[test]

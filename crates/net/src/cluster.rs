@@ -42,6 +42,9 @@ pub struct ClusterReport {
     pub total_samples: u64,
     /// Per-device participation summaries, indexed by device id.
     pub device_reports: Vec<DeviceReport>,
+    /// Aggregation-runtime counters (`epoch_merges`, `checkins_applied`,
+    /// `busy_rejections`, …).
+    pub runtime_stats: crowd_sim::TraceCollector,
 }
 
 impl LocalCluster {
@@ -136,6 +139,7 @@ impl LocalCluster {
             server_iterations: handle.iteration(),
             total_samples: handle.total_samples(),
             device_reports,
+            runtime_stats: handle.runtime_stats(),
         };
         handle.shutdown();
         match first_error {
@@ -179,6 +183,27 @@ mod tests {
         let err = error_rate(&model, &report.params, &test).unwrap();
         assert!(err < 0.25, "networked training error {err}");
         assert_eq!(report.params.len(), model.param_dim());
+    }
+
+    #[test]
+    fn cluster_survives_backpressure_without_losing_checkins() {
+        // A 2-deep ingest queue under 6 concurrent devices forces Busy
+        // rejections; the client-side retry must make them invisible: every
+        // sample still arrives and every minibatch is still applied.
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, _) = GaussianMixtureSpec::new(4, 2)
+            .with_train_size(240)
+            .with_test_size(10)
+            .generate(&mut rng)
+            .unwrap();
+        let parts = partition(&train, 6, PartitionStrategy::Iid, &mut rng).unwrap();
+        let config = ServerConfig::new().with_queue_bound(2).with_shard_count(4);
+        let cluster = LocalCluster::new(config).with_device(DeviceConfig::new(4));
+        let report = cluster.run(4, 2, &parts).unwrap();
+        assert_eq!(report.total_samples, 240);
+        assert_eq!(report.server_iterations, 60);
+        assert!(report.device_reports.iter().all(|r| r.checkins == 10));
+        assert_eq!(report.runtime_stats.get("checkins_applied"), 60);
     }
 
     #[test]

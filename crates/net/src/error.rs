@@ -11,6 +11,8 @@ pub enum NetError {
     Proto(crowd_proto::ProtoError),
     /// The core framework reported an error while serving a request.
     Core(crowd_core::CoreError),
+    /// The aggregation runtime reported an error.
+    Agg(crowd_agg::AggError),
     /// The server replied with a protocol-level error.
     ServerError {
         /// The error code reported by the server.
@@ -33,6 +35,7 @@ impl fmt::Display for NetError {
             NetError::Io(e) => write!(f, "i/o error: {e}"),
             NetError::Proto(e) => write!(f, "protocol error: {e}"),
             NetError::Core(e) => write!(f, "core error: {e}"),
+            NetError::Agg(e) => write!(f, "aggregation error: {e}"),
             NetError::ServerError { code, detail } => {
                 write!(f, "server error {code:?}: {detail}")
             }
@@ -49,6 +52,7 @@ impl std::error::Error for NetError {
             NetError::Io(e) => Some(e),
             NetError::Proto(e) => Some(e),
             NetError::Core(e) => Some(e),
+            NetError::Agg(e) => Some(e),
             _ => None,
         }
     }
@@ -69,6 +73,12 @@ impl From<crowd_proto::ProtoError> for NetError {
 impl From<crowd_core::CoreError> for NetError {
     fn from(e: crowd_core::CoreError) -> Self {
         NetError::Core(e)
+    }
+}
+
+impl From<crowd_agg::AggError> for NetError {
+    fn from(e: crowd_agg::AggError) -> Self {
+        NetError::Agg(e)
     }
 }
 

@@ -1,30 +1,53 @@
-//! Threaded TCP server hosting Server Routines 1–2.
+//! Threaded TCP server hosting Server Routines 1–2 on top of the `crowd-agg`
+//! aggregation runtime.
 //!
-//! Every accepted connection gets its own handler thread; the shared Crowd-ML
-//! [`Server`] state sits behind a `parking_lot::Mutex`, mirroring the paper's
-//! single central server that serializes parameter updates (Server Routine 2 is a
-//! sequential `w ← w − η(t)ĝ` loop). Devices are authenticated against a
-//! [`TokenRegistry`] before any parameters are served or gradients accepted.
+//! Every accepted connection gets its own handler thread, but — unlike the
+//! original single-mutex design — handlers never serialize on a global
+//! `Mutex<Server>`: checkouts clone the runtime's epoch snapshot (no lock on
+//! the write path), checkins are admitted into the runtime's bounded ingest
+//! queue and accumulated on per-device shards, and a full queue is answered
+//! with a `Busy` reply carrying a retry hint instead of piling up threads.
+//! Devices are authenticated against a [`TokenRegistry`] before any parameters
+//! are served or gradients accepted.
+//!
+//! The accept loop blocks in `accept()` (no poll-sleep); [`NetServerHandle`]
+//! wakes it with a self-connection on shutdown. Finished handler threads are
+//! reaped as connections close, so a long-lived server does not accumulate one
+//! `JoinHandle` per connection it ever served.
 
 use crate::Result;
+use crowd_agg::{AggError, AggRuntime, CompletionHandle};
 use crowd_core::config::ServerConfig;
 use crowd_core::device::CheckinPayload;
 use crowd_core::server::Server;
 use crowd_learning::MulticlassLogistic;
 use crowd_linalg::Vector;
 use crowd_proto::auth::TokenRegistry;
-use crowd_proto::frame::{read_message, write_message};
-use crowd_proto::message::{CheckinAck, CheckoutResponse, ErrorCode, ErrorReply, Message};
+use crowd_proto::codec::decode;
+use crowd_proto::frame::{write_message, DEFAULT_MAX_FRAME};
+use crowd_proto::message::{
+    BatchAck, BatchCheckinAck, BusyReply, CheckinAck, CheckinRequest, CheckoutResponse, ErrorCode,
+    ErrorReply, Message,
+};
 use crowd_proto::PROTOCOL_VERSION;
-use parking_lot::Mutex;
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// How long a handler waits for a queued checkin's epoch to be applied before
+/// reporting an internal error. Epochs close on `epoch_size` or the idle
+/// flush, so in practice this bound is never approached.
+const CHECKIN_WAIT: Duration = Duration::from_secs(30);
+
+/// Read timeout on handler sockets, so connections parked in `read_message`
+/// notice a server shutdown instead of pinning their thread forever.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
 struct Shared {
-    server: Mutex<Server<MulticlassLogistic>>,
+    runtime: AggRuntime<MulticlassLogistic>,
     tokens: TokenRegistry,
     stop: AtomicBool,
 }
@@ -41,22 +64,22 @@ pub struct NetServerHandle {
 
 impl NetServer {
     /// Starts a server on `127.0.0.1` (ephemeral port) for the given model,
-    /// configuration, and device-token registry.
+    /// configuration, and device-token registry. The aggregation runtime is
+    /// configured by `config.agg` (shard count, queue bound, epoch size, …).
     pub fn start(
         model: MulticlassLogistic,
         config: ServerConfig,
         tokens: TokenRegistry,
     ) -> Result<NetServerHandle> {
         let core_server = Server::new(model, config)?;
+        let runtime = AggRuntime::new(core_server).map_err(crate::NetError::from)?;
         let shared = Arc::new(Shared {
-            server: Mutex::new(core_server),
+            runtime,
             tokens,
             stop: AtomicBool::new(false),
         });
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        // A short accept timeout lets the loop notice the stop flag promptly.
-        listener.set_nonblocking(false)?;
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
         Ok(NetServerHandle {
@@ -67,47 +90,159 @@ impl NetServer {
     }
 }
 
+struct Handler {
+    done: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Joins every handler whose connection has closed, keeping the live ones.
+fn reap_finished(handlers: &mut Vec<Handler>) {
+    handlers.retain_mut(|h| {
+        if h.done.load(Ordering::SeqCst) {
+            // The thread has flagged completion, so the join returns at once.
+            if let Some(thread) = h.thread.take() {
+                let _ = thread.join();
+            }
+            false
+        } else {
+            true
+        }
+    });
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    // Use a polling accept so shutdown() can terminate the loop.
-    listener
-        .set_nonblocking(true)
-        .expect("listener supports non-blocking mode");
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.stop.load(Ordering::SeqCst) {
+    let mut handlers: Vec<Handler> = Vec::new();
+    loop {
+        // Blocking accept: shutdown() wakes it with a self-connection after
+        // setting the stop flag, so there is no poll-sleep latency/CPU cost.
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                reap_finished(&mut handlers);
+                let done = Arc::new(AtomicBool::new(false));
+                let conn_done = Arc::clone(&done);
                 let conn_shared = Arc::clone(&shared);
-                handlers.push(std::thread::spawn(move || {
-                    // Per-connection failures only affect that device (Remark 1 of
-                    // the paper: failed checkouts/checkins are non-critical).
+                let thread = std::thread::spawn(move || {
+                    // Per-connection failures only affect that device (Remark 1
+                    // of the paper: failed checkouts/checkins are non-critical).
                     let _ = handle_connection(stream, conn_shared);
-                }));
+                    conn_done.store(true, Ordering::SeqCst);
+                });
+                handlers.push(Handler {
+                    done,
+                    thread: Some(thread),
+                });
             }
-            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failures (e.g. EMFILE under connection
+                // load) are retried, but with a pause — spinning on a failing
+                // accept would pin a core and starve the handlers whose exits
+                // free the descriptors.
+                std::thread::sleep(Duration::from_millis(10));
+                reap_finished(&mut handlers);
             }
-            Err(_) => break,
         }
     }
-    for h in handlers {
-        let _ = h.join();
+    for mut h in handlers {
+        if let Some(thread) = h.thread.take() {
+            let _ = thread.join();
+        }
     }
 }
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) -> Result<()> {
     stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
     loop {
-        let message = match read_message(&mut stream) {
-            Ok(m) => m,
+        let message = match read_message_tolerant(&mut stream, &shared)? {
+            ConnRead::Message(m) => m,
+            // No frame in flight: keep serving unless the server is stopping.
+            ConnRead::Idle => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
             // EOF or broken pipe: the device closed its connection.
-            Err(crowd_proto::ProtoError::Io(_)) => return Ok(()),
-            Err(e) => return Err(e.into()),
+            ConnRead::Closed => return Ok(()),
         };
         let reply = handle_message(&shared, message);
         write_message(&mut stream, &reply)?;
         if shared.stop.load(Ordering::SeqCst) {
             return Ok(());
         }
+    }
+}
+
+enum ConnRead {
+    Message(Message),
+    Idle,
+    Closed,
+}
+
+enum FillResult {
+    Done,
+    Idle,
+    Eof,
+}
+
+/// Fills `buf` from the socket, absorbing read timeouts.
+///
+/// A timeout with `buf` still empty and `idle_ok` set reports [`FillResult::Idle`]
+/// (nothing in flight); a timeout *mid-buffer* keeps reading, because bytes
+/// already consumed by a timed-out `read` are gone — treating that as idle
+/// would desynchronize the frame stream. Mid-buffer waiting only gives up when
+/// the server is stopping.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], idle_ok: bool, shared: &Shared) -> FillResult {
+    use std::io::Read;
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return FillResult::Eof,
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return FillResult::Eof;
+                }
+                if filled == 0 && idle_ok {
+                    return FillResult::Idle;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // Hard transport failure: the connection is unusable.
+            Err(_) => return FillResult::Eof,
+        }
+    }
+    FillResult::Done
+}
+
+/// Reads one framed message, tolerating idle-connection read timeouts without
+/// ever losing frame alignment (length prefix and payload are each read to
+/// completion across timeouts).
+fn read_message_tolerant(stream: &mut TcpStream, shared: &Shared) -> Result<ConnRead> {
+    let mut len_buf = [0u8; 4];
+    match read_full(stream, &mut len_buf, true, shared) {
+        FillResult::Done => {}
+        FillResult::Idle => return Ok(ConnRead::Idle),
+        FillResult::Eof => return Ok(ConnRead::Closed),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > DEFAULT_MAX_FRAME {
+        return Err(crowd_proto::ProtoError::FrameTooLarge {
+            declared: len,
+            max: DEFAULT_MAX_FRAME,
+        }
+        .into());
+    }
+    let mut payload = vec![0u8; len];
+    match read_full(stream, &mut payload, false, shared) {
+        FillResult::Done => Ok(ConnRead::Message(decode(&payload)?)),
+        FillResult::Idle | FillResult::Eof => Ok(ConnRead::Closed),
     }
 }
 
@@ -123,40 +258,117 @@ fn handle_message(shared: &Shared, message: Message) -> Message {
             if !shared.tokens.verify(req.device_id, &req.token) {
                 return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
             }
-            let server = shared.server.lock();
-            let ticket = server.checkout();
+            // Lock-free read path: clone the epoch snapshot, never touching the
+            // write path's locks.
+            let snapshot = shared.runtime.snapshot();
             Message::CheckoutResponse(CheckoutResponse {
-                iteration: ticket.iteration,
-                params: ticket.params.into_vec(),
-                stopped: ticket.stopped,
+                iteration: snapshot.iteration,
+                params: snapshot.params.as_slice().to_vec(),
+                stopped: snapshot.stopped,
             })
         }
         Message::CheckinRequest(req) => {
             if !shared.tokens.verify(req.device_id, &req.token) {
                 return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
             }
-            let payload = CheckinPayload {
-                device_id: req.device_id,
-                checkout_iteration: req.checkout_iteration,
-                gradient: Vector::from_vec(req.gradient),
-                num_samples: req.num_samples as usize,
-                error_count: req.error_count,
-                label_counts: req.label_counts,
-            };
-            let mut server = shared.server.lock();
-            match server.checkin(&payload) {
-                Ok(outcome) => Message::CheckinAck(CheckinAck {
-                    accepted: outcome.accepted,
-                    iteration: outcome.iteration,
-                    stopped: outcome.stopped,
-                }),
-                Err(e) => error_reply(ErrorCode::BadRequest, e.to_string()),
+            match shared.runtime.submit(payload_of(req)) {
+                Ok(handle) => match wait_ack(handle) {
+                    Ok(ack) => Message::CheckinAck(ack),
+                    Err(reply) => reply,
+                },
+                Err(e) => agg_error_reply(e),
             }
+        }
+        Message::BatchCheckinRequest(req) => {
+            // Admit every item before waiting on any of them, so a batch fills
+            // at most one epoch's worth of queue slots at a time and the
+            // runtime can fold co-submitted gradients into shared epochs.
+            let submitted: Vec<std::result::Result<CompletionHandle, Message>> = req
+                .items
+                .into_iter()
+                .map(|item| {
+                    if !shared.tokens.verify(item.device_id, &item.token) {
+                        return Err(error_reply(
+                            ErrorCode::Unauthorized,
+                            "unknown device or bad token",
+                        ));
+                    }
+                    shared
+                        .runtime
+                        .submit(payload_of(item))
+                        .map_err(agg_error_reply)
+                })
+                .collect();
+            let acks = submitted
+                .into_iter()
+                .map(|entry| match entry {
+                    Ok(handle) => match wait_ack(handle) {
+                        Ok(ack) => BatchAck {
+                            accepted: ack.accepted,
+                            iteration: ack.iteration,
+                            stopped: ack.stopped,
+                            reject: None,
+                        },
+                        Err(reply) => rejected_ack(&reply),
+                    },
+                    Err(reply) => rejected_ack(&reply),
+                })
+                .collect();
+            Message::BatchCheckinAck(BatchCheckinAck { acks })
         }
         other => error_reply(
             ErrorCode::BadRequest,
             format!("unexpected message {}", other.name()),
         ),
+    }
+}
+
+fn payload_of(req: CheckinRequest) -> CheckinPayload {
+    CheckinPayload {
+        device_id: req.device_id,
+        checkout_iteration: req.checkout_iteration,
+        gradient: Vector::from_vec(req.gradient),
+        num_samples: req.num_samples as usize,
+        error_count: req.error_count,
+        label_counts: req.label_counts,
+    }
+}
+
+fn wait_ack(handle: CompletionHandle) -> std::result::Result<CheckinAck, Message> {
+    match handle.wait_timeout(CHECKIN_WAIT) {
+        Ok(outcome) => Ok(CheckinAck {
+            accepted: outcome.accepted,
+            iteration: outcome.iteration,
+            stopped: outcome.stopped,
+        }),
+        Err(e) => Err(agg_error_reply(e)),
+    }
+}
+
+/// Maps a runtime refusal to its wire reply: backpressure becomes `Busy`,
+/// everything else an `Error`.
+fn agg_error_reply(e: AggError) -> Message {
+    match e {
+        AggError::Busy { retry_after_ms } => Message::Busy(BusyReply { retry_after_ms }),
+        AggError::Invalid(detail) => error_reply(ErrorCode::BadRequest, detail),
+        AggError::ShuttingDown => error_reply(ErrorCode::TaskEnded, "server is shutting down"),
+        AggError::Timeout => error_reply(ErrorCode::Internal, "epoch application timed out"),
+        AggError::Core(e) => error_reply(ErrorCode::Internal, e.to_string()),
+    }
+}
+
+/// Collapses a refusal reply into a per-item batch acknowledgement.
+fn rejected_ack(reply: &Message) -> BatchAck {
+    let reject = match reply {
+        Message::Busy(_) => ErrorCode::Busy,
+        Message::Error(e) => e.code,
+        _ => ErrorCode::Internal,
+    };
+    BatchAck {
+        accepted: false,
+        iteration: 0,
+        stopped: false,
+        reject: Some(reject),
     }
 }
 
@@ -173,35 +385,52 @@ impl NetServerHandle {
         self.addr
     }
 
-    /// Current server iteration (number of applied checkins).
+    /// Current server iteration (number of applied epochs).
     pub fn iteration(&self) -> u64 {
-        self.shared.server.lock().iteration()
+        self.shared.runtime.iteration()
     }
 
     /// A copy of the current parameters.
     pub fn params(&self) -> Vector {
-        self.shared.server.lock().params().clone()
+        self.shared.runtime.params()
     }
 
     /// Whether the stopping criterion has been met.
     pub fn stopped(&self) -> bool {
-        self.shared.server.lock().stopped()
+        self.shared.runtime.stopped()
     }
 
     /// The total number of samples reported by devices.
     pub fn total_samples(&self) -> u64 {
-        self.shared.server.lock().total_samples()
+        self.shared.runtime.total_samples()
     }
 
     /// The privately estimated error rate (Eq. 14), if any samples were reported.
     pub fn error_estimate(&self) -> Option<f64> {
-        self.shared.server.lock().error_estimate()
+        self.shared.runtime.error_estimate()
     }
 
-    /// Signals the accept loop to stop and waits for it to finish.
+    /// A snapshot of the aggregation-runtime counters (`epoch_merges`,
+    /// `checkins_applied`, `busy_rejections`, …).
+    pub fn runtime_stats(&self) -> crowd_sim::TraceCollector {
+        self.shared.runtime.stats()
+    }
+
+    /// Signals the accept loop to stop, wakes it, and waits for it (and the
+    /// aggregation workers) to finish.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        // Flush the runtime FIRST: any handler blocked on a partially filled
+        // epoch gets its outcome and can finish, so the handler joins below
+        // cannot stall behind an epoch that would never close.
+        self.shared.runtime.shutdown();
         if let Some(handle) = self.accept_thread.take() {
+            // Wake the blocking accept with a throwaway self-connection.
+            let _ = TcpStream::connect(self.addr);
             let _ = handle.join();
         }
     }
@@ -209,10 +438,7 @@ impl NetServerHandle {
 
 impl Drop for NetServerHandle {
     fn drop(&mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
+        self.stop_and_join();
     }
 }
 
@@ -220,7 +446,8 @@ impl Drop for NetServerHandle {
 mod tests {
     use super::*;
     use crowd_proto::auth::AuthToken;
-    use crowd_proto::message::CheckoutRequest;
+    use crowd_proto::frame::read_message;
+    use crowd_proto::message::{BatchCheckinRequest, CheckoutRequest};
 
     fn start_test_server() -> (NetServerHandle, AuthToken) {
         let model = MulticlassLogistic::new(4, 3).unwrap();
@@ -233,6 +460,18 @@ mod tests {
         let mut stream = TcpStream::connect(addr).unwrap();
         write_message(&mut stream, msg).unwrap();
         read_message(&mut stream).unwrap()
+    }
+
+    fn checkin_item(device_id: u64, secret: u64, gradient: Vec<f64>) -> CheckinRequest {
+        CheckinRequest {
+            device_id,
+            token: AuthToken::derive(device_id, secret),
+            checkout_iteration: 0,
+            gradient,
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1, 0],
+        }
     }
 
     #[test]
@@ -323,5 +562,157 @@ mod tests {
         assert!(!handle.stopped());
         assert_eq!(handle.params().len(), 12);
         handle.shutdown();
+    }
+
+    #[test]
+    fn checkin_over_tcp_applies_update() {
+        let (handle, _) = start_test_server();
+        let reply = roundtrip(
+            handle.addr(),
+            &Message::CheckinRequest(checkin_item(1, 99, vec![0.1; 12])),
+        );
+        match reply {
+            Message::CheckinAck(ack) => {
+                assert!(ack.accepted);
+                assert_eq!(ack.iteration, 1);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(handle.iteration(), 1);
+        assert_eq!(handle.total_samples(), 2);
+        assert_eq!(handle.runtime_stats().get("checkins_applied"), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn batch_checkin_from_colocated_devices() {
+        let (handle, _) = start_test_server();
+        // Devices 1–3 share a frame; device 3 carries a bad token, device 2 a
+        // malformed gradient — each item is judged independently.
+        let mut bad_token = checkin_item(3, 12345, vec![0.1; 12]);
+        bad_token.device_id = 3;
+        let batch = Message::BatchCheckinRequest(BatchCheckinRequest {
+            items: vec![
+                checkin_item(1, 99, vec![0.1; 12]),
+                checkin_item(2, 99, vec![0.5; 3]),
+                bad_token,
+            ],
+        });
+        let reply = roundtrip(handle.addr(), &batch);
+        match reply {
+            Message::BatchCheckinAck(ack) => {
+                assert_eq!(ack.acks.len(), 3);
+                assert!(ack.acks[0].accepted);
+                assert_eq!(ack.acks[0].reject, None);
+                assert!(!ack.acks[1].accepted);
+                assert_eq!(ack.acks[1].reject, Some(ErrorCode::BadRequest));
+                assert!(!ack.acks[2].accepted);
+                assert_eq!(ack.acks[2].reject, Some(ErrorCode::Unauthorized));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(handle.iteration(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slow_frame_straddling_read_timeouts_stays_aligned() {
+        // A frame trickling in slower than READ_TIMEOUT must not be mistaken
+        // for an idle connection: a mid-frame timeout that discarded consumed
+        // bytes would desynchronize the stream and corrupt every later frame.
+        let (handle, token) = start_test_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let frame = {
+            let payload = crowd_proto::codec::encode(&Message::CheckoutRequest(CheckoutRequest {
+                version: PROTOCOL_VERSION,
+                device_id: 0,
+                token,
+            }));
+            let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+            bytes.extend_from_slice(&payload);
+            bytes
+        };
+        // Send the length prefix and payload byte-group by byte-group with
+        // gaps comfortably longer than the server's read timeout.
+        use std::io::Write;
+        for chunk in frame.chunks(frame.len() / 3 + 1) {
+            stream.write_all(chunk).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(READ_TIMEOUT + Duration::from_millis(50));
+        }
+        match read_message(&mut stream).unwrap() {
+            Message::CheckoutResponse(r) => assert_eq!(r.params.len(), 12),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // The connection is still usable for a second, fast frame.
+        write_message(
+            &mut stream,
+            &Message::CheckinRequest(checkin_item(1, 99, vec![0.1; 12])),
+        )
+        .unwrap();
+        match read_message(&mut stream).unwrap() {
+            Message::CheckinAck(ack) => assert!(ack.accepted),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn full_queue_replies_busy_over_tcp() {
+        let model = MulticlassLogistic::new(4, 3).unwrap();
+        let tokens = TokenRegistry::with_derived_tokens(4, 99);
+        // A queue nothing drains (no workers ever beat a closed epoch of
+        // u64::MAX without idle flushes) forces the busy path deterministically.
+        let config = ServerConfig::new().with_agg(crowd_core::config::AggSettings {
+            shard_count: 1,
+            queue_bound: 1,
+            epoch_size: u64::MAX,
+            worker_threads: 1,
+            retry_after_ms: 9,
+            flush_idle_ms: 0,
+        });
+        let handle = NetServer::start(model, config, tokens).unwrap();
+        // Saturate from 20 parallel connections. Admitted checkins only
+        // resolve at the shutdown flush (the epoch never fills), so replies
+        // are read on background threads while the main thread shuts down.
+        let mut readers = Vec::new();
+        for attempt in 0..20u64 {
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            write_message(
+                &mut stream,
+                &Message::CheckinRequest(checkin_item(attempt % 4, 99, vec![0.1; 12])),
+            )
+            .unwrap();
+            readers.push(std::thread::spawn(move || {
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                read_message(&mut stream).ok()
+            }));
+        }
+        // Give the burst time to hit the 1-deep queue, then flush via shutdown.
+        std::thread::sleep(Duration::from_millis(100));
+        handle.shutdown();
+        let mut busy = 0;
+        let mut acked = 0;
+        for reader in readers {
+            match reader.join().unwrap() {
+                Some(Message::Busy(b)) => {
+                    assert_eq!(b.retry_after_ms, 9);
+                    busy += 1;
+                }
+                Some(Message::CheckinAck(_)) => acked += 1,
+                Some(other) => panic!("unexpected reply {other:?}"),
+                None => {}
+            }
+        }
+        assert!(
+            busy > 0,
+            "a 1-deep queue must reject under 20 racing checkins"
+        );
+        assert!(
+            acked > 0,
+            "the admitted checkins resolve at the final flush"
+        );
     }
 }

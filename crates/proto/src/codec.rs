@@ -8,7 +8,8 @@
 use crate::auth::{AuthToken, TOKEN_LEN};
 use crate::error::ProtoError;
 use crate::message::{
-    CheckinAck, CheckinRequest, CheckoutRequest, CheckoutResponse, ErrorCode, ErrorReply, Message,
+    BatchAck, BatchCheckinAck, BatchCheckinRequest, BusyReply, CheckinAck, CheckinRequest,
+    CheckoutRequest, CheckoutResponse, ErrorCode, ErrorReply, Message,
 };
 use crate::Result;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -16,6 +17,10 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// Maximum number of elements accepted in any decoded vector (gradients, label
 /// counts). Prevents a malicious length prefix from triggering a huge allocation.
 pub const MAX_VEC_LEN: usize = 16 * 1024 * 1024;
+
+/// Maximum number of checkins accepted in one batch frame. Each item embeds a
+/// gradient, so the cap keeps a single frame's decode cost bounded.
+pub const MAX_BATCH_ITEMS: usize = 4096;
 
 /// Encodes a message into a standalone byte buffer (without the frame length
 /// prefix).
@@ -34,13 +39,7 @@ pub fn encode(message: &Message) -> Bytes {
             put_f64_vec(&mut buf, &m.params);
         }
         Message::CheckinRequest(m) => {
-            buf.put_u64_le(m.device_id);
-            buf.put_slice(m.token.as_bytes());
-            buf.put_u64_le(m.checkout_iteration);
-            buf.put_u32_le(m.num_samples);
-            buf.put_i64_le(m.error_count);
-            put_f64_vec(&mut buf, &m.gradient);
-            put_i64_vec(&mut buf, &m.label_counts);
+            put_checkin(&mut buf, m);
         }
         Message::CheckinAck(m) => {
             put_bool(&mut buf, m.accepted);
@@ -50,6 +49,25 @@ pub fn encode(message: &Message) -> Bytes {
         Message::Error(m) => {
             buf.put_u8(m.code.as_u8());
             put_string(&mut buf, &m.detail);
+        }
+        Message::BatchCheckinRequest(m) => {
+            buf.put_u32_le(m.items.len() as u32);
+            for item in &m.items {
+                put_checkin(&mut buf, item);
+            }
+        }
+        Message::BatchCheckinAck(m) => {
+            buf.put_u32_le(m.acks.len() as u32);
+            for ack in &m.acks {
+                put_bool(&mut buf, ack.accepted);
+                buf.put_u64_le(ack.iteration);
+                put_bool(&mut buf, ack.stopped);
+                // 0 = processed normally, otherwise the refusing error code.
+                buf.put_u8(ack.reject.map_or(0, ErrorCode::as_u8));
+            }
+        }
+        Message::Busy(m) => {
+            buf.put_u32_le(m.retry_after_ms);
         }
     }
     buf.freeze()
@@ -79,24 +97,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Message> {
                 stopped,
             })
         }
-        3 => {
-            let device_id = get_u64(&mut buf, "device_id")?;
-            let token = get_token(&mut buf)?;
-            let checkout_iteration = get_u64(&mut buf, "checkout_iteration")?;
-            let num_samples = get_u32(&mut buf, "num_samples")?;
-            let error_count = get_i64(&mut buf, "error_count")?;
-            let gradient = get_f64_vec(&mut buf, "gradient")?;
-            let label_counts = get_i64_vec(&mut buf, "label_counts")?;
-            Message::CheckinRequest(CheckinRequest {
-                device_id,
-                token,
-                checkout_iteration,
-                gradient,
-                num_samples,
-                error_count,
-                label_counts,
-            })
-        }
+        3 => Message::CheckinRequest(get_checkin(&mut buf)?),
         4 => {
             let accepted = get_bool(&mut buf, "accepted")?;
             let iteration = get_u64(&mut buf, "iteration")?;
@@ -116,6 +117,45 @@ pub fn decode(mut buf: &[u8]) -> Result<Message> {
             let detail = get_string(&mut buf, "detail")?;
             Message::Error(ErrorReply { code, detail })
         }
+        6 => {
+            let count = get_batch_len(&mut buf, "batch items")?;
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(get_checkin(&mut buf)?);
+            }
+            Message::BatchCheckinRequest(BatchCheckinRequest { items })
+        }
+        7 => {
+            let count = get_batch_len(&mut buf, "batch acks")?;
+            let mut acks = Vec::with_capacity(count);
+            for _ in 0..count {
+                let accepted = get_bool(&mut buf, "accepted")?;
+                let iteration = get_u64(&mut buf, "iteration")?;
+                let stopped = get_bool(&mut buf, "stopped")?;
+                let raw_reject = get_u8(&mut buf, "reject code")?;
+                let reject = if raw_reject == 0 {
+                    None
+                } else {
+                    Some(
+                        ErrorCode::from_u8(raw_reject).ok_or(ProtoError::InvalidField {
+                            field: "reject_code",
+                            reason: format!("unknown code {raw_reject}"),
+                        })?,
+                    )
+                };
+                acks.push(BatchAck {
+                    accepted,
+                    iteration,
+                    stopped,
+                    reject,
+                });
+            }
+            Message::BatchCheckinAck(BatchCheckinAck { acks })
+        }
+        8 => {
+            let retry_after_ms = get_u32(&mut buf, "retry_after_ms")?;
+            Message::Busy(BusyReply { retry_after_ms })
+        }
         other => return Err(ProtoError::UnknownMessageTag(other)),
     };
     if !buf.is_empty() {
@@ -125,6 +165,46 @@ pub fn decode(mut buf: &[u8]) -> Result<Message> {
         });
     }
     Ok(message)
+}
+
+fn put_checkin(buf: &mut BytesMut, m: &CheckinRequest) {
+    buf.put_u64_le(m.device_id);
+    buf.put_slice(m.token.as_bytes());
+    buf.put_u64_le(m.checkout_iteration);
+    buf.put_u32_le(m.num_samples);
+    buf.put_i64_le(m.error_count);
+    put_f64_vec(buf, &m.gradient);
+    put_i64_vec(buf, &m.label_counts);
+}
+
+fn get_checkin(buf: &mut &[u8]) -> Result<CheckinRequest> {
+    let device_id = get_u64(buf, "device_id")?;
+    let token = get_token(buf)?;
+    let checkout_iteration = get_u64(buf, "checkout_iteration")?;
+    let num_samples = get_u32(buf, "num_samples")?;
+    let error_count = get_i64(buf, "error_count")?;
+    let gradient = get_f64_vec(buf, "gradient")?;
+    let label_counts = get_i64_vec(buf, "label_counts")?;
+    Ok(CheckinRequest {
+        device_id,
+        token,
+        checkout_iteration,
+        gradient,
+        num_samples,
+        error_count,
+        label_counts,
+    })
+}
+
+fn get_batch_len(buf: &mut &[u8], context: &'static str) -> Result<usize> {
+    let len = get_u32(buf, context)? as usize;
+    if len > MAX_BATCH_ITEMS {
+        return Err(ProtoError::InvalidField {
+            field: context,
+            reason: format!("declared batch size {len} exceeds maximum {MAX_BATCH_ITEMS}"),
+        });
+    }
+    Ok(len)
 }
 
 fn put_bool(buf: &mut BytesMut, value: bool) {
@@ -262,6 +342,45 @@ mod tests {
                 code: ErrorCode::Unauthorized,
                 detail: "bad token".into(),
             }),
+            Message::BatchCheckinRequest(BatchCheckinRequest {
+                items: vec![
+                    CheckinRequest {
+                        device_id: 1,
+                        token: AuthToken::derive(1, 7),
+                        checkout_iteration: 3,
+                        gradient: vec![0.25, -0.5],
+                        num_samples: 4,
+                        error_count: 1,
+                        label_counts: vec![2, 2],
+                    },
+                    CheckinRequest {
+                        device_id: 2,
+                        token: AuthToken::derive(2, 7),
+                        checkout_iteration: 3,
+                        gradient: vec![],
+                        num_samples: 1,
+                        error_count: -1,
+                        label_counts: vec![],
+                    },
+                ],
+            }),
+            Message::BatchCheckinAck(BatchCheckinAck {
+                acks: vec![
+                    BatchAck {
+                        accepted: true,
+                        iteration: 4,
+                        stopped: false,
+                        reject: None,
+                    },
+                    BatchAck {
+                        accepted: false,
+                        iteration: 4,
+                        stopped: true,
+                        reject: Some(ErrorCode::Unauthorized),
+                    },
+                ],
+            }),
+            Message::Busy(BusyReply { retry_after_ms: 25 }),
         ]
     }
 
@@ -335,6 +454,40 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let req = Message::BatchCheckinRequest(BatchCheckinRequest { items: vec![] });
+        assert_eq!(decode(&encode(&req)).unwrap(), req);
+        let ack = Message::BatchCheckinAck(BatchCheckinAck { acks: vec![] });
+        assert_eq!(decode(&encode(&ack)).unwrap(), ack);
+    }
+
+    #[test]
+    fn oversized_batch_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(6);
+        buf.put_u32_le((MAX_BATCH_ITEMS + 1) as u32);
+        assert!(matches!(
+            decode(&buf),
+            Err(ProtoError::InvalidField {
+                field: "batch items",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn invalid_batch_reject_code_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32_le(1);
+        buf.put_u8(1); // accepted
+        buf.put_u64_le(0); // iteration
+        buf.put_u8(0); // stopped
+        buf.put_u8(200); // unknown reject code
+        assert!(decode(&buf).is_err());
     }
 
     #[test]

@@ -67,6 +67,48 @@ pub struct CheckinAck {
     pub stopped: bool,
 }
 
+/// A batch of checkins sent in one frame.
+///
+/// Co-located devices (or a gateway fronting several of them) amortize framing
+/// and connection overhead by packing multiple [`CheckinRequest`]s — possibly
+/// from different devices, each carrying its own token — into one message. The
+/// server authenticates and ingests each item independently and replies with a
+/// positionally matching [`BatchCheckinAck`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCheckinRequest {
+    /// The individual checkins, each self-authenticating.
+    pub items: Vec<CheckinRequest>,
+}
+
+/// Per-item result inside a [`BatchCheckinAck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAck {
+    /// Whether the item's gradient was applied.
+    pub accepted: bool,
+    /// The server iteration after the item's epoch.
+    pub iteration: u64,
+    /// Whether the stopping criterion has been met.
+    pub stopped: bool,
+    /// Why the item was refused (`None` when it was processed normally; a
+    /// refused item also has `accepted == false`).
+    pub reject: Option<ErrorCode>,
+}
+
+/// Positional acknowledgements for a [`BatchCheckinRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCheckinAck {
+    /// One entry per request item, in order.
+    pub acks: Vec<BatchAck>,
+}
+
+/// Server → device: the ingest queue is full; retry after a short backoff
+/// instead of blocking a handler thread (backpressure, not failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyReply {
+    /// Suggested client backoff in milliseconds (0 = client's choice).
+    pub retry_after_ms: u32,
+}
+
 /// An error reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorReply {
@@ -87,6 +129,9 @@ pub enum ErrorCode {
     TaskEnded,
     /// Any other server-side failure.
     Internal,
+    /// The server's ingest queue is full; the request should be retried after
+    /// a short backoff (backpressure, not failure).
+    Busy,
 }
 
 impl ErrorCode {
@@ -97,6 +142,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => 2,
             ErrorCode::TaskEnded => 3,
             ErrorCode::Internal => 4,
+            ErrorCode::Busy => 5,
         }
     }
 
@@ -107,8 +153,14 @@ impl ErrorCode {
             2 => Some(ErrorCode::BadRequest),
             3 => Some(ErrorCode::TaskEnded),
             4 => Some(ErrorCode::Internal),
+            5 => Some(ErrorCode::Busy),
             _ => None,
         }
+    }
+
+    /// `true` when a client should transparently retry after a backoff.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Busy)
     }
 }
 
@@ -125,6 +177,12 @@ pub enum Message {
     CheckinAck(CheckinAck),
     /// Server → device: error reply.
     Error(ErrorReply),
+    /// Gateway → server: several checkins in one frame.
+    BatchCheckinRequest(BatchCheckinRequest),
+    /// Server → gateway: positional acknowledgements for a batch.
+    BatchCheckinAck(BatchCheckinAck),
+    /// Server → device: backpressure rejection with a retry hint.
+    Busy(BusyReply),
 }
 
 impl Message {
@@ -136,6 +194,9 @@ impl Message {
             Message::CheckinRequest(_) => 3,
             Message::CheckinAck(_) => 4,
             Message::Error(_) => 5,
+            Message::BatchCheckinRequest(_) => 6,
+            Message::BatchCheckinAck(_) => 7,
+            Message::Busy(_) => 8,
         }
     }
 
@@ -147,6 +208,9 @@ impl Message {
             Message::CheckinRequest(_) => "checkin_request",
             Message::CheckinAck(_) => "checkin_ack",
             Message::Error(_) => "error",
+            Message::BatchCheckinRequest(_) => "batch_checkin_request",
+            Message::BatchCheckinAck(_) => "batch_checkin_ack",
+            Message::Busy(_) => "busy",
         }
     }
 }
@@ -186,13 +250,19 @@ mod tests {
                 code: ErrorCode::Internal,
                 detail: String::new(),
             }),
+            Message::BatchCheckinRequest(BatchCheckinRequest { items: vec![] }),
+            Message::BatchCheckinAck(BatchCheckinAck { acks: vec![] }),
+            Message::Busy(BusyReply { retry_after_ms: 2 }),
         ];
         let mut tags: Vec<u8> = msgs.iter().map(|m| m.tag()).collect();
         tags.sort_unstable();
         tags.dedup();
-        assert_eq!(tags.len(), 5);
+        assert_eq!(tags.len(), 8);
         assert_eq!(msgs[0].name(), "checkout_request");
         assert_eq!(msgs[4].name(), "error");
+        assert_eq!(msgs[5].name(), "batch_checkin_request");
+        assert_eq!(msgs[6].name(), "batch_checkin_ack");
+        assert_eq!(msgs[7].name(), "busy");
     }
 
     #[test]
@@ -202,10 +272,13 @@ mod tests {
             ErrorCode::BadRequest,
             ErrorCode::TaskEnded,
             ErrorCode::Internal,
+            ErrorCode::Busy,
         ] {
             assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
         }
         assert_eq!(ErrorCode::from_u8(0), None);
         assert_eq!(ErrorCode::from_u8(99), None);
+        assert!(ErrorCode::Busy.is_retryable());
+        assert!(!ErrorCode::BadRequest.is_retryable());
     }
 }

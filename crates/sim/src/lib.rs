@@ -19,4 +19,4 @@ pub mod trace;
 pub use delay::DelayModel;
 pub use event::Event;
 pub use queue::EventQueue;
-pub use trace::TraceCollector;
+pub use trace::{SharedTrace, TraceCollector};

@@ -35,7 +35,14 @@ fn main() {
 
     println!("Starting a localhost Crowd-ML cluster: 1 server + {devices} device threads");
 
-    let cluster = LocalCluster::new(ServerConfig::new().with_rate_constant(2.0))
+    // The server serves from the sharded aggregation runtime: 8 accumulator
+    // stripes, a 256-deep ingest queue (overflow answered with Busy +
+    // retry-after, which the device clients absorb with backoff).
+    let server_config = ServerConfig::new()
+        .with_rate_constant(2.0)
+        .with_shard_count(8)
+        .with_queue_bound(256);
+    let cluster = LocalCluster::new(server_config)
         .with_device(DeviceConfig::new(10))
         .with_privacy(PrivacyConfig::with_total_epsilon(5.0))
         .with_seed(17);
@@ -45,6 +52,11 @@ fn main() {
 
     println!("server applied {} updates", report.server_iterations);
     println!("devices reported {} samples in total", report.total_samples);
+    println!(
+        "aggregation runtime: {} epoch merges, {} busy rejections",
+        report.runtime_stats.get("epoch_merges"),
+        report.runtime_stats.get("busy_rejections"),
+    );
     for (id, device) in report.device_reports.iter().enumerate() {
         println!(
             "  device {id}: observed {:>4} samples, completed {:>3} checkins",

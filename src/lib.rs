@@ -15,6 +15,8 @@
 //! * [`net`] — TCP deployment of the protocol.
 //! * [`core`] — the Crowd-ML framework itself: device/server routines, baselines,
 //!   and experiment runners.
+//! * [`agg`] — the sharded, batched gradient-aggregation runtime the TCP server
+//!   serves from.
 //!
 //! ## Quick start
 //!
@@ -36,6 +38,7 @@
 //! assert!(outcome.final_test_error() < 0.9);
 //! ```
 
+pub use crowd_agg as agg;
 pub use crowd_core as core;
 pub use crowd_data as data;
 pub use crowd_dp as dp;

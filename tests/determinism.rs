@@ -1,9 +1,19 @@
-//! Reproducibility guarantees: a fixed seed yields identical experiments, and
-//! different seeds yield different noise realizations.
+//! Reproducibility guarantees: a fixed seed yields identical experiments,
+//! different seeds yield different noise realizations, and the sharded
+//! aggregation runtime reproduces the sequential single-lock aggregate bit for
+//! bit.
 
-use crowd_ml::core::config::PrivacyConfig;
+use crowd_ml::agg::AggRuntime;
+use crowd_ml::core::config::{AggSettings, PrivacyConfig, ServerConfig};
+use crowd_ml::core::device::CheckinPayload;
 use crowd_ml::core::experiment::{CrowdMlExperiment, ExperimentConfig};
+use crowd_ml::core::server::Server;
 use crowd_ml::data::synthetic::GaussianMixtureSpec;
+use crowd_ml::learning::MulticlassLogistic;
+use crowd_ml::linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 fn experiment(seed: u64) -> CrowdMlExperiment {
     let spec = GaussianMixtureSpec::new(8, 3)
@@ -40,4 +50,134 @@ fn different_seeds_differ() {
     let b = experiment(2).run().expect("run 2");
     // Different data, partitioning, and noise: the curves should not coincide.
     assert_ne!(a.curve, b.curve);
+}
+
+const DETERMINISM_DIM: usize = 8;
+const DETERMINISM_CLASSES: usize = 4;
+const DETERMINISM_DEVICES: u64 = 12;
+const DETERMINISM_CHECKINS: u64 = 4;
+
+fn determinism_payload(device: u64, step: u64) -> CheckinPayload {
+    let dim = DETERMINISM_DIM * DETERMINISM_CLASSES;
+    let mut rng = StdRng::seed_from_u64(device * 7919 + step);
+    CheckinPayload {
+        device_id: device,
+        checkout_iteration: step,
+        gradient: Vector::from_vec((0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()),
+        num_samples: 3,
+        error_count: rng.gen_range(-2i64..3),
+        label_counts: (0..DETERMINISM_CLASSES)
+            .map(|_| rng.gen_range(0i64..3))
+            .collect(),
+    }
+}
+
+fn determinism_runtime(agg: AggSettings) -> AggRuntime<MulticlassLogistic> {
+    let model = MulticlassLogistic::new(DETERMINISM_DIM, DETERMINISM_CLASSES).unwrap();
+    let config = ServerConfig::new().with_rate_constant(1.5).with_agg(agg);
+    AggRuntime::new(Server::new(model, config).unwrap()).unwrap()
+}
+
+/// The sharded runtime's epoch aggregate must equal the sequential single-lock
+/// aggregate bit for bit: many shards fed from concurrent device threads end
+/// in exactly the same parameters as one shard fed sequentially.
+///
+/// Epoch boundaries are pinned (one epoch covering every checkin, idle flush
+/// disabled) so the only thing under test is what sharding can change: which
+/// stripe accumulated each gradient and in which order the stripes merged.
+#[test]
+fn sharded_aggregation_matches_single_lock_bitwise() {
+    let total = DETERMINISM_DEVICES * DETERMINISM_CHECKINS;
+
+    // Sequential single-lock reference: one stripe, one thread, one epoch.
+    let sequential = determinism_runtime(AggSettings {
+        shard_count: 1,
+        queue_bound: 2 * total as usize,
+        epoch_size: total,
+        worker_threads: 1,
+        retry_after_ms: 1,
+        flush_idle_ms: 0,
+    });
+    let mut waits = Vec::new();
+    for device in 0..DETERMINISM_DEVICES {
+        for step in 0..DETERMINISM_CHECKINS {
+            waits.push(
+                sequential
+                    .submit(determinism_payload(device, step))
+                    .expect("sequential submit"),
+            );
+        }
+    }
+    for wait in waits {
+        assert!(wait.wait().expect("sequential outcome").accepted);
+    }
+    let expected_params = sequential.params();
+    let expected_iteration = sequential.iteration();
+    let expected_samples = sequential.total_samples();
+    sequential.shutdown();
+
+    // Concurrent sharded run: 7 stripes, one thread per device. A single
+    // worker keeps each device's own checkins accumulating in submission order
+    // (the guarantee the live protocol gets from devices awaiting their acks),
+    // while the 12 device threads still race freely against each other — the
+    // nondeterminism the per-device stripes and fixed merge order must absorb.
+    let sharded = Arc::new(determinism_runtime(AggSettings {
+        shard_count: 7,
+        queue_bound: 2 * total as usize,
+        epoch_size: total,
+        worker_threads: 1,
+        retry_after_ms: 1,
+        flush_idle_ms: 0,
+    }));
+    let mut threads = Vec::new();
+    for device in 0..DETERMINISM_DEVICES {
+        let runtime = Arc::clone(&sharded);
+        threads.push(std::thread::spawn(move || {
+            // Each device's own checkins stay sequential (as the protocol
+            // guarantees), but devices race freely against each other.
+            let handles: Vec<_> = (0..DETERMINISM_CHECKINS)
+                .map(|step| {
+                    runtime
+                        .submit(determinism_payload(device, step))
+                        .expect("sharded submit")
+                })
+                .collect();
+            for handle in handles {
+                assert!(handle.wait().expect("sharded outcome").accepted);
+            }
+        }));
+    }
+    for thread in threads {
+        thread.join().expect("device thread");
+    }
+
+    assert_eq!(sharded.iteration(), expected_iteration);
+    assert_eq!(sharded.total_samples(), expected_samples);
+    // Bit-for-bit: raw f64 comparison, no tolerance.
+    assert_eq!(sharded.params().as_slice(), expected_params.as_slice());
+    sharded.shutdown();
+}
+
+/// With the default per-checkin epochs (`epoch_size = 1`), the runtime applies
+/// exactly the classic `Server::checkin` update: driving the same payloads
+/// sequentially through both paths ends in bitwise identical parameters.
+#[test]
+fn runtime_epoch_size_one_matches_classic_server_bitwise() {
+    let model = MulticlassLogistic::new(DETERMINISM_DIM, DETERMINISM_CLASSES).unwrap();
+    let config = ServerConfig::new().with_rate_constant(1.5);
+    let mut classic = Server::new(model, config.clone()).unwrap();
+    let runtime = determinism_runtime(config.agg);
+
+    for device in 0..DETERMINISM_DEVICES {
+        for step in 0..DETERMINISM_CHECKINS {
+            let payload = determinism_payload(device, step);
+            let classic_outcome = classic.checkin(&payload).unwrap();
+            let runtime_outcome = runtime.checkin(payload).unwrap();
+            assert_eq!(classic_outcome.iteration, runtime_outcome.iteration);
+            assert_eq!(classic_outcome.accepted, runtime_outcome.accepted);
+        }
+    }
+    assert_eq!(classic.params().as_slice(), runtime.params().as_slice());
+    assert_eq!(classic.total_samples(), runtime.total_samples());
+    runtime.shutdown();
 }

@@ -14,7 +14,10 @@ use crowd_ml::linalg::ops::{normalize_l1, project_l2_ball};
 use crowd_ml::linalg::Vector;
 use crowd_ml::proto::auth::AuthToken;
 use crowd_ml::proto::codec::{decode, encode};
-use crowd_ml::proto::message::{CheckinRequest, CheckoutResponse, Message};
+use crowd_ml::proto::message::{
+    BatchAck, BatchCheckinAck, BatchCheckinRequest, BusyReply, CheckinRequest, CheckoutResponse,
+    ErrorCode, Message,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -99,6 +102,48 @@ proptest! {
             stopped,
         });
         prop_assert_eq!(decode(&encode(&checkout)).unwrap(), checkout);
+    }
+
+    /// Batch-checkin and retry-after messages survive encode → decode unchanged
+    /// for every well-formed combination of items, acks, and reject codes.
+    #[test]
+    fn batch_and_busy_round_trip(
+        device_ids in prop::collection::vec(any::<u64>(), 0..6),
+        iteration in any::<u64>(),
+        gradient in prop::collection::vec(-1e6f64..1e6, 0..48),
+        counts in prop::collection::vec(-1000i64..1000, 0..8),
+        num_samples in 0u32..10_000,
+        error_count in -1000i64..1000,
+        reject_selector in 0u8..6,
+        accepted in any::<bool>(),
+        stopped in any::<bool>(),
+        retry_after_ms in any::<u32>(),
+    ) {
+        let items: Vec<CheckinRequest> = device_ids
+            .iter()
+            .map(|&device_id| CheckinRequest {
+                device_id,
+                token: AuthToken::derive(device_id, 42),
+                checkout_iteration: iteration,
+                gradient: gradient.clone(),
+                num_samples,
+                error_count,
+                label_counts: counts.clone(),
+            })
+            .collect();
+        let batch = Message::BatchCheckinRequest(BatchCheckinRequest { items });
+        prop_assert_eq!(decode(&encode(&batch)).unwrap(), batch);
+
+        // Cycle the reject field through "processed" and every error code.
+        let reject = ErrorCode::from_u8(reject_selector);
+        let acks: Vec<BatchAck> = (0..device_ids.len())
+            .map(|_| BatchAck { accepted, iteration, stopped, reject })
+            .collect();
+        let batch_ack = Message::BatchCheckinAck(BatchCheckinAck { acks });
+        prop_assert_eq!(decode(&encode(&batch_ack)).unwrap(), batch_ack);
+
+        let busy = Message::Busy(BusyReply { retry_after_ms });
+        prop_assert_eq!(decode(&encode(&busy)).unwrap(), busy);
     }
 
     /// Partitioning never loses or duplicates samples and preserves class counts,
