@@ -51,8 +51,16 @@ pub enum AggError {
     ShuttingDown,
     /// A bounded wait for an epoch application elapsed.
     Timeout,
+    /// The device has spent its entire privacy budget; the server refuses to
+    /// query it further (neither checkouts nor checkins are served).
+    BudgetExhausted {
+        /// The exhausted device.
+        device_id: u64,
+    },
     /// The core framework reported an error.
     Core(crowd_core::CoreError),
+    /// The persistence subsystem reported an error.
+    Store(crowd_store::StoreError),
 }
 
 impl fmt::Display for AggError {
@@ -64,7 +72,11 @@ impl fmt::Display for AggError {
             AggError::Invalid(detail) => write!(f, "invalid checkin: {detail}"),
             AggError::ShuttingDown => write!(f, "aggregation runtime is shutting down"),
             AggError::Timeout => write!(f, "timed out waiting for epoch application"),
+            AggError::BudgetExhausted { device_id } => {
+                write!(f, "device {device_id} has exhausted its privacy budget")
+            }
             AggError::Core(e) => write!(f, "core error: {e}"),
+            AggError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -73,6 +85,7 @@ impl std::error::Error for AggError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AggError::Core(e) => Some(e),
+            AggError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -81,6 +94,12 @@ impl std::error::Error for AggError {
 impl From<crowd_core::CoreError> for AggError {
     fn from(e: crowd_core::CoreError) -> Self {
         AggError::Core(e)
+    }
+}
+
+impl From<crowd_store::StoreError> for AggError {
+    fn from(e: crowd_store::StoreError) -> Self {
+        AggError::Store(e)
     }
 }
 
@@ -103,5 +122,11 @@ mod tests {
         assert!(std::error::Error::source(&core).is_some());
         assert!(AggError::ShuttingDown.to_string().contains("shutting down"));
         assert!(AggError::Timeout.to_string().contains("timed out"));
+        let exhausted = AggError::BudgetExhausted { device_id: 6 };
+        assert!(exhausted.to_string().contains("device 6"));
+        assert!(std::error::Error::source(&exhausted).is_none());
+        let store: AggError = crowd_store::StoreError::CorruptWal("tail".into()).into();
+        assert!(store.to_string().contains("tail"));
+        assert!(std::error::Error::source(&store).is_some());
     }
 }

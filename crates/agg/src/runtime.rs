@@ -22,12 +22,14 @@ use crate::shard::{ShardSet, Waiter};
 use crate::{AggError, Result};
 use crowd_core::config::AggSettings;
 use crowd_core::device::CheckinPayload;
-use crowd_core::server::{CheckinOutcome, CheckoutTicket, Server};
+use crowd_core::server::{CheckinOutcome, CheckoutTicket, EpochAggregate, Server};
 use crowd_learning::model::Model;
 use crowd_linalg::Vector;
 use crowd_sim::trace::{SharedTrace, TraceCollector};
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicI64, Ordering};
+use crowd_store::Store;
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -65,6 +67,18 @@ struct Inner<M: Model> {
     param_dim: usize,
     num_classes: usize,
     stats: SharedTrace,
+    /// The durability hook: when present, every epoch is WAL-appended (with
+    /// its ε charges) *before* it is applied and its checkins acked, so the
+    /// append group-commits with the epoch batching. Locked strictly after
+    /// `core` (never the other way) to keep the lock order acyclic.
+    store: Option<Mutex<Store>>,
+    /// Devices that have spent their entire privacy budget. Read lock-free-ish
+    /// on the submit path; updated under the core lock whenever an applied
+    /// epoch pushes a device over its ceiling.
+    exhausted: RwLock<HashSet<u64>>,
+    /// Set by [`AggRuntime::kill`]: skip the final flush and the shutdown
+    /// checkpoint, leaving the disk exactly as a SIGKILL would.
+    crashed: AtomicBool,
 }
 
 /// A ticket for a submitted checkin: blocks until the checkin's epoch has been
@@ -97,13 +111,31 @@ pub struct AggRuntime<M: Model + Send + 'static> {
 }
 
 impl<M: Model + Send + 'static> AggRuntime<M> {
-    /// Wraps `server` in a runtime configured by `server.config().agg`.
+    /// Wraps `server` in a volatile runtime configured by `server.config().agg`.
     pub fn new(server: Server<M>) -> Result<Self> {
+        Self::with_store(server, None)
+    }
+
+    /// Wraps `server` in a runtime backed by `store` (opened — and already
+    /// recovered from — by the caller, typically via `crowd_store::Store::open`
+    /// with this same server). Every applied epoch is WAL-logged before its
+    /// checkins are acknowledged; periodic snapshots and the clean-shutdown
+    /// checkpoint come from the store's configured cadence.
+    pub fn with_store(server: Server<M>, store: Option<Store>) -> Result<Self> {
         let settings = server.config().agg;
         settings.validate().map_err(AggError::Core)?;
         let param_dim = server.params().len();
         let num_classes = server.model().num_classes();
         let ticket = server.checkout();
+        // Seed the refusal set from the (possibly recovered) ledger, so a
+        // device that exhausted its budget before a crash stays refused after
+        // the restart.
+        let exhausted: HashSet<u64> = server
+            .budget_ledger()
+            .iter()
+            .map(|&(id, _)| id)
+            .filter(|&id| server.budget_exhausted(id))
+            .collect();
         let inner = Arc::new(Inner {
             shards: ShardSet::new(settings.shard_count, param_dim, num_classes),
             snapshot: RwLock::new(Arc::new(ParamSnapshot {
@@ -118,6 +150,9 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
             param_dim,
             num_classes,
             stats: SharedTrace::new(),
+            store: store.map(Mutex::new),
+            exhausted: RwLock::new(exhausted),
+            crashed: AtomicBool::new(false),
         });
         let workers = (0..settings.worker_threads)
             .map(|_| {
@@ -163,6 +198,12 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
     /// submitting again (the protocol's behavior), or with one worker thread.
     pub fn submit(&self, payload: CheckinPayload) -> Result<CompletionHandle> {
         self.validate(&payload)?;
+        if self.budget_exhausted(payload.device_id) {
+            self.inner.stats.count("budget_rejections");
+            return Err(AggError::BudgetExhausted {
+                device_id: payload.device_id,
+            });
+        }
         let (tx, rx) = mpsc::channel();
         let job = Job { payload, reply: tx };
         match self.inner.queue.try_push(job) {
@@ -235,19 +276,59 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
         self.inner.core.lock().active_devices()
     }
 
+    /// `true` when the device has spent its entire privacy budget and the
+    /// server refuses to query it further.
+    pub fn budget_exhausted(&self, device_id: u64) -> bool {
+        self.inner.exhausted.read().contains(&device_id)
+    }
+
+    /// The per-device ε ledger, ascending by device id.
+    pub fn budget_ledger(&self) -> Vec<(u64, f64)> {
+        self.inner.core.lock().budget_ledger()
+    }
+
     /// A snapshot of the runtime counters (`epoch_merges`, `checkins_applied`,
     /// `busy_rejections`, …).
     pub fn stats(&self) -> TraceCollector {
         self.inner.stats.snapshot()
     }
 
-    /// Stops accepting checkins, applies everything already admitted, and joins
-    /// the worker pool. Idempotent; also invoked on drop.
+    /// Stops accepting checkins, applies everything already admitted, joins
+    /// the worker pool, and — when durable — writes a final checkpoint
+    /// snapshot (compacting the WAL away). Idempotent; also invoked on drop.
     pub fn shutdown(&self) {
+        self.finish(false);
+    }
+
+    /// Crash-stops the runtime, simulating a SIGKILL for recovery testing:
+    /// admitted-but-unapplied checkins are dropped (their waiters see
+    /// [`AggError::ShuttingDown`]) and **no** final flush or checkpoint is
+    /// written — the data directory is left exactly as an abrupt process death
+    /// would leave it, so a subsequent open exercises real WAL replay.
+    pub fn kill(&self) {
+        self.finish(true);
+    }
+
+    fn finish(&self, crash: bool) {
+        if crash {
+            self.inner.crashed.store(true, Ordering::SeqCst);
+        }
         self.inner.queue.close();
         let workers: Vec<JoinHandle<()>> = self.workers.lock().drain(..).collect();
+        let joined_any = !workers.is_empty();
         for worker in workers {
             let _ = worker.join();
+        }
+        // Checkpoint once, on the call that actually tore the runtime down,
+        // and never after a crash-stop.
+        if joined_any && !self.inner.crashed.load(Ordering::SeqCst) {
+            if let Some(store) = &self.inner.store {
+                let core = self.inner.core.lock();
+                let mut store = store.lock();
+                if store.snapshot(&core.export_state()).is_err() {
+                    self.inner.stats.count("snapshot_errors");
+                }
+            }
         }
     }
 }
@@ -288,13 +369,23 @@ fn worker_loop<M: Model>(inner: Arc<Inner<M>>) {
                 // let a merge fire between this worker's increment and its
                 // ingest, stranding the not-yet-ingested checkin below the
                 // epoch threshold with nothing left to trigger a flush.
-                inner.shards.ingest(
-                    &job.payload,
-                    Waiter {
-                        checkout_iteration: job.payload.checkout_iteration,
-                        reply: job.reply,
-                    },
-                );
+                let waiter = Waiter {
+                    checkout_iteration: job.payload.checkout_iteration,
+                    reply: job.reply,
+                };
+                if let Err(rejected) = inner.shards.ingest(&job.payload, waiter) {
+                    // Unreachable for payloads that passed submit-time
+                    // validation; fail the one checkin, not the worker.
+                    let snap = inner.snapshot.read().clone();
+                    inner.stats.count("ingest_errors");
+                    let _ = rejected.reply.send(CheckinOutcome {
+                        accepted: false,
+                        iteration: snap.iteration,
+                        stopped: snap.stopped,
+                        staleness: 0,
+                    });
+                    continue;
+                }
                 let counted = inner.pending.fetch_add(1, Ordering::SeqCst) + 1;
                 if counted >= epoch_threshold {
                     merge(&inner);
@@ -306,8 +397,11 @@ fn worker_loop<M: Model>(inner: Arc<Inner<M>>) {
                 }
             }
             Pop::Closed => {
-                // Final flush: apply whatever was admitted before shutdown.
-                if inner.pending.load(Ordering::SeqCst) > 0 {
+                // Final flush: apply whatever was admitted before shutdown —
+                // unless the runtime is crash-stopping, where dropping the
+                // admitted tail is exactly what a SIGKILL would do.
+                if !inner.crashed.load(Ordering::SeqCst) && inner.pending.load(Ordering::SeqCst) > 0
+                {
                     merge(&inner);
                 }
                 return;
@@ -316,64 +410,63 @@ fn worker_loop<M: Model>(inner: Arc<Inner<M>>) {
     }
 }
 
-/// Applies one checkin as its own epoch (the `epoch_size = 1` fast path): the
-/// classic Server Routine 2 update, bit for bit, one iteration per checkin.
-fn apply_singleton<M: Model>(inner: &Inner<M>, job: Job) {
-    let mut core = inner.core.lock();
-    match core.checkin(&job.payload) {
-        Ok(outcome) => {
-            let snapshot = Arc::new(ParamSnapshot {
-                iteration: core.iteration(),
-                params: core.params().clone(),
-                stopped: outcome.stopped,
-            });
-            *inner.snapshot.write() = snapshot;
-            drop(core);
-            inner.stats.count("epoch_merges");
-            inner.stats.count("checkins_applied");
-            let _ = job.reply.send(outcome);
-        }
-        Err(_) => {
-            // Unreachable for payloads that passed submit-time validation.
+/// WAL-logs (when durable) and applies one epoch, consuming the held core
+/// lock. Returns the outcome to fan out and whether the epoch was applied.
+///
+/// The order is the durability contract: append (group-committing the whole
+/// epoch in one frame) → apply → update the exhausted set → snapshot if due →
+/// publish. A failed append fails the epoch *without* applying it — no checkin
+/// is ever acknowledged that recovery could not reproduce.
+fn durable_apply<M: Model>(
+    inner: &Inner<M>,
+    mut core: MutexGuard<'_, Server<M>>,
+    epoch: &EpochAggregate,
+) -> (CheckinOutcome, bool) {
+    if let Some(store) = &inner.store {
+        let charges = core.epoch_charges(epoch);
+        let mut store = store.lock();
+        if let Err(e) = store.log_epoch(core.iteration(), epoch, &charges) {
             let outcome = CheckinOutcome {
                 accepted: false,
                 iteration: core.iteration(),
                 stopped: core.stopped(),
                 staleness: 0,
             };
+            drop(store);
             drop(core);
-            inner.stats.count("apply_errors");
-            let _ = job.reply.send(outcome);
+            inner.stats.count("wal_errors");
+            eprintln!("crowd-agg: WAL append failed, refusing epoch: {e}");
+            return (outcome, false);
         }
     }
-}
-
-/// Applies one epoch: drain the shards (fixed merge order), take one projected
-/// SGD step on the core server, publish the new snapshot, wake the waiters.
-fn merge<M: Model>(inner: &Inner<M>) {
-    let mut core = inner.core.lock();
-    let drained = inner.shards.drain();
-    let Some(epoch) = drained.epoch else {
-        return;
-    };
-    inner
-        .pending
-        .fetch_sub(drained.count as i64, Ordering::SeqCst);
-    let (outcome, waiters) = match core.apply_aggregate(&epoch) {
+    match core.apply_aggregate(epoch) {
         Ok(outcome) => {
             let snapshot = Arc::new(ParamSnapshot {
                 iteration: core.iteration(),
                 params: core.params().clone(),
                 stopped: outcome.stopped,
             });
+            if !core.config().budget.is_disabled() {
+                let mut exhausted = inner.exhausted.write();
+                for stats in &epoch.device_stats {
+                    if core.budget_exhausted(stats.device_id) {
+                        exhausted.insert(stats.device_id);
+                    }
+                }
+            }
+            if let Some(store) = &inner.store {
+                let mut store = store.lock();
+                if store.note_applied() {
+                    match store.snapshot(&core.export_state()) {
+                        Ok(()) => inner.stats.count("snapshots"),
+                        Err(_) => inner.stats.count("snapshot_errors"),
+                    }
+                }
+            }
             *inner.snapshot.write() = snapshot;
             drop(core);
             inner.stats.count("epoch_merges");
-            inner.stats.add("checkins_applied", drained.count);
-            if drained.count > 1 {
-                inner.stats.count("batched_epochs");
-            }
-            (outcome, drained.waiters)
+            (outcome, true)
         }
         Err(_) => {
             // Unreachable for payloads that passed submit-time validation; fail
@@ -386,9 +479,43 @@ fn merge<M: Model>(inner: &Inner<M>) {
             };
             drop(core);
             inner.stats.count("apply_errors");
-            (outcome, drained.waiters)
+            (outcome, false)
         }
+    }
+}
+
+/// Applies one checkin as its own epoch (the `epoch_size = 1` fast path): the
+/// classic Server Routine 2 update, bit for bit, one iteration per checkin
+/// (a singleton [`EpochAggregate`] is exactly `Server::checkin`).
+fn apply_singleton<M: Model>(inner: &Inner<M>, job: Job) {
+    let epoch = EpochAggregate::from_payload(&job.payload);
+    let core = inner.core.lock();
+    let (outcome, applied) = durable_apply(inner, core, &epoch);
+    if applied {
+        inner.stats.count("checkins_applied");
+    }
+    let _ = job.reply.send(outcome);
+}
+
+/// Applies one epoch: drain the shards (fixed merge order), take one projected
+/// SGD step on the core server, publish the new snapshot, wake the waiters.
+fn merge<M: Model>(inner: &Inner<M>) {
+    let core = inner.core.lock();
+    let drained = inner.shards.drain();
+    let Some(epoch) = drained.epoch else {
+        return;
     };
+    inner
+        .pending
+        .fetch_sub(drained.count as i64, Ordering::SeqCst);
+    let (outcome, applied) = durable_apply(inner, core, &epoch);
+    let waiters = drained.waiters;
+    if applied {
+        inner.stats.add("checkins_applied", drained.count);
+        if drained.count > 1 {
+            inner.stats.count("batched_epochs");
+        }
+    }
     // Staleness is per-checkin: measured against the iteration the epoch was
     // applied at (the pre-update iteration, as in the classic checkin path).
     let pre_iteration = outcome.iteration - u64::from(outcome.accepted);
@@ -577,6 +704,106 @@ mod tests {
         // The rejected checkin's statistics still count (Server Routine 2).
         assert_eq!(rt.total_samples(), 4);
         rt.shutdown();
+    }
+
+    use crowd_store::testutil::temp_dir;
+
+    fn durable_runtime(
+        config: &ServerConfig,
+    ) -> (AggRuntime<MulticlassLogistic>, crowd_store::RecoveryReport) {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let (store, server, report) = crowd_store::Store::open(model, config.clone()).unwrap();
+        (AggRuntime::with_store(server, Some(store)).unwrap(), report)
+    }
+
+    #[test]
+    fn kill_then_reopen_recovers_bitwise() {
+        let dir = temp_dir("kill");
+        let config = ServerConfig::new()
+            .with_rate_constant(1.0)
+            .with_budget(0.2, f64::INFINITY)
+            .with_data_dir(&dir)
+            .with_snapshot_every(2);
+        let (rt, report) = durable_runtime(&config);
+        assert!(!report.recovered());
+        for step in 0..5u64 {
+            let g: Vec<f64> = (0..6).map(|i| 0.07 * (i as f64 + step as f64)).collect();
+            assert!(rt.checkin(payload(step % 2, g, step)).unwrap().accepted);
+        }
+        let params_at_kill = rt.params();
+        let ledger_at_kill = rt.budget_ledger();
+        // Crash-stop: no final flush, no checkpoint — disk is as SIGKILL leaves it.
+        rt.kill();
+
+        let (rt, report) = durable_runtime(&config);
+        assert!(report.recovered());
+        // snapshot_every = 2 ⇒ the last snapshot covered epoch 4; the tail is
+        // replayed from the WAL.
+        assert!(report.from_snapshot);
+        assert_eq!(report.replayed_epochs, 1);
+        assert_eq!(rt.iteration(), 5);
+        assert_eq!(rt.params().as_slice(), params_at_kill.as_slice());
+        assert_eq!(rt.budget_ledger(), ledger_at_kill);
+        rt.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clean_shutdown_checkpoints_and_compacts() {
+        let dir = temp_dir("clean");
+        let config = ServerConfig::new()
+            .with_rate_constant(1.0)
+            .with_data_dir(&dir)
+            .with_snapshot_every(100);
+        let (rt, _) = durable_runtime(&config);
+        for step in 0..3u64 {
+            rt.checkin(payload(step, vec![0.1; 6], step)).unwrap();
+        }
+        let params = rt.params();
+        rt.shutdown();
+        // The shutdown checkpoint makes recovery snapshot-only: no WAL replay.
+        let (rt, report) = durable_runtime(&config);
+        assert!(report.from_snapshot);
+        assert_eq!(report.replayed_epochs, 0);
+        assert_eq!(rt.iteration(), 3);
+        assert_eq!(rt.params().as_slice(), params.as_slice());
+        rt.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exhausted_devices_are_refused_and_stay_refused_after_restart() {
+        let dir = temp_dir("budget");
+        // Two 0.5-ε checkins reach the 1.0 ceiling.
+        let config = ServerConfig::new()
+            .with_budget(0.5, 1.0)
+            .with_data_dir(&dir)
+            .with_snapshot_every(1);
+        let (rt, _) = durable_runtime(&config);
+        assert!(rt.checkin(payload(0, vec![0.1; 6], 0)).unwrap().accepted);
+        assert!(!rt.budget_exhausted(0));
+        assert!(rt.checkin(payload(0, vec![0.1; 6], 1)).unwrap().accepted);
+        assert!(rt.budget_exhausted(0));
+        match rt.checkin(payload(0, vec![0.1; 6], 2)) {
+            Err(AggError::BudgetExhausted { device_id: 0 }) => {}
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // Other devices are unaffected.
+        assert!(rt.checkin(payload(1, vec![0.1; 6], 2)).unwrap().accepted);
+        assert_eq!(rt.stats().get("budget_rejections"), 1);
+        rt.kill();
+
+        // The refusal must survive the crash: the ledger is durable state.
+        let (rt, _) = durable_runtime(&config);
+        assert!(rt.budget_exhausted(0));
+        assert!(matches!(
+            rt.checkin(payload(0, vec![0.1; 6], 3)),
+            Err(AggError::BudgetExhausted { device_id: 0 })
+        ));
+        assert!(!rt.budget_exhausted(1));
+        assert_eq!(rt.budget_ledger(), vec![(0, 1.0), (1, 0.5)]);
+        rt.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

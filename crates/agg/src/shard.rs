@@ -86,7 +86,22 @@ impl ShardSet {
     }
 
     /// Folds one (pre-validated) checkin into its device's stripe accumulator.
-    pub(crate) fn ingest(&self, payload: &CheckinPayload, waiter: Waiter) {
+    ///
+    /// A payload whose dimensions do not match the configured model is handed
+    /// back with its waiter (`Err`) so the caller can fail that one checkin
+    /// instead of panicking the worker — submit-time validation makes this
+    /// unreachable in practice, but a poisoned worker would take the whole
+    /// server down with it.
+    pub(crate) fn ingest(
+        &self,
+        payload: &CheckinPayload,
+        waiter: Waiter,
+    ) -> std::result::Result<(), Waiter> {
+        if payload.gradient.len() != self.param_dim
+            || payload.label_counts.len() != self.num_classes
+        {
+            return Err(waiter);
+        }
         let idx = (payload.device_id % self.shards.len() as u64) as usize;
         let mut shard = self.shards[idx].lock();
         let accum = shard
@@ -99,10 +114,12 @@ impl ShardSet {
                 errors: 0,
                 label_counts: vec![0; self.num_classes],
             });
-        accum
-            .gradient_sum
-            .axpy(1.0, &payload.gradient)
-            .expect("payload dimension validated at submit");
+        // Elementwise `+=` is bitwise identical to `axpy(1.0, ·)` (IEEE-754
+        // multiplication by 1.0 is exact) and cannot fail now that the
+        // dimensions are checked above.
+        for (a, g) in accum.gradient_sum.iter_mut().zip(payload.gradient.iter()) {
+            *a += g;
+        }
         accum.checkins += 1;
         accum.samples += payload.num_samples as u64;
         accum.errors += payload.error_count;
@@ -116,6 +133,7 @@ impl ShardSet {
         shard.payloads += 1;
         shard.min_checkout_iteration = shard.min_checkout_iteration.min(payload.checkout_iteration);
         shard.waiters.push(waiter);
+        Ok(())
     }
 
     /// Takes everything accumulated so far and merges it into one epoch.
@@ -150,9 +168,12 @@ impl ShardSet {
         let mut gradient_sum = Vector::zeros(self.param_dim);
         let mut device_stats = Vec::with_capacity(combined.len());
         for (device_id, accum) in combined {
-            gradient_sum
-                .axpy(1.0, &accum.gradient_sum)
-                .expect("accumulators share the configured dimension");
+            // Accumulators are all created at `param_dim`, so the elementwise
+            // fold is total; like ingest, `+=` matches `axpy(1.0, ·)` bit for
+            // bit without a fallible call in the merge path.
+            for (a, g) in gradient_sum.iter_mut().zip(accum.gradient_sum.iter()) {
+                *a += g;
+            }
             device_stats.push(DeviceEpochStats {
                 device_id,
                 checkins: accum.checkins,
@@ -208,7 +229,9 @@ mod tests {
         let set = ShardSet::new(4, 3, 2);
         for device in [9u64, 2, 5] {
             let (w, _rx) = waiter();
-            set.ingest(&payload(device, vec![device as f64, 0.0, 0.0], device), w);
+            assert!(set
+                .ingest(&payload(device, vec![device as f64, 0.0, 0.0], device), w)
+                .is_ok());
         }
         let drained = set.drain();
         let epoch = drained.epoch.unwrap();
@@ -228,7 +251,7 @@ mod tests {
         let set = ShardSet::new(2, 2, 2);
         for step in 0..3u64 {
             let (w, _rx) = waiter();
-            set.ingest(&payload(7, vec![1.0, 2.0], step), w);
+            assert!(set.ingest(&payload(7, vec![1.0, 2.0], step), w).is_ok());
         }
         let epoch = set.drain().epoch.unwrap();
         assert_eq!(epoch.device_stats.len(), 1);
@@ -238,6 +261,21 @@ mod tests {
         assert_eq!(stats.errors, 3);
         assert_eq!(stats.label_counts, vec![3, 3]);
         assert_eq!(epoch.gradient_sum.as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn mismatched_payload_is_handed_back_not_panicked() {
+        let set = ShardSet::new(2, 3, 2);
+        let (w, rx) = waiter();
+        // Wrong gradient dimension: the waiter comes back so the caller can
+        // fail that checkin, and nothing lands on any shard.
+        assert!(set.ingest(&payload(0, vec![1.0; 5], 0), w).is_err());
+        let (w, _rx2) = waiter();
+        let mut bad_counts = payload(0, vec![1.0, 2.0, 3.0], 0);
+        bad_counts.label_counts = vec![1];
+        assert!(set.ingest(&bad_counts, w).is_err());
+        assert!(set.drain().epoch.is_none());
+        drop(rx);
     }
 
     /// The determinism contract: concurrent ingest through many shards yields an
@@ -257,7 +295,9 @@ mod tests {
         for device in 0..devices {
             for step in 0..checkins_per_device {
                 let (w, _rx) = waiter();
-                reference.ingest(&payload(device, make_grad(device, step), step), w);
+                assert!(reference
+                    .ingest(&payload(device, make_grad(device, step), step), w)
+                    .is_ok());
             }
         }
         let expected = reference.drain().epoch.unwrap();
@@ -270,13 +310,15 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for step in 0..checkins_per_device {
                     let (tx, _rx) = mpsc::channel();
-                    set.ingest(
-                        &payload(device, make_grad(device, step), step),
-                        Waiter {
-                            checkout_iteration: step,
-                            reply: tx,
-                        },
-                    );
+                    assert!(set
+                        .ingest(
+                            &payload(device, make_grad(device, step), step),
+                            Waiter {
+                                checkout_iteration: step,
+                                reply: tx,
+                            },
+                        )
+                        .is_ok());
                 }
             }));
         }

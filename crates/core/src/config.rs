@@ -4,6 +4,7 @@ use crate::error::CoreError;
 use crate::Result;
 use crowd_dp::{Epsilon, PrivacyBudget};
 use crowd_learning::LearningRate;
+use std::path::PathBuf;
 
 /// Privacy configuration for a Crowd-ML deployment.
 ///
@@ -194,6 +195,112 @@ impl Default for AggSettings {
     }
 }
 
+/// Durability knobs of the persistence subsystem (`crowd-store`).
+///
+/// A server with a `data_dir` keeps a CRC-framed write-ahead log of every
+/// applied epoch (appended and group-committed *before* the epoch's checkins
+/// are acknowledged) plus periodic atomic-rename full snapshots; on restart it
+/// loads the latest snapshot and replays the WAL tail to a state bitwise
+/// identical to an uninterrupted run. With `data_dir = None` (the default) the
+/// server is volatile, exactly as before.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistSettings {
+    /// Directory holding the snapshot and WAL files. `None` disables
+    /// persistence entirely.
+    pub data_dir: Option<PathBuf>,
+    /// Full snapshot (and WAL rotation/compaction) every this many applied
+    /// epochs. 0 = snapshot only at clean shutdown.
+    pub snapshot_every_epochs: u64,
+    /// `fsync` the WAL after every append and the snapshot after every write.
+    /// Required for durability across power loss; off by default because the
+    /// tests and benches only need durability across process crashes.
+    pub fsync: bool,
+}
+
+impl PersistSettings {
+    /// Defaults: persistence disabled, snapshot every 256 epochs once enabled,
+    /// no fsync.
+    pub fn new() -> Self {
+        PersistSettings {
+            data_dir: None,
+            snapshot_every_epochs: 256,
+            fsync: false,
+        }
+    }
+
+    /// `true` when a data directory is configured.
+    pub fn is_enabled(&self) -> bool {
+        self.data_dir.is_some()
+    }
+
+    /// Validates the settings.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(dir) = &self.data_dir {
+            if dir.as_os_str().is_empty() {
+                return Err(CoreError::Config("data_dir must not be empty".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PersistSettings {
+    fn default() -> Self {
+        PersistSettings::new()
+    }
+}
+
+/// Per-device privacy-budget accounting enforced on the server's write path.
+///
+/// The server is the custodian of how much ε each device has already spent;
+/// every checkin a device contributes is charged `per_checkin_epsilon` to its
+/// ledger (the `ε_g + ε_e + C·ε_y` total of Appendix B), and once a device
+/// reaches `ceiling` the server refuses to serve it further checkouts or accept
+/// its checkins — it will not silently over-query a device past its ε budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetSettings {
+    /// ε charged per checkin. 0 disables accounting.
+    pub per_checkin_epsilon: f64,
+    /// Per-device ε ceiling; `f64::INFINITY` = track spend without enforcing.
+    pub ceiling: f64,
+}
+
+impl BudgetSettings {
+    /// Defaults: accounting disabled (no per-checkin cost, infinite ceiling).
+    pub fn new() -> Self {
+        BudgetSettings {
+            per_checkin_epsilon: 0.0,
+            ceiling: f64::INFINITY,
+        }
+    }
+
+    /// `true` when no spend would ever be recorded.
+    pub fn is_disabled(&self) -> bool {
+        self.per_checkin_epsilon == 0.0 && self.ceiling.is_infinite()
+    }
+
+    /// Validates the settings.
+    pub fn validate(&self) -> Result<()> {
+        if self.per_checkin_epsilon < 0.0 || !self.per_checkin_epsilon.is_finite() {
+            return Err(CoreError::Config(
+                "per_checkin_epsilon must be finite and non-negative".into(),
+            ));
+        }
+        if self.ceiling <= 0.0 || self.ceiling.is_nan() {
+            return Err(CoreError::Config(
+                "budget ceiling must be positive (or infinite)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for BudgetSettings {
+    fn default() -> Self {
+        BudgetSettings::new()
+    }
+}
+
 /// Server configuration (Algorithm 2 inputs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
@@ -210,6 +317,10 @@ pub struct ServerConfig {
     pub target_error: f64,
     /// Aggregation-runtime knobs used by deployed (networked) servers.
     pub agg: AggSettings,
+    /// Durability knobs of the persistence subsystem (`crowd-store`).
+    pub persist: PersistSettings,
+    /// Per-device privacy-budget accounting on the checkin write path.
+    pub budget: BudgetSettings,
 }
 
 impl ServerConfig {
@@ -223,6 +334,8 @@ impl ServerConfig {
             max_iterations: u64::MAX,
             target_error: 0.0,
             agg: AggSettings::new(),
+            persist: PersistSettings::new(),
+            budget: BudgetSettings::new(),
         }
     }
 
@@ -274,6 +387,36 @@ impl ServerConfig {
         self
     }
 
+    /// Enables durability: WAL + snapshots under `data_dir`, recovery at start.
+    pub fn with_data_dir(mut self, data_dir: impl Into<PathBuf>) -> Self {
+        self.persist.data_dir = Some(data_dir.into());
+        self
+    }
+
+    /// Sets the snapshot/rotation cadence (applied epochs between snapshots;
+    /// 0 = snapshot only at clean shutdown).
+    pub fn with_snapshot_every(mut self, epochs: u64) -> Self {
+        self.persist.snapshot_every_epochs = epochs;
+        self
+    }
+
+    /// Enables `fsync` on WAL appends and snapshot writes.
+    pub fn with_fsync(mut self, fsync: bool) -> Self {
+        self.persist.fsync = fsync;
+        self
+    }
+
+    /// Enables per-device ε accounting: `per_checkin_epsilon` charged per
+    /// checkin against a per-device `ceiling` (use `f64::INFINITY` to track
+    /// without enforcing).
+    pub fn with_budget(mut self, per_checkin_epsilon: f64, ceiling: f64) -> Self {
+        self.budget = BudgetSettings {
+            per_checkin_epsilon,
+            ceiling,
+        };
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.schedule.c() <= 0.0 || !self.schedule.c().is_finite() {
@@ -294,6 +437,8 @@ impl ServerConfig {
             return Err(CoreError::Config("target_error must be in [0, 1]".into()));
         }
         self.agg.validate()?;
+        self.persist.validate()?;
+        self.budget.validate()?;
         Ok(())
     }
 }
@@ -428,6 +573,53 @@ mod tests {
         assert_eq!(tuned.agg.queue_bound, 16);
         assert_eq!(tuned.agg.epoch_size, 32);
         assert!(tuned.validate().is_ok());
+    }
+
+    #[test]
+    fn persist_and_budget_settings_validate() {
+        assert!(PersistSettings::new().validate().is_ok());
+        assert!(!PersistSettings::new().is_enabled());
+        assert_eq!(PersistSettings::default(), PersistSettings::new());
+        let enabled = ServerConfig::new()
+            .with_data_dir("/tmp/crowd-store")
+            .with_snapshot_every(8)
+            .with_fsync(true);
+        assert!(enabled.persist.is_enabled());
+        assert_eq!(enabled.persist.snapshot_every_epochs, 8);
+        assert!(enabled.persist.fsync);
+        assert!(enabled.validate().is_ok());
+        let empty_dir = ServerConfig::new().with_data_dir("");
+        assert!(empty_dir.validate().is_err());
+
+        assert!(BudgetSettings::new().validate().is_ok());
+        assert!(BudgetSettings::new().is_disabled());
+        assert_eq!(BudgetSettings::default(), BudgetSettings::new());
+        let tracked = ServerConfig::new().with_budget(0.5, 10.0);
+        assert!(!tracked.budget.is_disabled());
+        assert!(tracked.validate().is_ok());
+        assert!(ServerConfig::new()
+            .with_budget(-0.1, 10.0)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::new()
+            .with_budget(f64::NAN, 10.0)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::new()
+            .with_budget(0.5, 0.0)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::new()
+            .with_budget(0.5, f64::NAN)
+            .validate()
+            .is_err());
+        // Tracking-only (infinite ceiling, positive cost) is valid and enabled.
+        let tracking = BudgetSettings {
+            per_checkin_epsilon: 0.1,
+            ceiling: f64::INFINITY,
+        };
+        assert!(tracking.validate().is_ok());
+        assert!(!tracking.is_disabled());
     }
 
     #[test]

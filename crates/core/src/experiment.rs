@@ -147,6 +147,8 @@ impl ExperimentConfig {
                 max_iterations: u64::MAX,
                 target_error: 0.0,
                 agg: crate::config::AggSettings::new(),
+                persist: crate::config::PersistSettings::new(),
+                budget: crate::config::BudgetSettings::new(),
             },
             self.privacy,
         )

@@ -32,10 +32,13 @@ pub mod report;
 pub mod server;
 pub mod simulation;
 
-pub use config::{AggSettings, CrowdMlConfig, DeviceConfig, PrivacyConfig, ServerConfig};
+pub use config::{
+    AggSettings, BudgetSettings, CrowdMlConfig, DeviceConfig, PersistSettings, PrivacyConfig,
+    ServerConfig,
+};
 pub use device::{CheckinPayload, Device, DeviceAction};
 pub use error::CoreError;
-pub use server::{CheckinOutcome, DeviceEpochStats, EpochAggregate, Server};
+pub use server::{CheckinOutcome, DeviceEpochStats, EpochAggregate, Server, ServerState};
 
 /// Result alias for the core crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

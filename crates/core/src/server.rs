@@ -9,6 +9,7 @@ use crate::config::ServerConfig;
 use crate::device::CheckinPayload;
 use crate::error::CoreError;
 use crate::Result;
+use crowd_dp::BudgetAccountant;
 use crowd_learning::model::Model;
 use crowd_learning::LearningRate;
 use crowd_linalg::ops::project_l2_ball;
@@ -113,6 +114,34 @@ pub struct CheckinOutcome {
     pub staleness: u64,
 }
 
+/// The complete mutable state of a [`Server`], in a deterministic layout.
+///
+/// This is what the persistence subsystem (`crowd-store`) snapshots and what
+/// [`Server::restore`] rebuilds: parameters, iteration, the learning-rate
+/// schedule position (including AdaGrad's accumulated squared gradients — the
+/// only stateful schedule), the per-device monitoring counters, and the
+/// per-device ε ledger. All maps are exported sorted by device id so two
+/// bitwise-equal servers export bitwise-equal states. The model and the
+/// [`ServerConfig`] are *not* part of the state; restoring requires the same
+/// ones the original server ran with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerState {
+    /// The global parameters `w`.
+    pub params: Vector,
+    /// Number of applied epochs `t`.
+    pub iteration: u64,
+    /// Total samples reported across devices.
+    pub total_samples: u64,
+    /// Total (perturbed) misclassifications reported across devices.
+    pub total_errors: i64,
+    /// Per-device monitoring counters, ascending by device id.
+    pub progress: Vec<(u64, DeviceProgress)>,
+    /// The learning-rate schedule, including any internal position/state.
+    pub schedule: LearningRate,
+    /// Per-device cumulative ε spend, ascending by device id.
+    pub budget_ledger: Vec<(u64, f64)>,
+}
+
 /// The Crowd-ML server.
 #[derive(Debug, Clone)]
 pub struct Server<M: Model> {
@@ -124,6 +153,12 @@ pub struct Server<M: Model> {
     progress: HashMap<u64, DeviceProgress>,
     total_samples: u64,
     total_errors: i64,
+    accountant: BudgetAccountant,
+}
+
+/// Ledger key for a device (the accountant tracks entities by string).
+fn budget_entity(device_id: u64) -> String {
+    device_id.to_string()
 }
 
 impl<M: Model> Server<M> {
@@ -131,6 +166,7 @@ impl<M: Model> Server<M> {
     pub fn new(model: M, config: ServerConfig) -> Result<Self> {
         config.validate()?;
         let params = model.init_params();
+        let accountant = BudgetAccountant::new(config.budget.ceiling);
         Ok(Server {
             schedule: config.schedule.clone(),
             model,
@@ -140,6 +176,7 @@ impl<M: Model> Server<M> {
             progress: HashMap::new(),
             total_samples: 0,
             total_errors: 0,
+            accountant,
         })
     }
 
@@ -192,6 +229,115 @@ impl<M: Model> Server<M> {
     /// Per-device progress, if the device has checked in.
     pub fn device_progress(&self, device_id: u64) -> Option<&DeviceProgress> {
         self.progress.get(&device_id)
+    }
+
+    /// Total ε spent so far by `device_id` (zero if never charged).
+    pub fn budget_spent(&self, device_id: u64) -> f64 {
+        self.accountant.spent(&budget_entity(device_id))
+    }
+
+    /// `true` when the device has reached its ε ceiling and must not be
+    /// queried further. Always `false` while accounting is disabled.
+    pub fn budget_exhausted(&self, device_id: u64) -> bool {
+        // The float-accumulation slack scales down with the ceiling so a tiny
+        // (but valid) ceiling is not pre-exhausted for never-charged devices.
+        let ceiling = self.config.budget.ceiling;
+        let slack = 1e-12 * ceiling.min(1.0);
+        !self.config.budget.is_disabled() && self.budget_spent(device_id) >= ceiling - slack
+    }
+
+    /// The per-device ε ledger, ascending by device id.
+    pub fn budget_ledger(&self) -> Vec<(u64, f64)> {
+        let mut ledger: Vec<(u64, f64)> = self
+            .accountant
+            .iter()
+            .filter_map(|(entity, spent)| entity.parse::<u64>().ok().map(|id| (id, spent)))
+            .collect();
+        ledger.sort_unstable_by_key(|&(id, _)| id);
+        ledger
+    }
+
+    /// The ε each device in `epoch` will be charged when the epoch is applied:
+    /// `per_checkin_epsilon · checkins`, ascending by device id. Pure — safe to
+    /// compute before [`Server::apply_aggregate`] (e.g. for a write-ahead log
+    /// entry) and deterministic, so a recovery replay recomputes it bit for bit.
+    pub fn epoch_charges(&self, epoch: &EpochAggregate) -> Vec<(u64, f64)> {
+        if self.config.budget.is_disabled() {
+            return Vec::new();
+        }
+        epoch
+            .device_stats
+            .iter()
+            .map(|stats| {
+                (
+                    stats.device_id,
+                    self.config.budget.per_checkin_epsilon * stats.checkins as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// Exports the complete mutable state in the deterministic layout of
+    /// [`ServerState`] (maps sorted by device id).
+    pub fn export_state(&self) -> ServerState {
+        let mut progress: Vec<(u64, DeviceProgress)> = self
+            .progress
+            .iter()
+            .map(|(&id, p)| (id, p.clone()))
+            .collect();
+        progress.sort_unstable_by_key(|&(id, _)| id);
+        ServerState {
+            params: self.params.clone(),
+            iteration: self.iteration,
+            total_samples: self.total_samples,
+            total_errors: self.total_errors,
+            progress,
+            schedule: self.schedule.clone(),
+            budget_ledger: self.budget_ledger(),
+        }
+    }
+
+    /// Rebuilds a server from an exported [`ServerState`].
+    ///
+    /// `model` and `config` must be the ones the exporting server ran with (the
+    /// state stores neither); the parameter dimension is checked, the rest is
+    /// the caller's contract. The restored server is bitwise identical to the
+    /// exporter: same parameters, iteration, schedule position, counters, and
+    /// ε ledger.
+    pub fn restore(model: M, config: ServerConfig, state: ServerState) -> Result<Self> {
+        let mut server = Server::new(model, config)?;
+        if state.params.len() != server.params.len() {
+            return Err(CoreError::Protocol(format!(
+                "restored parameters have dimension {}, model expects {}",
+                state.params.len(),
+                server.params.len()
+            )));
+        }
+        for (_, progress) in &state.progress {
+            if progress.label_counts.len() != server.model.num_classes() {
+                return Err(CoreError::Protocol(format!(
+                    "restored progress has {} label counts, model expects {}",
+                    progress.label_counts.len(),
+                    server.model.num_classes()
+                )));
+            }
+        }
+        server.params = state.params;
+        server.iteration = state.iteration;
+        server.total_samples = state.total_samples;
+        server.total_errors = state.total_errors;
+        server.progress = state.progress.into_iter().collect();
+        server.schedule = state.schedule;
+        server
+            .accountant
+            .restore_spent(
+                state
+                    .budget_ledger
+                    .into_iter()
+                    .map(|(id, spent)| (budget_entity(id), spent)),
+            )
+            .map_err(CoreError::Privacy)?;
+        Ok(server)
     }
 
     /// The privately estimated overall error rate `Σ N_e / Σ N_s` (Eq. 14), or
@@ -328,6 +474,16 @@ impl<M: Model> Server<M> {
             progress.checkins += stats.checkins;
             self.total_samples += stats.samples;
             self.total_errors += stats.errors;
+        }
+
+        // Charge the ε ledger in the same fixed device order as the fold, and
+        // regardless of acceptance below — by the time a checkin reaches the
+        // server the device has already spent the privacy budget, so the
+        // ledger must count it even when the gradient is not applied.
+        for (device_id, cost) in self.epoch_charges(epoch) {
+            self.accountant
+                .record(&budget_entity(device_id), cost)
+                .map_err(CoreError::Privacy)?;
         }
 
         if self.stopped() {
@@ -604,6 +760,112 @@ mod tests {
         assert!(s.apply_aggregate(&bad_counts).is_err());
         assert_eq!(s.iteration(), 0);
         assert_eq!(s.total_samples(), 0);
+    }
+
+    #[test]
+    fn budget_accounting_tracks_and_flags_exhaustion() {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let config = ServerConfig::new().with_budget(0.5, 1.0);
+        let mut s = Server::new(model, config).unwrap();
+        assert_eq!(s.budget_spent(7), 0.0);
+        assert!(!s.budget_exhausted(7));
+        s.checkin(&payload(7, vec![0.1; 6], 0)).unwrap();
+        assert!((s.budget_spent(7) - 0.5).abs() < 1e-12);
+        assert!(!s.budget_exhausted(7));
+        // The checkin that reaches the ceiling is still counted in full.
+        s.checkin(&payload(7, vec![0.1; 6], 1)).unwrap();
+        assert!((s.budget_spent(7) - 1.0).abs() < 1e-12);
+        assert!(s.budget_exhausted(7));
+        assert!(!s.budget_exhausted(8));
+        assert_eq!(s.budget_ledger(), vec![(7, 1.0)]);
+        // Disabled accounting keeps the ledger empty and never exhausts.
+        let mut off = server();
+        off.checkin(&payload(3, vec![0.1; 6], 0)).unwrap();
+        assert!(off.budget_ledger().is_empty());
+        assert!(!off.budget_exhausted(3));
+        // A valid ceiling below the absolute slack must not pre-exhaust
+        // never-charged devices.
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let tiny = Server::new(model, ServerConfig::new().with_budget(1e-14, 1e-13)).unwrap();
+        assert!(!tiny.budget_exhausted(0));
+    }
+
+    #[test]
+    fn epoch_charges_are_per_device_checkin_counts() {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let s = Server::new(model, ServerConfig::new().with_budget(0.25, f64::INFINITY)).unwrap();
+        let epoch = EpochAggregate {
+            gradient_sum: Vector::zeros(6),
+            checkin_count: 3,
+            min_checkout_iteration: 0,
+            device_stats: vec![
+                DeviceEpochStats {
+                    device_id: 1,
+                    checkins: 2,
+                    samples: 4,
+                    errors: 0,
+                    label_counts: vec![2, 2, 0],
+                },
+                DeviceEpochStats {
+                    device_id: 5,
+                    checkins: 1,
+                    samples: 2,
+                    errors: 1,
+                    label_counts: vec![1, 1, 0],
+                },
+            ],
+        };
+        assert_eq!(s.epoch_charges(&epoch), vec![(1, 0.5), (5, 0.25)]);
+    }
+
+    #[test]
+    fn export_restore_round_trips_bitwise() {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let config = ServerConfig::new()
+            .with_rate_constant(1.0)
+            .with_budget(0.1, 10.0);
+        let mut original = Server::new(model, config.clone()).unwrap();
+        for (device, step) in [(4u64, 0u64), (1, 0), (4, 1), (9, 2)] {
+            let g: Vec<f64> = (0..6).map(|i| 0.17 * (i as f64 - 2.5)).collect();
+            original.checkin(&payload(device, g, step)).unwrap();
+        }
+        let state = original.export_state();
+        // The exported layout is sorted by device id.
+        let ids: Vec<u64> = state.progress.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 4, 9]);
+        let ledger_ids: Vec<u64> = state.budget_ledger.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ledger_ids, vec![1, 4, 9]);
+
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let mut restored = Server::restore(model, config, state.clone()).unwrap();
+        assert_eq!(restored.params().as_slice(), original.params().as_slice());
+        assert_eq!(restored.iteration(), original.iteration());
+        assert_eq!(restored.total_samples(), original.total_samples());
+        assert_eq!(restored.budget_ledger(), original.budget_ledger());
+        assert_eq!(restored.export_state(), state);
+
+        // The restored server continues exactly where the original would: the
+        // next checkin produces bitwise-identical parameters on both.
+        let g = vec![0.3, -0.2, 0.1, 0.0, -0.4, 0.2];
+        original.checkin(&payload(2, g.clone(), 3)).unwrap();
+        restored.checkin(&payload(2, g, 3)).unwrap();
+        assert_eq!(restored.params().as_slice(), original.params().as_slice());
+        assert_eq!(restored.export_state(), original.export_state());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_state() {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let mut s = Server::new(model, ServerConfig::new()).unwrap();
+        s.checkin(&payload(0, vec![0.1; 6], 0)).unwrap();
+        let mut bad_params = s.export_state();
+        bad_params.params = Vector::zeros(5);
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        assert!(Server::restore(model, ServerConfig::new(), bad_params).is_err());
+        let mut bad_counts = s.export_state();
+        bad_counts.progress[0].1.label_counts = vec![0, 0];
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        assert!(Server::restore(model, ServerConfig::new(), bad_counts).is_err());
     }
 
     #[test]

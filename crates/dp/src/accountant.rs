@@ -136,6 +136,42 @@ impl BudgetAccountant {
         Ok(())
     }
 
+    /// Records a spend of `cost` for `entity` *unconditionally* and reports
+    /// whether the entity has now reached (or exceeded) the ceiling.
+    ///
+    /// Unlike [`BudgetAccountant::charge`], this never refuses: it is meant for
+    /// server-side ledgers, where the ε was already spent on the device by the
+    /// time its checkin arrives — refusing to record would under-count the true
+    /// spend. Callers use the returned flag to stop querying the entity.
+    pub fn record(&mut self, entity: &str, cost: f64) -> Result<bool> {
+        if cost < 0.0 || !cost.is_finite() {
+            return Err(DpError::InvalidEpsilon(cost));
+        }
+        let spent = self.spent.entry(entity.to_string()).or_insert(0.0);
+        *spent += cost;
+        // Slack scaled to the ceiling: a tiny ceiling must not read as already
+        // exhausted before anything was spent.
+        let slack = 1e-12 * self.ceiling.abs().min(1.0);
+        Ok(*spent >= self.ceiling - slack)
+    }
+
+    /// Rebuilds the ledger from persisted `(entity, spent)` pairs, replacing any
+    /// prior entries for the same entities. Spends beyond the ceiling are kept
+    /// as-is (they record history, not permission).
+    pub fn restore_spent<I, S>(&mut self, entries: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        for (entity, spent) in entries {
+            if spent < 0.0 || !spent.is_finite() {
+                return Err(DpError::InvalidEpsilon(spent));
+            }
+            self.spent.insert(entity.into(), spent);
+        }
+        Ok(())
+    }
+
     /// Records one Crowd-ML checkin for `entity` under the given budget split.
     pub fn charge_checkin(
         &mut self,
@@ -234,6 +270,42 @@ mod tests {
             acc.charge_checkin("dev", &budget, 3).unwrap();
         }
         assert!(acc.charge_checkin("dev", &budget, 3).is_err());
+    }
+
+    #[test]
+    fn record_counts_past_ceiling_and_flags_exhaustion() {
+        let mut acc = BudgetAccountant::new(1.0);
+        assert!(!acc.record("dev", 0.6).unwrap());
+        // The recording that crosses the ceiling reports exhaustion but still
+        // lands in the ledger — the spend already happened on the device.
+        assert!(acc.record("dev", 0.6).unwrap());
+        assert!((acc.spent("dev") - 1.2).abs() < 1e-12);
+        assert_eq!(acc.remaining("dev"), 0.0);
+        // Exactly at the ceiling counts as exhausted.
+        let mut exact = BudgetAccountant::new(1.0);
+        assert!(exact.record("d", 1.0).unwrap());
+        assert!(acc.record("dev", f64::NAN).is_err());
+        assert!(acc.record("dev", -0.1).is_err());
+        // A ceiling smaller than the absolute slack must not read as
+        // pre-exhausted before anything was spent.
+        let mut tiny = BudgetAccountant::new(1e-13);
+        assert!(!tiny.record("d", 0.0).unwrap());
+        assert!(tiny.record("d", 1e-13).unwrap());
+    }
+
+    #[test]
+    fn restore_spent_rebuilds_the_ledger() {
+        let mut acc = BudgetAccountant::new(2.0);
+        acc.charge("a", 0.5).unwrap();
+        acc.restore_spent([("a".to_string(), 1.5), ("b".to_string(), 3.0)])
+            .unwrap();
+        assert_eq!(acc.spent("a"), 1.5);
+        // Past-ceiling history is restored verbatim.
+        assert_eq!(acc.spent("b"), 3.0);
+        assert_eq!(acc.num_entities(), 2);
+        assert!(acc
+            .restore_spent([("c".to_string(), f64::INFINITY)])
+            .is_err());
     }
 
     #[test]

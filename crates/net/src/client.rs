@@ -90,6 +90,9 @@ pub struct DeviceReport {
     pub checkins: u64,
     /// Whether the device stopped because the server reported the task ended.
     pub stopped_by_server: bool,
+    /// Whether the device stopped because the server refused to query it
+    /// further (its ε budget is spent).
+    pub budget_exhausted: bool,
 }
 
 /// A TCP client for one device.
@@ -316,9 +319,21 @@ impl DeviceClient {
             let checked_out = match self.checkout() {
                 Ok(c) => c,
                 Err(e) => {
+                    device.abort_checkout();
+                    // The server refusing to query this device further is a
+                    // normal end of participation, not a failure.
+                    if matches!(
+                        e,
+                        NetError::ServerError {
+                            code: crowd_proto::message::ErrorCode::BudgetExhausted,
+                            ..
+                        }
+                    ) {
+                        report.budget_exhausted = true;
+                        break;
+                    }
                     // Remark 1: a failed checkout is non-critical — keep the buffer
                     // and retry on a later sample.
-                    device.abort_checkout();
                     if matches!(e, NetError::ServerError { .. }) {
                         return Err(e);
                     }
@@ -359,6 +374,12 @@ impl DeviceClient {
                             );
                             continue;
                         }
+                        // Budget exhaustion ends participation gracefully; the
+                        // rejected minibatch is simply lost.
+                        if code == crowd_proto::message::ErrorCode::BudgetExhausted {
+                            report.budget_exhausted = true;
+                            break;
+                        }
                         return Err(NetError::ServerError { code, detail });
                     }
                     Err(_) => {
@@ -369,7 +390,7 @@ impl DeviceClient {
                     }
                 }
             }
-            if report.stopped_by_server {
+            if report.stopped_by_server || report.budget_exhausted {
                 break;
             }
         }

@@ -45,6 +45,9 @@ pub struct ClusterReport {
     /// Aggregation-runtime counters (`epoch_merges`, `checkins_applied`,
     /// `busy_rejections`, …).
     pub runtime_stats: crowd_sim::TraceCollector,
+    /// Per-device cumulative ε spend `(device_id, ε)`, ascending by device id.
+    /// Empty when budget accounting is disabled and the run is non-private.
+    pub budget_spent: Vec<(u64, f64)>,
 }
 
 impl LocalCluster {
@@ -89,7 +92,15 @@ impl LocalCluster {
     ) -> Result<ClusterReport> {
         let model = MulticlassLogistic::new(dim, num_classes)?;
         let tokens = TokenRegistry::with_derived_tokens(partitions.len() as u64, self.auth_secret);
-        let handle = NetServer::start(model, self.server.clone(), tokens)?;
+        let mut server_config = self.server.clone();
+        // A private run with accounting left at its default gets the ledger
+        // for free: charge each checkin the privacy config's total ε
+        // (tracking only — no ceiling unless the caller set one).
+        if server_config.budget.is_disabled() && !self.privacy.is_non_private() {
+            server_config.budget.per_checkin_epsilon =
+                self.privacy.budget.total_per_checkin(num_classes);
+        }
+        let handle = NetServer::start(model, server_config, tokens)?;
         let addr = handle.addr();
 
         let (tx, rx) = channel::unbounded::<(usize, Result<DeviceReport>)>();
@@ -108,11 +119,15 @@ impl LocalCluster {
                     device_id as u64,
                     AuthToken::derive(device_id as u64, auth_secret),
                 );
-                let model = MulticlassLogistic::new(dim, num_classes)
-                    .expect("validated by the server constructor");
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(device_id as u64));
-                let result =
-                    client.run_task(&model, &part, device_config, privacy, lambda, &mut rng);
+                // A model construction failure (cannot happen after the server
+                // constructor validated the same dimensions) is reported like
+                // any other device error instead of panicking the thread.
+                let result = MulticlassLogistic::new(dim, num_classes)
+                    .map_err(crate::NetError::from)
+                    .and_then(|model| {
+                        client.run_task(&model, &part, device_config, privacy, lambda, &mut rng)
+                    });
                 let _ = tx.send((device_id, result));
             }));
         }
@@ -140,6 +155,7 @@ impl LocalCluster {
             total_samples: handle.total_samples(),
             device_reports,
             runtime_stats: handle.runtime_stats(),
+            budget_spent: handle.budget_ledger(),
         };
         handle.shutdown();
         match first_error {

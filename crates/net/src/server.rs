@@ -30,6 +30,7 @@ use crowd_proto::message::{
     ErrorReply, Message,
 };
 use crowd_proto::PROTOCOL_VERSION;
+use crowd_store::{RecoveryReport, Store};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,19 +61,30 @@ pub struct NetServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl NetServer {
     /// Starts a server on `127.0.0.1` (ephemeral port) for the given model,
     /// configuration, and device-token registry. The aggregation runtime is
     /// configured by `config.agg` (shard count, queue bound, epoch size, …).
+    ///
+    /// When `config.persist` names a data directory, the server binds through
+    /// the recovery path: the latest snapshot is loaded, the WAL tail replayed
+    /// (bitwise-identical state, including the per-device ε ledger), and every
+    /// subsequently applied epoch is WAL-logged before its checkins are acked.
+    /// [`NetServerHandle::recovery_report`] tells the caller what was found.
     pub fn start(
         model: MulticlassLogistic,
         config: ServerConfig,
         tokens: TokenRegistry,
     ) -> Result<NetServerHandle> {
-        let core_server = Server::new(model, config)?;
-        let runtime = AggRuntime::new(core_server).map_err(crate::NetError::from)?;
+        let (runtime, recovery) = if config.persist.is_enabled() {
+            let (store, server, report) = Store::open(model, config).map_err(AggError::from)?;
+            (AggRuntime::with_store(server, Some(store))?, Some(report))
+        } else {
+            (AggRuntime::new(Server::new(model, config)?)?, None)
+        };
         let shared = Arc::new(Shared {
             runtime,
             tokens,
@@ -86,6 +98,7 @@ impl NetServer {
             addr,
             shared,
             accept_thread: Some(accept_thread),
+            recovery,
         })
     }
 }
@@ -258,6 +271,15 @@ fn handle_message(shared: &Shared, message: Message) -> Message {
             if !shared.tokens.verify(req.device_id, &req.token) {
                 return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
             }
+            // Refusing the *checkout* is where over-querying is actually
+            // prevented: a device that cannot read parameters computes no
+            // further gradients on its own ε.
+            if shared.runtime.budget_exhausted(req.device_id) {
+                return error_reply(
+                    ErrorCode::BudgetExhausted,
+                    format!("device {} has exhausted its privacy budget", req.device_id),
+                );
+            }
             // Lock-free read path: clone the epoch snapshot, never touching the
             // write path's locks.
             let snapshot = shared.runtime.snapshot();
@@ -353,7 +375,12 @@ fn agg_error_reply(e: AggError) -> Message {
         AggError::Invalid(detail) => error_reply(ErrorCode::BadRequest, detail),
         AggError::ShuttingDown => error_reply(ErrorCode::TaskEnded, "server is shutting down"),
         AggError::Timeout => error_reply(ErrorCode::Internal, "epoch application timed out"),
+        AggError::BudgetExhausted { device_id } => error_reply(
+            ErrorCode::BudgetExhausted,
+            format!("device {device_id} has exhausted its privacy budget"),
+        ),
         AggError::Core(e) => error_reply(ErrorCode::Internal, e.to_string()),
+        AggError::Store(e) => error_reply(ErrorCode::Internal, e.to_string()),
     }
 }
 
@@ -416,10 +443,40 @@ impl NetServerHandle {
         self.shared.runtime.stats()
     }
 
+    /// What the recovery path found at bind time (`None` for volatile servers).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// The per-device ε ledger, ascending by device id.
+    pub fn budget_ledger(&self) -> Vec<(u64, f64)> {
+        self.shared.runtime.budget_ledger()
+    }
+
+    /// `true` when the device has spent its entire privacy budget.
+    pub fn budget_exhausted(&self, device_id: u64) -> bool {
+        self.shared.runtime.budget_exhausted(device_id)
+    }
+
     /// Signals the accept loop to stop, wakes it, and waits for it (and the
     /// aggregation workers) to finish.
     pub fn shutdown(mut self) {
         self.stop_and_join();
+    }
+
+    /// Crash-stops the server, simulating a SIGKILL for recovery testing:
+    /// in-flight checkins are dropped unacknowledged and no final flush or
+    /// checkpoint snapshot is written. Everything already acknowledged is in
+    /// the WAL (appends happen before acks), so a subsequent
+    /// [`NetServer::start`] on the same data directory recovers to exactly the
+    /// acknowledged state via real snapshot-load + WAL-replay.
+    pub fn kill(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.runtime.kill();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
     }
 
     fn stop_and_join(&mut self) {
@@ -654,6 +711,113 @@ mod tests {
             Message::CheckinAck(ack) => assert!(ack.accepted),
             other => panic!("unexpected reply {other:?}"),
         }
+        handle.shutdown();
+    }
+
+    use crowd_store::testutil::temp_dir;
+
+    #[test]
+    fn kill_and_restart_recovers_state_over_tcp() {
+        let dir = temp_dir("restart");
+        let config = ServerConfig::new()
+            .with_data_dir(&dir)
+            .with_snapshot_every(2)
+            .with_budget(0.25, f64::INFINITY);
+        let tokens = || TokenRegistry::with_derived_tokens(4, 99);
+        let model = || MulticlassLogistic::new(4, 3).unwrap();
+
+        let handle = NetServer::start(model(), config.clone(), tokens()).unwrap();
+        assert_eq!(handle.recovery_report().map(|r| r.recovered()), Some(false));
+        for step in 0..3u64 {
+            let reply = roundtrip(
+                handle.addr(),
+                &Message::CheckinRequest(checkin_item(step % 2, 99, vec![0.1; 12])),
+            );
+            assert!(matches!(reply, Message::CheckinAck(ack) if ack.accepted));
+        }
+        let params_at_kill = handle.params();
+        let ledger_at_kill = handle.budget_ledger();
+        handle.kill();
+
+        // A new server on the same data dir resumes exactly where the acked
+        // checkins left it: snapshot load + WAL tail replay.
+        let handle = NetServer::start(model(), config, tokens()).unwrap();
+        let report = handle.recovery_report().unwrap();
+        assert!(report.recovered());
+        assert!(report.from_snapshot);
+        assert_eq!(report.replayed_epochs, 1);
+        assert_eq!(handle.iteration(), 3);
+        assert_eq!(handle.params().as_slice(), params_at_kill.as_slice());
+        assert_eq!(handle.budget_ledger(), ledger_at_kill);
+        // And it keeps serving: a checkout sees the recovered iteration.
+        let reply = roundtrip(
+            handle.addr(),
+            &Message::CheckoutRequest(CheckoutRequest {
+                version: PROTOCOL_VERSION,
+                device_id: 0,
+                token: AuthToken::derive(0, 99),
+            }),
+        );
+        assert!(matches!(
+            reply,
+            Message::CheckoutResponse(r) if r.iteration == 3
+        ));
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exhausted_device_is_refused_checkout_and_checkin() {
+        let model = MulticlassLogistic::new(4, 3).unwrap();
+        let tokens = TokenRegistry::with_derived_tokens(4, 99);
+        // Two 0.6-ε checkins cross the 1.0 ceiling.
+        let config = ServerConfig::new().with_budget(0.6, 1.0);
+        let handle = NetServer::start(model, config, tokens).unwrap();
+        for step in 0..2u64 {
+            let reply = roundtrip(
+                handle.addr(),
+                &Message::CheckinRequest(checkin_item(1, 99, vec![0.1; 12])),
+            );
+            assert!(
+                matches!(reply, Message::CheckinAck(ack) if ack.accepted),
+                "checkin {step} should be accepted"
+            );
+        }
+        assert!(handle.budget_exhausted(1));
+        let refused_checkout = roundtrip(
+            handle.addr(),
+            &Message::CheckoutRequest(CheckoutRequest {
+                version: PROTOCOL_VERSION,
+                device_id: 1,
+                token: AuthToken::derive(1, 99),
+            }),
+        );
+        assert!(matches!(
+            refused_checkout,
+            Message::Error(ErrorReply {
+                code: ErrorCode::BudgetExhausted,
+                ..
+            })
+        ));
+        let refused_checkin = roundtrip(
+            handle.addr(),
+            &Message::CheckinRequest(checkin_item(1, 99, vec![0.1; 12])),
+        );
+        assert!(matches!(
+            refused_checkin,
+            Message::Error(ErrorReply {
+                code: ErrorCode::BudgetExhausted,
+                ..
+            })
+        ));
+        // Device 2 is untouched.
+        assert!(!handle.budget_exhausted(2));
+        let ok = roundtrip(
+            handle.addr(),
+            &Message::CheckinRequest(checkin_item(2, 99, vec![0.1; 12])),
+        );
+        assert!(matches!(ok, Message::CheckinAck(ack) if ack.accepted));
+        assert_eq!(handle.budget_ledger(), vec![(1, 1.2), (2, 0.6)]);
         handle.shutdown();
     }
 

@@ -132,6 +132,10 @@ pub enum ErrorCode {
     /// The server's ingest queue is full; the request should be retried after
     /// a short backoff (backpressure, not failure).
     Busy,
+    /// The device has spent its entire privacy budget; the server refuses to
+    /// serve it further checkouts or accept its checkins. Terminal for the
+    /// device (not retryable): it should stop participating in the task.
+    BudgetExhausted,
 }
 
 impl ErrorCode {
@@ -143,6 +147,7 @@ impl ErrorCode {
             ErrorCode::TaskEnded => 3,
             ErrorCode::Internal => 4,
             ErrorCode::Busy => 5,
+            ErrorCode::BudgetExhausted => 6,
         }
     }
 
@@ -154,6 +159,7 @@ impl ErrorCode {
             3 => Some(ErrorCode::TaskEnded),
             4 => Some(ErrorCode::Internal),
             5 => Some(ErrorCode::Busy),
+            6 => Some(ErrorCode::BudgetExhausted),
             _ => None,
         }
     }
@@ -273,6 +279,7 @@ mod tests {
             ErrorCode::TaskEnded,
             ErrorCode::Internal,
             ErrorCode::Busy,
+            ErrorCode::BudgetExhausted,
         ] {
             assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
         }
@@ -280,5 +287,6 @@ mod tests {
         assert_eq!(ErrorCode::from_u8(99), None);
         assert!(ErrorCode::Busy.is_retryable());
         assert!(!ErrorCode::BadRequest.is_retryable());
+        assert!(!ErrorCode::BudgetExhausted.is_retryable());
     }
 }

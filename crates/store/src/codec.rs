@@ -1,0 +1,542 @@
+//! Deterministic binary encoding of persisted state, plus CRC-32 framing
+//! support.
+//!
+//! Layout conventions mirror `crowd-proto`: all integers little-endian, `f64`
+//! as IEEE-754 bit patterns (bitwise, never printed and re-parsed), vectors
+//! prefixed by a `u32` element count. Everything here is pure byte-level code;
+//! file handling lives in [`crate::wal`] and [`crate::snapshot`].
+
+use crowd_core::server::{DeviceEpochStats, DeviceProgress, EpochAggregate, ServerState};
+use crowd_learning::LearningRate;
+use crowd_linalg::Vector;
+
+/// Maximum element count accepted for any decoded vector. Prevents a corrupt
+/// length prefix from triggering a huge allocation.
+pub const MAX_VEC_LEN: usize = 64 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the polynomial used by zip/png/ethernet)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers / readers
+// ---------------------------------------------------------------------------
+
+/// Why a decode failed. Converted to [`crate::StoreError`] by the callers,
+/// which know whether they are reading a snapshot or a WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl DecodeError {
+    fn truncated(what: &str) -> Self {
+        DecodeError(format!("truncated while reading {what}"))
+    }
+}
+
+/// Decode result alias.
+pub type DecodeResult<T> = std::result::Result<T, DecodeError>;
+
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub(crate) fn put_f64_slice(buf: &mut Vec<u8>, values: &[f64]) {
+    put_u32(buf, values.len() as u32);
+    for &v in values {
+        put_f64(buf, v);
+    }
+}
+
+pub(crate) fn put_i64_slice(buf: &mut Vec<u8>, values: &[i64]) {
+    put_u32(buf, values.len() as u32);
+    for &v in values {
+        put_i64(buf, v);
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize, what: &str) -> DecodeResult<&'a [u8]> {
+    if buf.len() < n {
+        return Err(DecodeError::truncated(what));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+pub(crate) fn get_u8(buf: &mut &[u8], what: &str) -> DecodeResult<u8> {
+    Ok(take(buf, 1, what)?[0])
+}
+
+pub(crate) fn get_u32(buf: &mut &[u8], what: &str) -> DecodeResult<u32> {
+    let bytes = take(buf, 4, what)?;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+pub(crate) fn get_u64(buf: &mut &[u8], what: &str) -> DecodeResult<u64> {
+    let bytes = take(buf, 8, what)?;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+pub(crate) fn get_i64(buf: &mut &[u8], what: &str) -> DecodeResult<i64> {
+    let bytes = take(buf, 8, what)?;
+    Ok(i64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+pub(crate) fn get_f64(buf: &mut &[u8], what: &str) -> DecodeResult<f64> {
+    Ok(f64::from_bits(get_u64(buf, what)?))
+}
+
+fn get_len(buf: &mut &[u8], what: &str) -> DecodeResult<usize> {
+    let len = get_u32(buf, what)? as usize;
+    if len > MAX_VEC_LEN {
+        return Err(DecodeError(format!(
+            "{what} declares {len} elements, cap is {MAX_VEC_LEN}"
+        )));
+    }
+    Ok(len)
+}
+
+pub(crate) fn get_f64_vec(buf: &mut &[u8], what: &str) -> DecodeResult<Vec<f64>> {
+    let len = get_len(buf, what)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(get_f64(buf, what)?);
+    }
+    Ok(out)
+}
+
+pub(crate) fn get_i64_vec(buf: &mut &[u8], what: &str) -> DecodeResult<Vec<i64>> {
+    let len = get_len(buf, what)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(get_i64(buf, what)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// EpochAggregate
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_epoch(buf: &mut Vec<u8>, epoch: &EpochAggregate) {
+    put_f64_slice(buf, epoch.gradient_sum.as_slice());
+    put_u64(buf, epoch.checkin_count);
+    put_u64(buf, epoch.min_checkout_iteration);
+    put_u32(buf, epoch.device_stats.len() as u32);
+    for stats in &epoch.device_stats {
+        put_u64(buf, stats.device_id);
+        put_u64(buf, stats.checkins);
+        put_u64(buf, stats.samples);
+        put_i64(buf, stats.errors);
+        put_i64_slice(buf, &stats.label_counts);
+    }
+}
+
+pub(crate) fn get_epoch(buf: &mut &[u8]) -> DecodeResult<EpochAggregate> {
+    let gradient_sum = Vector::from_vec(get_f64_vec(buf, "epoch gradient")?);
+    let checkin_count = get_u64(buf, "epoch checkin_count")?;
+    let min_checkout_iteration = get_u64(buf, "epoch min_checkout_iteration")?;
+    let devices = get_len(buf, "epoch device count")?;
+    let mut device_stats = Vec::with_capacity(devices);
+    for _ in 0..devices {
+        device_stats.push(DeviceEpochStats {
+            device_id: get_u64(buf, "device id")?,
+            checkins: get_u64(buf, "device checkins")?,
+            samples: get_u64(buf, "device samples")?,
+            errors: get_i64(buf, "device errors")?,
+            label_counts: get_i64_vec(buf, "device label counts")?,
+        });
+    }
+    Ok(EpochAggregate {
+        gradient_sum,
+        checkin_count,
+        min_checkout_iteration,
+        device_stats,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// WAL record payload
+// ---------------------------------------------------------------------------
+
+/// One decoded WAL record: an epoch that was (about to be) applied at
+/// `pre_iteration`, together with the ε charges the apply incurs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Server iteration immediately before the epoch was applied.
+    pub pre_iteration: u64,
+    /// The merged aggregate, exactly as handed to `apply_aggregate`.
+    pub epoch: EpochAggregate,
+    /// Per-device ε charges `(device_id, ε)`, ascending by device id. Replay
+    /// recomputes these from the epoch and the server config and refuses to
+    /// proceed if they differ — catching a restart under a different budget
+    /// configuration before it silently corrupts the ledger.
+    pub charges: Vec<(u64, f64)>,
+}
+
+const RECORD_KIND_EPOCH: u8 = 1;
+
+/// Encodes an epoch record into a WAL payload. Takes the parts by reference —
+/// this runs on the durable write path under the core server lock, so it must
+/// not clone the gradient vector just to serialize it.
+pub fn encode_epoch_record(
+    pre_iteration: u64,
+    epoch: &EpochAggregate,
+    charges: &[(u64, f64)],
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + epoch_dim_hint(epoch));
+    put_u8(&mut buf, RECORD_KIND_EPOCH);
+    put_u64(&mut buf, pre_iteration);
+    put_epoch(&mut buf, epoch);
+    put_u32(&mut buf, charges.len() as u32);
+    for &(device_id, eps) in charges {
+        put_u64(&mut buf, device_id);
+        put_f64(&mut buf, eps);
+    }
+    buf
+}
+
+fn epoch_dim_hint(epoch: &EpochAggregate) -> usize {
+    8 * epoch.gradient_sum.len() + 64 * epoch.device_stats.len()
+}
+
+/// Decodes a WAL payload produced by [`encode_epoch_record`].
+pub fn decode_epoch_record(mut buf: &[u8]) -> DecodeResult<EpochRecord> {
+    let kind = get_u8(&mut buf, "record kind")?;
+    if kind != RECORD_KIND_EPOCH {
+        return Err(DecodeError(format!("unknown WAL record kind {kind}")));
+    }
+    let pre_iteration = get_u64(&mut buf, "record pre_iteration")?;
+    let epoch = get_epoch(&mut buf)?;
+    let count = get_len(&mut buf, "charge count")?;
+    let mut charges = Vec::with_capacity(count);
+    for _ in 0..count {
+        let device_id = get_u64(&mut buf, "charge device id")?;
+        let eps = get_f64(&mut buf, "charge epsilon")?;
+        charges.push((device_id, eps));
+    }
+    if !buf.is_empty() {
+        return Err(DecodeError(format!(
+            "{} trailing bytes after WAL record",
+            buf.len()
+        )));
+    }
+    Ok(EpochRecord {
+        pre_iteration,
+        epoch,
+        charges,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// ServerState
+// ---------------------------------------------------------------------------
+
+const SCHEDULE_CONSTANT: u8 = 0;
+const SCHEDULE_INV_SQRT: u8 = 1;
+const SCHEDULE_INV_T: u8 = 2;
+const SCHEDULE_ADAGRAD: u8 = 3;
+
+fn put_schedule(buf: &mut Vec<u8>, schedule: &LearningRate) {
+    match schedule {
+        LearningRate::Constant { c } => {
+            put_u8(buf, SCHEDULE_CONSTANT);
+            put_f64(buf, *c);
+        }
+        LearningRate::InvSqrt { c } => {
+            put_u8(buf, SCHEDULE_INV_SQRT);
+            put_f64(buf, *c);
+        }
+        LearningRate::InvT { c } => {
+            put_u8(buf, SCHEDULE_INV_T);
+            put_f64(buf, *c);
+        }
+        LearningRate::AdaGrad {
+            c,
+            delta,
+            accumulated,
+        } => {
+            put_u8(buf, SCHEDULE_ADAGRAD);
+            put_f64(buf, *c);
+            put_f64(buf, *delta);
+            put_f64_slice(buf, accumulated.as_slice());
+        }
+    }
+}
+
+fn get_schedule(buf: &mut &[u8]) -> DecodeResult<LearningRate> {
+    let tag = get_u8(buf, "schedule tag")?;
+    Ok(match tag {
+        SCHEDULE_CONSTANT => LearningRate::Constant {
+            c: get_f64(buf, "schedule c")?,
+        },
+        SCHEDULE_INV_SQRT => LearningRate::InvSqrt {
+            c: get_f64(buf, "schedule c")?,
+        },
+        SCHEDULE_INV_T => LearningRate::InvT {
+            c: get_f64(buf, "schedule c")?,
+        },
+        SCHEDULE_ADAGRAD => LearningRate::AdaGrad {
+            c: get_f64(buf, "schedule c")?,
+            delta: get_f64(buf, "schedule delta")?,
+            accumulated: Vector::from_vec(get_f64_vec(buf, "schedule accumulator")?),
+        },
+        other => return Err(DecodeError(format!("unknown schedule tag {other}"))),
+    })
+}
+
+/// Encodes a full [`ServerState`] (the snapshot body, without file framing).
+pub fn encode_state(state: &ServerState) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32 + 8 * state.params.len());
+    put_f64_slice(&mut buf, state.params.as_slice());
+    put_u64(&mut buf, state.iteration);
+    put_u64(&mut buf, state.total_samples);
+    put_i64(&mut buf, state.total_errors);
+    put_u32(&mut buf, state.progress.len() as u32);
+    for (device_id, progress) in &state.progress {
+        put_u64(&mut buf, *device_id);
+        put_u64(&mut buf, progress.samples);
+        put_i64(&mut buf, progress.errors);
+        put_u64(&mut buf, progress.checkins);
+        put_i64_slice(&mut buf, &progress.label_counts);
+    }
+    put_schedule(&mut buf, &state.schedule);
+    put_u32(&mut buf, state.budget_ledger.len() as u32);
+    for &(device_id, spent) in &state.budget_ledger {
+        put_u64(&mut buf, device_id);
+        put_f64(&mut buf, spent);
+    }
+    buf
+}
+
+/// Decodes a snapshot body produced by [`encode_state`].
+pub fn decode_state(mut buf: &[u8]) -> DecodeResult<ServerState> {
+    let params = Vector::from_vec(get_f64_vec(&mut buf, "state params")?);
+    let iteration = get_u64(&mut buf, "state iteration")?;
+    let total_samples = get_u64(&mut buf, "state total_samples")?;
+    let total_errors = get_i64(&mut buf, "state total_errors")?;
+    let devices = get_len(&mut buf, "state device count")?;
+    let mut progress = Vec::with_capacity(devices);
+    for _ in 0..devices {
+        let device_id = get_u64(&mut buf, "progress device id")?;
+        let samples = get_u64(&mut buf, "progress samples")?;
+        let errors = get_i64(&mut buf, "progress errors")?;
+        let checkins = get_u64(&mut buf, "progress checkins")?;
+        let label_counts = get_i64_vec(&mut buf, "progress label counts")?;
+        progress.push((
+            device_id,
+            DeviceProgress {
+                samples,
+                errors,
+                label_counts,
+                checkins,
+            },
+        ));
+    }
+    let schedule = get_schedule(&mut buf)?;
+    let entries = get_len(&mut buf, "ledger entry count")?;
+    let mut budget_ledger = Vec::with_capacity(entries);
+    for _ in 0..entries {
+        let device_id = get_u64(&mut buf, "ledger device id")?;
+        let spent = get_f64(&mut buf, "ledger spent")?;
+        budget_ledger.push((device_id, spent));
+    }
+    if !buf.is_empty() {
+        return Err(DecodeError(format!(
+            "{} trailing bytes after server state",
+            buf.len()
+        )));
+    }
+    Ok(ServerState {
+        params,
+        iteration,
+        total_samples,
+        total_errors,
+        progress,
+        schedule,
+        budget_ledger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> ServerState {
+        ServerState {
+            params: Vector::from_vec(vec![0.25, -1.5, f64::MIN_POSITIVE, 0.0]),
+            iteration: 42,
+            total_samples: 1234,
+            total_errors: -7,
+            progress: vec![
+                (
+                    3,
+                    DeviceProgress {
+                        samples: 10,
+                        errors: 2,
+                        label_counts: vec![4, -1, 7],
+                        checkins: 5,
+                    },
+                ),
+                (
+                    9,
+                    DeviceProgress {
+                        samples: 1,
+                        errors: 0,
+                        label_counts: vec![1, 0, 0],
+                        checkins: 1,
+                    },
+                ),
+            ],
+            schedule: LearningRate::AdaGrad {
+                c: 0.5,
+                delta: 1e-8,
+                accumulated: Vector::from_vec(vec![0.125, 2.0, 0.0, 3.5]),
+            },
+            budget_ledger: vec![(3, 1.25), (9, 0.25)],
+        }
+    }
+
+    fn sample_record() -> EpochRecord {
+        EpochRecord {
+            pre_iteration: 17,
+            epoch: EpochAggregate {
+                gradient_sum: Vector::from_vec(vec![1.0, -2.5, 0.75]),
+                checkin_count: 3,
+                min_checkout_iteration: 15,
+                device_stats: vec![
+                    DeviceEpochStats {
+                        device_id: 1,
+                        checkins: 2,
+                        samples: 8,
+                        errors: -1,
+                        label_counts: vec![3, 5],
+                    },
+                    DeviceEpochStats {
+                        device_id: 4,
+                        checkins: 1,
+                        samples: 4,
+                        errors: 0,
+                        label_counts: vec![2, 2],
+                    },
+                ],
+            },
+            charges: vec![(1, 0.2), (4, 0.1)],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn state_round_trips_bitwise() {
+        let state = sample_state();
+        let bytes = encode_state(&state);
+        let decoded = decode_state(&bytes).unwrap();
+        assert_eq!(decoded, state);
+        // Encoding is deterministic: same state, same bytes.
+        assert_eq!(encode_state(&decoded), bytes);
+    }
+
+    #[test]
+    fn scalar_schedules_round_trip() {
+        for schedule in [
+            LearningRate::Constant { c: 0.5 },
+            LearningRate::InvSqrt { c: 2.0 },
+            LearningRate::InvT { c: 1.5 },
+        ] {
+            let mut state = sample_state();
+            state.schedule = schedule.clone();
+            let decoded = decode_state(&encode_state(&state)).unwrap();
+            assert_eq!(decoded.schedule, schedule);
+        }
+    }
+
+    #[test]
+    fn epoch_record_round_trips_bitwise() {
+        let record = sample_record();
+        let bytes = encode_epoch_record(record.pre_iteration, &record.epoch, &record.charges);
+        assert_eq!(decode_epoch_record(&bytes).unwrap(), record);
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_are_rejected() {
+        let bytes = encode_state(&sample_state());
+        for cut in [0, 1, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_state(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_state(&padded).is_err());
+
+        let sample = sample_record();
+        let record = encode_epoch_record(sample.pre_iteration, &sample.epoch, &sample.charges);
+        assert!(decode_epoch_record(&record[..record.len() - 1]).is_err());
+        let mut padded = record.clone();
+        padded.push(9);
+        assert!(decode_epoch_record(&padded).is_err());
+        // Unknown record kind.
+        let mut bad_kind = record;
+        bad_kind[0] = 99;
+        assert!(decode_epoch_record(&bad_kind).is_err());
+    }
+
+    #[test]
+    fn absurd_length_prefixes_are_capped() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert!(decode_state(&buf).is_err());
+    }
+}

@@ -1,0 +1,487 @@
+//! The store: snapshot + WAL orchestration, recovery, rotation, compaction.
+//!
+//! Disk layout inside the configured data directory:
+//!
+//! ```text
+//! data_dir/
+//!   snapshot.bin      latest full snapshot (atomic-rename; may be absent)
+//!   wal-XXXXXXXX.log  the active WAL segment (sequence-numbered)
+//! ```
+//!
+//! The protocol between the aggregation runtime and the store, per epoch:
+//!
+//! 1. [`Store::log_epoch`] — append the epoch (and its ε charges) to the WAL
+//!    *before* applying it or acknowledging its checkins (write-ahead).
+//! 2. apply the epoch to the server.
+//! 3. [`Store::note_applied`] — when it reports a snapshot is due,
+//!    [`Store::snapshot`] the server's exported state, which also rotates to a
+//!    fresh WAL segment and deletes the segments the snapshot superseded.
+//!
+//! [`Store::open`] inverts this on startup: restore the snapshot, replay the
+//! surviving WAL records through `Server::apply_aggregate` (the same
+//! deterministic code path the live run used, so the result is bitwise
+//! identical), truncate any torn tail, and resume appending where the log
+//! left off.
+
+use crate::codec;
+use crate::snapshot;
+use crate::wal::{self, WalWriter};
+use crate::{Result, StoreError};
+use crowd_core::config::ServerConfig;
+use crowd_core::server::{EpochAggregate, Server};
+use crowd_core::ServerState;
+use crowd_learning::model::Model;
+use std::path::{Path, PathBuf};
+
+/// What [`Store::open`] found on disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// A snapshot was loaded.
+    pub from_snapshot: bool,
+    /// WAL epochs replayed on top of the snapshot (or from scratch).
+    pub replayed_epochs: u64,
+    /// Logged epochs whose apply was refused (identically refused in the
+    /// original run — e.g. malformed but logged; normally 0).
+    pub skipped_epochs: u64,
+    /// A torn WAL tail (the expected crash artifact) was truncated.
+    pub torn_tail: bool,
+}
+
+impl RecoveryReport {
+    /// `true` when any prior state was recovered (vs. a fresh start).
+    pub fn recovered(&self) -> bool {
+        self.from_snapshot || self.replayed_epochs > 0 || self.skipped_epochs > 0
+    }
+}
+
+/// A server's durable backing: one snapshot file plus the active WAL segment.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    snapshot_every: u64,
+    fsync: bool,
+    wal: WalWriter,
+    epochs_since_snapshot: u64,
+}
+
+impl Store {
+    /// Opens (creating if necessary) the store configured by `config.persist`
+    /// and recovers the server state from it: latest snapshot, then the WAL
+    /// tail replayed through the same deterministic apply path as a live run.
+    ///
+    /// `model` and `config` must match the ones the persisted server ran with;
+    /// a budget-configuration mismatch is detected (the logged ε charges no
+    /// longer match) and reported as [`StoreError::ReplayDiverged`].
+    pub fn open<M: Model>(
+        model: M,
+        config: ServerConfig,
+    ) -> Result<(Store, Server<M>, RecoveryReport)> {
+        let persist = config.persist.clone();
+        let dir = persist.data_dir.clone().ok_or_else(|| {
+            StoreError::Core(crowd_core::CoreError::Config(
+                "Store::open requires persist.data_dir".into(),
+            ))
+        })?;
+        std::fs::create_dir_all(&dir)?;
+        // A leftover temporary from a snapshot that crashed pre-rename is
+        // garbage by construction.
+        let _ = std::fs::remove_file(dir.join(snapshot::SNAPSHOT_TMP));
+
+        let mut report = RecoveryReport::default();
+        let (mut server, first_seq) = match snapshot::read(&dir)? {
+            Some(snap) => {
+                report.from_snapshot = true;
+                (Server::restore(model, config, snap.state)?, snap.wal_seq)
+            }
+            None => (Server::new(model, config)?, 0),
+        };
+
+        // Segments below `first_seq` are fully covered by the snapshot; delete
+        // them (they may survive a crash between snapshot-rename and segment
+        // cleanup, and replaying them would double-apply their epochs).
+        let mut live_segments = Vec::new();
+        for seq in list_segments(&dir)? {
+            if seq < first_seq {
+                let _ = std::fs::remove_file(dir.join(wal::segment_file_name(seq)));
+            } else {
+                live_segments.push(seq);
+            }
+        }
+        live_segments.sort_unstable();
+
+        let mut active = None;
+        for &seq in &live_segments {
+            let contents = wal::read_segment(&dir.join(wal::segment_file_name(seq)))?;
+            report.torn_tail |= contents.torn;
+            for payload in &contents.records {
+                replay_record(&mut server, payload, &mut report)?;
+            }
+            active = Some((seq, contents.valid_len));
+        }
+
+        let wal = match active {
+            Some((seq, valid_len)) => WalWriter::reopen(&dir, seq, valid_len, persist.fsync)?,
+            None => WalWriter::create(&dir, first_seq, persist.fsync)?,
+        };
+
+        Ok((
+            Store {
+                dir,
+                snapshot_every: persist.snapshot_every_epochs,
+                fsync: persist.fsync,
+                wal,
+                epochs_since_snapshot: 0,
+            },
+            server,
+            report,
+        ))
+    }
+
+    /// The data directory backing this store.
+    pub fn data_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active WAL segment's sequence number.
+    pub fn wal_seq(&self) -> u64 {
+        self.wal.seq()
+    }
+
+    /// Appends one epoch (and its ε charges) to the WAL. Must be called
+    /// *before* the epoch is applied and its checkins acknowledged; a failure
+    /// here means the epoch must not be applied (no ack without durability).
+    pub fn log_epoch(
+        &mut self,
+        pre_iteration: u64,
+        epoch: &EpochAggregate,
+        charges: &[(u64, f64)],
+    ) -> Result<()> {
+        self.wal
+            .append(&codec::encode_epoch_record(pre_iteration, epoch, charges))?;
+        Ok(())
+    }
+
+    /// Notes that a logged epoch has been applied; returns `true` when a
+    /// periodic snapshot is now due.
+    pub fn note_applied(&mut self) -> bool {
+        self.epochs_since_snapshot += 1;
+        self.snapshot_every > 0 && self.epochs_since_snapshot >= self.snapshot_every
+    }
+
+    /// Writes a full snapshot of `state`, rotates to a fresh WAL segment, and
+    /// deletes every segment the snapshot supersedes (compaction).
+    ///
+    /// Failure ordering matters: the successor segment is created *before*
+    /// the snapshot that names it, and the store only switches its writer
+    /// once both durable steps succeeded. If either fails, the old segment
+    /// stays active and the old snapshot stays authoritative — recovery never
+    /// sees a snapshot whose `wal_seq` points past segments that still
+    /// receive acknowledged epochs (which it would delete as superseded).
+    pub fn snapshot(&mut self, state: &ServerState) -> Result<()> {
+        let next_seq = self.wal.seq() + 1;
+        let new_wal = WalWriter::create(&self.dir, next_seq, self.fsync)?;
+        snapshot::write(&self.dir, next_seq, state, self.fsync)?;
+        self.wal = new_wal;
+        for seq in list_segments(&self.dir)? {
+            if seq < next_seq {
+                let _ = std::fs::remove_file(self.dir.join(wal::segment_file_name(seq)));
+            }
+        }
+        self.epochs_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+/// Replays one WAL payload into `server`, enforcing the log's invariants.
+fn replay_record<M: Model>(
+    server: &mut Server<M>,
+    payload: &[u8],
+    report: &mut RecoveryReport,
+) -> Result<()> {
+    let record = codec::decode_epoch_record(payload).map_err(|e| StoreError::CorruptWal(e.0))?;
+    if record.pre_iteration != server.iteration() {
+        return Err(StoreError::CorruptWal(format!(
+            "record expects pre-apply iteration {}, server is at {}",
+            record.pre_iteration,
+            server.iteration()
+        )));
+    }
+    let recomputed = server.epoch_charges(&record.epoch);
+    if !charges_bitwise_equal(&recomputed, &record.charges) {
+        return Err(StoreError::ReplayDiverged(format!(
+            "ε charges recomputed as {recomputed:?} but logged as {:?} — was the server \
+             restarted with a different budget configuration?",
+            record.charges
+        )));
+    }
+    match server.apply_aggregate(&record.epoch) {
+        Ok(_) => report.replayed_epochs += 1,
+        // The live run logged this epoch and then identically refused it;
+        // replay preserves that behavior (and its counter side effects are
+        // zero, because apply_aggregate validates before mutating).
+        Err(_) => report.skipped_epochs += 1,
+    }
+    Ok(())
+}
+
+fn charges_bitwise_equal(a: &[(u64, f64)], b: &[(u64, f64)]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(&(id_a, eps_a), &(id_b, eps_b))| {
+                id_a == id_b && eps_a.to_bits() == eps_b.to_bits()
+            })
+}
+
+fn list_segments(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(wal::parse_segment_seq) {
+            segments.push(seq);
+        }
+    }
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::temp_dir;
+    use crowd_core::device::CheckinPayload;
+    use crowd_core::server::EpochAggregate;
+    use crowd_learning::MulticlassLogistic;
+    use crowd_linalg::Vector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const DIM: usize = 3;
+    const CLASSES: usize = 2;
+
+    fn model() -> MulticlassLogistic {
+        MulticlassLogistic::new(DIM, CLASSES).unwrap()
+    }
+
+    fn config(dir: &Path) -> ServerConfig {
+        ServerConfig::new()
+            .with_rate_constant(1.0)
+            .with_budget(0.25, f64::INFINITY)
+            .with_data_dir(dir)
+            .with_snapshot_every(4)
+    }
+
+    fn payload(device_id: u64, step: u64, rng: &mut StdRng) -> CheckinPayload {
+        CheckinPayload {
+            device_id,
+            checkout_iteration: step,
+            gradient: Vector::from_vec(
+                (0..DIM * CLASSES)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect(),
+            ),
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1],
+        }
+    }
+
+    /// Logs and applies one singleton epoch through the store protocol.
+    fn durable_checkin(
+        store: &mut Store,
+        server: &mut Server<MulticlassLogistic>,
+        p: &CheckinPayload,
+    ) {
+        let epoch = EpochAggregate::from_payload(p);
+        let charges = server.epoch_charges(&epoch);
+        store
+            .log_epoch(server.iteration(), &epoch, &charges)
+            .unwrap();
+        server.apply_aggregate(&epoch).unwrap();
+        if store.note_applied() {
+            store.snapshot(&server.export_state()).unwrap();
+        }
+    }
+
+    /// The reference: the same checkin stream applied to a volatile server.
+    fn reference_state(n: usize) -> ServerState {
+        let mut server = Server::new(
+            model(),
+            ServerConfig::new()
+                .with_rate_constant(1.0)
+                .with_budget(0.25, f64::INFINITY),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for step in 0..n {
+            let p = payload(step as u64 % 5, step as u64, &mut rng);
+            server
+                .apply_aggregate(&EpochAggregate::from_payload(&p))
+                .unwrap();
+        }
+        server.export_state()
+    }
+
+    #[test]
+    fn fresh_store_recovers_nothing() {
+        let dir = temp_dir("store-fresh");
+        let (store, server, report) = Store::open(model(), config(&dir)).unwrap();
+        assert!(!report.recovered());
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(server.iteration(), 0);
+        assert_eq!(store.wal_seq(), 0);
+        assert_eq!(store.data_dir(), dir.as_path());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_recovery_is_bitwise_identical_at_every_point() {
+        // 11 checkins crosses two snapshot boundaries (snapshot_every = 4), so
+        // the crash points cover: WAL-only, snapshot-only, snapshot + tail.
+        let total = 11usize;
+        for crash_after in [1usize, 3, 4, 5, 8, 10, 11] {
+            let dir = temp_dir(&format!("store-crash-{crash_after}"));
+            let (mut store, mut server, _) = Store::open(model(), config(&dir)).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            for step in 0..crash_after {
+                let p = payload(step as u64 % 5, step as u64, &mut rng);
+                durable_checkin(&mut store, &mut server, &p);
+            }
+            let at_crash = server.export_state();
+            // Crash: drop both without any graceful checkpoint.
+            drop(store);
+            drop(server);
+
+            let (mut store, mut server, report) = Store::open(model(), config(&dir)).unwrap();
+            assert!(report.recovered());
+            assert_eq!(report.skipped_epochs, 0);
+            assert_eq!(
+                server.export_state(),
+                at_crash,
+                "recovery at crash point {crash_after} must be bitwise identical"
+            );
+            assert_eq!(server.params().as_slice(), at_crash.params.as_slice());
+
+            // Resuming the stream lands exactly on the uninterrupted run.
+            for step in crash_after..total {
+                let p = payload(step as u64 % 5, step as u64, &mut rng);
+                durable_checkin(&mut store, &mut server, &p);
+            }
+            assert_eq!(server.export_state(), reference_state(total));
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_last_complete_epoch() {
+        let dir = temp_dir("store-torn");
+        let (mut store, mut server, _) = Store::open(model(), config(&dir)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut states = vec![server.export_state()];
+        for step in 0..3 {
+            let p = payload(step as u64, step as u64, &mut rng);
+            durable_checkin(&mut store, &mut server, &p);
+            states.push(server.export_state());
+        }
+        let wal_path = dir.join(wal::segment_file_name(store.wal_seq()));
+        drop(store);
+        drop(server);
+        // Tear bytes off the final record, as a crash mid-append would.
+        let len = std::fs::metadata(&wal_path).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+
+        let (_store, server, report) = Store::open(model(), config(&dir)).unwrap();
+        assert!(report.torn_tail);
+        assert_eq!(report.replayed_epochs, 2);
+        assert_eq!(server.export_state(), states[2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_rotation_compacts_the_log() {
+        let dir = temp_dir("store-rotate");
+        let (mut store, mut server, _) = Store::open(model(), config(&dir)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for step in 0..9 {
+            let p = payload(step as u64, step as u64, &mut rng);
+            durable_checkin(&mut store, &mut server, &p);
+        }
+        // Two snapshots happened (after epochs 4 and 8): only the newest
+        // segment survives, and it holds exactly the one post-snapshot epoch.
+        assert_eq!(store.wal_seq(), 2);
+        assert_eq!(list_segments(&dir).unwrap(), vec![2]);
+        let contents = wal::read_segment(&dir.join(wal::segment_file_name(2))).unwrap();
+        assert_eq!(contents.records.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn budget_config_mismatch_is_detected_on_replay() {
+        let dir = temp_dir("store-diverge");
+        let (mut store, mut server, _) = Store::open(model(), config(&dir)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = payload(0, 0, &mut rng);
+        durable_checkin(&mut store, &mut server, &p);
+        drop(store);
+        drop(server);
+        // Restart with a different per-checkin ε: the logged charges no longer
+        // match what replay recomputes.
+        let altered = config(&dir).with_budget(0.5, f64::INFINITY);
+        match Store::open(model(), altered) {
+            Err(StoreError::ReplayDiverged(_)) => {}
+            other => panic!("expected ReplayDiverged, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_sequencing_violation_is_corruption() {
+        let dir = temp_dir("store-seq");
+        let (mut store, server, _) = Store::open(model(), config(&dir)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = payload(0, 0, &mut rng);
+        let epoch = EpochAggregate::from_payload(&p);
+        let charges = server.epoch_charges(&epoch);
+        // Log an epoch claiming the wrong pre-apply iteration.
+        store.log_epoch(5, &epoch, &charges).unwrap();
+        drop(store);
+        drop(server);
+        match Store::open(model(), config(&dir)) {
+            Err(StoreError::CorruptWal(_)) => {}
+            other => panic!("expected CorruptWal, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_without_data_dir_is_an_error() {
+        let no_dir = ServerConfig::new();
+        assert!(Store::open(model(), no_dir).is_err());
+    }
+
+    #[test]
+    fn clean_shutdown_checkpoint_makes_recovery_snapshot_only() {
+        let dir = temp_dir("store-clean");
+        let (mut store, mut server, _) = Store::open(model(), config(&dir)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for step in 0..3 {
+            let p = payload(step as u64, step as u64, &mut rng);
+            durable_checkin(&mut store, &mut server, &p);
+        }
+        // Clean shutdown: checkpoint, which compacts the WAL away.
+        store.snapshot(&server.export_state()).unwrap();
+        let expected = server.export_state();
+        drop(store);
+        drop(server);
+        let (_store, recovered, report) = Store::open(model(), config(&dir)).unwrap();
+        assert!(report.from_snapshot);
+        assert_eq!(report.replayed_epochs, 0);
+        assert!(!report.torn_tail);
+        assert_eq!(recovered.export_state(), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

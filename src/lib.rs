@@ -17,6 +17,8 @@
 //!   and experiment runners.
 //! * [`agg`] — the sharded, batched gradient-aggregation runtime the TCP server
 //!   serves from.
+//! * [`store`] — durable server state: CRC-framed write-ahead log, atomic
+//!   snapshots, and bitwise crash recovery.
 //!
 //! ## Quick start
 //!
@@ -47,3 +49,4 @@ pub use crowd_linalg as linalg;
 pub use crowd_net as net;
 pub use crowd_proto as proto;
 pub use crowd_sim as sim;
+pub use crowd_store as store;
