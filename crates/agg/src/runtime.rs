@@ -224,10 +224,10 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
     }
 
     fn validate(&self, payload: &CheckinPayload) -> Result<()> {
-        if payload.gradient.len() != self.inner.param_dim {
+        if payload.gradient.dim() != self.inner.param_dim {
             return Err(AggError::Invalid(format!(
                 "checkin gradient has dimension {}, expected {}",
-                payload.gradient.len(),
+                payload.gradient.dim(),
                 self.inner.param_dim
             )));
         }
@@ -509,6 +509,9 @@ fn merge<M: Model>(inner: &Inner<M>) {
         .pending
         .fetch_sub(drained.count as i64, Ordering::SeqCst);
     let (outcome, applied) = durable_apply(inner, core, &epoch);
+    // The epoch has been applied (or refused); either way its merged gradient
+    // buffer goes back to the shard pool for the next merge.
+    inner.shards.recycle_epoch(epoch);
     let waiters = drained.waiters;
     if applied {
         inner.stats.add("checkins_applied", drained.count);
@@ -539,7 +542,7 @@ mod tests {
         CheckinPayload {
             device_id,
             checkout_iteration: checkout,
-            gradient: Vector::from_vec(grad),
+            gradient: Vector::from_vec(grad).into(),
             num_samples: 2,
             error_count: 1,
             label_counts: vec![1, 1, 0],

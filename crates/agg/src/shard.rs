@@ -11,7 +11,16 @@
 //! stripe held them. The merged [`EpochAggregate`] is therefore bitwise
 //! identical to what a single-lock sequential accumulator would produce from
 //! the same per-device contributions — shard count and thread interleaving
-//! cannot change a single bit of the aggregate.
+//! cannot change a single bit of the aggregate. Sparse checkins scatter-add
+//! into the same accumulators (never densified), which is bitwise equivalent
+//! because skipping an exact-zero addend cannot change an accumulator that
+//! started at `+0.0`.
+//!
+//! Allocation: the parameter-dimension accumulators cycle through a small
+//! buffer pool instead of being freshly allocated every epoch — ingest takes a
+//! zeroed buffer from the pool, and the runtime returns the merged epoch's
+//! storage (plus each device's drained accumulator) after the epoch is
+//! applied.
 
 use crowd_core::device::CheckinPayload;
 use crowd_core::server::{CheckinOutcome, DeviceEpochStats, EpochAggregate};
@@ -19,6 +28,10 @@ use crowd_linalg::Vector;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::mpsc;
+
+/// Upper bound on pooled accumulator buffers; beyond this, drained buffers are
+/// simply dropped (the pool exists to serve the steady state, not bursts).
+const MAX_POOLED_BUFFERS: usize = 64;
 
 /// A checkin waiting for its epoch to be applied: the handler thread blocks on
 /// the receiving half until the merge sends the outcome.
@@ -60,6 +73,9 @@ pub struct ShardSet {
     shards: Vec<Mutex<Shard>>,
     param_dim: usize,
     num_classes: usize,
+    /// Recycled parameter-dimension buffers, shared by the per-device
+    /// accumulators and the merge scratch.
+    scratch: Mutex<Vec<Vec<f64>>>,
 }
 
 impl ShardSet {
@@ -77,12 +93,41 @@ impl ShardSet {
             shards,
             param_dim,
             num_classes,
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
     /// Number of lock stripes.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// A zeroed `param_dim` accumulator, reusing pooled storage when possible.
+    fn take_zeroed(&self) -> Vector {
+        let mut buf = self.scratch.lock().pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(self.param_dim, 0.0);
+        Vector::from_vec(buf)
+    }
+
+    /// Returns an accumulator's storage to the pool.
+    fn put_back(&self, v: Vector) {
+        let mut shelf = self.scratch.lock();
+        if shelf.len() < MAX_POOLED_BUFFERS {
+            shelf.push(v.into_vec());
+        }
+    }
+
+    /// Recycles an applied epoch's merged gradient buffer so the next
+    /// [`ShardSet::drain`] reuses it instead of allocating.
+    pub(crate) fn recycle_epoch(&self, epoch: EpochAggregate) {
+        self.put_back(epoch.gradient_sum);
+    }
+
+    /// Number of buffers currently parked in the pool (test hook).
+    #[cfg(test)]
+    fn pooled_buffers(&self) -> usize {
+        self.scratch.lock().len()
     }
 
     /// Folds one (pre-validated) checkin into its device's stripe accumulator.
@@ -97,7 +142,7 @@ impl ShardSet {
         payload: &CheckinPayload,
         waiter: Waiter,
     ) -> std::result::Result<(), Waiter> {
-        if payload.gradient.len() != self.param_dim
+        if payload.gradient.dim() != self.param_dim
             || payload.label_counts.len() != self.num_classes
         {
             return Err(waiter);
@@ -108,17 +153,22 @@ impl ShardSet {
             .devices
             .entry(payload.device_id)
             .or_insert_with(|| DeviceAccum {
-                gradient_sum: Vector::zeros(self.param_dim),
+                gradient_sum: self.take_zeroed(),
                 checkins: 0,
                 samples: 0,
                 errors: 0,
                 label_counts: vec![0; self.num_classes],
             });
-        // Elementwise `+=` is bitwise identical to `axpy(1.0, ·)` (IEEE-754
-        // multiplication by 1.0 is exact) and cannot fail now that the
-        // dimensions are checked above.
-        for (a, g) in accum.gradient_sum.iter_mut().zip(payload.gradient.iter()) {
-            *a += g;
+        // Dense updates fold element-wise, sparse updates scatter-add — both
+        // bitwise identical to `axpy(1.0, ·)` on these accumulators (skipping
+        // an exact-zero addend is a no-op on a sum that started at `+0.0`).
+        // The dimension check above and the pool invariant (accumulators are
+        // always `param_dim`) make this unreachable; hand the checkin back
+        // rather than panic the worker. `add_into` checks before mutating, so
+        // the freshly inserted (or existing) accumulator is untouched on the
+        // error path and no counter below has moved yet.
+        if payload.gradient.add_into(&mut accum.gradient_sum).is_err() {
+            return Err(waiter);
         }
         accum.checkins += 1;
         accum.samples += payload.num_samples as u64;
@@ -165,15 +215,19 @@ impl ShardSet {
                 count: 0,
             };
         }
-        let mut gradient_sum = Vector::zeros(self.param_dim);
+        // The merge scratch comes from (and returns to) the buffer pool: no
+        // parameter-sized allocation on the steady-state epoch path.
+        let mut gradient_sum = self.take_zeroed();
         let mut device_stats = Vec::with_capacity(combined.len());
         for (device_id, accum) in combined {
             // Accumulators are all created at `param_dim`, so the elementwise
             // fold is total; like ingest, `+=` matches `axpy(1.0, ·)` bit for
             // bit without a fallible call in the merge path.
-            for (a, g) in gradient_sum.iter_mut().zip(accum.gradient_sum.iter()) {
-                *a += g;
-            }
+            crowd_linalg::kernels::add_assign(
+                gradient_sum.as_mut_slice(),
+                accum.gradient_sum.as_slice(),
+            );
+            self.put_back(accum.gradient_sum);
             device_stats.push(DeviceEpochStats {
                 device_id,
                 checkins: accum.checkins,
@@ -206,7 +260,7 @@ mod tests {
         CheckinPayload {
             device_id,
             checkout_iteration: checkout,
-            gradient: Vector::from_vec(grad),
+            gradient: Vector::from_vec(grad).into(),
             num_samples: 2,
             error_count: 1,
             label_counts: vec![1, 1],
@@ -276,6 +330,76 @@ mod tests {
         assert!(set.ingest(&bad_counts, w).is_err());
         assert!(set.drain().epoch.is_none());
         drop(rx);
+    }
+
+    /// Sparse and dense encodings of the same gradient must fold into bitwise
+    /// identical epoch aggregates — the sparse path never densifies, it
+    /// scatter-adds.
+    #[test]
+    fn sparse_ingest_matches_dense_ingest_bitwise() {
+        use crowd_linalg::SparseVector;
+        let dim = 16;
+        let grads: Vec<Vec<f64>> = (0..6u64)
+            .map(|step| {
+                (0..dim)
+                    .map(|i| {
+                        if (i + step as usize).is_multiple_of(5) {
+                            (i as f64 - 3.0) * 0.125
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let dense_set = ShardSet::new(3, dim, 2);
+        let sparse_set = ShardSet::new(3, dim, 2);
+        for (step, g) in grads.iter().enumerate() {
+            let device = step as u64 % 2;
+            let (w, _rx) = waiter();
+            assert!(dense_set
+                .ingest(&payload(device, g.clone(), step as u64), w)
+                .is_ok());
+            let (w, _rx) = waiter();
+            let mut sparse_payload = payload(device, g.clone(), step as u64);
+            sparse_payload.gradient =
+                crowd_linalg::GradientUpdate::Sparse(SparseVector::from_dense(g));
+            assert!(sparse_set.ingest(&sparse_payload, w).is_ok());
+        }
+        let dense_epoch = dense_set.drain().epoch.unwrap();
+        let sparse_epoch = sparse_set.drain().epoch.unwrap();
+        assert_eq!(dense_epoch.device_stats, sparse_epoch.device_stats);
+        for (a, b) in dense_epoch
+            .gradient_sum
+            .iter()
+            .zip(sparse_epoch.gradient_sum.iter())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The merge scratch and per-device accumulators cycle through the pool
+    /// instead of being reallocated every epoch.
+    #[test]
+    fn drained_buffers_return_to_the_pool_and_get_reused() {
+        let set = ShardSet::new(2, 4, 2);
+        assert_eq!(set.pooled_buffers(), 0);
+        for epoch in 0..3 {
+            for device in 0..4u64 {
+                let (w, _rx) = waiter();
+                assert!(set
+                    .ingest(&payload(device, vec![1.0, 0.0, 2.0, 0.0], epoch), w)
+                    .is_ok());
+            }
+            let drained = set.drain();
+            let agg = drained.epoch.unwrap();
+            assert_eq!(agg.gradient_sum.as_slice(), &[4.0, 0.0, 8.0, 0.0]);
+            // Device accumulators returned at drain; the merge buffer after
+            // the (simulated) apply.
+            assert_eq!(set.pooled_buffers(), 4);
+            set.recycle_epoch(agg);
+            assert_eq!(set.pooled_buffers(), 5);
+        }
     }
 
     /// The determinism contract: concurrent ingest through many shards yields an

@@ -44,7 +44,27 @@ fn payload(device_id: u64, step: u64) -> CheckinPayload {
     CheckinPayload {
         device_id,
         checkout_iteration: step,
-        gradient: Vector::filled(DIM * CLASSES, 0.001),
+        gradient: Vector::filled(DIM * CLASSES, 0.001).into(),
+        num_samples: 20,
+        error_count: 2,
+        label_counts: vec![2; CLASSES],
+    }
+}
+
+/// A 95%-zero gradient in its sparse representation: what a bandwidth-lean
+/// device uploads, ingested by the shards via scatter-add.
+fn sparse_payload(device_id: u64, step: u64) -> CheckinPayload {
+    let dim = DIM * CLASSES;
+    let mut grad = vec![0.0; dim];
+    for i in (0..dim).step_by(20) {
+        grad[i] = 0.001;
+    }
+    let gradient = crowd_linalg::GradientUpdate::from_dense_auto(Vector::from_vec(grad));
+    assert!(gradient.is_sparse());
+    CheckinPayload {
+        device_id,
+        checkout_iteration: step,
+        gradient,
         num_samples: 20,
         error_count: 2,
         label_counts: vec![2; CLASSES],
@@ -124,8 +144,9 @@ fn run_sharded_sync(threads: u64, shards: usize, epoch: u64) -> u64 {
 }
 
 /// Pipelined devices: checkout a snapshot, submit the round's window, then
-/// collect the acks.
-fn run_sharded_pipelined(threads: u64, shards: usize, epoch: u64) -> u64 {
+/// collect the acks. `sparse` switches the uploads to the 95%-zero sparse
+/// representation, exercising the shard scatter-add path.
+fn run_sharded_pipelined_with(threads: u64, shards: usize, epoch: u64, sparse: bool) -> u64 {
     let runtime = Arc::new(sharded_runtime(shards, epoch));
     let mut handles = Vec::new();
     for device in 0..threads {
@@ -135,9 +156,13 @@ fn run_sharded_pipelined(threads: u64, shards: usize, epoch: u64) -> u64 {
                 black_box(runtime.snapshot().iteration);
                 let tickets: Vec<_> = (0..ROUND)
                     .map(|slot| {
-                        runtime
-                            .submit(payload(device, round * ROUND + slot))
-                            .unwrap()
+                        let step = round * ROUND + slot;
+                        let p = if sparse {
+                            sparse_payload(device, step)
+                        } else {
+                            payload(device, step)
+                        };
+                        runtime.submit(p).unwrap()
                     })
                     .collect();
                 for ticket in tickets {
@@ -153,6 +178,10 @@ fn run_sharded_pipelined(threads: u64, shards: usize, epoch: u64) -> u64 {
     assert_eq!(applied, threads * CHECKINS_PER_DEVICE);
     runtime.shutdown();
     applied
+}
+
+fn run_sharded_pipelined(threads: u64, shards: usize, epoch: u64) -> u64 {
+    run_sharded_pipelined_with(threads, shards, epoch, false)
 }
 
 fn bench_agg(c: &mut Criterion) {
@@ -171,6 +200,12 @@ fn bench_agg(c: &mut Criterion) {
         group.bench_function(format!("sharded_pipelined_e64/devices{threads}"), |b| {
             b.iter(|| run_sharded_pipelined(threads, 8, 64))
         });
+        // Same pipeline, sparse uploads: the shards scatter-add 5% of the
+        // coordinates instead of folding all of them.
+        group.bench_function(
+            format!("sharded_pipelined_e64_sparse95/devices{threads}"),
+            |b| b.iter(|| run_sharded_pipelined_with(threads, 8, 64, true)),
+        );
     }
     // Shard-count sweep at fixed (high) concurrency.
     for &shards in &[1usize, 4, 16] {

@@ -34,7 +34,11 @@ fn bench_gradients(c: &mut Criterion) {
     let w = normal_vector(&mut rng, model.param_dim());
     let sample = make_batch(&mut rng, dim, classes, 1).pop().unwrap();
 
-    c.bench_function("per_sample_gradient_d50_c10", |bench| {
+    // The allocating per-sample gradient vs the `gradient_into` fast path
+    // writing into one reused scratch vector (the acceptance comparison for
+    // the allocation-free kernels).
+    let mut grad_group = c.benchmark_group("per_sample_gradient_d50_c10");
+    grad_group.bench_function("alloc", |bench| {
         bench.iter(|| {
             black_box(
                 model
@@ -43,6 +47,38 @@ fn bench_gradients(c: &mut Criterion) {
             )
         })
     });
+    grad_group.bench_function("into", |bench| {
+        let mut scratch = crowd_linalg::Vector::zeros(model.param_dim());
+        bench.iter(|| {
+            model
+                .gradient_into(
+                    black_box(&w),
+                    black_box(&sample.features),
+                    sample.label,
+                    &mut scratch,
+                )
+                .unwrap();
+            black_box(scratch.as_slice()[0])
+        })
+    });
+    // The fused pass computes prediction, loss, and gradient from one scores
+    // evaluation — what the minibatch loop actually runs per sample.
+    grad_group.bench_function("fused_evaluate", |bench| {
+        let mut scratch = crowd_linalg::Vector::zeros(model.param_dim());
+        bench.iter(|| {
+            black_box(
+                model
+                    .evaluate_into(
+                        black_box(&w),
+                        black_box(&sample.features),
+                        sample.label,
+                        &mut scratch,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    grad_group.finish();
 
     c.bench_function("per_sample_prediction_d50_c10", |bench| {
         bench.iter(|| black_box(model.predict(black_box(&w), &sample.features).unwrap()))

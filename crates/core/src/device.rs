@@ -14,7 +14,7 @@ use crate::privacy::Sanitizer;
 use crate::Result;
 use crowd_data::Sample;
 use crowd_learning::model::{minibatch_statistics, Model};
-use crowd_linalg::Vector;
+use crowd_linalg::{GradientUpdate, Vector};
 use rand::Rng;
 
 /// What a device did with an observed sample.
@@ -38,8 +38,9 @@ pub struct CheckinPayload {
     pub device_id: u64,
     /// Server iteration at which the parameters used for this gradient were read.
     pub checkout_iteration: u64,
-    /// The sanitized averaged gradient `ĝ`.
-    pub gradient: Vector,
+    /// The sanitized averaged gradient `ĝ`, in whichever representation the
+    /// device chose for the wire (dense, or sparse when mostly exact zeros).
+    pub gradient: GradientUpdate,
     /// The number of samples `n_s` the statistics were computed from.
     pub num_samples: usize,
     /// The sanitized misclassification count `n̂_e`.
@@ -196,7 +197,10 @@ impl Device {
         Ok(CheckinPayload {
             device_id: self.id,
             checkout_iteration,
-            gradient: sanitized.gradient,
+            // Ship the sparse representation when the measured density makes
+            // it smaller on the wire (noised gradients are always dense; a
+            // non-private hinge or rarely-active logistic gradient is not).
+            gradient: GradientUpdate::from_dense_auto(sanitized.gradient),
             num_samples: stats.num_samples,
             error_count: sanitized.error_count,
             label_counts: sanitized.label_counts,
@@ -280,7 +284,7 @@ mod tests {
         assert_eq!(payload.label_counts.len(), 3);
         assert_eq!(payload.label_counts[0], 1);
         assert_eq!(payload.label_counts[2], 1);
-        assert_eq!(payload.gradient.len(), model.param_dim());
+        assert_eq!(payload.gradient.dim(), model.param_dim());
         assert_eq!(d.buffer_len(), 0);
         assert!(!d.is_awaiting_params());
         assert_eq!(d.checkins_completed(), 1);
@@ -336,6 +340,6 @@ mod tests {
         // At least one sample always contributes a gradient (we never hold out all
         // of them), and the payload still reports the full sample count.
         assert_eq!(payload.num_samples, 4);
-        assert!(payload.gradient.len() == model.param_dim());
+        assert!(payload.gradient.dim() == model.param_dim());
     }
 }

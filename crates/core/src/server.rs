@@ -86,7 +86,7 @@ impl EpochAggregate {
     /// classic [`Server::checkin`].
     pub fn from_payload(payload: &CheckinPayload) -> Self {
         EpochAggregate {
-            gradient_sum: payload.gradient.clone(),
+            gradient_sum: payload.gradient.to_dense(),
             checkin_count: 1,
             min_checkout_iteration: payload.checkout_iteration,
             device_stats: vec![DeviceEpochStats {
@@ -399,10 +399,10 @@ impl<M: Model> Server<M> {
 
     /// Server Routine 2: apply one sanitized checkin.
     pub fn checkin(&mut self, payload: &CheckinPayload) -> Result<CheckinOutcome> {
-        if payload.gradient.len() != self.params.len() {
+        if payload.gradient.dim() != self.params.len() {
             return Err(CoreError::Protocol(format!(
                 "checkin gradient has dimension {}, expected {}",
-                payload.gradient.len(),
+                payload.gradient.dim(),
                 self.params.len()
             )));
         }
@@ -528,7 +528,7 @@ mod tests {
         CheckinPayload {
             device_id,
             checkout_iteration: iteration,
-            gradient: Vector::from_vec(grad),
+            gradient: Vector::from_vec(grad).into(),
             num_samples: 2,
             error_count: 1,
             label_counts: vec![1, 1, 0],
@@ -617,7 +617,7 @@ mod tests {
         let p = CheckinPayload {
             device_id: 1,
             checkout_iteration: 0,
-            gradient: Vector::zeros(6),
+            gradient: Vector::zeros(6).into(),
             num_samples: 30,
             error_count: 0,
             label_counts: vec![10, 10, 10],
@@ -632,7 +632,7 @@ mod tests {
         let bad_dim = CheckinPayload {
             device_id: 0,
             checkout_iteration: 0,
-            gradient: Vector::zeros(5),
+            gradient: Vector::zeros(5).into(),
             num_samples: 1,
             error_count: 0,
             label_counts: vec![0, 0, 0],
@@ -641,7 +641,7 @@ mod tests {
         let bad_counts = CheckinPayload {
             device_id: 0,
             checkout_iteration: 0,
-            gradient: Vector::zeros(6),
+            gradient: Vector::zeros(6).into(),
             num_samples: 1,
             error_count: 0,
             label_counts: vec![0, 0],
@@ -650,7 +650,7 @@ mod tests {
         let zero_samples = CheckinPayload {
             device_id: 0,
             checkout_iteration: 0,
-            gradient: Vector::zeros(6),
+            gradient: Vector::zeros(6).into(),
             num_samples: 0,
             error_count: 0,
             label_counts: vec![0, 0, 0],
@@ -874,7 +874,7 @@ mod tests {
         let p = CheckinPayload {
             device_id: 0,
             checkout_iteration: 0,
-            gradient: Vector::zeros(6),
+            gradient: Vector::zeros(6).into(),
             num_samples: 5,
             error_count: -3,
             label_counts: vec![-2, 4, 1],

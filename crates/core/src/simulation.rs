@@ -315,6 +315,24 @@ impl<'a, M: Model> Model for ModelRef<'a, M> {
     fn gradient(&self, params: &Vector, x: &Vector, y: usize) -> crowd_learning::Result<Vector> {
         self.inner.gradient(params, x, y)
     }
+    fn gradient_into(
+        &self,
+        params: &Vector,
+        x: &Vector,
+        y: usize,
+        out: &mut Vector,
+    ) -> crowd_learning::Result<()> {
+        self.inner.gradient_into(params, x, y, out)
+    }
+    fn evaluate_into(
+        &self,
+        params: &Vector,
+        x: &Vector,
+        y: usize,
+        out: &mut Vector,
+    ) -> crowd_learning::Result<crowd_learning::model::SampleEval> {
+        self.inner.evaluate_into(params, x, y, out)
+    }
 }
 
 #[cfg(test)]

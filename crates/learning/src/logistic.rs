@@ -11,9 +11,9 @@
 //! which is what [`crowd_dp::sensitivity::averaged_logistic_gradient`] encodes.
 
 use crate::error::LearningError;
-use crate::model::Model;
+use crate::model::{Model, SampleEval};
 use crate::Result;
-use crowd_linalg::ops::{log_sum_exp, sigmoid, softmax};
+use crowd_linalg::ops::{log_sum_exp, sigmoid, softmax, softmax_in_place};
 use crowd_linalg::Vector;
 
 /// Multiclass logistic regression with a `C × D` weight matrix stored flat.
@@ -84,10 +84,7 @@ impl Model for MulticlassLogistic {
         let ps = params.as_slice();
         let xs = x.as_slice();
         Ok((0..self.num_classes)
-            .map(|k| {
-                let row = &ps[k * d..(k + 1) * d];
-                row.iter().zip(xs.iter()).map(|(w, v)| w * v).sum()
-            })
+            .map(|k| crowd_linalg::kernels::dot(&ps[k * d..(k + 1) * d], xs))
             .collect())
     }
 
@@ -97,11 +94,55 @@ impl Model for MulticlassLogistic {
         Ok(log_sum_exp(&scores) - scores[y])
     }
 
-    fn gradient(&self, params: &Vector, x: &Vector, y: usize) -> Result<Vector> {
+    fn gradient_into(&self, params: &Vector, x: &Vector, y: usize, out: &mut Vector) -> Result<()> {
         self.validate(x, y)?;
-        let posteriors = self.posteriors(params, x)?;
+        let mut scores = self.scores(params, x)?;
+        softmax_in_place(&mut scores);
+        self.scatter_gradient(&scores, x, y, out)
+    }
+
+    fn evaluate_into(
+        &self,
+        params: &Vector,
+        x: &Vector,
+        y: usize,
+        out: &mut Vector,
+    ) -> Result<SampleEval> {
+        self.validate(x, y)?;
+        // One scores pass feeds prediction, loss, and gradient; each consumer
+        // sees the exact values the standalone methods would recompute.
+        let mut scores = self.scores(params, x)?;
+        let predicted = crowd_linalg::ops::argmax(&scores).ok_or(LearningError::ShapeMismatch {
+            reason: "model produced no scores".into(),
+        })?;
+        let loss = log_sum_exp(&scores) - scores[y];
+        softmax_in_place(&mut scores);
+        self.scatter_gradient(&scores, x, y, out)?;
+        Ok(SampleEval { predicted, loss })
+    }
+}
+
+impl MulticlassLogistic {
+    /// Writes `∇_w l = x ⊗ (P − e_y)` into `out` given the posteriors.
+    fn scatter_gradient(
+        &self,
+        posteriors: &[f64],
+        x: &Vector,
+        y: usize,
+        out: &mut Vector,
+    ) -> Result<()> {
+        if out.len() != self.param_dim() {
+            return Err(LearningError::ShapeMismatch {
+                reason: format!(
+                    "gradient scratch has length {}, expected {}",
+                    out.len(),
+                    self.param_dim()
+                ),
+            });
+        }
         let d = self.input_dim;
-        let mut grad = vec![0.0; self.param_dim()];
+        out.set_zero();
+        let grad = out.as_mut_slice();
         for (k, &p) in posteriors.iter().enumerate() {
             let coeff = p - if k == y { 1.0 } else { 0.0 };
             if coeff == 0.0 {
@@ -112,7 +153,7 @@ impl Model for MulticlassLogistic {
                 *g += coeff * v;
             }
         }
-        Ok(Vector::from_vec(grad))
+        Ok(())
     }
 }
 
@@ -186,11 +227,24 @@ impl Model for BinaryLogistic {
         })
     }
 
-    fn gradient(&self, params: &Vector, x: &Vector, y: usize) -> Result<Vector> {
+    fn gradient_into(&self, params: &Vector, x: &Vector, y: usize, out: &mut Vector) -> Result<()> {
         self.validate(x, y)?;
+        if out.len() != self.input_dim {
+            return Err(LearningError::ShapeMismatch {
+                reason: format!(
+                    "gradient scratch has length {}, expected {}",
+                    out.len(),
+                    self.input_dim
+                ),
+            });
+        }
         let p = self.probability(params, x)?;
         let target = if y == 1 { 1.0 } else { 0.0 };
-        Ok(x.scaled(p - target))
+        let coeff = p - target;
+        for (g, &v) in out.iter_mut().zip(x.as_slice().iter()) {
+            *g = v * coeff;
+        }
+        Ok(())
     }
 }
 

@@ -42,7 +42,38 @@ pub trait Model: Send + Sync {
     fn loss(&self, params: &Vector, x: &Vector, y: usize) -> Result<f64>;
 
     /// Per-sample (sub)gradient `∇_w l(h(x; w), y)` (without regularization).
-    fn gradient(&self, params: &Vector, x: &Vector, y: usize) -> Result<Vector>;
+    ///
+    /// Allocates a fresh vector per call; hot loops should prefer
+    /// [`Model::gradient_into`] with a reused scratch vector.
+    fn gradient(&self, params: &Vector, x: &Vector, y: usize) -> Result<Vector> {
+        let mut out = Vector::zeros(self.param_dim());
+        self.gradient_into(params, x, y, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes the per-sample (sub)gradient into `out` (overwriting it) without
+    /// allocating. `out` must have length [`Model::param_dim`].
+    fn gradient_into(&self, params: &Vector, x: &Vector, y: usize, out: &mut Vector) -> Result<()>;
+
+    /// Fused per-sample evaluation: prediction, loss, and gradient from one
+    /// scores computation, with the gradient written into `out`.
+    ///
+    /// The default computes the three quantities separately (three score
+    /// passes); models override it to share one. Either way the results are
+    /// bitwise identical to the individual methods — the fused path reuses the
+    /// exact same scores, it does not reassociate anything.
+    fn evaluate_into(
+        &self,
+        params: &Vector,
+        x: &Vector,
+        y: usize,
+        out: &mut Vector,
+    ) -> Result<SampleEval> {
+        let predicted = self.predict(params, x)?;
+        let loss = self.loss(params, x, y)?;
+        self.gradient_into(params, x, y, out)?;
+        Ok(SampleEval { predicted, loss })
+    }
 
     /// Validates that a feature/label pair is compatible with the model.
     fn validate(&self, x: &Vector, y: usize) -> Result<()> {
@@ -62,6 +93,15 @@ pub trait Model: Send + Sync {
         }
         Ok(())
     }
+}
+
+/// Per-sample outcome of a fused [`Model::evaluate_into`] pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleEval {
+    /// The predicted class label (argmax of the scores).
+    pub predicted: usize,
+    /// The per-sample loss `l(h(x; w), y)`.
+    pub loss: f64,
 }
 
 /// The statistics a device computes over one minibatch in Device Routine 2:
@@ -96,6 +136,21 @@ pub fn minibatch_statistics<M: Model + ?Sized>(
     lambda: f64,
     holdout: &[usize],
 ) -> Result<MinibatchStats> {
+    let mut scratch = Vector::zeros(model.param_dim());
+    minibatch_statistics_into(model, params, samples, lambda, holdout, &mut scratch)
+}
+
+/// [`minibatch_statistics`] with a caller-provided per-sample gradient scratch
+/// vector (length [`Model::param_dim`]), so training loops that process many
+/// minibatches allocate the scratch once instead of once per sample.
+pub fn minibatch_statistics_into<M: Model + ?Sized>(
+    model: &M,
+    params: &Vector,
+    samples: &[Sample],
+    lambda: f64,
+    holdout: &[usize],
+    scratch: &mut Vector,
+) -> Result<MinibatchStats> {
     if samples.is_empty() {
         return Err(LearningError::EmptyData);
     }
@@ -114,17 +169,16 @@ pub fn minibatch_statistics<M: Model + ?Sized>(
     for (i, s) in samples.iter().enumerate() {
         model.validate(&s.features, s.label)?;
         label_counts[s.label] += 1;
-        let pred = model.predict(params, &s.features)?;
-        if pred != s.label {
+        let eval = model.evaluate_into(params, &s.features, s.label, scratch)?;
+        if eval.predicted != s.label {
             num_errors += 1;
         }
-        loss_sum += model.loss(params, &s.features, s.label)?;
+        loss_sum += eval.loss;
         if holdout.contains(&i) {
             continue;
         }
-        let g = model.gradient(params, &s.features, s.label)?;
         grad_sum
-            .axpy(1.0, &g)
+            .axpy(1.0, scratch)
             .map_err(|e| LearningError::ShapeMismatch {
                 reason: format!("gradient accumulation failed: {e}"),
             })?;

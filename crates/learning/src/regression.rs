@@ -87,15 +87,39 @@ impl RidgeRegression {
 
     /// Gradient of the regularized squared loss.
     pub fn gradient(&self, params: &Vector, sample: &RegressionSample) -> Result<Vector> {
+        let mut g = Vector::zeros(self.input_dim);
+        self.gradient_into(params, sample, &mut g)?;
+        Ok(g)
+    }
+
+    /// Writes the gradient of the regularized squared loss into `out`
+    /// (overwriting it) without allocating.
+    pub fn gradient_into(
+        &self,
+        params: &Vector,
+        sample: &RegressionSample,
+        out: &mut Vector,
+    ) -> Result<()> {
+        if out.len() != self.input_dim {
+            return Err(LearningError::ShapeMismatch {
+                reason: format!(
+                    "gradient scratch has length {}, expected {}",
+                    out.len(),
+                    self.input_dim
+                ),
+            });
+        }
         let err = self.predict(params, &sample.features)? - sample.target;
-        let mut g = sample.features.scaled(err);
+        for (g, &v) in out.iter_mut().zip(sample.features.iter()) {
+            *g = v * err;
+        }
         if self.lambda > 0.0 {
-            g.axpy(self.lambda, params)
+            out.axpy(self.lambda, params)
                 .map_err(|e| LearningError::ShapeMismatch {
                     reason: e.to_string(),
                 })?;
         }
-        Ok(g)
+        Ok(())
     }
 
     /// Trains with projected SGD for `passes` passes over the data, returning the
@@ -110,12 +134,13 @@ impl RidgeRegression {
             return Err(LearningError::EmptyData);
         }
         let mut w = Vector::zeros(self.input_dim);
+        let mut g = Vector::zeros(self.input_dim);
         let mut schedule_state = schedule.clone();
         let mut t = 0usize;
         for _ in 0..passes.max(1) {
             for sample in data {
                 t += 1;
-                let g = self.gradient(&w, sample)?;
+                self.gradient_into(&w, sample, &mut g)?;
                 let eta = schedule_state.rate(t, &g);
                 w.axpy(-eta, &g).map_err(|e| LearningError::ShapeMismatch {
                     reason: e.to_string(),

@@ -7,7 +7,7 @@
 //! features are L1-normalized so the same clipping/sensitivity machinery applies.
 
 use crate::error::LearningError;
-use crate::model::Model;
+use crate::model::{Model, SampleEval};
 use crate::Result;
 use crowd_linalg::Vector;
 
@@ -74,10 +74,7 @@ impl Model for MulticlassHinge {
         let ps = params.as_slice();
         let xs = x.as_slice();
         Ok((0..self.num_classes)
-            .map(|k| {
-                let row = &ps[k * d..(k + 1) * d];
-                row.iter().zip(xs.iter()).map(|(w, v)| w * v).sum()
-            })
+            .map(|k| crowd_linalg::kernels::dot(&ps[k * d..(k + 1) * d], xs))
             .collect())
     }
 
@@ -93,11 +90,57 @@ impl Model for MulticlassHinge {
         Ok(loss)
     }
 
-    fn gradient(&self, params: &Vector, x: &Vector, y: usize) -> Result<Vector> {
+    fn gradient_into(&self, params: &Vector, x: &Vector, y: usize, out: &mut Vector) -> Result<()> {
         self.validate(x, y)?;
         let scores = self.scores(params, x)?;
+        self.scatter_subgradient(&scores, x, y, out)
+    }
+
+    fn evaluate_into(
+        &self,
+        params: &Vector,
+        x: &Vector,
+        y: usize,
+        out: &mut Vector,
+    ) -> Result<SampleEval> {
+        self.validate(x, y)?;
+        // One scores pass feeds prediction, loss, and subgradient; the values
+        // match the standalone methods exactly.
+        let scores = self.scores(params, x)?;
+        let predicted = crowd_linalg::ops::argmax(&scores).ok_or(LearningError::ShapeMismatch {
+            reason: "model produced no scores".into(),
+        })?;
+        let mut loss = 0.0;
+        for (k, &s) in scores.iter().enumerate() {
+            let t = if k == y { 1.0 } else { -1.0 };
+            loss += (1.0 - t * s).max(0.0);
+        }
+        self.scatter_subgradient(&scores, x, y, out)?;
+        Ok(SampleEval { predicted, loss })
+    }
+}
+
+impl MulticlassHinge {
+    /// Writes the one-vs-rest hinge subgradient into `out` given the scores.
+    fn scatter_subgradient(
+        &self,
+        scores: &[f64],
+        x: &Vector,
+        y: usize,
+        out: &mut Vector,
+    ) -> Result<()> {
+        if out.len() != self.param_dim() {
+            return Err(LearningError::ShapeMismatch {
+                reason: format!(
+                    "gradient scratch has length {}, expected {}",
+                    out.len(),
+                    self.param_dim()
+                ),
+            });
+        }
         let d = self.input_dim;
-        let mut grad = vec![0.0; self.param_dim()];
+        out.set_zero();
+        let grad = out.as_mut_slice();
         for (k, &s) in scores.iter().enumerate() {
             let t = if k == y { 1.0 } else { -1.0 };
             if 1.0 - t * s > 0.0 {
@@ -107,7 +150,7 @@ impl Model for MulticlassHinge {
                 }
             }
         }
-        Ok(Vector::from_vec(grad))
+        Ok(())
     }
 }
 

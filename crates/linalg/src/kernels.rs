@@ -1,0 +1,190 @@
+//! Unrolled BLAS-1 kernels with a *fixed* summation order.
+//!
+//! Every reduction here accumulates into four independent lanes over
+//! stride-4 chunks and combines them as `((s0 + s1) + (s2 + s3)) + tail`.
+//! The order never depends on alignment, thread count, or call site, so the
+//! results are bitwise reproducible run to run — which is what the durable
+//! store's recovery proptests and the sharded-aggregation determinism tests
+//! rely on. The four lanes break the sequential add dependency chain, letting
+//! the CPU retire ~4 FLOPs per cycle instead of stalling on one accumulator.
+//!
+//! The element-wise kernels (`axpy`, `add_assign`, `scale`) are bitwise
+//! identical to their naive loops (each element is independent); only the
+//! reductions (`dot`, `sum_sq`) differ from a left-to-right fold — by design,
+//! and identically on every run.
+
+/// Dot product `a · b` over equal-length slices, four-lane unrolled.
+///
+/// Callers are responsible for the length check; mismatched tails are ignored
+/// in release builds.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "kernel dot length mismatch");
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        s0 += xa[0] * xb[0];
+        s1 += xa[1] * xb[1];
+        s2 += xa[2] * xb[2];
+        s3 += xa[3] * xb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
+}
+
+/// Sum of squares `Σ aᵢ²`, four-lane unrolled (the L2 norm is its sqrt).
+#[inline]
+pub fn sum_sq(a: &[f64]) -> f64 {
+    let mut chunks = a.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for c in &mut chunks {
+        s0 += c[0] * c[0];
+        s1 += c[1] * c[1];
+        s2 += c[2] * c[2];
+        s3 += c[3] * c[3];
+    }
+    let mut tail = 0.0;
+    for x in chunks.remainder() {
+        tail += x * x;
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
+}
+
+/// Sum of absolute values `Σ |aᵢ|`, four-lane unrolled.
+#[inline]
+pub fn sum_abs(a: &[f64]) -> f64 {
+    let mut chunks = a.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for c in &mut chunks {
+        s0 += c[0].abs();
+        s1 += c[1].abs();
+        s2 += c[2].abs();
+        s3 += c[3].abs();
+    }
+    let mut tail = 0.0;
+    for x in chunks.remainder() {
+        tail += x.abs();
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
+}
+
+/// In-place `y += alpha * x`, unrolled. Bitwise identical to the naive loop.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "kernel axpy length mismatch");
+    let mut cy = y.chunks_exact_mut(4);
+    let mut cx = x.chunks_exact(4);
+    for (ya, xa) in (&mut cy).zip(&mut cx) {
+        ya[0] += alpha * xa[0];
+        ya[1] += alpha * xa[1];
+        ya[2] += alpha * xa[2];
+        ya[3] += alpha * xa[3];
+    }
+    for (yv, xv) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yv += alpha * xv;
+    }
+}
+
+/// In-place `y += x`, unrolled. Bitwise identical to the naive loop.
+#[inline]
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    debug_assert_eq!(x.len(), y.len(), "kernel add length mismatch");
+    let mut cy = y.chunks_exact_mut(4);
+    let mut cx = x.chunks_exact(4);
+    for (ya, xa) in (&mut cy).zip(&mut cx) {
+        ya[0] += xa[0];
+        ya[1] += xa[1];
+        ya[2] += xa[2];
+        ya[3] += xa[3];
+    }
+    for (yv, xv) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yv += xv;
+    }
+}
+
+/// In-place `y *= alpha`, unrolled. Bitwise identical to the naive loop.
+#[inline]
+pub fn scale(alpha: f64, y: &mut [f64]) {
+    let mut cy = y.chunks_exact_mut(4);
+    for ya in &mut cy {
+        ya[0] *= alpha;
+        ya[1] *= alpha;
+        ya[2] *= alpha;
+        ya[3] *= alpha;
+    }
+    for yv in cy.into_remainder() {
+        *yv *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn dot_matches_reference_within_rounding() {
+        for n in [0usize, 1, 3, 4, 7, 8, 100, 1001] {
+            let a = seq(n, |i| (i as f64 * 0.37).sin());
+            let b = seq(n, |i| (i as f64 * 0.11).cos());
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let got = dot(&a, &b);
+            assert!(
+                (got - naive).abs() <= 1e-12 * naive.abs().max(1.0),
+                "n={n}: {got} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_is_deterministic_across_calls() {
+        let a = seq(1001, |i| (i as f64 * 0.73).sin() * 1e3);
+        let b = seq(1001, |i| (i as f64 * 0.19).cos() * 1e-3);
+        let first = dot(&a, &b);
+        for _ in 0..10 {
+            assert_eq!(first.to_bits(), dot(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn sums_match_reference() {
+        for n in [0usize, 2, 4, 9, 257] {
+            let a = seq(n, |i| i as f64 - 3.5);
+            let sq: f64 = a.iter().map(|x| x * x).sum();
+            let ab: f64 = a.iter().map(|x| x.abs()).sum();
+            assert!((sum_sq(&a) - sq).abs() <= 1e-12 * sq.max(1.0));
+            assert!((sum_abs(&a) - ab).abs() <= 1e-12 * ab.max(1.0));
+        }
+    }
+
+    #[test]
+    fn axpy_and_add_are_bitwise_naive() {
+        for n in [0usize, 1, 5, 64, 103] {
+            let x = seq(n, |i| (i as f64 * 0.3).sin());
+            let mut y = seq(n, |i| (i as f64 * 0.7).cos());
+            let mut naive = y.clone();
+            axpy(0.37, &x, &mut y);
+            for (nv, xv) in naive.iter_mut().zip(&x) {
+                *nv += 0.37 * xv;
+            }
+            assert_eq!(y, naive, "axpy n={n}");
+            add_assign(&mut y, &x);
+            for (nv, xv) in naive.iter_mut().zip(&x) {
+                *nv += xv;
+            }
+            assert_eq!(y, naive, "add n={n}");
+            scale(1.7, &mut y);
+            for nv in naive.iter_mut() {
+                *nv *= 1.7;
+            }
+            assert_eq!(y, naive, "scale n={n}");
+        }
+    }
+}

@@ -6,6 +6,10 @@
 //!
 //! * [`Vector`] and [`Matrix`] — owned, row-major dense containers with the usual
 //!   BLAS-1/2/3-style operations (`dot`, `axpy`, `matvec`, `matmul`, …).
+//! * [`kernels`] — unrolled BLAS-1 reductions with a fixed summation order, so
+//!   hot-path dot products and norms are fast *and* bitwise reproducible.
+//! * [`sparse`] — [`SparseVector`] and the [`GradientUpdate`] carrier used to
+//!   ship mostly-zero gradients in bandwidth proportional to their support.
 //! * [`ops`] — free functions used throughout the learning stack: softmax,
 //!   log-sum-exp, argmax, L1/L2 normalization, and the L2-ball projection
 //!   `Π_W(w) = min(1, R/‖w‖)·w` from Eq. (3) of the paper.
@@ -23,16 +27,19 @@
 
 pub mod error;
 pub mod fft;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod pca;
 pub mod random;
+pub mod sparse;
 pub mod stats;
 pub mod vector;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use pca::Pca;
+pub use sparse::{GradientUpdate, SparseVector};
 pub use vector::Vector;
 
 /// Convenient result alias used across the crate.

@@ -91,17 +91,12 @@ impl Vector {
         self.data.iter_mut()
     }
 
-    /// Dot product `self · other`.
+    /// Dot product `self · other` (four-lane unrolled, fixed summation order).
     pub fn dot(&self, other: &Vector) -> Result<f64> {
         if self.len() != other.len() {
             return Err(LinalgError::vector_mismatch("dot", self.len(), other.len()));
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(crate::kernels::dot(&self.data, &other.data))
     }
 
     /// In-place `self += alpha * other` (the classic `axpy`).
@@ -113,17 +108,18 @@ impl Vector {
                 other.len(),
             ));
         }
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        crate::kernels::axpy(alpha, &other.data, &mut self.data);
         Ok(())
+    }
+
+    /// In-place scatter-add of a sparse vector's stored coordinates.
+    pub fn add_sparse(&mut self, other: &crate::sparse::SparseVector) -> Result<()> {
+        other.add_into(&mut self.data)
     }
 
     /// In-place scaling `self *= alpha`.
     pub fn scale(&mut self, alpha: f64) {
-        for a in &mut self.data {
-            *a *= alpha;
-        }
+        crate::kernels::scale(alpha, &mut self.data);
     }
 
     /// Returns a scaled copy `alpha * self`.
@@ -149,12 +145,12 @@ impl Vector {
 
     /// L1 norm `‖v‖₁`.
     pub fn norm_l1(&self) -> f64 {
-        self.data.iter().map(|a| a.abs()).sum()
+        crate::kernels::sum_abs(&self.data)
     }
 
     /// L2 norm `‖v‖₂`.
     pub fn norm_l2(&self) -> f64 {
-        self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
+        crate::kernels::sum_sq(&self.data).sqrt()
     }
 
     /// L∞ norm (maximum absolute value); `0.0` for an empty vector.
@@ -164,7 +160,7 @@ impl Vector {
 
     /// Squared L2 norm.
     pub fn norm_l2_squared(&self) -> f64 {
-        self.data.iter().map(|a| a * a).sum()
+        crate::kernels::sum_sq(&self.data)
     }
 
     /// Returns the index of the maximum element; ties resolve to the smallest index.
@@ -320,9 +316,7 @@ impl Sub<&Vector> for &Vector {
 impl AddAssign<&Vector> for Vector {
     fn add_assign(&mut self, rhs: &Vector) {
         assert_eq!(self.len(), rhs.len(), "vector += length mismatch");
-        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
-            *a += b;
-        }
+        crate::kernels::add_assign(&mut self.data, &rhs.data);
     }
 }
 

@@ -6,15 +6,15 @@ use crowd_core::config::{DeviceConfig, PrivacyConfig};
 use crowd_core::device::{Device, DeviceAction};
 use crowd_data::Dataset;
 use crowd_learning::model::Model;
-use crowd_linalg::Vector;
-use crowd_proto::auth::AuthToken;
-use crowd_proto::frame::{read_message, write_message};
+use crowd_linalg::{GradientUpdate, Vector};
+use crowd_proto::frame::{read_message_pooled, write_message_pooled, DEFAULT_MAX_FRAME};
 use crowd_proto::message::{
-    BatchAck, BatchCheckinRequest, CheckinRequest, CheckoutRequest, Message,
+    BatchAck, BatchCheckinRequest, CheckinRequest, CheckoutRequest, GradientPayload, Message,
 };
-use crowd_proto::PROTOCOL_VERSION;
+use crowd_proto::{AuthToken, BufPool, PROTOCOL_VERSION};
 use rand::Rng;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Bounded retry-with-backoff policy for "server busy" backpressure replies.
@@ -69,6 +69,19 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Maps a device's gradient representation onto the wire encoding without
+/// densifying: a sparse update ships only its stored coordinates.
+fn wire_gradient(gradient: &GradientUpdate) -> GradientPayload {
+    match gradient {
+        GradientUpdate::Dense(v) => GradientPayload::Dense(v.as_slice().to_vec()),
+        GradientUpdate::Sparse(s) => GradientPayload::Sparse {
+            dim: s.dim() as u32,
+            indices: s.indices().to_vec(),
+            values: s.values().to_vec(),
+        },
+    }
+}
+
 /// A device's view of a checkout: the parameters and the server iteration they
 /// were read at.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +115,8 @@ pub struct DeviceClient {
     device_id: u64,
     token: AuthToken,
     retry: RetryPolicy,
+    /// Reused frame buffers (shared across clones, e.g. a gateway's workers).
+    pool: Arc<BufPool>,
 }
 
 impl DeviceClient {
@@ -113,6 +128,7 @@ impl DeviceClient {
             device_id,
             token,
             retry: RetryPolicy::new(),
+            pool: Arc::new(BufPool::default()),
         }
     }
 
@@ -130,8 +146,12 @@ impl DeviceClient {
     fn exchange_once(&self, request: &Message) -> Result<Message> {
         let mut stream = TcpStream::connect(self.addr)?;
         stream.set_nodelay(true).ok();
-        write_message(&mut stream, request)?;
-        Ok(read_message(&mut stream)?)
+        write_message_pooled(&mut stream, request, &self.pool)?;
+        Ok(read_message_pooled(
+            &mut stream,
+            &self.pool,
+            DEFAULT_MAX_FRAME,
+        )?)
     }
 
     /// One request/reply exchange, transparently retrying "server busy"
@@ -190,7 +210,7 @@ impl DeviceClient {
             device_id: self.device_id,
             token: self.token,
             checkout_iteration: payload.checkout_iteration,
-            gradient: payload.gradient.as_slice().to_vec(),
+            gradient: wire_gradient(&payload.gradient),
             num_samples: payload.num_samples as u32,
             error_count: payload.error_count,
             label_counts: payload.label_counts.clone(),
@@ -228,7 +248,7 @@ impl DeviceClient {
                     device_id: self.device_id,
                     token: self.token,
                     checkout_iteration: payload.checkout_iteration,
-                    gradient: payload.gradient.as_slice().to_vec(),
+                    gradient: wire_gradient(&payload.gradient),
                     num_samples: payload.num_samples as u32,
                     error_count: payload.error_count,
                     label_counts: payload.label_counts.clone(),
@@ -423,7 +443,7 @@ mod tests {
         let payload = crowd_core::device::CheckinPayload {
             device_id: 1,
             checkout_iteration: 0,
-            gradient: Vector::from_vec(vec![0.1; 6]),
+            gradient: Vector::from_vec(vec![0.1; 6]).into(),
             num_samples: 2,
             error_count: 1,
             label_counts: vec![1, 1],
@@ -445,7 +465,7 @@ mod tests {
             .map(|i| crowd_core::device::CheckinPayload {
                 device_id: 1,
                 checkout_iteration: i,
-                gradient: Vector::from_vec(vec![0.1; 6]),
+                gradient: Vector::from_vec(vec![0.1; 6]).into(),
                 num_samples: 2,
                 error_count: 0,
                 label_counts: vec![1, 1],

@@ -21,15 +21,15 @@ use crowd_core::config::ServerConfig;
 use crowd_core::device::CheckinPayload;
 use crowd_core::server::Server;
 use crowd_learning::MulticlassLogistic;
-use crowd_linalg::Vector;
+use crowd_linalg::{GradientUpdate, SparseVector, Vector};
 use crowd_proto::auth::TokenRegistry;
 use crowd_proto::codec::decode;
-use crowd_proto::frame::{write_message, DEFAULT_MAX_FRAME};
+use crowd_proto::frame::{write_message_pooled, DEFAULT_MAX_FRAME};
 use crowd_proto::message::{
     BatchAck, BatchCheckinAck, BusyReply, CheckinAck, CheckinRequest, CheckoutResponse, ErrorCode,
-    ErrorReply, Message,
+    ErrorReply, GradientPayload, Message,
 };
-use crowd_proto::PROTOCOL_VERSION;
+use crowd_proto::{BufPool, PROTOCOL_VERSION};
 use crowd_store::{RecoveryReport, Store};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -51,6 +51,9 @@ struct Shared {
     runtime: AggRuntime<MulticlassLogistic>,
     tokens: TokenRegistry,
     stop: AtomicBool,
+    /// Frame buffers shared by every connection handler: payload reads and
+    /// reply encodes reuse pooled storage instead of allocating per message.
+    pool: BufPool,
 }
 
 /// The Crowd-ML TCP server.
@@ -89,6 +92,7 @@ impl NetServer {
             runtime,
             tokens,
             stop: AtomicBool::new(false),
+            pool: BufPool::default(),
         });
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
@@ -185,7 +189,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) -> Result<()> {
             ConnRead::Closed => return Ok(()),
         };
         let reply = handle_message(&shared, message);
-        write_message(&mut stream, &reply)?;
+        write_message_pooled(&mut stream, &reply, &shared.pool)?;
         if shared.stop.load(Ordering::SeqCst) {
             return Ok(());
         }
@@ -252,8 +256,10 @@ fn read_message_tolerant(stream: &mut TcpStream, shared: &Shared) -> Result<Conn
         }
         .into());
     }
-    let mut payload = vec![0u8; len];
-    match read_full(stream, &mut payload, false, shared) {
+    // Frame payloads land in pooled buffers: the decode reads straight from
+    // the reused frame slice, and the buffer returns to the pool afterwards.
+    let mut payload = shared.pool.take(len);
+    match read_full(stream, payload.as_mut_slice(), false, shared) {
         FillResult::Done => Ok(ConnRead::Message(decode(&payload)?)),
         FillResult::Idle | FillResult::Eof => Ok(ConnRead::Closed),
     }
@@ -293,10 +299,14 @@ fn handle_message(shared: &Shared, message: Message) -> Message {
             if !shared.tokens.verify(req.device_id, &req.token) {
                 return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
             }
-            match shared.runtime.submit(payload_of(req)) {
+            let payload = match payload_of(req) {
+                Ok(p) => p,
+                Err(reply) => return *reply,
+            };
+            match shared.runtime.submit(payload) {
                 Ok(handle) => match wait_ack(handle) {
                     Ok(ack) => Message::CheckinAck(ack),
-                    Err(reply) => reply,
+                    Err(reply) => *reply,
                 },
                 Err(e) => agg_error_reply(e),
             }
@@ -305,20 +315,20 @@ fn handle_message(shared: &Shared, message: Message) -> Message {
             // Admit every item before waiting on any of them, so a batch fills
             // at most one epoch's worth of queue slots at a time and the
             // runtime can fold co-submitted gradients into shared epochs.
-            let submitted: Vec<std::result::Result<CompletionHandle, Message>> = req
+            let submitted: Vec<std::result::Result<CompletionHandle, Box<Message>>> = req
                 .items
                 .into_iter()
                 .map(|item| {
                     if !shared.tokens.verify(item.device_id, &item.token) {
-                        return Err(error_reply(
+                        return Err(Box::new(error_reply(
                             ErrorCode::Unauthorized,
                             "unknown device or bad token",
-                        ));
+                        )));
                     }
                     shared
                         .runtime
-                        .submit(payload_of(item))
-                        .map_err(agg_error_reply)
+                        .submit(payload_of(item)?)
+                        .map_err(|e| Box::new(agg_error_reply(e)))
                 })
                 .collect();
             let acks = submitted
@@ -345,25 +355,42 @@ fn handle_message(shared: &Shared, message: Message) -> Message {
     }
 }
 
-fn payload_of(req: CheckinRequest) -> CheckinPayload {
-    CheckinPayload {
+/// Converts a decoded checkin into the runtime payload without copying the
+/// gradient — a sparse upload stays sparse all the way to the shard
+/// accumulators. Re-validation of the sparse structure (the codec already
+/// checked it) costs O(nnz) and turns a hand-crafted bad payload into a
+/// `BadRequest` reply instead of trusting the transport. The error reply is
+/// boxed to keep the happy path's `Result` small.
+fn payload_of(req: CheckinRequest) -> std::result::Result<CheckinPayload, Box<Message>> {
+    let gradient = match req.gradient {
+        GradientPayload::Dense(values) => GradientUpdate::Dense(Vector::from_vec(values)),
+        GradientPayload::Sparse {
+            dim,
+            indices,
+            values,
+        } => match SparseVector::new(dim as usize, indices, values) {
+            Ok(sparse) => GradientUpdate::Sparse(sparse),
+            Err(e) => return Err(Box::new(error_reply(ErrorCode::BadRequest, e.to_string()))),
+        },
+    };
+    Ok(CheckinPayload {
         device_id: req.device_id,
         checkout_iteration: req.checkout_iteration,
-        gradient: Vector::from_vec(req.gradient),
+        gradient,
         num_samples: req.num_samples as usize,
         error_count: req.error_count,
         label_counts: req.label_counts,
-    }
+    })
 }
 
-fn wait_ack(handle: CompletionHandle) -> std::result::Result<CheckinAck, Message> {
+fn wait_ack(handle: CompletionHandle) -> std::result::Result<CheckinAck, Box<Message>> {
     match handle.wait_timeout(CHECKIN_WAIT) {
         Ok(outcome) => Ok(CheckinAck {
             accepted: outcome.accepted,
             iteration: outcome.iteration,
             stopped: outcome.stopped,
         }),
-        Err(e) => Err(agg_error_reply(e)),
+        Err(e) => Err(Box::new(agg_error_reply(e))),
     }
 }
 
@@ -503,7 +530,7 @@ impl Drop for NetServerHandle {
 mod tests {
     use super::*;
     use crowd_proto::auth::AuthToken;
-    use crowd_proto::frame::read_message;
+    use crowd_proto::frame::{read_message, write_message};
     use crowd_proto::message::{BatchCheckinRequest, CheckoutRequest};
 
     fn start_test_server() -> (NetServerHandle, AuthToken) {
@@ -524,7 +551,7 @@ mod tests {
             device_id,
             token: AuthToken::derive(device_id, secret),
             checkout_iteration: 0,
-            gradient,
+            gradient: GradientPayload::Dense(gradient),
             num_samples: 2,
             error_count: 1,
             label_counts: vec![1, 1, 0],

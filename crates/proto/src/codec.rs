@@ -9,7 +9,7 @@ use crate::auth::{AuthToken, TOKEN_LEN};
 use crate::error::ProtoError;
 use crate::message::{
     BatchAck, BatchCheckinAck, BatchCheckinRequest, BusyReply, CheckinAck, CheckinRequest,
-    CheckoutRequest, CheckoutResponse, ErrorCode, ErrorReply, Message,
+    CheckoutRequest, CheckoutResponse, ErrorCode, ErrorReply, GradientPayload, Message,
 };
 use crate::Result;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -22,10 +22,23 @@ pub const MAX_VEC_LEN: usize = 16 * 1024 * 1024;
 /// gradient, so the cap keeps a single frame's decode cost bounded.
 pub const MAX_BATCH_ITEMS: usize = 4096;
 
+/// Wire tag for a dense gradient encoding inside a checkin.
+const GRADIENT_DENSE: u8 = 0;
+/// Wire tag for a sparse (indices + values) gradient encoding.
+const GRADIENT_SPARSE: u8 = 1;
+
 /// Encodes a message into a standalone byte buffer (without the frame length
 /// prefix).
 pub fn encode(message: &Message) -> Bytes {
     let mut buf = BytesMut::with_capacity(64);
+    encode_into(message, &mut buf);
+    buf.freeze()
+}
+
+/// Encodes a message into a caller-provided buffer (without the frame length
+/// prefix), appending to whatever it already holds. Reusing one buffer across
+/// messages keeps the steady-state encode path allocation-free.
+pub fn encode_into<B: BufMut>(message: &Message, buf: &mut B) {
     buf.put_u8(message.tag());
     match message {
         Message::CheckoutRequest(m) => {
@@ -35,33 +48,33 @@ pub fn encode(message: &Message) -> Bytes {
         }
         Message::CheckoutResponse(m) => {
             buf.put_u64_le(m.iteration);
-            put_bool(&mut buf, m.stopped);
-            put_f64_vec(&mut buf, &m.params);
+            put_bool(buf, m.stopped);
+            put_f64_vec(buf, &m.params);
         }
         Message::CheckinRequest(m) => {
-            put_checkin(&mut buf, m);
+            put_checkin(buf, m);
         }
         Message::CheckinAck(m) => {
-            put_bool(&mut buf, m.accepted);
+            put_bool(buf, m.accepted);
             buf.put_u64_le(m.iteration);
-            put_bool(&mut buf, m.stopped);
+            put_bool(buf, m.stopped);
         }
         Message::Error(m) => {
             buf.put_u8(m.code.as_u8());
-            put_string(&mut buf, &m.detail);
+            put_string(buf, &m.detail);
         }
         Message::BatchCheckinRequest(m) => {
             buf.put_u32_le(m.items.len() as u32);
             for item in &m.items {
-                put_checkin(&mut buf, item);
+                put_checkin(buf, item);
             }
         }
         Message::BatchCheckinAck(m) => {
             buf.put_u32_le(m.acks.len() as u32);
             for ack in &m.acks {
-                put_bool(&mut buf, ack.accepted);
+                put_bool(buf, ack.accepted);
                 buf.put_u64_le(ack.iteration);
-                put_bool(&mut buf, ack.stopped);
+                put_bool(buf, ack.stopped);
                 // 0 = processed normally, otherwise the refusing error code.
                 buf.put_u8(ack.reject.map_or(0, ErrorCode::as_u8));
             }
@@ -70,7 +83,6 @@ pub fn encode(message: &Message) -> Bytes {
             buf.put_u32_le(m.retry_after_ms);
         }
     }
-    buf.freeze()
 }
 
 /// Decodes a message from a byte buffer produced by [`encode`].
@@ -167,14 +179,85 @@ pub fn decode(mut buf: &[u8]) -> Result<Message> {
     Ok(message)
 }
 
-fn put_checkin(buf: &mut BytesMut, m: &CheckinRequest) {
+fn put_checkin<B: BufMut>(buf: &mut B, m: &CheckinRequest) {
     buf.put_u64_le(m.device_id);
     buf.put_slice(m.token.as_bytes());
     buf.put_u64_le(m.checkout_iteration);
     buf.put_u32_le(m.num_samples);
     buf.put_i64_le(m.error_count);
-    put_f64_vec(buf, &m.gradient);
+    put_gradient(buf, &m.gradient);
     put_i64_vec(buf, &m.label_counts);
+}
+
+fn put_gradient<B: BufMut>(buf: &mut B, gradient: &GradientPayload) {
+    match gradient {
+        GradientPayload::Dense(values) => {
+            buf.put_u8(GRADIENT_DENSE);
+            put_f64_vec(buf, values);
+        }
+        GradientPayload::Sparse {
+            dim,
+            indices,
+            values,
+        } => {
+            buf.put_u8(GRADIENT_SPARSE);
+            buf.put_u32_le(*dim);
+            buf.put_u32_le(indices.len() as u32);
+            for &i in indices {
+                buf.put_u32_le(i);
+            }
+            for &v in values {
+                buf.put_f64_le(v);
+            }
+        }
+    }
+}
+
+fn get_gradient(buf: &mut &[u8]) -> Result<GradientPayload> {
+    match get_u8(buf, "gradient encoding")? {
+        GRADIENT_DENSE => Ok(GradientPayload::Dense(get_f64_vec(buf, "gradient")?)),
+        GRADIENT_SPARSE => {
+            let dim = get_u32(buf, "gradient dim")? as usize;
+            if dim > MAX_VEC_LEN {
+                return Err(ProtoError::InvalidField {
+                    field: "gradient dim",
+                    reason: format!("declared dimension {dim} exceeds maximum {MAX_VEC_LEN}"),
+                });
+            }
+            let nnz = get_u32(buf, "gradient nnz")? as usize;
+            if nnz > dim {
+                return Err(ProtoError::InvalidField {
+                    field: "gradient nnz",
+                    reason: format!("{nnz} stored coordinates exceed dimension {dim}"),
+                });
+            }
+            ensure(buf, nnz * 4, "gradient indices")?;
+            let mut indices = Vec::with_capacity(nnz);
+            let mut prev: Option<u32> = None;
+            for _ in 0..nnz {
+                let i = buf.get_u32_le();
+                if i as usize >= dim || prev.is_some_and(|p| i <= p) {
+                    return Err(ProtoError::InvalidField {
+                        field: "gradient indices",
+                        reason: format!("index {i} out of order or out of range for {dim}"),
+                    });
+                }
+                prev = Some(i);
+                indices.push(i);
+            }
+            ensure(buf, nnz * 8, "gradient values")?;
+            let values = (0..nnz).map(|_| buf.get_f64_le()).collect();
+            Ok(GradientPayload::Sparse {
+                dim: dim as u32,
+                indices,
+                values,
+            })
+        }
+        other => Err(ProtoError::InvalidField {
+            field: "gradient encoding",
+            reason: format!("unknown encoding {other}"),
+        }),
+    }
 }
 
 fn get_checkin(buf: &mut &[u8]) -> Result<CheckinRequest> {
@@ -183,7 +266,7 @@ fn get_checkin(buf: &mut &[u8]) -> Result<CheckinRequest> {
     let checkout_iteration = get_u64(buf, "checkout_iteration")?;
     let num_samples = get_u32(buf, "num_samples")?;
     let error_count = get_i64(buf, "error_count")?;
-    let gradient = get_f64_vec(buf, "gradient")?;
+    let gradient = get_gradient(buf)?;
     let label_counts = get_i64_vec(buf, "label_counts")?;
     Ok(CheckinRequest {
         device_id,
@@ -207,25 +290,25 @@ fn get_batch_len(buf: &mut &[u8], context: &'static str) -> Result<usize> {
     Ok(len)
 }
 
-fn put_bool(buf: &mut BytesMut, value: bool) {
+fn put_bool<B: BufMut>(buf: &mut B, value: bool) {
     buf.put_u8(u8::from(value));
 }
 
-fn put_f64_vec(buf: &mut BytesMut, values: &[f64]) {
+fn put_f64_vec<B: BufMut>(buf: &mut B, values: &[f64]) {
     buf.put_u32_le(values.len() as u32);
     for &v in values {
         buf.put_f64_le(v);
     }
 }
 
-fn put_i64_vec(buf: &mut BytesMut, values: &[i64]) {
+fn put_i64_vec<B: BufMut>(buf: &mut B, values: &[i64]) {
     buf.put_u32_le(values.len() as u32);
     for &v in values {
         buf.put_i64_le(v);
     }
 }
 
-fn put_string(buf: &mut BytesMut, value: &str) {
+fn put_string<B: BufMut>(buf: &mut B, value: &str) {
     buf.put_u32_le(value.len() as u32);
     buf.put_slice(value.as_bytes());
 }
@@ -300,12 +383,15 @@ fn get_i64_vec(buf: &mut &[u8], context: &'static str) -> Result<Vec<i64>> {
 fn get_string(buf: &mut &[u8], context: &'static str) -> Result<String> {
     let len = get_vec_len(buf, context)?;
     ensure(buf, len, context)?;
-    let bytes = buf[..len].to_vec();
-    buf.advance(len);
-    String::from_utf8(bytes).map_err(|e| ProtoError::InvalidField {
+    // Validate in place and copy once, straight from the frame slice — no
+    // intermediate Vec<u8>.
+    let s = std::str::from_utf8(&buf[..len]).map_err(|e| ProtoError::InvalidField {
         field: context,
         reason: format!("invalid UTF-8: {e}"),
-    })
+    })?;
+    let owned = s.to_owned();
+    buf.advance(len);
+    Ok(owned)
 }
 
 #[cfg(test)]
@@ -328,10 +414,23 @@ mod tests {
                 device_id: 9,
                 token: AuthToken::derive(9, 7),
                 checkout_iteration: 55,
-                gradient: vec![1e-9, -2.5, 0.0],
+                gradient: GradientPayload::Dense(vec![1e-9, -2.5, 0.0]),
                 num_samples: 20,
                 error_count: -3,
                 label_counts: vec![5, -1, 0, 16],
+            }),
+            Message::CheckinRequest(CheckinRequest {
+                device_id: 10,
+                token: AuthToken::derive(10, 7),
+                checkout_iteration: 56,
+                gradient: GradientPayload::Sparse {
+                    dim: 100,
+                    indices: vec![0, 7, 99],
+                    values: vec![0.5, -1.25, 1e-12],
+                },
+                num_samples: 4,
+                error_count: 0,
+                label_counts: vec![2, 2],
             }),
             Message::CheckinAck(CheckinAck {
                 accepted: true,
@@ -348,7 +447,7 @@ mod tests {
                         device_id: 1,
                         token: AuthToken::derive(1, 7),
                         checkout_iteration: 3,
-                        gradient: vec![0.25, -0.5],
+                        gradient: GradientPayload::Dense(vec![0.25, -0.5]),
                         num_samples: 4,
                         error_count: 1,
                         label_counts: vec![2, 2],
@@ -357,7 +456,11 @@ mod tests {
                         device_id: 2,
                         token: AuthToken::derive(2, 7),
                         checkout_iteration: 3,
-                        gradient: vec![],
+                        gradient: GradientPayload::Sparse {
+                            dim: 8,
+                            indices: vec![3],
+                            values: vec![2.0],
+                        },
                         num_samples: 1,
                         error_count: -1,
                         label_counts: vec![],
@@ -497,6 +600,102 @@ mod tests {
         buf.put_u8(200);
         buf.put_u32_le(0);
         assert!(decode(&buf).is_err());
+    }
+
+    fn checkin_with(gradient: GradientPayload) -> Message {
+        Message::CheckinRequest(CheckinRequest {
+            device_id: 1,
+            token: AuthToken::derive(1, 7),
+            checkout_iteration: 0,
+            gradient,
+            num_samples: 1,
+            error_count: 0,
+            label_counts: vec![1],
+        })
+    }
+
+    /// Satellite guarantee: a 99%-zero gradient is smaller on the wire when
+    /// encoded sparsely than densely.
+    #[test]
+    fn sparse_encoding_of_mostly_zero_gradient_is_smaller_on_the_wire() {
+        let dim = 10_000;
+        let mut dense = vec![0.0; dim];
+        for i in (0..dim).step_by(100) {
+            dense[i] = 0.1; // 1% non-zero
+        }
+        let dense_bytes = encode(&checkin_with(GradientPayload::Dense(dense.clone()))).len();
+        let auto = GradientPayload::from_dense_auto(dense);
+        assert!(matches!(auto, GradientPayload::Sparse { .. }));
+        let sparse_bytes = encode(&checkin_with(auto)).len();
+        assert!(
+            sparse_bytes * 10 < dense_bytes,
+            "sparse {sparse_bytes} B should be far below dense {dense_bytes} B"
+        );
+    }
+
+    #[test]
+    fn malformed_sparse_gradients_rejected() {
+        let cases = [
+            // Unknown encoding byte is exercised via a corrupted frame below;
+            // these are structurally invalid sparse payloads.
+            GradientPayload::Sparse {
+                dim: 4,
+                indices: vec![0, 4],
+                values: vec![1.0, 2.0],
+            }, // index out of range
+            GradientPayload::Sparse {
+                dim: 4,
+                indices: vec![2, 1],
+                values: vec![1.0, 2.0],
+            }, // out of order
+            GradientPayload::Sparse {
+                dim: 4,
+                indices: vec![2, 2],
+                values: vec![1.0, 2.0],
+            }, // duplicate
+        ];
+        for gradient in cases {
+            let bytes = encode(&checkin_with(gradient));
+            assert!(decode(&bytes).is_err(), "invalid sparse payload decoded");
+        }
+        // An unknown gradient-encoding byte is rejected.
+        let mut bytes = encode(&checkin_with(GradientPayload::Dense(vec![]))).to_vec();
+        // The encoding byte sits right after the fixed checkin header.
+        let offset = 1 + 8 + TOKEN_LEN + 8 + 4 + 8;
+        assert_eq!(bytes[offset], 0);
+        bytes[offset] = 9;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_sparse_nnz_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(3); // checkin tag
+        buf.put_u64_le(1);
+        buf.put_slice(AuthToken::derive(1, 7).as_bytes());
+        buf.put_u64_le(0);
+        buf.put_u32_le(1);
+        buf.put_i64_le(0);
+        buf.put_u8(1); // sparse encoding
+        buf.put_u32_le(8); // dim
+        buf.put_u32_le(9); // nnz > dim
+        assert!(matches!(
+            decode(&buf),
+            Err(ProtoError::InvalidField {
+                field: "gradient nnz",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn encode_into_reused_buffer_matches_encode() {
+        let mut scratch = Vec::new();
+        for msg in sample_messages() {
+            scratch.clear();
+            encode_into(&msg, &mut scratch);
+            assert_eq!(&scratch[..], &encode(&msg)[..]);
+        }
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! is an encoded [`crate::Message`]. The reader enforces a maximum frame size so a
 //! corrupt or hostile peer cannot force an unbounded allocation.
 
-use crate::codec::{decode, encode};
+use crate::codec::{decode, encode, encode_into};
 use crate::error::ProtoError;
 use crate::message::Message;
+use crate::pool::BufPool;
 use crate::Result;
 use std::io::{Read, Write};
 
@@ -22,6 +23,43 @@ pub fn write_message<W: Write>(writer: &mut W, message: &Message) -> Result<()> 
     writer.write_all(&payload)?;
     writer.flush()?;
     Ok(())
+}
+
+/// Writes one framed message, encoding into a pooled buffer instead of
+/// allocating a fresh one per message.
+pub fn write_message_pooled<W: Write>(
+    writer: &mut W,
+    message: &Message,
+    pool: &BufPool,
+) -> Result<()> {
+    let mut payload = pool.take_empty();
+    encode_into(message, &mut *payload);
+    let len = payload.len() as u32;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(&payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message, filling a pooled buffer instead of allocating a
+/// payload-sized `Vec` per message. Enforces `max_frame` bytes.
+pub fn read_message_pooled<R: Read>(
+    reader: &mut R,
+    pool: &BufPool,
+    max_frame: usize,
+) -> Result<Message> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_frame {
+        return Err(ProtoError::FrameTooLarge {
+            declared: len,
+            max: max_frame,
+        });
+    }
+    let mut payload = pool.take(len);
+    reader.read_exact(&mut payload)?;
+    decode(&payload)
 }
 
 /// Reads one framed message from `reader`, enforcing `max_frame` bytes.

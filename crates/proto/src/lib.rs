@@ -19,14 +19,19 @@ pub mod codec;
 pub mod error;
 pub mod frame;
 pub mod message;
+pub mod pool;
 
 pub use auth::AuthToken;
 pub use error::ProtoError;
 pub use message::Message;
+pub use pool::BufPool;
 
 /// Result alias for protocol operations.
 pub type Result<T> = std::result::Result<T, ProtoError>;
 
 /// Protocol version carried in every checkout request; bumped on incompatible
 /// message changes.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 introduced the dense/sparse [`message::GradientPayload`] encoding
+/// inside checkin requests.
+pub const PROTOCOL_VERSION: u16 = 2;

@@ -35,6 +35,80 @@ pub struct CheckoutResponse {
     pub stopped: bool,
 }
 
+/// A gradient as it crosses the wire: dense, or sparse coordinates when the
+/// vector is mostly *exact* zeros.
+///
+/// The encoding is chosen per message by measured density ([`
+/// GradientPayload::from_dense_auto`]) — never by lossy thresholding — so the
+/// server folds sparse and dense uploads into bitwise identical aggregates.
+/// At 100k parameters, a 95%-zero gradient shrinks a checkin from ~800 KB to
+/// ~60 KB.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GradientPayload {
+    /// All coordinates, in order.
+    Dense(Vec<f64>),
+    /// Only the non-zero coordinates.
+    Sparse {
+        /// Logical dimension of the gradient vector.
+        dim: u32,
+        /// Strictly increasing coordinate indices, each `< dim`.
+        indices: Vec<u32>,
+        /// Coordinate values, aligned with `indices`.
+        values: Vec<f64>,
+    },
+}
+
+impl GradientPayload {
+    /// Logical dimension of the carried gradient.
+    pub fn dim(&self) -> usize {
+        match self {
+            GradientPayload::Dense(v) => v.len(),
+            GradientPayload::Sparse { dim, .. } => *dim as usize,
+        }
+    }
+
+    /// Number of explicitly stored coordinates.
+    pub fn nnz(&self) -> usize {
+        match self {
+            GradientPayload::Dense(v) => v.len(),
+            GradientPayload::Sparse { indices, .. } => indices.len(),
+        }
+    }
+
+    /// Bytes of the encoded gradient field (excluding the message framing):
+    /// `1 + 4 + 8·dim` dense, `1 + 8 + 12·nnz` sparse.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            GradientPayload::Dense(v) => 1 + 4 + 8 * v.len(),
+            GradientPayload::Sparse { indices, .. } => 1 + 8 + 12 * indices.len(),
+        }
+    }
+
+    /// Wraps a dense gradient, switching to the sparse encoding when the
+    /// measured count of exact zeros makes it strictly smaller on the wire.
+    pub fn from_dense_auto(dense: Vec<f64>) -> Self {
+        let nnz = dense.iter().filter(|v| v.to_bits() != 0).count();
+        // Sparse body (8 + 12·nnz) vs dense body (4 + 8·dim).
+        if 12 * nnz + 4 < 8 * dense.len() {
+            let mut indices = Vec::with_capacity(nnz);
+            let mut values = Vec::with_capacity(nnz);
+            for (i, &v) in dense.iter().enumerate() {
+                if v.to_bits() != 0 {
+                    indices.push(i as u32);
+                    values.push(v);
+                }
+            }
+            GradientPayload::Sparse {
+                dim: dense.len() as u32,
+                indices,
+                values,
+            }
+        } else {
+            GradientPayload::Dense(dense)
+        }
+    }
+}
+
 /// A checkin request carrying the sanitized device statistics (Device Routine 2/3
 /// → Server Routine 2).
 #[derive(Debug, Clone, PartialEq)]
@@ -45,8 +119,8 @@ pub struct CheckinRequest {
     pub token: AuthToken,
     /// Server iteration at which the device checked out the parameters it used.
     pub checkout_iteration: u64,
-    /// The sanitized averaged gradient `ĝ`.
-    pub gradient: Vec<f64>,
+    /// The sanitized averaged gradient `ĝ`, dense or sparse.
+    pub gradient: GradientPayload,
     /// The (unperturbed) number of samples `n_s` in the minibatch.
     pub num_samples: u32,
     /// The sanitized misclassification count `n̂_e` (may be negative after
@@ -242,7 +316,7 @@ mod tests {
                 device_id: 0,
                 token: AuthToken::derive(0, 0),
                 checkout_iteration: 0,
-                gradient: vec![],
+                gradient: GradientPayload::Dense(vec![]),
                 num_samples: 0,
                 error_count: 0,
                 label_counts: vec![],
@@ -269,6 +343,29 @@ mod tests {
         assert_eq!(msgs[5].name(), "batch_checkin_request");
         assert_eq!(msgs[6].name(), "batch_checkin_ack");
         assert_eq!(msgs[7].name(), "busy");
+    }
+
+    #[test]
+    fn gradient_payload_auto_selection_tracks_wire_size() {
+        // 95% zeros: the sparse body (8 + 12·50 = 608) beats 8·1000.
+        let mut g = vec![0.0; 1000];
+        for i in (0..1000).step_by(20) {
+            g[i] = 0.5;
+        }
+        let sparse = GradientPayload::from_dense_auto(g.clone());
+        assert!(matches!(sparse, GradientPayload::Sparse { .. }));
+        assert_eq!(sparse.dim(), 1000);
+        assert_eq!(sparse.nnz(), 50);
+        assert!(sparse.encoded_len() < GradientPayload::Dense(g).encoded_len());
+        // A dense gradient stays dense — and exact zeros only: a tiny value is
+        // not a zero.
+        let dense = GradientPayload::from_dense_auto(vec![1e-300; 100]);
+        assert!(matches!(dense, GradientPayload::Dense(_)));
+        // Negative zero has a non-zero bit pattern and is preserved.
+        let mut nz = vec![0.0; 100];
+        nz[3] = -0.0;
+        let payload = GradientPayload::from_dense_auto(nz);
+        assert_eq!(payload.nnz(), 1);
     }
 
     #[test]

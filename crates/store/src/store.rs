@@ -278,7 +278,8 @@ mod tests {
                 (0..DIM * CLASSES)
                     .map(|_| rng.gen_range(-1.0..1.0))
                     .collect(),
-            ),
+            )
+            .into(),
             num_samples: 2,
             error_count: 1,
             label_counts: vec![1, 1],

@@ -42,7 +42,8 @@ fn payloads() -> Vec<CheckinPayload> {
                 (0..DIM * CLASSES)
                     .map(|_| rng.gen_range(-0.5..0.5))
                     .collect(),
-            ),
+            )
+            .into(),
             num_samples: 10,
             error_count: 1,
             label_counts: vec![3, 3, 2, 2],

@@ -16,7 +16,7 @@ use crowd_ml::proto::auth::AuthToken;
 use crowd_ml::proto::codec::{decode, encode};
 use crowd_ml::proto::message::{
     BatchAck, BatchCheckinAck, BatchCheckinRequest, BusyReply, CheckinRequest, CheckoutResponse,
-    ErrorCode, Message,
+    ErrorCode, GradientPayload, Message,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -89,7 +89,7 @@ proptest! {
             device_id,
             token: AuthToken::derive(device_id, 99),
             checkout_iteration: iteration,
-            gradient: gradient.clone(),
+            gradient: GradientPayload::from_dense_auto(gradient.clone()),
             num_samples,
             error_count,
             label_counts: counts,
@@ -102,6 +102,83 @@ proptest! {
             stopped,
         });
         prop_assert_eq!(decode(&encode(&checkout)).unwrap(), checkout);
+    }
+
+    /// Sparse ↔ dense payload equivalence: a gradient auto-encoded for the
+    /// wire (sparse whenever its zeros make that smaller), shipped through
+    /// encode → decode, and applied to a server produces parameters bitwise
+    /// identical to the same gradient applied densely — the sparse transport
+    /// is lossless to the last bit.
+    #[test]
+    fn sparse_roundtrip_applies_bitwise_identically_to_dense(
+        seed in 0u64..1000,
+        input_dim in 1usize..24,
+        density_pct in 0u32..=100,
+    ) {
+        use crowd_ml::core::config::ServerConfig;
+        use crowd_ml::core::device::CheckinPayload;
+        use crowd_ml::core::server::Server;
+        use crowd_ml::linalg::{GradientUpdate, SparseVector};
+        use rand::Rng;
+
+        let classes = 2;
+        let dim = input_dim * classes;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dense: Vec<f64> = (0..dim)
+            .map(|_| {
+                if rng.gen_range(0u32..100) < density_pct {
+                    rng.gen_range(-1.0..1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        // Ship the auto-selected encoding through the real codec.
+        let request = CheckinRequest {
+            device_id: 3,
+            token: AuthToken::derive(3, 9),
+            checkout_iteration: 0,
+            gradient: GradientPayload::from_dense_auto(dense.clone()),
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1],
+        };
+        let went_sparse = matches!(request.gradient, GradientPayload::Sparse { .. });
+        let decoded = match decode(&encode(&Message::CheckinRequest(request))).unwrap() {
+            Message::CheckinRequest(r) => r,
+            other => panic!("unexpected message {}", other.name()),
+        };
+        let received = match decoded.gradient {
+            GradientPayload::Dense(values) => GradientUpdate::Dense(Vector::from_vec(values)),
+            GradientPayload::Sparse { dim, indices, values } => GradientUpdate::Sparse(
+                SparseVector::new(dim as usize, indices, values).unwrap(),
+            ),
+        };
+        prop_assert_eq!(received.to_dense().as_slice(), &dense[..]);
+
+        // Apply the wire-decoded gradient and the dense original to twin
+        // servers: the parameter trajectories must match bit for bit.
+        let payload_with = |gradient: GradientUpdate| CheckinPayload {
+            device_id: 3,
+            checkout_iteration: 0,
+            gradient,
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1],
+        };
+        let model = MulticlassLogistic::new(input_dim, classes).unwrap();
+        let mut via_wire = Server::new(model, ServerConfig::new()).unwrap();
+        let model = MulticlassLogistic::new(input_dim, classes).unwrap();
+        let mut via_dense = Server::new(model, ServerConfig::new()).unwrap();
+        via_wire.checkin(&payload_with(received)).unwrap();
+        via_dense
+            .checkin(&payload_with(GradientUpdate::Dense(Vector::from_vec(dense))))
+            .unwrap();
+        let wire_bits: Vec<u64> = via_wire.params().iter().map(|v| v.to_bits()).collect();
+        let dense_bits: Vec<u64> = via_dense.params().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(wire_bits, dense_bits,
+            "sparse={} diverged from the dense path", went_sparse);
     }
 
     /// Batch-checkin and retry-after messages survive encode → decode unchanged
@@ -125,7 +202,7 @@ proptest! {
                 device_id,
                 token: AuthToken::derive(device_id, 42),
                 checkout_iteration: iteration,
-                gradient: gradient.clone(),
+                gradient: GradientPayload::from_dense_auto(gradient.clone()),
                 num_samples,
                 error_count,
                 label_counts: counts.clone(),

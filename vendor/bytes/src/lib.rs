@@ -221,6 +221,14 @@ impl BufMut for Vec<u8> {
     }
 }
 
+// Forwarding impl matching the real `bytes` crate, so generic writers can be
+// handed `&mut buf` without giving up the buffer.
+impl<T: BufMut + ?Sized> BufMut for &mut T {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,14 +8,38 @@
 //! comparison against saved baselines. When invoked by `cargo test` (which
 //! passes `--test` to `harness = false` targets) every benchmark runs exactly
 //! one iteration as a smoke test.
+//!
+//! Two environment hooks serve CI:
+//! * `CRITERION_QUICK=1` shrinks the warm-up/measure windows ~10×, for smoke
+//!   runs where the trend matters more than the confidence interval.
+//! * `BENCH_JSON=path` appends one JSON line per benchmark
+//!   (`{"name": …, "ns_per_iter": …}`) to `path`, so CI can upload machine-
+//!   readable results as an artifact and track the perf trajectory across PRs.
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
 /// How long each benchmark is measured for (after warm-up).
-const MEASURE_TARGET: Duration = Duration::from_millis(200);
-const WARMUP_TARGET: Duration = Duration::from_millis(50);
+fn measure_target() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(200)
+    }
+}
+
+fn warmup_target() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(5)
+    } else {
+        Duration::from_millis(50)
+    }
+}
 
 fn test_mode() -> bool {
     std::env::args().any(|a| a == "--test")
@@ -82,15 +106,19 @@ impl Bencher {
             self.last_ns = f64::NAN;
             return;
         }
-        // Warm up and estimate a per-iteration cost.
+        // Warm up and estimate a per-iteration cost. The env-derived targets
+        // are read once up front: an env lookup per loop iteration would
+        // dominate nanosecond-scale routines and skew the iteration count.
+        let warmup = warmup_target();
+        let measure = measure_target();
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < WARMUP_TARGET {
+        while warm_start.elapsed() < warmup {
             black_box(routine());
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        let iters = ((MEASURE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let iters = ((measure.as_secs_f64() / per_iter).ceil() as u64).max(1);
         let start = Instant::now();
         for _ in 0..iters {
             black_box(routine());
@@ -112,15 +140,17 @@ impl Bencher {
             self.last_ns = f64::NAN;
             return;
         }
+        let warmup = warmup_target();
+        let measure = measure_target();
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < WARMUP_TARGET {
+        while warm_start.elapsed() < warmup {
             let input = setup();
             black_box(routine(input));
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        let iters = ((MEASURE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let iters = ((measure.as_secs_f64() / per_iter).ceil() as u64).max(1);
         // Materialize inputs in bounded batches (like real criterion's
         // BatchSize chunking) so a cheap routine with an expensive setup
         // cannot force tens of thousands of live inputs at once. Setup time
@@ -154,12 +184,39 @@ impl Bencher {
 fn report(name: &str, bencher: &Bencher) {
     if bencher.last_ns.is_nan() {
         println!("bench {name:<50} ok (test mode)");
-    } else if bencher.last_ns >= 1e6 {
+        return;
+    }
+    if bencher.last_ns >= 1e6 {
         println!("bench {name:<50} {:>12.3} ms/iter", bencher.last_ns / 1e6);
     } else if bencher.last_ns >= 1e3 {
         println!("bench {name:<50} {:>12.3} us/iter", bencher.last_ns / 1e3);
     } else {
         println!("bench {name:<50} {:>12.1} ns/iter", bencher.last_ns);
+    }
+    append_json(name, bencher.last_ns);
+}
+
+/// When `BENCH_JSON` names a file, appends one `{"name", "ns_per_iter"}` line
+/// per benchmark so CI can collect machine-readable results.
+fn append_json(name: &str, ns: f64) {
+    let Some(path) = std::env::var_os("BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write;
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(file, "{{\"name\":\"{escaped}\",\"ns_per_iter\":{ns:.1}}}");
     }
 }
 
