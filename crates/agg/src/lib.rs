@@ -27,6 +27,7 @@
 //! the runtime reproduces the paper's per-checkin update bit for bit; larger
 //! epochs apply the mean of the epoch's gradients as one step.
 
+mod dedup;
 pub mod queue;
 pub mod runtime;
 pub mod shard;

@@ -17,6 +17,7 @@
 //! rejects with [`AggError::Busy`] carrying a retry hint instead of letting
 //! connection handlers pile up.
 
+use crate::dedup::{Admission, DedupTable};
 use crate::queue::{BoundedQueue, Pop, PushError};
 use crate::shard::{ShardSet, Waiter};
 use crate::{AggError, Result};
@@ -49,6 +50,11 @@ pub struct ParamSnapshot {
     pub stopped: bool,
 }
 
+/// Completed checkins remembered for duplicate detection. Retries arrive
+/// within the client's backoff window (milliseconds), so thousands of entries
+/// are far more history than any retry needs.
+const DEDUP_CAPACITY: usize = 8192;
+
 struct Job {
     payload: CheckinPayload,
     reply: mpsc::Sender<CheckinOutcome>,
@@ -76,6 +82,10 @@ struct Inner<M: Model> {
     /// on the submit path; updated under the core lock whenever an applied
     /// epoch pushes a device over its ceiling.
     exhausted: RwLock<HashSet<u64>>,
+    /// Recent checkin outcomes keyed on `(device_id, nonce)`: a retried or
+    /// network-duplicated checkin is answered with the original ack instead of
+    /// being applied (and ε-charged) twice.
+    dedup: Mutex<DedupTable>,
     /// Set by [`AggRuntime::kill`]: skip the final flush and the shutdown
     /// checkpoint, leaving the disk exactly as a SIGKILL would.
     crashed: AtomicBool,
@@ -152,6 +162,7 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
             stats: SharedTrace::new(),
             store: store.map(Mutex::new),
             exhausted: RwLock::new(exhausted),
+            dedup: Mutex::new(DedupTable::new(DEDUP_CAPACITY)),
             crashed: AtomicBool::new(false),
         });
         let workers = (0..settings.worker_threads)
@@ -198,7 +209,36 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
     /// submitting again (the protocol's behavior), or with one worker thread.
     pub fn submit(&self, payload: CheckinPayload) -> Result<CompletionHandle> {
         self.validate(&payload)?;
+        // Duplicate detection comes first: a retry of an already-applied
+        // checkin must get its original ack replayed even when the device has
+        // since exhausted its budget (the original WAS served). A duplicate of
+        // a still-in-flight checkin is answered with retryable backpressure —
+        // by the time the client retries, the original has resolved.
+        let dedup_key = (payload.nonce != 0).then_some((payload.device_id, payload.nonce));
+        if let Some(key) = dedup_key {
+            match self.inner.dedup.lock().admit(key) {
+                Admission::Replay(outcome) => {
+                    self.inner.stats.count("dedup_replays");
+                    let (tx, rx) = mpsc::channel();
+                    let _ = tx.send(outcome);
+                    return Ok(CompletionHandle { rx });
+                }
+                Admission::InFlight => {
+                    self.inner.stats.count("dedup_inflight_busy");
+                    return Err(AggError::Busy {
+                        retry_after_ms: self.inner.settings.retry_after_ms,
+                    });
+                }
+                Admission::Fresh => {}
+            }
+        }
+        let abandon = |this: &Self| {
+            if let Some(key) = dedup_key {
+                this.inner.dedup.lock().abandon(key);
+            }
+        };
         if self.budget_exhausted(payload.device_id) {
+            abandon(self);
             self.inner.stats.count("budget_rejections");
             return Err(AggError::BudgetExhausted {
                 device_id: payload.device_id,
@@ -209,12 +249,16 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
         match self.inner.queue.try_push(job) {
             Ok(()) => Ok(CompletionHandle { rx }),
             Err(PushError::Full(_)) => {
+                abandon(self);
                 self.inner.stats.count("busy_rejections");
                 Err(AggError::Busy {
                     retry_after_ms: self.inner.settings.retry_after_ms,
                 })
             }
-            Err(PushError::Closed(_)) => Err(AggError::ShuttingDown),
+            Err(PushError::Closed(_)) => {
+                abandon(self);
+                Err(AggError::ShuttingDown)
+            }
         }
     }
 
@@ -371,11 +415,21 @@ fn worker_loop<M: Model>(inner: Arc<Inner<M>>) {
                 // epoch threshold with nothing left to trigger a flush.
                 let waiter = Waiter {
                     checkout_iteration: job.payload.checkout_iteration,
+                    device_id: job.payload.device_id,
+                    nonce: job.payload.nonce,
                     reply: job.reply,
                 };
                 if let Err(rejected) = inner.shards.ingest(&job.payload, waiter) {
                     // Unreachable for payloads that passed submit-time
-                    // validation; fail the one checkin, not the worker.
+                    // validation; fail the one checkin, not the worker. The
+                    // nonce is released rather than completed: nothing was
+                    // applied, so a retry must be admitted fresh.
+                    if rejected.nonce != 0 {
+                        inner
+                            .dedup
+                            .lock()
+                            .abandon((rejected.device_id, rejected.nonce));
+                    }
                     let snap = inner.snapshot.read().clone();
                     inner.stats.count("ingest_errors");
                     let _ = rejected.reply.send(CheckinOutcome {
@@ -493,8 +547,24 @@ fn apply_singleton<M: Model>(inner: &Inner<M>, job: Job) {
     let (outcome, applied) = durable_apply(inner, core, &epoch);
     if applied {
         inner.stats.count("checkins_applied");
+        // Record the outcome BEFORE acking, so a duplicate that races the ack
+        // can never slip past the table and be applied a second time.
+        record_dedup(inner, job.payload.device_id, job.payload.nonce, outcome);
+    } else if job.payload.nonce != 0 {
+        // Nothing was applied; release the nonce so a retry is admitted fresh.
+        inner
+            .dedup
+            .lock()
+            .abandon((job.payload.device_id, job.payload.nonce));
     }
     let _ = job.reply.send(outcome);
+}
+
+/// Marks a checkin's nonce as completed with its outcome (no-op for nonce 0).
+fn record_dedup<M: Model>(inner: &Inner<M>, device_id: u64, nonce: u64, outcome: CheckinOutcome) {
+    if nonce != 0 {
+        inner.dedup.lock().complete((device_id, nonce), outcome);
+    }
 }
 
 /// Applies one epoch: drain the shards (fixed merge order), take one projected
@@ -523,12 +593,20 @@ fn merge<M: Model>(inner: &Inner<M>) {
     // applied at (the pre-update iteration, as in the classic checkin path).
     let pre_iteration = outcome.iteration - u64::from(outcome.accepted);
     for waiter in waiters {
-        let _ = waiter.reply.send(CheckinOutcome {
+        let per_checkin = CheckinOutcome {
             accepted: outcome.accepted,
             iteration: outcome.iteration,
             stopped: outcome.stopped,
             staleness: pre_iteration.saturating_sub(waiter.checkout_iteration),
-        });
+        };
+        if applied {
+            // The epoch (and its ε charges) went through: remember the
+            // per-checkin ack so duplicates replay it instead of re-applying.
+            record_dedup(inner, waiter.device_id, waiter.nonce, per_checkin);
+        } else if waiter.nonce != 0 {
+            inner.dedup.lock().abandon((waiter.device_id, waiter.nonce));
+        }
+        let _ = waiter.reply.send(per_checkin);
     }
 }
 
@@ -542,6 +620,7 @@ mod tests {
         CheckinPayload {
             device_id,
             checkout_iteration: checkout,
+            nonce: 0,
             gradient: Vector::from_vec(grad).into(),
             num_samples: 2,
             error_count: 1,
@@ -807,6 +886,57 @@ mod tests {
         assert_eq!(rt.budget_ledger(), vec![(0, 1.0), (1, 0.5)]);
         rt.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_nonce_replays_original_ack_without_reapplying() {
+        let rt = runtime(ServerConfig::new().with_rate_constant(1.0));
+        let mut p = payload(3, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 0);
+        p.nonce = 7;
+        let original = rt.checkin(p.clone()).unwrap();
+        assert!(original.accepted);
+        assert_eq!(original.iteration, 1);
+        let params_after_first = rt.params();
+        // The same (device, nonce) again — a retry or a network duplicate —
+        // must replay the original ack and leave the parameters untouched.
+        let replayed = rt.checkin(p).unwrap();
+        assert_eq!(replayed, original);
+        assert_eq!(rt.iteration(), 1);
+        assert_eq!(rt.params().as_slice(), params_after_first.as_slice());
+        assert_eq!(rt.stats().get("dedup_replays"), 1);
+        assert_eq!(rt.stats().get("checkins_applied"), 1);
+        // A different nonce from the same device applies normally.
+        let mut next = payload(3, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 1);
+        next.nonce = 8;
+        assert!(rt.checkin(next).unwrap().accepted);
+        assert_eq!(rt.iteration(), 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn duplicate_nonce_is_not_double_charged() {
+        let rt = runtime(ServerConfig::new().with_budget(0.5, f64::INFINITY));
+        let mut p = payload(1, vec![0.1; 6], 0);
+        p.nonce = 11;
+        assert!(rt.checkin(p.clone()).unwrap().accepted);
+        assert!(rt.checkin(p).unwrap().accepted); // replay, not re-apply
+                                                  // One application, one charge: the ledger must not see the duplicate.
+        assert_eq!(rt.budget_ledger(), vec![(1, 0.5)]);
+        assert_eq!(rt.total_samples(), 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn nonce_zero_disables_dedup() {
+        let rt = runtime(ServerConfig::new());
+        let p = payload(0, vec![0.1; 6], 0);
+        assert_eq!(p.nonce, 0);
+        assert!(rt.checkin(p.clone()).unwrap().accepted);
+        assert!(rt.checkin(p).unwrap().accepted);
+        // Legacy behaviour: both applied.
+        assert_eq!(rt.iteration(), 2);
+        assert_eq!(rt.stats().get("dedup_replays"), 0);
+        rt.shutdown();
     }
 
     #[test]

@@ -37,6 +37,10 @@ const MAX_POOLED_BUFFERS: usize = 64;
 /// the receiving half until the merge sends the outcome.
 pub(crate) struct Waiter {
     pub(crate) checkout_iteration: u64,
+    /// The submitting device, for recording the outcome in the dedup table.
+    pub(crate) device_id: u64,
+    /// The checkin's dedup nonce (0 = no dedup requested).
+    pub(crate) nonce: u64,
     pub(crate) reply: mpsc::Sender<CheckinOutcome>,
 }
 
@@ -260,6 +264,7 @@ mod tests {
         CheckinPayload {
             device_id,
             checkout_iteration: checkout,
+            nonce: 0,
             gradient: Vector::from_vec(grad).into(),
             num_samples: 2,
             error_count: 1,
@@ -272,6 +277,8 @@ mod tests {
         (
             Waiter {
                 checkout_iteration: 0,
+                device_id: 0,
+                nonce: 0,
                 reply: tx,
             },
             rx,
@@ -439,6 +446,8 @@ mod tests {
                             &payload(device, make_grad(device, step), step),
                             Waiter {
                                 checkout_iteration: step,
+                                device_id: device,
+                                nonce: 0,
                                 reply: tx,
                             },
                         )

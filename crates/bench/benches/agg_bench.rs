@@ -44,6 +44,7 @@ fn payload(device_id: u64, step: u64) -> CheckinPayload {
     CheckinPayload {
         device_id,
         checkout_iteration: step,
+        nonce: 0,
         gradient: Vector::filled(DIM * CLASSES, 0.001).into(),
         num_samples: 20,
         error_count: 2,
@@ -64,6 +65,7 @@ fn sparse_payload(device_id: u64, step: u64) -> CheckinPayload {
     CheckinPayload {
         device_id,
         checkout_iteration: step,
+        nonce: 0,
         gradient,
         num_samples: 20,
         error_count: 2,

@@ -17,6 +17,7 @@ fn checkin_with(gradient: GradientPayload) -> Message {
         device_id: 42,
         token: AuthToken::derive(42, 7),
         checkout_iteration: 1000,
+        nonce: 0,
         gradient,
         num_samples: 20,
         error_count: 3,

@@ -15,6 +15,7 @@ fn payload(dim: usize, classes: usize) -> CheckinPayload {
     CheckinPayload {
         device_id: 1,
         checkout_iteration: 0,
+        nonce: 0,
         gradient: Vector::filled(dim * classes, 0.01).into(),
         num_samples: 20,
         error_count: 2,

@@ -32,6 +32,7 @@ fn epoch(dim: usize, step: u64) -> EpochAggregate {
     EpochAggregate::from_payload(&CheckinPayload {
         device_id: step % 8,
         checkout_iteration: step,
+        nonce: 0,
         gradient: Vector::from_vec((0..dim).map(|i| (i as f64 + 1.0) * 1e-4).collect()).into(),
         num_samples: 20,
         error_count: 2,

@@ -38,6 +38,11 @@ pub struct CheckinPayload {
     pub device_id: u64,
     /// Server iteration at which the parameters used for this gradient were read.
     pub checkout_iteration: u64,
+    /// Duplicate-detection nonce, unique per checkin within a device (0 = no
+    /// dedup requested). Devices number their checkins 1, 2, 3, …; a retry of
+    /// the same payload carries the same nonce, which is what lets the server
+    /// apply and ε-charge a retried upload exactly once.
+    pub nonce: u64,
     /// The sanitized averaged gradient `ĝ`, in whichever representation the
     /// device chose for the wire (dense, or sparse when mostly exact zeros).
     pub gradient: GradientUpdate,
@@ -197,6 +202,9 @@ impl Device {
         Ok(CheckinPayload {
             device_id: self.id,
             checkout_iteration,
+            // 1-based checkin counter: unique within the device for the whole
+            // run (and deterministic), never the "no dedup" sentinel 0.
+            nonce: self.checkins_completed,
             // Ship the sparse representation when the measured density makes
             // it smaller on the wire (noised gradients are always dense; a
             // non-private hinge or rarely-active logistic gradient is not).

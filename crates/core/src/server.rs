@@ -528,6 +528,7 @@ mod tests {
         CheckinPayload {
             device_id,
             checkout_iteration: iteration,
+            nonce: 0,
             gradient: Vector::from_vec(grad).into(),
             num_samples: 2,
             error_count: 1,
@@ -617,6 +618,7 @@ mod tests {
         let p = CheckinPayload {
             device_id: 1,
             checkout_iteration: 0,
+            nonce: 0,
             gradient: Vector::zeros(6).into(),
             num_samples: 30,
             error_count: 0,
@@ -632,6 +634,7 @@ mod tests {
         let bad_dim = CheckinPayload {
             device_id: 0,
             checkout_iteration: 0,
+            nonce: 0,
             gradient: Vector::zeros(5).into(),
             num_samples: 1,
             error_count: 0,
@@ -641,6 +644,7 @@ mod tests {
         let bad_counts = CheckinPayload {
             device_id: 0,
             checkout_iteration: 0,
+            nonce: 0,
             gradient: Vector::zeros(6).into(),
             num_samples: 1,
             error_count: 0,
@@ -650,6 +654,7 @@ mod tests {
         let zero_samples = CheckinPayload {
             device_id: 0,
             checkout_iteration: 0,
+            nonce: 0,
             gradient: Vector::zeros(6).into(),
             num_samples: 0,
             error_count: 0,
@@ -874,6 +879,7 @@ mod tests {
         let p = CheckinPayload {
             device_id: 0,
             checkout_iteration: 0,
+            nonce: 0,
             gradient: Vector::zeros(6).into(),
             num_samples: 5,
             error_count: -3,

@@ -1,0 +1,480 @@
+//! Deterministic chaos driver: a real TCP cluster run under a seeded
+//! [`FaultPlan`].
+//!
+//! The driver steps a fleet of devices round-robin from ONE thread against a
+//! live [`NetServer`]: each device observes its next sample and, when its
+//! minibatch fills, checks out, computes, and checks in — retrying through
+//! whatever the fault shim injects until the checkin is acknowledged. The
+//! sequential schedule is the determinism anchor: checkins are applied in
+//! program order, so two runs that apply every checkin exactly once produce
+//! bitwise-identical servers. Transport faults (drops, delays, duplicates,
+//! truncations) therefore must not change a single bit of the final
+//! parameters — retries plus the checkin dedup nonce make every logical
+//! checkin apply exactly once, and `tests/chaos.rs` asserts the bitwise match
+//! against a fault-free reference run of the same seed.
+//!
+//! Churn (late joiners, retirements, stragglers) and scripted server
+//! crash/restart points intentionally change *which* checkins happen, so
+//! those runs are held to the weaker standing invariants instead: the run
+//! terminates, and the ε ledger charges exactly one per-checkin ε per
+//! acknowledged checkin — never more (no over-charging through duplicates,
+//! retries, or crash recovery).
+
+use crate::client::{DeviceClient, RetryPolicy};
+use crate::server::{NetServer, NetServerHandle};
+use crate::{NetError, Result};
+use crowd_core::config::{DeviceConfig, PrivacyConfig, ServerConfig};
+use crowd_core::device::{Device, DeviceAction};
+use crowd_data::{Dataset, Sample};
+use crowd_learning::MulticlassLogistic;
+use crowd_linalg::Vector;
+use crowd_proto::auth::{AuthToken, TokenRegistry};
+use crowd_proto::message::ErrorCode;
+use crowd_sim::chaos::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cap on recorded trace lines, so a pathological run cannot balloon memory.
+const MAX_TRACE_LINES: usize = 10_000;
+
+/// Configuration of one chaos run: the workload plus the fault plan.
+#[derive(Debug, Clone)]
+pub struct ChaosCluster {
+    /// The seeded fault schedule driving transport faults, churn, and crashes.
+    pub plan: FaultPlan,
+    /// Fleet size.
+    pub devices: usize,
+    /// Samples each device observes (its local stream length).
+    pub samples_per_device: usize,
+    /// Device minibatch size `b`.
+    pub minibatch: usize,
+    /// ε charged per checkin on the server's ledger (tracking only — the
+    /// ceiling stays infinite so no device is refused mid-run).
+    pub per_checkin_epsilon: f64,
+    /// Feature dimension of the synthetic task.
+    pub dim: usize,
+    /// Class count of the synthetic task.
+    pub classes: usize,
+    /// Base server configuration (schedule, agg knobs); budget and persistence
+    /// are layered on top by the driver.
+    pub server: ServerConfig,
+    /// Data directory for a durable server. Required when the plan scripts
+    /// crashes; `None` runs volatile.
+    pub data_dir: Option<PathBuf>,
+    /// Shared secret for device auth tokens.
+    pub auth_secret: u64,
+}
+
+/// What a chaos run left behind: final server state plus the counters the
+/// invariants are checked against.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Final global parameters.
+    pub params: Vector,
+    /// Applied server iterations.
+    pub iterations: u64,
+    /// Per-device cumulative ε spend, ascending by device id.
+    pub ledger: Vec<(u64, f64)>,
+    /// Total samples the server saw.
+    pub total_samples: u64,
+    /// Acknowledged checkins per device (each logical checkin counted once,
+    /// however many wire attempts it took).
+    pub acked_checkins: Vec<u64>,
+    /// Scripted server crash/restart cycles performed.
+    pub restarts: u64,
+    /// Devices that joined after round 0.
+    pub late_joins: u64,
+    /// Devices that retired before exhausting their stream.
+    pub retired: u64,
+    /// Duplicate checkins the server answered from its dedup table, summed
+    /// across server incarnations.
+    pub dedup_replays: u64,
+    /// Event log: one line per notable event, for the failure artifact.
+    pub trace: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Total acknowledged checkins across the fleet.
+    pub fn acked_total(&self) -> u64 {
+        self.acked_checkins.iter().sum()
+    }
+
+    /// Total ε charged across the fleet.
+    pub fn ledger_total(&self) -> f64 {
+        self.ledger.iter().map(|&(_, eps)| eps).sum()
+    }
+}
+
+struct Driver {
+    opts: ChaosCluster,
+    trace: Vec<String>,
+}
+
+impl ChaosCluster {
+    /// A small default workload under the given plan: 4 devices × 24 samples,
+    /// minibatch 3, per-checkin ε 0.25.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosCluster {
+            plan,
+            devices: 4,
+            samples_per_device: 24,
+            minibatch: 3,
+            per_checkin_epsilon: 0.25,
+            dim: 4,
+            classes: 3,
+            server: ServerConfig::new().with_rate_constant(1.0),
+            data_dir: None,
+            auth_secret: 0xC4A05,
+        }
+    }
+
+    /// Runs the cluster under the plan. Deterministic given the plan and the
+    /// workload knobs (modulo retry *counts*, which may vary with scheduling;
+    /// the applied checkin sequence never does).
+    pub fn run(&self) -> Result<ChaosReport> {
+        if self.plan.crash.is_some() && self.data_dir.is_none() {
+            return Err(NetError::Io(std::io::Error::other(
+                "a crash plan requires a durable server (set data_dir)",
+            )));
+        }
+        Driver {
+            opts: self.clone(),
+            trace: Vec::new(),
+        }
+        .run()
+    }
+}
+
+impl Driver {
+    fn log(&mut self, line: String) {
+        if self.trace.len() < MAX_TRACE_LINES {
+            self.trace.push(line);
+        }
+    }
+
+    fn server_config(&self) -> ServerConfig {
+        let mut config = self
+            .opts
+            .server
+            .clone()
+            .with_budget(self.opts.per_checkin_epsilon, f64::INFINITY);
+        if let Some(dir) = &self.opts.data_dir {
+            config = config.with_data_dir(dir).with_snapshot_every(3);
+        }
+        config
+    }
+
+    fn start_server(&self) -> Result<NetServerHandle> {
+        let model = MulticlassLogistic::new(self.opts.dim, self.opts.classes)?;
+        let tokens =
+            TokenRegistry::with_derived_tokens(self.opts.devices as u64, self.opts.auth_secret);
+        NetServer::start(model, self.server_config(), tokens)
+    }
+
+    /// Per-device local data stream, derived from the seed alone (never from
+    /// the fault schedule), so every plan over one seed sees identical data.
+    fn device_stream(&self, device_id: u64) -> Result<Vec<Sample>> {
+        let mut rng = StdRng::seed_from_u64(self.opts.plan.seed ^ (device_id << 20) ^ 0xDA7A);
+        let (train, _test) =
+            crowd_data::synthetic::GaussianMixtureSpec::new(self.opts.dim, self.opts.classes)
+                .with_train_size(self.opts.samples_per_device)
+                .with_test_size(1)
+                .generate(&mut rng)
+                .map_err(crowd_core::CoreError::from)?;
+        collect_samples(&train)
+    }
+
+    fn run(mut self) -> Result<ChaosReport> {
+        let opts = self.opts.clone();
+        self.log(opts.plan.describe());
+        let mut handle = self.start_server()?;
+        let model = MulticlassLogistic::new(opts.dim, opts.classes)?;
+        let faults = Arc::new(opts.plan.transport);
+        // Generous retry policy: under a ≤30% per-exchange fault rate, 40
+        // attempts make an unabsorbed fault astronomically unlikely, while
+        // the driver's outer loop still tolerates the residual.
+        let retry = RetryPolicy {
+            max_attempts: 40,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        };
+        let mut clients: Vec<DeviceClient> = (0..opts.devices as u64)
+            .map(|d| {
+                DeviceClient::new(handle.addr(), d, AuthToken::derive(d, opts.auth_secret))
+                    .with_retry(retry)
+                    .with_transport_faults(Arc::clone(&faults))
+            })
+            .collect();
+        let mut devices: Vec<Device> = (0..opts.devices as u64)
+            .map(|d| {
+                Device::new(
+                    d,
+                    DeviceConfig::new(opts.minibatch),
+                    PrivacyConfig::non_private(),
+                )
+            })
+            .collect::<crowd_core::Result<_>>()?;
+        let mut rngs: Vec<StdRng> = (0..opts.devices as u64)
+            .map(|d| StdRng::seed_from_u64(opts.plan.seed.wrapping_add(d)))
+            .collect();
+        let streams: Vec<Vec<Sample>> = (0..opts.devices as u64)
+            .map(|d| self.device_stream(d))
+            .collect::<Result<_>>()?;
+        let mut cursors = vec![0usize; opts.devices];
+        let mut acked = vec![0u64; opts.devices];
+        let mut active = vec![true; opts.devices];
+        let mut crash_points: Vec<u64> = opts
+            .plan
+            .crash
+            .as_ref()
+            .map(|c| c.points.clone())
+            .unwrap_or_default();
+        crash_points.reverse(); // pop() yields ascending order
+        let mut restarts = 0u64;
+        let mut retired = 0u64;
+        let mut dedup_replays = 0u64;
+        let mut late_joins = 0u64;
+        for d in 0..opts.devices as u64 {
+            let join = opts
+                .plan
+                .churn
+                .as_ref()
+                .map_or(0, |churn| churn.join_round(d));
+            if join > 0 {
+                late_joins += 1;
+                self.log(format!("device {d} joins late at round {join}"));
+            }
+        }
+
+        for round in 0..opts.samples_per_device as u64 {
+            for d in 0..opts.devices {
+                let device_id = d as u64;
+                if !active[d] || cursors[d] >= streams[d].len() {
+                    continue;
+                }
+                if let Some(churn) = &opts.plan.churn {
+                    if round < churn.join_round(device_id) {
+                        continue;
+                    }
+                }
+                let sample = streams[d][cursors[d]].clone();
+                cursors[d] += 1;
+                if devices[d].observe(sample) != DeviceAction::RequestCheckout {
+                    continue;
+                }
+                if let Some(churn) = &opts.plan.churn {
+                    let stall = churn.straggle_ms(device_id);
+                    if stall > 0 {
+                        // The straggler path: a slow device whose checkins
+                        // trickle in alone, landing on the aggregator's
+                        // idle-flush path instead of filling epochs.
+                        std::thread::sleep(Duration::from_millis(stall));
+                    }
+                }
+                let checked_out = match self.checkout_until_served(&clients[d], &mut devices[d]) {
+                    Some(c) => c,
+                    None => {
+                        // Budget refusal or task end: the device is done.
+                        active[d] = false;
+                        continue;
+                    }
+                };
+                if checked_out.stopped {
+                    self.log(format!("device {device_id} observed task stop"));
+                    active[d] = false;
+                    continue;
+                }
+                let payload = devices[d].compute_checkin(
+                    &model,
+                    &checked_out.params,
+                    checked_out.iteration,
+                    opts.server.lambda,
+                    &mut rngs[d],
+                )?;
+                let nonce = payload.nonce;
+                self.checkin_until_acked(&clients[d], &payload)?;
+                acked[d] += 1;
+                self.log(format!(
+                    "round {round} device {device_id} checkin nonce {nonce} acked (server it {})",
+                    handle.iteration()
+                ));
+                if let Some(churn) = &opts.plan.churn {
+                    if let Some(limit) = churn.retire_after_checkins(device_id) {
+                        if acked[d] >= limit {
+                            retired += 1;
+                            active[d] = false;
+                            self.log(format!("device {device_id} retires after {limit} checkins"));
+                        }
+                    }
+                }
+                // Scripted crash points: once the applied-iteration count
+                // passes the next point, crash-stop the server (no flush, no
+                // checkpoint) and restart it from its data directory.
+                if crash_points
+                    .last()
+                    .is_some_and(|&point| handle.iteration() >= point)
+                {
+                    crash_points.pop();
+                    dedup_replays += handle.runtime_stats().get("dedup_replays");
+                    let at = handle.iteration();
+                    handle.kill();
+                    handle = self.start_server()?;
+                    restarts += 1;
+                    let recovered = handle
+                        .recovery_report()
+                        .map(|r| (r.from_snapshot, r.replayed_epochs));
+                    self.log(format!(
+                        "server crash at iteration {at}; restarted (recovery {recovered:?}), \
+                         now at {}",
+                        handle.iteration()
+                    ));
+                    let addr = handle.addr();
+                    for client in &mut clients {
+                        *client = client.clone().with_addr(addr);
+                    }
+                }
+            }
+        }
+
+        dedup_replays += handle.runtime_stats().get("dedup_replays");
+        let report = ChaosReport {
+            params: handle.params(),
+            iterations: handle.iteration(),
+            ledger: handle.budget_ledger(),
+            total_samples: handle.total_samples(),
+            acked_checkins: acked,
+            restarts,
+            late_joins,
+            retired,
+            dedup_replays,
+            trace: std::mem::take(&mut self.trace),
+        };
+        handle.shutdown();
+        Ok(report)
+    }
+
+    /// Checks out until the server serves the request, absorbing transport
+    /// faults. `None` when the server refuses the device for good (budget) —
+    /// not reachable with an infinite ceiling, but handled for completeness.
+    fn checkout_until_served(
+        &mut self,
+        client: &DeviceClient,
+        device: &mut Device,
+    ) -> Option<crate::client::CheckedOutParams> {
+        loop {
+            if device.begin_checkout().is_err() {
+                device.abort_checkout();
+                continue;
+            }
+            match client.checkout() {
+                Ok(c) => return Some(c),
+                Err(NetError::ServerError {
+                    code: ErrorCode::BudgetExhausted,
+                    ..
+                }) => {
+                    device.abort_checkout();
+                    return None;
+                }
+                Err(e) => {
+                    // Transport fault or transient refusal: keep the buffer
+                    // and try again (Remark 1 — failed checkouts are
+                    // non-critical). Termination rests on the fault rate
+                    // being < 1 and the suite's watchdog.
+                    self.log(format!("device {} checkout retry: {e}", client.device_id()));
+                    device.abort_checkout();
+                }
+            }
+        }
+    }
+
+    /// Retries one logical checkin (fixed nonce) until the server acknowledges
+    /// it. The dedup nonce makes every retry idempotent, so "until acked"
+    /// still means "applied exactly once".
+    fn checkin_until_acked(
+        &mut self,
+        client: &DeviceClient,
+        payload: &crowd_core::device::CheckinPayload,
+    ) -> Result<()> {
+        loop {
+            match client.checkin(payload) {
+                Ok((_accepted, _stopped)) => return Ok(()),
+                Err(e @ NetError::ServerError { code, .. }) => {
+                    if code.is_retryable() {
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    return Err(e);
+                }
+                Err(NetError::Io(_)) | Err(NetError::Proto(_)) => {
+                    // Residual transport failure after the client's own
+                    // retries: same nonce, try again.
+                    self.log(format!(
+                        "device {} checkin nonce {} transport retry",
+                        client.device_id(),
+                        payload.nonce
+                    ));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Clones a dataset's samples into a step-indexable stream.
+fn collect_samples(data: &Dataset) -> Result<Vec<Sample>> {
+    Ok(data.iter().cloned().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::chaos::TransportFaults;
+
+    #[test]
+    fn fault_free_run_is_reproducible_bitwise() {
+        let a = ChaosCluster::new(FaultPlan::fault_free(5)).run().unwrap();
+        let b = ChaosCluster::new(FaultPlan::fault_free(5)).run().unwrap();
+        assert_eq!(a.params.as_slice(), b.params.as_slice());
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.ledger, b.ledger);
+        assert!(a.iterations > 0);
+        assert_eq!(a.restarts, 0);
+        assert_eq!(a.dedup_replays, 0);
+    }
+
+    #[test]
+    fn ledger_charges_exactly_once_per_acked_checkin() {
+        let report = ChaosCluster::new(FaultPlan::fault_free(3)).run().unwrap();
+        for (device, eps) in &report.ledger {
+            let expected = 0.25 * report.acked_checkins[*device as usize] as f64;
+            assert!(
+                (eps - expected).abs() < 1e-9,
+                "device {device}: charged {eps}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn transport_chaos_lands_bitwise_on_reference() {
+        // One fixed seed as a unit-level smoke; tests/chaos.rs sweeps many.
+        let reference = ChaosCluster::new(FaultPlan::fault_free(11)).run().unwrap();
+        let mut plan = FaultPlan::transport_only(11);
+        // Keep delays tiny for test latency.
+        plan.transport = TransportFaults::from_seed(11, 2);
+        let chaotic = ChaosCluster::new(plan).run().unwrap();
+        assert_eq!(chaotic.params.as_slice(), reference.params.as_slice());
+        assert_eq!(chaotic.iterations, reference.iterations);
+        assert_eq!(chaotic.ledger, reference.ledger);
+        assert_eq!(chaotic.acked_checkins, reference.acked_checkins);
+    }
+
+    #[test]
+    fn crash_plan_without_data_dir_is_rejected() {
+        let cluster = ChaosCluster::new(FaultPlan::full(1, 100));
+        assert!(cluster.run().is_err());
+    }
+}

@@ -12,8 +12,10 @@ use crowd_proto::message::{
     BatchAck, BatchCheckinRequest, CheckinRequest, CheckoutRequest, GradientPayload, Message,
 };
 use crowd_proto::{AuthToken, BufPool, PROTOCOL_VERSION};
+use crowd_sim::chaos::{FaultAction, TransportFaults};
 use rand::Rng;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -117,6 +119,33 @@ pub struct DeviceClient {
     retry: RetryPolicy,
     /// Reused frame buffers (shared across clones, e.g. a gateway's workers).
     pool: Arc<BufPool>,
+    /// Optional seeded transport-fault shim (chaos testing): decides per wire
+    /// exchange whether the frame is dropped, delayed, duplicated, or
+    /// truncated. `None` = a faithful transport.
+    faults: Option<Arc<TransportFaults>>,
+    /// Monotonic wire-exchange counter feeding the fault shim (shared across
+    /// clones and [`DeviceClient::with_addr`] reconnects, so the fault
+    /// schedule continues instead of restarting).
+    ops: Arc<AtomicU64>,
+}
+
+/// A transport failure injected by the chaos shim (or suffered for real);
+/// indistinguishable from a genuine socket error by design.
+fn chaos_io_error(detail: &str) -> NetError {
+    NetError::Io(std::io::Error::new(
+        std::io::ErrorKind::ConnectionReset,
+        format!("chaos: {detail}"),
+    ))
+}
+
+/// `true` for failures worth retrying on an idempotent request: the socket
+/// died somewhere between connect and reply, so the server may or may not
+/// have processed the request.
+fn is_transient_transport(e: &NetError) -> bool {
+    matches!(
+        e,
+        NetError::Io(_) | NetError::Proto(crowd_proto::ProtoError::Io(_))
+    )
 }
 
 impl DeviceClient {
@@ -129,6 +158,8 @@ impl DeviceClient {
             token,
             retry: RetryPolicy::new(),
             pool: Arc::new(BufPool::default()),
+            faults: None,
+            ops: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -138,20 +169,88 @@ impl DeviceClient {
         self
     }
 
+    /// Installs a seeded transport-fault shim: every wire exchange consults it
+    /// and may be dropped, delayed, duplicated, or truncated. The client's
+    /// retry and dedup machinery must absorb whatever it injects.
+    pub fn with_transport_faults(mut self, faults: Arc<TransportFaults>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Re-targets the client at a new address (a restarted server on a fresh
+    /// ephemeral port), keeping the fault-shim schedule and buffer pool.
+    pub fn with_addr(mut self, addr: SocketAddr) -> Self {
+        self.addr = addr;
+        self
+    }
+
     /// The device id this client authenticates as.
     pub fn device_id(&self) -> u64 {
         self.device_id
     }
 
     fn exchange_once(&self, request: &Message) -> Result<Message> {
+        let action = match &self.faults {
+            Some(faults) => faults.decide(self.device_id, self.ops.fetch_add(1, Ordering::Relaxed)),
+            None => FaultAction::None,
+        };
+        self.exchange_once_with(request, action)
+    }
+
+    /// One wire exchange under an explicit fault decision.
+    fn exchange_once_with(&self, request: &Message, action: FaultAction) -> Result<Message> {
+        if let FaultAction::DelaySend { ms } = action {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if action == FaultAction::DropBeforeSend {
+            // The server never sees the request: safe to retry blindly.
+            return Err(chaos_io_error("connection dropped before send"));
+        }
         let mut stream = TcpStream::connect(self.addr)?;
         stream.set_nodelay(true).ok();
-        write_message_pooled(&mut stream, request, &self.pool)?;
-        Ok(read_message_pooled(
-            &mut stream,
-            &self.pool,
-            DEFAULT_MAX_FRAME,
-        )?)
+        match action {
+            FaultAction::TruncateFrame => {
+                // Transmit a strict prefix of the frame and hang up: the
+                // server must discard the partial frame, the client must treat
+                // the upload as unconfirmed. The frame bytes come from the
+                // canonical framing layer (written into a Vec), so the fault
+                // always truncates a genuine frame, whatever the layout.
+                use std::io::Write;
+                let mut frame = Vec::new();
+                crowd_proto::frame::write_message(&mut frame, request)?;
+                frame.truncate((frame.len() / 2).max(1));
+                stream.write_all(&frame)?;
+                stream.flush().ok();
+                drop(stream);
+                Err(chaos_io_error("connection dropped mid-frame"))
+            }
+            FaultAction::DuplicateFrame => {
+                // The same frame arrives twice on one connection; the reply to
+                // the first copy is the authoritative one, the second is
+                // drained (a deduplicating server replays or rejects it).
+                write_message_pooled(&mut stream, request, &self.pool)?;
+                write_message_pooled(&mut stream, request, &self.pool)?;
+                let first = read_message_pooled(&mut stream, &self.pool, DEFAULT_MAX_FRAME)?;
+                let _ = read_message_pooled(&mut stream, &self.pool, DEFAULT_MAX_FRAME);
+                Ok(first)
+            }
+            FaultAction::DropAfterSend => {
+                // The full request reaches the wire — the server WILL process
+                // it — but the connection dies before the reply. Only the
+                // dedup nonce lets a retry of this checkin stay idempotent.
+                write_message_pooled(&mut stream, request, &self.pool)?;
+                drop(stream);
+                Err(chaos_io_error("connection dropped after send"))
+            }
+            _ => {
+                write_message_pooled(&mut stream, request, &self.pool)?;
+                Ok(read_message_pooled(
+                    &mut stream,
+                    &self.pool,
+                    DEFAULT_MAX_FRAME,
+                )?)
+            }
+        }
     }
 
     /// One request/reply exchange, transparently retrying "server busy"
@@ -160,9 +259,35 @@ impl DeviceClient {
     ///
     /// [`ErrorCode::Busy`]: crowd_proto::message::ErrorCode::Busy
     fn exchange(&self, request: &Message) -> Result<Message> {
+        self.exchange_policy(request, false)
+    }
+
+    /// Like [`DeviceClient::exchange`], but additionally retries transient
+    /// transport failures. Only safe for idempotent requests: checkouts
+    /// (reads) and checkins carrying a dedup nonce (the server replays the
+    /// original ack if the first attempt was actually applied).
+    fn exchange_idempotent(&self, request: &Message) -> Result<Message> {
+        self.exchange_policy(request, true)
+    }
+
+    fn exchange_policy(&self, request: &Message, retry_transport: bool) -> Result<Message> {
         let mut failures = 0u32;
         loop {
-            let reply = self.exchange_once(request)?;
+            let reply = match self.exchange_once(request) {
+                Ok(reply) => reply,
+                Err(e) if retry_transport && is_transient_transport(&e) => {
+                    // The request may or may not have been applied server-side;
+                    // idempotence (checkout = read, checkin = dedup nonce)
+                    // makes the blind retry safe.
+                    failures += 1;
+                    if failures >= self.retry.max_attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.retry.backoff(failures - 1, 0));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let hint_ms = match &reply {
                 Message::Busy(b) => b.retry_after_ms,
                 Message::Error(e) if e.code.is_retryable() => 0,
@@ -180,8 +305,10 @@ impl DeviceClient {
     }
 
     /// Checks out the current parameters from the server (Fig. 2, steps 2–3).
+    /// A checkout is a read, hence idempotent: transient transport failures
+    /// are retried under the client's policy.
     pub fn checkout(&self) -> Result<CheckedOutParams> {
-        let reply = self.exchange(&Message::CheckoutRequest(CheckoutRequest {
+        let reply = self.exchange_idempotent(&Message::CheckoutRequest(CheckoutRequest {
             version: PROTOCOL_VERSION,
             device_id: self.device_id,
             token: self.token,
@@ -205,16 +332,30 @@ impl DeviceClient {
 
     /// Checks in a sanitized payload (Fig. 2, steps 4–5). Returns
     /// `(accepted, stopped)`.
+    ///
+    /// A payload carrying a dedup nonce is retried through transient transport
+    /// failures: even if an earlier attempt was applied server-side, the
+    /// server recognizes the nonce and replays the original acknowledgement
+    /// instead of applying the gradient (and charging the ε ledger) twice.
+    /// Nonce-less payloads keep the conservative behaviour — a transport
+    /// failure is reported to the caller, because a blind retry could
+    /// double-apply.
     pub fn checkin(&self, payload: &crowd_core::device::CheckinPayload) -> Result<(bool, bool)> {
-        let reply = self.exchange(&Message::CheckinRequest(CheckinRequest {
+        let request = Message::CheckinRequest(CheckinRequest {
             device_id: self.device_id,
             token: self.token,
             checkout_iteration: payload.checkout_iteration,
+            nonce: payload.nonce,
             gradient: wire_gradient(&payload.gradient),
             num_samples: payload.num_samples as u32,
             error_count: payload.error_count,
             label_counts: payload.label_counts.clone(),
-        }))?;
+        });
+        let reply = if payload.nonce != 0 {
+            self.exchange_idempotent(&request)?
+        } else {
+            self.exchange(&request)?
+        };
         match reply {
             Message::CheckinAck(ack) => Ok((ack.accepted, ack.stopped)),
             Message::Error(e) => Err(NetError::ServerError {
@@ -248,6 +389,7 @@ impl DeviceClient {
                     device_id: self.device_id,
                     token: self.token,
                     checkout_iteration: payload.checkout_iteration,
+                    nonce: payload.nonce,
                     gradient: wire_gradient(&payload.gradient),
                     num_samples: payload.num_samples as u32,
                     error_count: payload.error_count,
@@ -293,7 +435,15 @@ impl DeviceClient {
     /// per item.
     fn batch_exchange(&self, items: Vec<CheckinRequest>) -> Result<Vec<BatchAck>> {
         let expected = items.len();
-        let reply = self.exchange(&Message::BatchCheckinRequest(BatchCheckinRequest { items }))?;
+        // The whole frame is idempotent iff every item is individually
+        // deduplicable.
+        let idempotent = items.iter().all(|item| item.nonce != 0);
+        let request = Message::BatchCheckinRequest(BatchCheckinRequest { items });
+        let reply = if idempotent {
+            self.exchange_idempotent(&request)?
+        } else {
+            self.exchange(&request)?
+        };
         match reply {
             Message::BatchCheckinAck(ack) => {
                 if ack.acks.len() != expected {
@@ -443,6 +593,7 @@ mod tests {
         let payload = crowd_core::device::CheckinPayload {
             device_id: 1,
             checkout_iteration: 0,
+            nonce: 0,
             gradient: Vector::from_vec(vec![0.1; 6]).into(),
             num_samples: 2,
             error_count: 1,
@@ -465,6 +616,7 @@ mod tests {
             .map(|i| crowd_core::device::CheckinPayload {
                 device_id: 1,
                 checkout_iteration: i,
+                nonce: 0,
                 gradient: Vector::from_vec(vec![0.1; 6]).into(),
                 num_samples: 2,
                 error_count: 0,
@@ -489,6 +641,125 @@ mod tests {
         // A larger server hint wins over the local schedule.
         assert_eq!(policy.backoff(0, 30), Duration::from_millis(30));
         assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    /// Regression (chaos satellite): an I/O failure on a checkin whose request
+    /// DID reach the server used to be fatal for the minibatch — the client
+    /// could not safely retry because a blind resend would double-apply. With
+    /// the dedup nonce the retry is idempotent: the server recognizes the
+    /// nonce, replays the original ack, and applies (and ε-charges) exactly
+    /// once.
+    #[test]
+    fn retried_checkin_after_send_failure_applies_exactly_once() {
+        let model = MulticlassLogistic::new(3, 2).unwrap();
+        let tokens = TokenRegistry::with_derived_tokens(2, 5);
+        let config = ServerConfig::new().with_budget(0.25, f64::INFINITY);
+        let handle = NetServer::start(model, config, tokens).unwrap();
+        let client = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 5));
+        let payload = crowd_core::device::CheckinPayload {
+            device_id: 1,
+            checkout_iteration: 0,
+            nonce: 42,
+            gradient: Vector::from_vec(vec![0.1; 6]).into(),
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1],
+        };
+        let request = Message::CheckinRequest(CheckinRequest {
+            device_id: 1,
+            token: AuthToken::derive(1, 5),
+            checkout_iteration: 0,
+            nonce: payload.nonce,
+            gradient: wire_gradient(&payload.gradient),
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1],
+        });
+        // The connection dies right after the full frame was sent: the server
+        // processes the checkin, the client sees only an I/O error.
+        let err = client
+            .exchange_once_with(&request, FaultAction::DropAfterSend)
+            .unwrap_err();
+        assert!(is_transient_transport(&err));
+        // Wait for the server to absorb the orphaned frame.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.iteration() < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never applied the orphaned checkin"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The retry (same nonce) succeeds and is NOT applied a second time.
+        let (accepted, stopped) = client.checkin(&payload).unwrap();
+        assert!(accepted);
+        assert!(!stopped);
+        assert_eq!(handle.iteration(), 1, "duplicate applied twice");
+        assert_eq!(handle.total_samples(), 2);
+        // Charged once, not twice.
+        assert_eq!(handle.budget_ledger(), vec![(1, 0.25)]);
+        assert!(handle.runtime_stats().get("dedup_replays") >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn transport_faults_are_absorbed_by_idempotent_retries() {
+        // Every scripted fault kind, in sequence, against a live server: the
+        // client's retry + the server's dedup must deliver exactly-once
+        // semantics for all of them.
+        let model = MulticlassLogistic::new(3, 2).unwrap();
+        let tokens = TokenRegistry::with_derived_tokens(2, 5);
+        let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
+        let client = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 5));
+        let actions = [
+            FaultAction::DropBeforeSend,
+            FaultAction::TruncateFrame,
+            FaultAction::DropAfterSend,
+        ];
+        for (i, &action) in actions.iter().enumerate() {
+            let nonce = 100 + i as u64;
+            let request = Message::CheckinRequest(CheckinRequest {
+                device_id: 1,
+                token: AuthToken::derive(1, 5),
+                checkout_iteration: 0,
+                nonce,
+                gradient: GradientPayload::Dense(vec![0.1; 6]),
+                num_samples: 1,
+                error_count: 0,
+                label_counts: vec![1, 0],
+            });
+            assert!(client.exchange_once_with(&request, action).is_err());
+            // Retry until the ack arrives (an in-flight original replies Busy
+            // for a moment; the exchange layer absorbs that).
+            let reply = client.exchange_idempotent(&request).unwrap();
+            assert!(matches!(reply, Message::CheckinAck(ack) if ack.accepted));
+        }
+        // A duplicated frame resolves to one application as well.
+        let request = Message::CheckinRequest(CheckinRequest {
+            device_id: 1,
+            token: AuthToken::derive(1, 5),
+            checkout_iteration: 0,
+            nonce: 200,
+            gradient: GradientPayload::Dense(vec![0.1; 6]),
+            num_samples: 1,
+            error_count: 0,
+            label_counts: vec![1, 0],
+        });
+        let reply = client
+            .exchange_once_with(&request, FaultAction::DuplicateFrame)
+            .unwrap();
+        assert!(matches!(reply, Message::CheckinAck(ack) if ack.accepted));
+        // 3 faulted-then-retried + 1 duplicated = exactly 4 applications
+        // (DropBeforeSend and TruncateFrame never reached the server, their
+        // retries were the only copies; DropAfterSend applied once and its
+        // retry was replayed).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.iteration() < 4 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(handle.iteration(), 4);
+        assert_eq!(handle.total_samples(), 4);
+        handle.shutdown();
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! is unchanged — but device authentication tokens are enforced exactly as the
 //! server routines require.
 
+pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod error;
 pub mod server;
 
+pub use chaos::{ChaosCluster, ChaosReport};
 pub use client::DeviceClient;
 pub use cluster::{ClusterReport, LocalCluster};
 pub use error::NetError;

@@ -376,6 +376,7 @@ fn payload_of(req: CheckinRequest) -> std::result::Result<CheckinPayload, Box<Me
     Ok(CheckinPayload {
         device_id: req.device_id,
         checkout_iteration: req.checkout_iteration,
+        nonce: req.nonce,
         gradient,
         num_samples: req.num_samples as usize,
         error_count: req.error_count,
@@ -551,6 +552,7 @@ mod tests {
             device_id,
             token: AuthToken::derive(device_id, secret),
             checkout_iteration: 0,
+            nonce: 0,
             gradient: GradientPayload::Dense(gradient),
             num_samples: 2,
             error_count: 1,

@@ -183,6 +183,7 @@ fn put_checkin<B: BufMut>(buf: &mut B, m: &CheckinRequest) {
     buf.put_u64_le(m.device_id);
     buf.put_slice(m.token.as_bytes());
     buf.put_u64_le(m.checkout_iteration);
+    buf.put_u64_le(m.nonce);
     buf.put_u32_le(m.num_samples);
     buf.put_i64_le(m.error_count);
     put_gradient(buf, &m.gradient);
@@ -264,6 +265,7 @@ fn get_checkin(buf: &mut &[u8]) -> Result<CheckinRequest> {
     let device_id = get_u64(buf, "device_id")?;
     let token = get_token(buf)?;
     let checkout_iteration = get_u64(buf, "checkout_iteration")?;
+    let nonce = get_u64(buf, "nonce")?;
     let num_samples = get_u32(buf, "num_samples")?;
     let error_count = get_i64(buf, "error_count")?;
     let gradient = get_gradient(buf)?;
@@ -272,6 +274,7 @@ fn get_checkin(buf: &mut &[u8]) -> Result<CheckinRequest> {
         device_id,
         token,
         checkout_iteration,
+        nonce,
         gradient,
         num_samples,
         error_count,
@@ -414,6 +417,7 @@ mod tests {
                 device_id: 9,
                 token: AuthToken::derive(9, 7),
                 checkout_iteration: 55,
+                nonce: 155,
                 gradient: GradientPayload::Dense(vec![1e-9, -2.5, 0.0]),
                 num_samples: 20,
                 error_count: -3,
@@ -423,6 +427,7 @@ mod tests {
                 device_id: 10,
                 token: AuthToken::derive(10, 7),
                 checkout_iteration: 56,
+                nonce: 156,
                 gradient: GradientPayload::Sparse {
                     dim: 100,
                     indices: vec![0, 7, 99],
@@ -447,6 +452,7 @@ mod tests {
                         device_id: 1,
                         token: AuthToken::derive(1, 7),
                         checkout_iteration: 3,
+                        nonce: 103,
                         gradient: GradientPayload::Dense(vec![0.25, -0.5]),
                         num_samples: 4,
                         error_count: 1,
@@ -456,6 +462,7 @@ mod tests {
                         device_id: 2,
                         token: AuthToken::derive(2, 7),
                         checkout_iteration: 3,
+                        nonce: 103,
                         gradient: GradientPayload::Sparse {
                             dim: 8,
                             indices: vec![3],
@@ -607,6 +614,7 @@ mod tests {
             device_id: 1,
             token: AuthToken::derive(1, 7),
             checkout_iteration: 0,
+            nonce: 0,
             gradient,
             num_samples: 1,
             error_count: 0,
@@ -660,8 +668,10 @@ mod tests {
         }
         // An unknown gradient-encoding byte is rejected.
         let mut bytes = encode(&checkin_with(GradientPayload::Dense(vec![]))).to_vec();
-        // The encoding byte sits right after the fixed checkin header.
-        let offset = 1 + 8 + TOKEN_LEN + 8 + 4 + 8;
+        // The encoding byte sits right after the fixed checkin header
+        // (tag, device_id, token, checkout_iteration, nonce, num_samples,
+        // error_count).
+        let offset = 1 + 8 + TOKEN_LEN + 8 + 8 + 4 + 8;
         assert_eq!(bytes[offset], 0);
         bytes[offset] = 9;
         assert!(decode(&bytes).is_err());
@@ -673,7 +683,8 @@ mod tests {
         buf.put_u8(3); // checkin tag
         buf.put_u64_le(1);
         buf.put_slice(AuthToken::derive(1, 7).as_bytes());
-        buf.put_u64_le(0);
+        buf.put_u64_le(0); // checkout_iteration
+        buf.put_u64_le(0); // nonce
         buf.put_u32_le(1);
         buf.put_i64_le(0);
         buf.put_u8(1); // sparse encoding

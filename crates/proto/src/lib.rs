@@ -33,5 +33,6 @@ pub type Result<T> = std::result::Result<T, ProtoError>;
 /// message changes.
 ///
 /// Version 2 introduced the dense/sparse [`message::GradientPayload`] encoding
-/// inside checkin requests.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// inside checkin requests; version 3 added the duplicate-detection nonce that
+/// makes retried checkins idempotent.
+pub const PROTOCOL_VERSION: u16 = 3;

@@ -119,6 +119,12 @@ pub struct CheckinRequest {
     pub token: AuthToken,
     /// Server iteration at which the device checked out the parameters it used.
     pub checkout_iteration: u64,
+    /// Duplicate-detection nonce, unique per checkin *per device* (0 = no
+    /// dedup requested). A retried or duplicated checkin carries the same
+    /// nonce as the original, so the server can recognize it as the same
+    /// logical upload and replay the original acknowledgement instead of
+    /// applying — and ε-charging — the gradient twice.
+    pub nonce: u64,
     /// The sanitized averaged gradient `ĝ`, dense or sparse.
     pub gradient: GradientPayload,
     /// The (unperturbed) number of samples `n_s` in the minibatch.
@@ -316,6 +322,7 @@ mod tests {
                 device_id: 0,
                 token: AuthToken::derive(0, 0),
                 checkout_iteration: 0,
+                nonce: 100,
                 gradient: GradientPayload::Dense(vec![]),
                 num_samples: 0,
                 error_count: 0,

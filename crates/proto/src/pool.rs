@@ -181,6 +181,65 @@ mod tests {
         assert_eq!(pool.idle_buffers(), 1);
     }
 
+    /// A zero-capacity pool must degrade to plain allocation: every take
+    /// works, nothing is ever parked, and drops never panic.
+    #[test]
+    fn zero_capacity_pool_degrades_to_plain_allocation() {
+        let pool = BufPool::new(0);
+        for len in [0usize, 1, 64, 4096] {
+            let buf = pool.take(len);
+            assert_eq!(buf.len(), len);
+            assert!(buf.iter().all(|&b| b == 0));
+            drop(buf);
+            assert_eq!(pool.idle_buffers(), 0, "a 0-capacity shelf parked a buffer");
+        }
+        let mut appender = pool.take_empty();
+        appender.extend_from_slice(b"still works");
+        drop(appender);
+        assert_eq!(pool.idle_buffers(), 0);
+    }
+
+    /// The capacity cap must hold under concurrent put-back: many threads
+    /// returning buffers at once can never grow the shelf past `max_buffers`,
+    /// and the pool stays usable afterwards.
+    #[test]
+    fn capacity_cap_holds_under_concurrent_put_back() {
+        const CAP: usize = 2;
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 200;
+        let pool = std::sync::Arc::new(BufPool::new(CAP));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(THREADS));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let pool = std::sync::Arc::clone(&pool);
+            let barrier = std::sync::Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    // Hold a few buffers at once so drops race across threads.
+                    let a = pool.take(16 + t);
+                    let b = pool.take(32 + round % 7);
+                    assert!(a.iter().all(|&x| x == 0));
+                    drop(b);
+                    drop(a);
+                    // The cap is a hard invariant at every instant, not just
+                    // at the end.
+                    assert!(
+                        pool.idle_buffers() <= CAP,
+                        "shelf grew past its capacity under concurrent put-back"
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.idle_buffers() <= CAP);
+        // Still functional: reuse comes off the shelf, zeroed.
+        let buf = pool.take(8);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
     #[test]
     fn pool_is_shareable_across_threads() {
         let pool = std::sync::Arc::new(BufPool::default());

@@ -11,11 +11,13 @@
 //! [`DelayModel`]s, and a [`trace::TraceCollector`] — on top of which `crowd-core`
 //! builds the actual Crowd-ML device/server simulation.
 
+pub mod chaos;
 pub mod delay;
 pub mod event;
 pub mod queue;
 pub mod trace;
 
+pub use chaos::{ChurnSchedule, CrashPlan, FaultAction, FaultPlan, TransportFaults};
 pub use delay::DelayModel;
 pub use event::Event;
 pub use queue::EventQueue;

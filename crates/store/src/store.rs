@@ -274,6 +274,7 @@ mod tests {
         CheckinPayload {
             device_id,
             checkout_iteration: step,
+            nonce: 0,
             gradient: Vector::from_vec(
                 (0..DIM * CLASSES)
                     .map(|_| rng.gen_range(-1.0..1.0))

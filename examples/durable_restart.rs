@@ -38,6 +38,7 @@ fn payloads() -> Vec<CheckinPayload> {
         .map(|step| CheckinPayload {
             device_id: step as u64 % DEVICES,
             checkout_iteration: step as u64,
+            nonce: 0,
             gradient: Vector::from_vec(
                 (0..DIM * CLASSES)
                     .map(|_| rng.gen_range(-0.5..0.5))

@@ -63,6 +63,7 @@ fn determinism_payload(device: u64, step: u64) -> CheckinPayload {
     CheckinPayload {
         device_id: device,
         checkout_iteration: step,
+        nonce: 0,
         gradient: Vector::from_vec((0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).into(),
         num_samples: 3,
         error_count: rng.gen_range(-2i64..3),

@@ -57,6 +57,7 @@ fn stream(seed: u64, n: usize) -> Vec<CheckinPayload> {
         .map(|step| CheckinPayload {
             device_id: step as u64 % 4,
             checkout_iteration: step as u64,
+            nonce: 0,
             gradient: Vector::from_vec((0..PARAM_DIM).map(|_| rng.gen_range(-1.0..1.0)).collect())
                 .into(),
             num_samples: 2,

@@ -89,6 +89,7 @@ proptest! {
             device_id,
             token: AuthToken::derive(device_id, 99),
             checkout_iteration: iteration,
+            nonce: 0,
             gradient: GradientPayload::from_dense_auto(gradient.clone()),
             num_samples,
             error_count,
@@ -139,6 +140,7 @@ proptest! {
             device_id: 3,
             token: AuthToken::derive(3, 9),
             checkout_iteration: 0,
+            nonce: 0,
             gradient: GradientPayload::from_dense_auto(dense.clone()),
             num_samples: 2,
             error_count: 1,
@@ -162,6 +164,7 @@ proptest! {
         let payload_with = |gradient: GradientUpdate| CheckinPayload {
             device_id: 3,
             checkout_iteration: 0,
+            nonce: 0,
             gradient,
             num_samples: 2,
             error_count: 1,
@@ -202,6 +205,7 @@ proptest! {
                 device_id,
                 token: AuthToken::derive(device_id, 42),
                 checkout_iteration: iteration,
+                nonce: 0,
                 gradient: GradientPayload::from_dense_auto(gradient.clone()),
                 num_samples,
                 error_count,
