@@ -27,7 +27,7 @@
 //! persisting completed nonces alongside the epochs they acked.
 
 use crowd_core::server::CheckinOutcome;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// What the runtime should do with a submitted nonce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +48,9 @@ enum DedupState {
 
 /// Bounded memory of recent checkin outcomes, keyed on `(device_id, nonce)`.
 pub(crate) struct DedupTable {
-    entries: HashMap<(u64, u64), DedupState>,
+    // A BTreeMap so any future iteration over the ledger (eviction sweeps,
+    // state export) is deterministic; lookups stay logarithmic.
+    entries: BTreeMap<(u64, u64), DedupState>,
     /// Completed keys in completion order — the FIFO eviction queue. In-flight
     /// keys are never evicted (they always resolve or are abandoned).
     completed: VecDeque<(u64, u64)>,
@@ -59,7 +61,7 @@ impl DedupTable {
     /// Creates a table remembering at most `capacity` completed checkins.
     pub(crate) fn new(capacity: usize) -> Self {
         DedupTable {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             completed: VecDeque::new(),
             capacity: capacity.max(1),
         }

@@ -27,6 +27,8 @@
 //! the runtime reproduces the paper's per-checkin update bit for bit; larger
 //! epochs apply the mean of the epoch's gradients as one step.
 
+#![forbid(unsafe_code)]
+
 mod dedup;
 pub mod queue;
 pub mod runtime;

@@ -39,6 +39,7 @@ struct State<T> {
 /// A fixed-capacity queue shared between connection handlers (producers) and
 /// aggregation workers (consumers).
 pub struct BoundedQueue<T> {
+    // audit:lock(agg.ingest-queue, 70)
     state: Mutex<State<T>>,
     available: Condvar,
     capacity: usize,

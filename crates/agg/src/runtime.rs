@@ -61,8 +61,10 @@ struct Job {
 }
 
 struct Inner<M: Model> {
+    // audit:lock(agg.core, 10)
     core: Mutex<Server<M>>,
     shards: ShardSet,
+    // audit:lock(agg.snapshot, 50)
     snapshot: RwLock<Arc<ParamSnapshot>>,
     queue: BoundedQueue<Job>,
     /// Checkins accumulated on a shard but not yet merged into an epoch.
@@ -77,14 +79,17 @@ struct Inner<M: Model> {
     /// its ε charges) *before* it is applied and its checkins acked, so the
     /// append group-commits with the epoch batching. Locked strictly after
     /// `core` (never the other way) to keep the lock order acyclic.
+    // audit:lock(agg.store, 30)
     store: Option<Mutex<Store>>,
     /// Devices that have spent their entire privacy budget. Read lock-free-ish
     /// on the submit path; updated under the core lock whenever an applied
     /// epoch pushes a device over its ceiling.
+    // audit:lock(agg.exhausted, 40)
     exhausted: RwLock<HashSet<u64>>,
     /// Recent checkin outcomes keyed on `(device_id, nonce)`: a retried or
     /// network-duplicated checkin is answered with the original ack instead of
     /// being applied (and ε-charged) twice.
+    // audit:lock(agg.dedup, 60)
     dedup: Mutex<DedupTable>,
     /// Set by [`AggRuntime::kill`]: skip the final flush and the shutdown
     /// checkpoint, leaving the disk exactly as a SIGKILL would.
@@ -117,6 +122,7 @@ impl CompletionHandle {
 /// The sharded, batched aggregation runtime wrapping a [`Server`].
 pub struct AggRuntime<M: Model + Send + 'static> {
     inner: Arc<Inner<M>>,
+    // audit:lock(agg.workers, 5)
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 

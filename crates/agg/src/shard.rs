@@ -74,11 +74,13 @@ pub(crate) struct DrainedEpoch {
 
 /// N independently locked gradient accumulators.
 pub struct ShardSet {
+    // audit:lock(agg.shard, 20)
     shards: Vec<Mutex<Shard>>,
     param_dim: usize,
     num_classes: usize,
     /// Recycled parameter-dimension buffers, shared by the per-device
     /// accumulators and the merge scratch.
+    // audit:lock(agg.shard-scratch, 25)
     scratch: Mutex<Vec<Vec<f64>>>,
 }
 

@@ -1,0 +1,461 @@
+//! A minimal Rust lexer: just enough token structure for the audit rules.
+//!
+//! The goal is *not* a conforming parser — it is a tokenizer that never
+//! mistakes the inside of a string, char literal, or comment for code, keeps
+//! line numbers, and separates comments (where the `audit:` annotations live)
+//! from the token stream the rules walk. Everything a rule matches on —
+//! identifiers, punctuation, matched delimiters — survives exactly; literal
+//! *contents* are opaque.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    pub kind: TokenKind,
+}
+
+/// The token categories the rules distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident(String),
+    /// A lifetime (`'a`, `'static`) — kept distinct so it is never confused
+    /// with a char literal.
+    Lifetime(String),
+    /// Any literal: string, raw string, byte string, char, or number. The
+    /// raw text is kept (numbers are parsed by the wire rule).
+    Literal(String),
+    /// A single punctuation character (`.`, `:`, `!`, `#`, `<`, …).
+    /// Multi-character operators arrive as consecutive tokens.
+    Punct(char),
+    /// `(`, `[`, or `{`.
+    Open(char),
+    /// `)`, `]`, or `}`.
+    Close(char),
+}
+
+impl TokenKind {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Punct(c)`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == c)
+    }
+}
+
+/// A comment with its starting line, text kept verbatim (without delimiters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source text. Unterminated constructs simply run to end of file —
+/// the rules degrade gracefully on files rustc would reject anyway.
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    let bump_lines = |text: &[char]| text.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: chars[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Block comment, nesting respected.
+                let start = i + 2;
+                let mut depth = 1;
+                let mut j = start;
+                while j < n && depth > 0 {
+                    if j + 1 < n && chars[j] == '/' && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && chars[j] == '*' && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line,
+                    text: chars[start..end].iter().collect(),
+                });
+                line += bump_lines(&chars[i..j]);
+                i = j;
+            }
+            '"' => {
+                let (j, text) = scan_string(&chars, i);
+                line += bump_lines(&chars[i..j]);
+                out.tokens.push(Token {
+                    line: line - bump_lines(&chars[i..j]),
+                    kind: TokenKind::Literal(text),
+                });
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                let (j, text) = scan_raw_or_byte(&chars, i);
+                let lines = bump_lines(&chars[i..j]);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal(text),
+                });
+                line += lines;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident NOT
+                // followed by a closing `'`.
+                if i + 1 < n && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_') {
+                    let mut j = i + 1;
+                    while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '\'' {
+                        // 'a' — a char literal.
+                        out.tokens.push(Token {
+                            line,
+                            kind: TokenKind::Literal(chars[i..=j].iter().collect()),
+                        });
+                        i = j + 1;
+                    } else {
+                        out.tokens.push(Token {
+                            line,
+                            kind: TokenKind::Lifetime(chars[i + 1..j].iter().collect()),
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: '\n', '\'', '('.
+                    let mut j = i + 1;
+                    if j < n && chars[j] == '\\' {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                    while j < n && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    j = (j + 1).min(n);
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Literal(chars[i..j].iter().collect()),
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n {
+                    let ch = chars[j];
+                    if ch.is_alphanumeric() || ch == '_' {
+                        j += 1;
+                    } else if ch == '.' && j + 1 < n && chars[j + 1].is_ascii_digit() {
+                        // A decimal point only when a digit follows — `0..10`
+                        // and `2.max(3)` stop before the dot.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal(chars[i..j].iter().collect()),
+                });
+                i = j.max(i + 1);
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut j = i;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Ident(chars[i..j].iter().collect()),
+                });
+                i = j;
+            }
+            '(' | '[' | '{' => {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Open(c),
+                });
+                i += 1;
+            }
+            ')' | ']' | '}' => {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Close(c),
+                });
+                i += 1;
+            }
+            other => {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Punct(other),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    // r"…", r#"…"#, br"…", b"…", b'…'
+    let n = chars.len();
+    match chars[i] {
+        'r' => {
+            let mut j = i + 1;
+            while j < n && chars[j] == '#' {
+                j += 1;
+            }
+            j < n && chars[j] == '"'
+        }
+        'b' => {
+            if i + 1 >= n {
+                return false;
+            }
+            match chars[i + 1] {
+                '"' | '\'' => true,
+                'r' => {
+                    let mut j = i + 2;
+                    while j < n && chars[j] == '#' {
+                        j += 1;
+                    }
+                    j < n && chars[j] == '"'
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+fn scan_string(chars: &[char], start: usize) -> (usize, String) {
+    // Plain "…" with escapes; `start` points at the opening quote.
+    let n = chars.len();
+    let mut j = start + 1;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    (j.min(n), chars[start..j.min(n)].iter().collect())
+}
+
+fn scan_raw_or_byte(chars: &[char], start: usize) -> (usize, String) {
+    let n = chars.len();
+    let mut j = start;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if j < n && chars[j] == '\'' {
+        // b'x' byte literal.
+        let mut k = j + 1;
+        if k < n && chars[k] == '\\' {
+            k += 2;
+        } else {
+            k += 1;
+        }
+        while k < n && chars[k] != '\'' {
+            k += 1;
+        }
+        let end = (k + 1).min(n);
+        return (end, chars[start..end].iter().collect());
+    }
+    if j < n && chars[j] == 'r' {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < n && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < n && chars[j] == '"' {
+        j += 1;
+        // Scan for `"` followed by `hashes` of '#'.
+        while j < n {
+            if chars[j] == '"' {
+                let mut k = j + 1;
+                let mut seen = 0;
+                while k < n && chars[k] == '#' && seen < hashes {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return (k, chars[start..k].iter().collect());
+                }
+            }
+            j += 1;
+        }
+        (n, chars[start..n].iter().collect())
+    } else {
+        // b"…" plain byte string with escapes.
+        let (end, _) = scan_string(chars, j.min(n.saturating_sub(1)));
+        (end, chars[start..end].iter().collect())
+    }
+}
+
+/// For each `Open` token, the index of its matching `Close` (and vice versa).
+/// Unbalanced files get `usize::MAX` partners, which no rule ever indexes.
+pub fn match_delims(tokens: &[Token]) -> Vec<usize> {
+    let mut partner = vec![usize::MAX; tokens.len()];
+    let mut stack: Vec<(usize, char)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Open(c) => stack.push((i, c)),
+            TokenKind::Close(c) => {
+                let want = match c {
+                    ')' => '(',
+                    ']' => '[',
+                    _ => '{',
+                };
+                if let Some(&(j, o)) = stack.last() {
+                    if o == want {
+                        stack.pop();
+                        partner[i] = j;
+                        partner[j] = i;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    partner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("fn main() {\n    x.iter();\n}\n");
+        assert_eq!(l.tokens[0].kind, TokenKind::Ident("fn".into()));
+        assert_eq!(l.tokens[0].line, 1);
+        let iter_tok = l
+            .tokens
+            .iter()
+            .find(|t| t.kind.ident() == Some("iter"))
+            .unwrap();
+        assert_eq!(iter_tok.line, 2);
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let l = lex("let s = \"HashMap.iter() // not code\"; // audit:allow(x, y)\n");
+        assert!(idents("let s = \"HashMap.iter()\";")
+            .iter()
+            .all(|i| i != "HashMap"));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("audit:allow"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let ids = idents("fn f<'a>(x: &'a str) { let c = '\\''; let r = r#\"Instant::now\"#; }");
+        assert!(ids.iter().any(|i| i == "str"));
+        assert!(ids.iter().all(|i| i != "Instant"));
+        let l = lex("struct S<'long_lifetime> { x: u8 }");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime("long_lifetime".into())));
+    }
+
+    #[test]
+    fn block_comments_nest_and_count_lines() {
+        let l = lex("/* a /* b */ c */\nfn f() {}\n");
+        assert_eq!(l.comments.len(), 1);
+        let f = l
+            .tokens
+            .iter()
+            .find(|t| t.kind.ident() == Some("fn"))
+            .unwrap();
+        assert_eq!(f.line, 2);
+    }
+
+    #[test]
+    fn delimiters_match() {
+        let l = lex("fn f(a: u8) { if a > [1][0] { () } }");
+        let partner = match_delims(&l.tokens);
+        for (i, t) in l.tokens.iter().enumerate() {
+            if matches!(t.kind, TokenKind::Open(_)) {
+                let j = partner[i];
+                assert!(j != usize::MAX && partner[j] == i);
+            }
+        }
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let l = lex("for i in 0..10 { let x = 1.5f64; let y = 2.max(3); }");
+        let lits: Vec<String> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Literal(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(lits.contains(&"0".to_string()));
+        assert!(lits.contains(&"10".to_string()));
+        assert!(lits.contains(&"1.5f64".to_string()));
+        assert!(lits.contains(&"2".to_string()));
+        assert!(l.tokens.iter().any(|t| t.kind.ident() == Some("max")));
+    }
+}

@@ -1,0 +1,133 @@
+//! The `crowd-audit` CLI.
+//!
+//! ```text
+//! crowd-audit [--root DIR] [--deny] [--report FILE] [--baseline FILE]
+//!             [--update-wire-lock]
+//! ```
+//!
+//! Exit status: 0 when the tree is clean (no non-baselined findings and no
+//! stale baseline entries), 1 when `--deny` is set and it is not, 2 on usage
+//! or I/O errors. Without `--deny`, findings are printed but the exit status
+//! stays 0 — the mode for incremental local cleanup against a baseline.
+
+#![forbid(unsafe_code)]
+
+use crowd_audit::report::render_json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: crowd-audit [--root DIR] [--deny] [--report FILE] [--baseline FILE]
+                   [--update-wire-lock]
+
+  --root DIR          workspace root to scan (default: .)
+  --deny              exit nonzero on any non-baselined finding or stale
+                      baseline entry (CI mode)
+  --report FILE       write the machine-readable JSON report to FILE
+  --baseline FILE     baseline of grandfathered findings
+                      (default: <root>/audit-baseline.txt)
+  --update-wire-lock  regenerate <root>/wire.lock from the live proto
+                      sources, then exit
+";
+
+struct Args {
+    root: PathBuf,
+    deny: bool,
+    report: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_wire_lock: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        deny: false,
+        report: None,
+        baseline: None,
+        update_wire_lock: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => args.root = it.next().ok_or("--root needs a value")?.into(),
+            "--deny" => args.deny = true,
+            "--report" => args.report = Some(it.next().ok_or("--report needs a value")?.into()),
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a value")?.into())
+            }
+            "--update-wire-lock" => args.update_wire_lock = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("crowd-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update_wire_lock {
+        return match crowd_audit::update_wire_lock(&args.root) {
+            Ok(true) => {
+                eprintln!("crowd-audit: wire.lock refreshed");
+                ExitCode::SUCCESS
+            }
+            Ok(false) => {
+                eprintln!("crowd-audit: no wire surface found under {:?}", args.root);
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                eprintln!("crowd-audit: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let baseline = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("audit-baseline.txt"));
+    let outcome = match crowd_audit::run(&args.root, &baseline) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("crowd-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &outcome.fresh {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    for s in &outcome.stale {
+        println!("(baseline): stale entry `{s}` — no such finding remains, prune it");
+    }
+    eprintln!(
+        "crowd-audit: {} finding(s), {} grandfathered, {} stale baseline entr{}",
+        outcome.fresh.len(),
+        outcome.grandfathered.len(),
+        outcome.stale.len(),
+        if outcome.stale.len() == 1 { "y" } else { "ies" },
+    );
+
+    if let Some(report_path) = &args.report {
+        let json = render_json(&outcome.fresh, &outcome.grandfathered, &outcome.stale);
+        if let Err(e) = std::fs::write(report_path, json) {
+            eprintln!("crowd-audit: writing {}: {e}", report_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if args.deny && !outcome.clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,688 @@
+//! Rule `lock-order`: every lock registered, every acquisition rank-ordered.
+//!
+//! The workspace documents a single global acquisition order (core → store,
+//! encoded as ranks in `// audit:lock(name, rank)` annotations on each
+//! `Mutex`/`RwLock` field). This rule enforces three things statically:
+//!
+//! 1. **Registration** — a `Mutex`/`RwLock` struct field without an
+//!    `audit:lock` annotation is a finding; an unregistered lock is invisible
+//!    to the order check.
+//! 2. **Registry consistency** — one name, one rank; one rank, one name.
+//! 3. **Rank monotonicity** — per function body, guard lifetimes are
+//!    approximated (let-bound guards live to the end of the enclosing block
+//!    or an explicit `drop(binding)`; temporaries live to the end of their
+//!    statement, which for a `match` scrutinee spans the arms, matching Rust
+//!    temporary-lifetime rules) and every acquisition made while another
+//!    registered lock is held must carry a strictly greater rank.
+//!
+//! Closures are analyzed as separate function scopes: a closure body does not
+//! inherit the guards live at its definition site, since the workspace's
+//! deferred closures (e.g. abandon callbacks) run after those guards drop.
+//! Known limitation: receivers are resolved by field name, so a lock reached
+//! through a loop variable (`for stripe in &self.shards`) is not tracked —
+//! `self.shards[idx].lock()` is.
+//!
+//! A cycle check over the whole acquired-while-held graph backstops the rank
+//! check.
+
+use super::depths;
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use crate::source::{LockAnnotation, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const RULE: &str = "lock-order";
+
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut registry: BTreeMap<String, (u32, String)> = BTreeMap::new(); // name -> (rank, file)
+    let mut by_rank: BTreeMap<u32, String> = BTreeMap::new();
+
+    for file in files {
+        for ann in &file.locks {
+            match registry.get(&ann.name) {
+                Some((rank, origin)) if *rank != ann.rank => {
+                    findings.push(Finding::new(
+                        RULE,
+                        &file.rel_path,
+                        ann.line,
+                        format!(
+                            "lock `{}` registered with rank {} here but rank {} in {origin}",
+                            ann.name, ann.rank, rank
+                        ),
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    if let Some(other) = by_rank.get(&ann.rank) {
+                        if other != &ann.name {
+                            findings.push(Finding::new(
+                                RULE,
+                                &file.rel_path,
+                                ann.line,
+                                format!(
+                                    "locks `{}` and `{other}` share rank {} — the order \
+                                     between them is ambiguous",
+                                    ann.name, ann.rank
+                                ),
+                            ));
+                        }
+                    } else {
+                        by_rank.insert(ann.rank, ann.name.clone());
+                    }
+                    registry.insert(ann.name.clone(), (ann.rank, file.rel_path.clone()));
+                }
+            }
+        }
+    }
+
+    let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+    for file in files {
+        findings.extend(unregistered_fields(file));
+        let fields = file.lock_fields();
+        if fields.is_empty() {
+            continue;
+        }
+        let depth = depths(&file.tokens);
+        for (start, end) in function_bodies(&file.tokens, &file.partner) {
+            walk_scope(file, &fields, &depth, start, end, &mut findings, &mut edges);
+        }
+    }
+
+    if let Some(cycle) = find_cycle(&edges) {
+        findings.push(Finding::new(
+            RULE,
+            "(workspace)",
+            0,
+            format!("lock acquisition cycle: {}", cycle.join(" -> ")),
+        ));
+    }
+    findings
+}
+
+/// `Mutex`/`RwLock` struct fields with no `audit:lock` annotation.
+fn unregistered_fields(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let registered = file.lock_fields();
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind.ident() != Some("struct") {
+            i += 1;
+            continue;
+        }
+        // Find the `{` opening the body, unless a tuple/unit struct ends
+        // the item first.
+        let mut j = i + 1;
+        let mut body: Option<(usize, usize)> = None;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokenKind::Open('{') => {
+                    let close = file.partner[j];
+                    if close != usize::MAX {
+                        body = Some((j + 1, close));
+                    }
+                    break;
+                }
+                TokenKind::Open('(') | TokenKind::Punct(';') => break,
+                _ => j += 1,
+            }
+        }
+        let Some((bstart, bend)) = body else {
+            i = j.max(i + 1);
+            continue;
+        };
+        // Walk fields: `name :` pairs at body depth, type runs to the `,` at
+        // body depth or the closing brace.
+        let depth = depths(toks);
+        let body_depth = depth[bstart];
+        let mut k = bstart;
+        while k < bend {
+            let is_field = depth[k] == body_depth
+                && matches!(toks[k].kind, TokenKind::Ident(_))
+                && toks
+                    .get(k + 1)
+                    .map(|t| t.kind.is_punct(':'))
+                    .unwrap_or(false)
+                && !toks
+                    .get(k + 2)
+                    .map(|t| t.kind.is_punct(':'))
+                    .unwrap_or(false);
+            if !is_field {
+                k += 1;
+                continue;
+            }
+            let name = toks[k].kind.ident().unwrap_or_default().to_string();
+            let mut t = k + 2;
+            let mut has_lock_type = false;
+            while t < bend && !(depth[t] == body_depth && toks[t].kind.is_punct(',')) {
+                if matches!(toks[t].kind.ident(), Some("Mutex") | Some("RwLock")) {
+                    has_lock_type = true;
+                }
+                t += 1;
+            }
+            if has_lock_type && !registered.contains_key(&name) && !file.in_test(k) {
+                let line = file.line_of(k);
+                if !file.allowed(RULE, line) {
+                    findings.push(Finding::new(
+                        RULE,
+                        &file.rel_path,
+                        line,
+                        format!(
+                            "lock field `{name}` has no `// audit:lock(name, rank)` \
+                             annotation — unregistered locks are invisible to the \
+                             order check"
+                        ),
+                    ));
+                }
+            }
+            k = t + 1;
+        }
+        i = bend;
+    }
+    findings
+}
+
+/// Token ranges of all `fn` bodies (including nested ones — each is walked
+/// as its own scope).
+fn function_bodies(toks: &[Token], partner: &[usize]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind.ident() == Some("fn") {
+            let mut j = i + 1;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokenKind::Open('{') => {
+                        let close = partner[j];
+                        if close != usize::MAX {
+                            out.push((j + 1, close));
+                        }
+                        break;
+                    }
+                    TokenKind::Punct(';') => break,
+                    // Skip parameter lists and generic groups wholesale.
+                    TokenKind::Open(_) => {
+                        let close = partner[j];
+                        j = if close == usize::MAX {
+                            j + 1
+                        } else {
+                            close + 1
+                        };
+                    }
+                    _ => j += 1,
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[derive(Debug, Clone)]
+struct Held {
+    name: String,
+    rank: u32,
+    release: usize,
+}
+
+/// Tokens that can directly precede a closure's opening `|`.
+fn closure_starter(prev: Option<&TokenKind>) -> bool {
+    match prev {
+        None => true,
+        Some(TokenKind::Punct(c)) => matches!(c, '=' | ',' | ';' | '>' | '&' | ':'),
+        Some(TokenKind::Open(_)) => true,
+        Some(TokenKind::Ident(id)) => {
+            matches!(id.as_str(), "return" | "move" | "else" | "in" | "match")
+        }
+        _ => false,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_scope(
+    file: &SourceFile,
+    fields: &BTreeMap<String, LockAnnotation>,
+    depth: &[u32],
+    start: usize,
+    end: usize,
+    findings: &mut Vec<Finding>,
+    edges: &mut BTreeSet<(String, String)>,
+) {
+    let toks = &file.tokens;
+    let mut held: Vec<Held> = Vec::new();
+    let mut i = start;
+    while i < end {
+        held.retain(|h| h.release > i);
+        match &toks[i].kind {
+            // Nested fn: its body is a separate scope (already enumerated).
+            TokenKind::Ident(id) if id == "fn" => {
+                let mut j = i + 1;
+                while j < end {
+                    match toks[j].kind {
+                        TokenKind::Open('{') => {
+                            let close = file.partner[j];
+                            j = if close == usize::MAX {
+                                j + 1
+                            } else {
+                                close + 1
+                            };
+                            break;
+                        }
+                        TokenKind::Punct(';') => {
+                            j += 1;
+                            break;
+                        }
+                        TokenKind::Open(_) => {
+                            let close = file.partner[j];
+                            j = if close == usize::MAX {
+                                j + 1
+                            } else {
+                                close + 1
+                            };
+                        }
+                        _ => j += 1,
+                    }
+                }
+                i = j;
+                continue;
+            }
+            // Closure: walk its body as a fresh scope, skip it here.
+            TokenKind::Punct('|')
+                if closure_starter(if i == start {
+                    None
+                } else {
+                    Some(&toks[i - 1].kind)
+                }) =>
+            {
+                if let Some((bstart, bend)) = closure_body(file, depth, i, end) {
+                    walk_scope(file, fields, depth, bstart, bend, findings, edges);
+                    i = bend;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            TokenKind::Ident(id) if matches!(id.as_str(), "lock" | "read" | "write") => {
+                if let Some(field) = acquisition_receiver(file, fields, i) {
+                    let ann = &fields[&field];
+                    let line = file.line_of(i);
+                    let release = release_point(file, depth, i, end);
+                    let waived = file.allowed(RULE, line);
+                    if !waived {
+                        for h in &held {
+                            if h.name == ann.name {
+                                findings.push(Finding::new(
+                                    RULE,
+                                    &file.rel_path,
+                                    line,
+                                    format!(
+                                        "lock `{}` acquired while already held — \
+                                         self-deadlock",
+                                        ann.name
+                                    ),
+                                ));
+                            } else if h.rank >= ann.rank {
+                                findings.push(Finding::new(
+                                    RULE,
+                                    &file.rel_path,
+                                    line,
+                                    format!(
+                                        "lock `{}` (rank {}) acquired while holding \
+                                         `{}` (rank {}) — inverts the documented order",
+                                        ann.name, ann.rank, h.name, h.rank
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    // The cycle backstop only sees edges that passed the rank
+                    // check: flagged inversions would be reported twice
+                    // otherwise, and a waived site is waived entirely — its
+                    // inverted edge would always close a cycle against the
+                    // documented order, making the annotation useless.
+                    for h in &held {
+                        if h.name != ann.name && !waived && h.rank < ann.rank {
+                            edges.insert((h.name.clone(), ann.name.clone()));
+                        }
+                    }
+                    held.push(Held {
+                        name: ann.name.clone(),
+                        rank: ann.rank,
+                        release,
+                    });
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// If token `i` is a `.lock()` / `.read()` / `.write()` acquisition of a
+/// registered field, returns the field name. Empty argument parens are
+/// required so `io::Read::read(&mut buf)` never matches.
+fn acquisition_receiver(
+    file: &SourceFile,
+    fields: &BTreeMap<String, LockAnnotation>,
+    i: usize,
+) -> Option<String> {
+    let toks = &file.tokens;
+    if i < 2 || !toks[i - 1].kind.is_punct('.') {
+        return None;
+    }
+    if !matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokenKind::Open('('))) {
+        return None;
+    }
+    if !matches!(
+        toks.get(i + 2).map(|t| &t.kind),
+        Some(TokenKind::Close(')'))
+    ) {
+        return None;
+    }
+    // Receiver: the ident before the dot, or — for `self.shards[idx].lock()` —
+    // the ident before the index brackets.
+    let recv = match &toks[i - 2].kind {
+        TokenKind::Ident(name) => Some(name.clone()),
+        TokenKind::Close(']') => {
+            let open = file.partner[i - 2];
+            if open != usize::MAX && open >= 1 {
+                toks[open - 1].kind.ident().map(|s| s.to_string())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }?;
+    fields.contains_key(&recv).then_some(recv)
+}
+
+/// Where the guard acquired at token `i` dies, as a token index.
+fn release_point(file: &SourceFile, depth: &[u32], i: usize, scope_end: usize) -> usize {
+    let toks = &file.tokens;
+    let (stmt_start, stmt_end) = super::statement_bounds(toks, depth, i);
+    if let Some(binding) = super::let_binding(toks, stmt_start, stmt_end) {
+        // Let-bound: held to the end of the innermost enclosing block, or an
+        // explicit `drop(binding)`.
+        let mut block_end = scope_end;
+        let mut k = stmt_start;
+        while k > 0 {
+            k -= 1;
+            if matches!(toks[k].kind, TokenKind::Open('{')) {
+                let close = file.partner[k];
+                if close != usize::MAX && close > i {
+                    block_end = block_end.min(close);
+                    break;
+                }
+            }
+        }
+        let mut d = stmt_end;
+        while d + 2 < block_end {
+            if toks[d].kind.ident() == Some("drop")
+                && matches!(toks[d + 1].kind, TokenKind::Open('('))
+                && toks[d + 2].kind.ident() == Some(binding.as_str())
+            {
+                return d;
+            }
+            d += 1;
+        }
+        block_end
+    } else {
+        // Temporary: lives to the end of its statement (which for a `match`
+        // scrutinee includes the arms).
+        stmt_end.min(scope_end)
+    }
+}
+
+/// The extent of a closure body whose parameter list opens at token `i`.
+fn closure_body(
+    file: &SourceFile,
+    depth: &[u32],
+    i: usize,
+    scope_end: usize,
+) -> Option<(usize, usize)> {
+    let toks = &file.tokens;
+    let d = depth[i];
+    // Closing `|` of the parameter list at the same depth.
+    let mut j = i + 1;
+    while j < scope_end && !(depth[j] == d && toks[j].kind.is_punct('|')) {
+        if depth[j] < d {
+            return None;
+        }
+        j += 1;
+    }
+    if j >= scope_end {
+        return None;
+    }
+    let mut b = j + 1;
+    // Optional `-> Type` before a braced body.
+    if toks.get(b).map(|t| t.kind.is_punct('-')).unwrap_or(false)
+        && toks
+            .get(b + 1)
+            .map(|t| t.kind.is_punct('>'))
+            .unwrap_or(false)
+    {
+        while b < scope_end && !matches!(toks[b].kind, TokenKind::Open('{')) {
+            b += 1;
+        }
+    }
+    match toks.get(b).map(|t| &t.kind) {
+        Some(TokenKind::Open('{')) => {
+            let close = file.partner[b];
+            if close == usize::MAX {
+                None
+            } else {
+                Some((b + 1, close.min(scope_end)))
+            }
+        }
+        Some(_) => {
+            // Expression body: runs to `,`/`;`/`)` at the body's depth.
+            let bd = depth[b];
+            let mut e = b;
+            while e < scope_end {
+                if depth[e] < bd {
+                    break;
+                }
+                if depth[e] == bd
+                    && matches!(toks[e].kind, TokenKind::Punct(',') | TokenKind::Punct(';'))
+                {
+                    break;
+                }
+                e += 1;
+            }
+            Some((b, e))
+        }
+        None => None,
+    }
+}
+
+/// DFS cycle search over the acquired-while-held graph.
+fn find_cycle(edges: &BTreeSet<(String, String)>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        if done.contains(start) {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        if let Some(cycle) = dfs(start, &adj, &mut path, &mut done) {
+            return Some(cycle.into_iter().map(String::from).collect());
+        }
+    }
+    None
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    path: &mut Vec<&'a str>,
+    done: &mut BTreeSet<&'a str>,
+) -> Option<Vec<&'a str>> {
+    if let Some(pos) = path.iter().position(|&n| n == node) {
+        let mut cycle: Vec<&str> = path[pos..].to_vec();
+        cycle.push(node);
+        return Some(cycle);
+    }
+    if done.contains(node) {
+        return None;
+    }
+    path.push(node);
+    if let Some(nexts) = adj.get(node) {
+        for next in nexts {
+            if let Some(c) = dfs(next, adj, path, done) {
+                return Some(c);
+            }
+        }
+    }
+    path.pop();
+    done.insert(node);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&[SourceFile::parse("crates/agg/src/x.rs", src)])
+    }
+
+    const REGISTERED: &str = "\
+struct S {
+    // audit:lock(agg.core, 10)
+    core: Mutex<u8>,
+    // audit:lock(agg.store, 30)
+    store: Mutex<u8>,
+}
+";
+
+    #[test]
+    fn in_order_acquisition_is_clean() {
+        let src = format!(
+            "{REGISTERED}
+impl S {{
+    fn ok(&self) {{
+        let c = self.core.lock();
+        let s = self.store.lock();
+        use_both(c, s);
+    }}
+    fn sequential(&self) {{
+        {{ let s = self.store.lock(); use_it(s); }}
+        let c = self.core.lock();
+    }}
+}}
+"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn inversion_is_flagged() {
+        let src = format!(
+            "{REGISTERED}
+impl S {{
+    fn bad(&self) {{
+        let s = self.store.lock();
+        let c = self.core.lock();
+    }}
+}}
+"
+        );
+        let found = run(&src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("inverts"));
+        assert!(found[0].message.contains("agg.core"));
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = format!(
+            "{REGISTERED}
+impl S {{
+    fn ok(&self) {{
+        let s = self.store.lock();
+        drop(s);
+        let c = self.core.lock();
+    }}
+}}
+"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn match_scrutinee_guard_spans_the_arms() {
+        let src = format!(
+            "{REGISTERED}
+impl S {{
+    fn bad(&self) {{
+        match self.store.lock().state() {{
+            0 => {{ let c = self.core.lock(); }}
+            _ => {{}}
+        }}
+    }}
+}}
+"
+        );
+        let found = run(&src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("inverts"));
+    }
+
+    #[test]
+    fn closures_are_separate_scopes() {
+        let src = format!(
+            "{REGISTERED}
+impl S {{
+    fn ok(&self) {{
+        let s = self.store.lock();
+        let later = move || {{ let c = self.core.lock(); use_it(c); }};
+        stash(later);
+    }}
+}}
+"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn unregistered_field_is_flagged() {
+        let found = run("struct S { core: Mutex<u8>, data: Vec<u8> }");
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("no `// audit:lock"));
+    }
+
+    #[test]
+    fn self_deadlock_and_indexed_receivers() {
+        let src = "\
+struct S {
+    // audit:lock(agg.shard, 20)
+    shards: Vec<Mutex<u8>>,
+}
+impl S {
+    fn bad(&self, a: usize, b: usize) {
+        let x = self.shards[a].lock();
+        let y = self.shards[b].lock();
+    }
+}
+";
+        let found = run(src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn conflicting_registration_is_flagged() {
+        let a = SourceFile::parse(
+            "crates/agg/src/a.rs",
+            "struct A { core: Mutex<u8> } // audit:lock(agg.core, 10)\n",
+        );
+        let src_b = "struct B {\n    // audit:lock(agg.core, 40)\n    core: Mutex<u8>,\n}";
+        let b = SourceFile::parse("crates/agg/src/b.rs", src_b);
+        let found = check(&[a, b]);
+        assert!(found.iter().any(|f| f.message.contains("rank 40")));
+    }
+}

@@ -1,0 +1,117 @@
+//! Rule `panic-freedom`: no panicking constructs in request-path modules.
+//!
+//! A panic in a decode path or an aggregation worker tears down the thread
+//! holding an epoch's state; under `abort` it kills the server. Inside the
+//! request path — codec, framing, the accept loop, the aggregation runtime,
+//! and the persistence layer ([`crate::config::PANIC_FREE_PATHS`]) — every
+//! failure must surface as an `ErrorCode`, `io::Error`, or `StoreError`
+//! instead. `unwrap`, `expect`, `panic!`, and `unreachable!` are findings
+//! outside `#[cfg(test)]`, unless waived with
+//! `// audit:allow(panic-freedom, reason)`.
+
+use crate::config::{path_in, PANIC_FREE_PATHS};
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "panic-freedom";
+
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !path_in(&file.rel_path, PANIC_FREE_PATHS) {
+            continue;
+        }
+        for (i, t) in file.tokens.iter().enumerate() {
+            let Some(id) = t.kind.ident() else { continue };
+            let toks = &file.tokens;
+            let hit = match id {
+                // `.unwrap()` / `.expect(…)` method calls only — idents like
+                // `unwrap_or_else` lex as one token and never match.
+                "unwrap" | "expect" => {
+                    i >= 1
+                        && toks[i - 1].kind.is_punct('.')
+                        && matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokenKind::Open('(')))
+                }
+                // `panic!(…)` / `unreachable!(…)` macro invocations.
+                "panic" | "unreachable" | "todo" | "unimplemented" => toks
+                    .get(i + 1)
+                    .map(|t| t.kind.is_punct('!'))
+                    .unwrap_or(false),
+                _ => false,
+            };
+            if !hit || file.in_test(i) {
+                continue;
+            }
+            let line = file.line_of(i);
+            if file.allowed(RULE, line) {
+                continue;
+            }
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                line,
+                format!(
+                    "`{id}` in request-path module — return an error instead, or annotate \
+                     `// audit:allow(panic-freedom, reason)`"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        check(&[SourceFile::parse(path, src)])
+    }
+
+    #[test]
+    fn flags_all_four_constructs_in_request_path() {
+        let src = "\
+fn f(x: Option<u8>) -> u8 { x.unwrap() }
+fn g(x: Option<u8>) -> u8 { x.expect(\"present\") }
+fn h() { panic!(\"boom\"); }
+fn i() { unreachable!(); }
+";
+        let found = run("crates/store/src/wal.rs", src);
+        assert_eq!(found.len(), 4);
+        assert_eq!(
+            found.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn non_request_path_and_tests_are_exempt() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(run("crates/core/src/server.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod t { fn f(x: Option<u8>) -> u8 { x.unwrap() } }";
+        assert!(run("crates/store/src/wal.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn lookalike_idents_do_not_fire() {
+        let src = "\
+fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }
+fn g(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }
+fn h() { let unwrap = 3; let _ = unwrap; }
+fn i(s: &str) { if s == \"panic!\" {} }
+";
+        assert!(run("crates/store/src/wal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let src = "\
+fn f(x: Option<u8>) -> u8 {
+    // audit:allow(panic-freedom, invariant: caller checked is_some)
+    x.unwrap()
+}
+";
+        assert!(run("crates/store/src/wal.rs", src).is_empty());
+    }
+}

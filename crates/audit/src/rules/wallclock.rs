@@ -1,0 +1,115 @@
+//! Rule `wallclock`: wall-clock reads in deterministic code.
+//!
+//! The simulation, aggregation, and replay paths must be functions of their
+//! inputs alone — a `SystemTime::now()` in replay code or an `Instant`-based
+//! decision in a merge path makes chaos-vs-reference comparisons flake.
+//! Wall-clock access is confined to the network client's retry/backoff
+//! timing and the benchmark harness ([`crate::config::WALLCLOCK_ALLOWED`]);
+//! everywhere else `Instant::now` and any `SystemTime` use are findings
+//! unless waived with `// audit:allow(wallclock, reason)`.
+
+use crate::config::{path_in, WALLCLOCK_ALLOWED};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "wallclock";
+
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if path_in(&file.rel_path, WALLCLOCK_ALLOWED) {
+            continue;
+        }
+        for (i, t) in file.tokens.iter().enumerate() {
+            let Some(id) = t.kind.ident() else { continue };
+            let hit = match id {
+                // `Instant` is only a problem when sampled: `Instant::now()`.
+                "Instant" => {
+                    file.tokens
+                        .get(i + 1)
+                        .map(|t| t.kind.is_punct(':'))
+                        .unwrap_or(false)
+                        && file
+                            .tokens
+                            .get(i + 2)
+                            .map(|t| t.kind.is_punct(':'))
+                            .unwrap_or(false)
+                        && file.tokens.get(i + 3).and_then(|t| t.kind.ident()) == Some("now")
+                }
+                // Any `SystemTime` use is banned outright — even comparing
+                // stored ones injects wall-clock ordering.
+                "SystemTime" => true,
+                _ => false,
+            };
+            if !hit || file.in_test(i) {
+                continue;
+            }
+            let line = file.line_of(i);
+            if file.allowed(RULE, line) {
+                continue;
+            }
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                line,
+                format!(
+                    "wall-clock read `{id}` outside client retry timing and bench code — \
+                     thread a logical clock through, or annotate \
+                     `// audit:allow(wallclock, reason)`"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_instant_now_and_systemtime() {
+        let src = "\
+fn f() { let t = Instant::now(); }
+fn g() -> SystemTime { SystemTime::now() }
+fn h(d: Instant) {}
+";
+        let file = SourceFile::parse("crates/sim/src/x.rs", src);
+        let found = check(&[file]);
+        assert_eq!(found.len(), 3); // Instant::now + 2 SystemTime mentions
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn allowed_paths_tests_and_annotations_are_exempt() {
+        let client = SourceFile::parse(
+            "crates/net/src/client.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert!(check(&[client]).is_empty());
+        let bench = SourceFile::parse(
+            "crates/bench/src/bin/run.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert!(check(&[bench]).is_empty());
+        let test_only = SourceFile::parse(
+            "crates/sim/src/x.rs",
+            "#[cfg(test)]\nmod t { fn f() { let t = Instant::now(); } }",
+        );
+        assert!(check(&[test_only]).is_empty());
+        let annotated = SourceFile::parse(
+            "crates/sim/src/x.rs",
+            "fn f() {\n    // audit:allow(wallclock, trace timestamps are display-only)\n    let t = Instant::now();\n}",
+        );
+        assert!(check(&[annotated]).is_empty());
+    }
+
+    #[test]
+    fn instant_as_plain_type_is_fine() {
+        let file = SourceFile::parse(
+            "crates/sim/src/x.rs",
+            "fn f(deadline: Instant) -> Instant { deadline }",
+        );
+        assert!(check(&[file]).is_empty());
+    }
+}

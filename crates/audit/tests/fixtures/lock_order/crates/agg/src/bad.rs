@@ -1,0 +1,48 @@
+//! Fixture: one lock-order inversion between two registered locks.
+//! Never compiled — only lexed by the audit tests.
+
+use std::sync::Mutex;
+
+pub struct Runtime {
+    // audit:lock(fixture.core, 10)
+    core: Mutex<u64>,
+    // audit:lock(fixture.store, 30)
+    store: Mutex<u64>,
+}
+
+impl Runtime {
+    /// The documented order: core before store.
+    pub fn good(&self) {
+        let c = self.core.lock();
+        let s = self.store.lock();
+        drop(s);
+        drop(c);
+    }
+
+    /// The violation: store acquired first, then core — an inversion.
+    pub fn bad(&self) {
+        let s = self.store.lock();
+        let c = self.core.lock();
+        drop(c);
+        drop(s);
+    }
+
+    /// Escape 1: an allow annotation with a reason.
+    pub fn allowed(&self) {
+        let s = self.store.lock();
+        // audit:allow(lock-order, startup only, single-threaded at this point)
+        let c = self.core.lock();
+        drop(c);
+        drop(s);
+    }
+
+    /// Escape 2: sequential (non-overlapping) acquisitions are fine.
+    pub fn sequential(&self) {
+        {
+            let s = self.store.lock();
+            drop(s);
+        }
+        let c = self.core.lock();
+        drop(c);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: one panic-freedom violation in a request-path module.
+//! Never compiled — only lexed by the audit tests.
+
+/// The violation: a decode path must return an error, not unwrap.
+pub fn bad_decode(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[..4].try_into().unwrap())
+}
+
+/// Escape 1: an allow annotation with a reason.
+pub fn allowed_invariant(x: Option<u32>) -> u32 {
+    // audit:allow(panic-freedom, caller holds is_some by construction)
+    x.unwrap()
+}
+
+/// Escape 2: non-panicking combinators are fine.
+pub fn combinator(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Escape 3: test code is exempt.
+    fn unwraps_in_tests(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,44 @@
+//! Fixture: one unordered-iteration violation, plus every escape hatch.
+//! Never compiled — only lexed by the audit tests.
+
+use std::collections::HashMap;
+
+pub struct Ledger {
+    entries: HashMap<u64, f64>,
+}
+
+impl Ledger {
+    /// The violation: hash-order values feed the returned sum's rounding.
+    pub fn bad_total(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    /// Escape 1: an allow annotation with a reason.
+    pub fn allowed_total(&self) -> f64 {
+        // audit:allow(unordered-iter, commutative sum is order-insensitive here)
+        self.entries.values().map(|v| v.round()).sum()
+    }
+
+    /// Escape 2: the iteration feeds a sort in the same statement.
+    pub fn sorted_inline(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = { let mut v: Vec<u64> = self.entries.keys().copied().collect(); v.sort_unstable(); v };
+        ids
+    }
+
+    /// Escape 3: collect-then-sort across two statements.
+    pub fn sorted_after(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Escape 4: test code is exempt.
+    fn order_free_in_tests(l: &Ledger) -> usize {
+        l.entries.iter().count()
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: one wall-clock violation in a deterministic crate.
+//! Never compiled — only lexed by the audit tests.
+
+use std::time::Instant;
+
+/// The violation: replay timing must come from the logical clock.
+pub fn bad_timestamp() -> Instant {
+    Instant::now()
+}
+
+/// Escape 1: an allow annotation with a reason.
+pub fn allowed_timestamp() -> Instant {
+    // audit:allow(wallclock, display-only timing, never reaches replayed state)
+    Instant::now()
+}
+
+/// Escape 2: carrying an `Instant` without sampling the clock is fine.
+pub fn deadline_passthrough(deadline: Instant) -> Instant {
+    deadline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Escape 3: test code is exempt.
+    fn timed_in_tests() -> Instant {
+        Instant::now()
+    }
+}

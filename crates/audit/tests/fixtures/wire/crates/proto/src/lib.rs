@@ -1,0 +1,6 @@
+//! Fixture: the protocol version that forgot to move when the message set
+//! grew. Never compiled — only lexed by the audit tests.
+
+pub const PROTOCOL_VERSION: u16 = 1;
+
+pub mod message;

@@ -1,0 +1,19 @@
+//! Fixture: a message set that gained `Extra` without a version bump —
+//! `wire.lock` in this fixture root records only `Ping`/`Pong` at version 1.
+//! Never compiled — only lexed by the audit tests.
+
+pub enum Message {
+    Ping(u8),
+    Pong(u8),
+    Extra(u8),
+}
+
+impl Message {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Ping(_) => 1,
+            Message::Pong(_) => 2,
+            Message::Extra(_) => 3,
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //! passes) so the whole suite finishes in minutes; passing `--full` switches to
 //! the paper-scale parameters (M = 1000, full dataset, 5 passes).
 
+#![forbid(unsafe_code)]
+
 use crowd_core::config::PrivacyConfig;
 use crowd_core::experiment::{CrowdMlExperiment, ExperimentConfig};
 use crowd_core::report::FigureReport;

@@ -22,6 +22,8 @@
 //! * [`report`] — plain-text/CSV rendering used by the figure binaries and
 //!   EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod config;
 pub mod device;

@@ -16,7 +16,7 @@ use crowd_linalg::ops::project_l2_ball;
 use crowd_linalg::random::normal_vector;
 use crowd_linalg::Vector;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-device progress statistics maintained by the server.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -150,7 +150,9 @@ pub struct Server<M: Model> {
     schedule: LearningRate,
     params: Vector,
     iteration: u64,
-    progress: HashMap<u64, DeviceProgress>,
+    // A BTreeMap so per-device progress iterates in device-id order: it feeds
+    // exported state and the class-prior estimate, which must be reproducible.
+    progress: BTreeMap<u64, DeviceProgress>,
     total_samples: u64,
     total_errors: i64,
     accountant: BudgetAccountant,
@@ -173,7 +175,7 @@ impl<M: Model> Server<M> {
             config,
             params,
             iteration: 0,
-            progress: HashMap::new(),
+            progress: BTreeMap::new(),
             total_samples: 0,
             total_errors: 0,
             accountant,
@@ -280,12 +282,12 @@ impl<M: Model> Server<M> {
     /// Exports the complete mutable state in the deterministic layout of
     /// [`ServerState`] (maps sorted by device id).
     pub fn export_state(&self) -> ServerState {
-        let mut progress: Vec<(u64, DeviceProgress)> = self
+        // BTreeMap iteration is already ascending by device id.
+        let progress: Vec<(u64, DeviceProgress)> = self
             .progress
             .iter()
             .map(|(&id, p)| (id, p.clone()))
             .collect();
-        progress.sort_unstable_by_key(|&(id, _)| id);
         ServerState {
             params: self.params.clone(),
             iteration: self.iteration,

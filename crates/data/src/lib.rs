@@ -21,6 +21,8 @@
 //! non-IID), and [`preprocess`] provides the PCA + normalization pipeline the paper
 //! applies before learning.
 
+#![forbid(unsafe_code)]
+
 pub mod activity;
 pub mod dataset;
 pub mod error;

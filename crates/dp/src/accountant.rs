@@ -9,7 +9,7 @@
 
 use crate::error::DpError;
 use crate::{Epsilon, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The per-checkin privacy budget split across the three kinds of release.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,7 +90,9 @@ impl PrivacyBudget {
 #[derive(Debug, Clone)]
 pub struct BudgetAccountant {
     ceiling: f64,
-    spent: HashMap<String, f64>,
+    // A BTreeMap so the ledger iterates in entity order: these entries reach
+    // snapshots and acks, and their order must not vary run to run.
+    spent: BTreeMap<String, f64>,
 }
 
 impl BudgetAccountant {
@@ -99,7 +101,7 @@ impl BudgetAccountant {
     pub fn new(ceiling: f64) -> Self {
         BudgetAccountant {
             ceiling,
-            spent: HashMap::new(),
+            spent: BTreeMap::new(),
         }
     }
 
@@ -187,7 +189,7 @@ impl BudgetAccountant {
         self.spent.len()
     }
 
-    /// Iterator over `(entity, spent)` pairs in unspecified order.
+    /// Iterator over `(entity, spent)` pairs in ascending entity order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
         self.spent.iter().map(|(k, v)| (k.as_str(), *v))
     }

@@ -18,6 +18,8 @@
 //! relies on, and [`accountant`] tracks per-device budget consumption under basic
 //! composition so a deployment can enforce a total ε.
 
+#![forbid(unsafe_code)]
+
 pub mod accountant;
 pub mod discrete;
 pub mod error;

@@ -18,6 +18,8 @@
 //! * [`regression::RidgeRegression`] — regularized least squares for real-valued
 //!   targets, covering the "predictor" (regression) side of the framework.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod error;
 pub mod logistic;

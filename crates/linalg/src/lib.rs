@@ -25,6 +25,8 @@
 //!
 //! All floating-point storage is `f64`.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod fft;
 pub mod kernels;

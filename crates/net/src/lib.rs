@@ -13,6 +13,8 @@
 //! is unchanged — but device authentication tokens are enforced exactly as the
 //! server routines require.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod client;
 pub mod cluster;

@@ -14,6 +14,8 @@
 //! * [`auth`] — the device authentication tokens the server checks before
 //!   accepting a checkout or checkin.
 
+#![forbid(unsafe_code)]
+
 pub mod auth;
 pub mod codec;
 pub mod error;

@@ -16,7 +16,7 @@
 //! is dropped on return instead of being parked.
 
 use std::ops::{Deref, DerefMut};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Default bound on pooled buffers (per pool, not per connection).
 const DEFAULT_MAX_BUFFERS: usize = 32;
@@ -30,6 +30,7 @@ const MAX_POOLED_BYTES: usize = 4 * 1024 * 1024;
 /// A bounded shelf of reusable byte buffers.
 #[derive(Debug)]
 pub struct BufPool {
+    // audit:lock(proto.buf-pool, 80)
     shelf: Mutex<Vec<Vec<u8>>>,
     max_buffers: usize,
 }
@@ -67,9 +68,12 @@ impl BufPool {
     }
 
     fn pop(&self) -> Vec<u8> {
+        // A poisoned shelf only means another thread panicked mid-push; the
+        // Vec is still structurally sound, so keep serving buffers rather
+        // than cascading the panic into every connection.
         self.shelf
             .lock()
-            .expect("buffer pool poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .pop()
             .unwrap_or_default()
     }
@@ -78,7 +82,7 @@ impl BufPool {
         if buf.capacity() > MAX_POOLED_BYTES {
             return;
         }
-        let mut shelf = self.shelf.lock().expect("buffer pool poisoned");
+        let mut shelf = self.shelf.lock().unwrap_or_else(PoisonError::into_inner);
         if shelf.len() < self.max_buffers {
             shelf.push(buf);
         }
@@ -86,7 +90,10 @@ impl BufPool {
 
     /// Number of buffers currently idle on the shelf.
     pub fn idle_buffers(&self) -> usize {
-        self.shelf.lock().expect("buffer pool poisoned").len()
+        self.shelf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 

@@ -11,6 +11,8 @@
 //! [`DelayModel`]s, and a [`trace::TraceCollector`] — on top of which `crowd-core`
 //! builds the actual Crowd-ML device/server simulation.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod delay;
 pub mod event;

@@ -98,6 +98,7 @@ impl TraceCollector {
 /// rejections), not per-sample hot paths.
 #[derive(Debug, Default)]
 pub struct SharedTrace {
+    // audit:lock(sim.trace, 90)
     inner: std::sync::Mutex<TraceCollector>,
 }
 

@@ -116,17 +116,26 @@ pub(crate) fn get_u8(buf: &mut &[u8], what: &str) -> DecodeResult<u8> {
 
 pub(crate) fn get_u32(buf: &mut &[u8], what: &str) -> DecodeResult<u32> {
     let bytes = take(buf, 4, what)?;
-    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    match bytes.try_into() {
+        Ok(arr) => Ok(u32::from_le_bytes(arr)),
+        Err(_) => Err(DecodeError::truncated(what)),
+    }
 }
 
 pub(crate) fn get_u64(buf: &mut &[u8], what: &str) -> DecodeResult<u64> {
     let bytes = take(buf, 8, what)?;
-    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    match bytes.try_into() {
+        Ok(arr) => Ok(u64::from_le_bytes(arr)),
+        Err(_) => Err(DecodeError::truncated(what)),
+    }
 }
 
 pub(crate) fn get_i64(buf: &mut &[u8], what: &str) -> DecodeResult<i64> {
     let bytes = take(buf, 8, what)?;
-    Ok(i64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    match bytes.try_into() {
+        Ok(arr) => Ok(i64::from_le_bytes(arr)),
+        Err(_) => Err(DecodeError::truncated(what)),
+    }
 }
 
 pub(crate) fn get_f64(buf: &mut &[u8], what: &str) -> DecodeResult<f64> {

@@ -32,6 +32,8 @@
 //! the snapshot cadence, and whether appends `fsync` (required for durability
 //! across power loss; process-crash durability needs no fsync).
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod snapshot;
 pub mod store;
@@ -113,6 +115,7 @@ pub mod testutil {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         let dir =
             std::env::temp_dir().join(format!("crowd-store-{tag}-{}-{n}", std::process::id()));
+        // audit:allow(panic-freedom, test scaffolding, never on the request path)
         std::fs::create_dir_all(&dir).expect("create temp dir");
         dir
     }

@@ -84,18 +84,20 @@ pub fn read(dir: &Path) -> Result<Option<Snapshot>> {
         return Err(StoreError::CorruptSnapshot("bad magic".into()));
     }
     let crc_offset = bytes.len() - 4;
-    let declared = u32::from_le_bytes(bytes[crc_offset..].try_into().expect("4 bytes"));
+    let declared = match bytes[crc_offset..].try_into() {
+        Ok(arr) => u32::from_le_bytes(arr),
+        Err(_) => return Err(StoreError::CorruptSnapshot("unreadable CRC".into())),
+    };
     let actual = crc32(&bytes[SNAPSHOT_MAGIC.len()..crc_offset]);
     if declared != actual {
         return Err(StoreError::CorruptSnapshot(format!(
             "CRC mismatch: declared {declared:#010x}, computed {actual:#010x}"
         )));
     }
-    let wal_seq = u64::from_le_bytes(
-        bytes[SNAPSHOT_MAGIC.len()..SNAPSHOT_MAGIC.len() + 8]
-            .try_into()
-            .expect("8 bytes"),
-    );
+    let wal_seq = match bytes[SNAPSHOT_MAGIC.len()..SNAPSHOT_MAGIC.len() + 8].try_into() {
+        Ok(arr) => u64::from_le_bytes(arr),
+        Err(_) => return Err(StoreError::CorruptSnapshot("unreadable wal_seq".into())),
+    };
     let state = codec::decode_state(&bytes[SNAPSHOT_MAGIC.len() + 8..crc_offset])
         .map_err(|e| StoreError::CorruptSnapshot(e.0))?;
     Ok(Some(Snapshot { wal_seq, state }))

@@ -56,11 +56,19 @@ pub fn read_segment(path: &Path) -> std::io::Result<SegmentContents> {
         if remaining.len() < FRAME_HEADER {
             break;
         }
-        let len = u32::from_le_bytes(remaining[..4].try_into().expect("4 bytes")) as usize;
+        // The length check above guarantees 4-byte slices here, but a decode
+        // path never panics on principle: treat any failure as a torn tail.
+        let Ok(len_bytes) = remaining[..4].try_into() else {
+            break;
+        };
+        let len = u32::from_le_bytes(len_bytes) as usize;
         if len > MAX_RECORD_LEN || remaining.len() < FRAME_HEADER + len {
             break;
         }
-        let crc = u32::from_le_bytes(remaining[4..8].try_into().expect("4 bytes"));
+        let Ok(crc_bytes) = remaining[4..8].try_into() else {
+            break;
+        };
+        let crc = u32::from_le_bytes(crc_bytes);
         let payload = &remaining[FRAME_HEADER..FRAME_HEADER + len];
         if crc32(payload) != crc {
             break;

@@ -40,6 +40,8 @@
 //! assert!(outcome.final_test_error() < 0.9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use crowd_agg as agg;
 pub use crowd_core as core;
 pub use crowd_data as data;
