@@ -35,7 +35,7 @@ pub mod runtime;
 pub mod shard;
 
 pub use queue::BoundedQueue;
-pub use runtime::{AggRuntime, CompletionHandle, ParamSnapshot};
+pub use runtime::{AggRuntime, CompletionHandle, ParamSnapshot, SubmitRejection};
 pub use shard::ShardSet;
 
 use std::fmt;

@@ -96,6 +96,24 @@ struct Inner<M: Model> {
     crashed: AtomicBool,
 }
 
+/// Why [`AggRuntime::submit_or_return`] refused a checkin.
+#[derive(Debug)]
+pub enum SubmitRejection {
+    /// Retryable backpressure — the ingest queue is full, or a duplicate of
+    /// this nonce is still in flight. The payload is returned so the caller
+    /// can park it (e.g. a reactor throttling the connection's reads) and
+    /// re-attempt admission later.
+    Busy {
+        /// The checkin, unchanged; resubmit it as-is.
+        payload: CheckinPayload,
+        /// Pacing hint, mirroring [`AggError::Busy`].
+        retry_after_ms: u32,
+    },
+    /// Hard refusal (malformed, budget exhausted, shutting down); the
+    /// connection should be answered with the mapped error reply.
+    Refused(AggError),
+}
+
 /// A ticket for a submitted checkin: blocks until the checkin's epoch has been
 /// applied and the outcome is known.
 pub struct CompletionHandle {
@@ -214,7 +232,27 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
     /// in a fixed order — guaranteed when devices await their acks before
     /// submitting again (the protocol's behavior), or with one worker thread.
     pub fn submit(&self, payload: CheckinPayload) -> Result<CompletionHandle> {
-        self.validate(&payload)?;
+        match self.submit_or_return(payload) {
+            Ok(handle) => Ok(handle),
+            Err(SubmitRejection::Busy { retry_after_ms, .. }) => {
+                Err(AggError::Busy { retry_after_ms })
+            }
+            Err(SubmitRejection::Refused(err)) => Err(err),
+        }
+    }
+
+    /// Like [`AggRuntime::submit`], but on retryable backpressure the payload
+    /// is handed back instead of dropped, so an event-driven caller can park
+    /// it and re-attempt admission later without re-decoding the request. The
+    /// dedup reservation (if any) is released before returning, so the retry
+    /// is admitted fresh.
+    pub fn submit_or_return(
+        &self,
+        payload: CheckinPayload,
+    ) -> std::result::Result<CompletionHandle, SubmitRejection> {
+        if let Err(e) = self.validate(&payload) {
+            return Err(SubmitRejection::Refused(e));
+        }
         // Duplicate detection comes first: a retry of an already-applied
         // checkin must get its original ack replayed even when the device has
         // since exhausted its budget (the original WAS served). A duplicate of
@@ -231,7 +269,8 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
                 }
                 Admission::InFlight => {
                     self.inner.stats.count("dedup_inflight_busy");
-                    return Err(AggError::Busy {
+                    return Err(SubmitRejection::Busy {
+                        payload,
                         retry_after_ms: self.inner.settings.retry_after_ms,
                     });
                 }
@@ -246,24 +285,25 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
         if self.budget_exhausted(payload.device_id) {
             abandon(self);
             self.inner.stats.count("budget_rejections");
-            return Err(AggError::BudgetExhausted {
+            return Err(SubmitRejection::Refused(AggError::BudgetExhausted {
                 device_id: payload.device_id,
-            });
+            }));
         }
         let (tx, rx) = mpsc::channel();
         let job = Job { payload, reply: tx };
         match self.inner.queue.try_push(job) {
             Ok(()) => Ok(CompletionHandle { rx }),
-            Err(PushError::Full(_)) => {
+            Err(PushError::Full(job)) => {
                 abandon(self);
                 self.inner.stats.count("busy_rejections");
-                Err(AggError::Busy {
+                Err(SubmitRejection::Busy {
+                    payload: job.payload,
                     retry_after_ms: self.inner.settings.retry_after_ms,
                 })
             }
             Err(PushError::Closed(_)) => {
                 abandon(self);
-                Err(AggError::ShuttingDown)
+                Err(SubmitRejection::Refused(AggError::ShuttingDown))
             }
         }
     }

@@ -19,6 +19,9 @@ pub const PANIC_FREE_PATHS: &[&str] = &[
     "crates/proto/src/frame.rs",
     "crates/proto/src/pool.rs",
     "crates/net/src/server.rs",
+    "crates/net/src/service.rs",
+    "crates/net/src/reactor_server.rs",
+    "crates/reactor/src/",
     "crates/agg/src/runtime.rs",
     "crates/agg/src/shard.rs",
     "crates/agg/src/dedup.rs",

@@ -8,6 +8,13 @@
 //! [`cluster::LocalCluster`] helper that spins up a server plus a fleet of device
 //! threads on localhost for examples and integration tests.
 //!
+//! For scale, the same protocol is also served by an event-driven
+//! [`reactor_server::ReactorServer`] built on the `crowd-reactor` core: a
+//! fixed pool of reactor threads multiplexes thousands of connections, and a
+//! full ingest queue throttles socket reads instead of replying `Busy`. The
+//! [`driver::FleetDriver`] is its client-side counterpart — one thread driving
+//! an entire simulated device fleet through nonblocking exchanges.
+//!
 //! Transport security (the prototype's TLS) is out of scope — the privacy
 //! guarantees of Crowd-ML come from the *local* sanitization on the device, which
 //! is unchanged — but device authentication tokens are enforced exactly as the
@@ -18,13 +25,18 @@
 pub mod chaos;
 pub mod client;
 pub mod cluster;
+pub mod driver;
 pub mod error;
+pub mod reactor_server;
 pub mod server;
+mod service;
 
-pub use chaos::{ChaosCluster, ChaosReport};
+pub use chaos::{AnyServerHandle, ChaosCluster, ChaosReport, ServerKind};
 pub use client::DeviceClient;
 pub use cluster::{ClusterReport, LocalCluster};
+pub use driver::{FleetConfig, FleetDriver, FleetReport};
 pub use error::NetError;
+pub use reactor_server::{ReactorServer, ReactorServerHandle};
 pub use server::{NetServer, NetServerHandle};
 
 /// Result alias for networking operations.

@@ -8,29 +8,31 @@
 //! queue and accumulated on per-device shards, and a full queue is answered
 //! with a `Busy` reply carrying a retry hint instead of piling up threads.
 //! Devices are authenticated against a [`TokenRegistry`] before any parameters
-//! are served or gradients accepted.
+//! are served or gradients accepted. Request handling itself lives in
+//! [`crate::service::ServerCore`], shared with the event-driven
+//! [`crate::reactor_server::ReactorServer`].
 //!
-//! The accept loop blocks in `accept()` (no poll-sleep); [`NetServerHandle`]
-//! wakes it with a self-connection on shutdown. Finished handler threads are
-//! reaped as connections close, so a long-lived server does not accumulate one
-//! `JoinHandle` per connection it ever served.
+//! The accept loop parks in a [`polling::Poller`] wait on the nonblocking
+//! listener; [`NetServerHandle`] wakes it with [`polling::Poller::notify`] on
+//! shutdown. The wake is an in-process edge — no self-connection racing
+//! against concurrent client connects, no poll-sleep latency — so shutdown is
+//! deterministic even while new connections are hammering the listener.
+//! Finished handler threads are reaped as connections close, so a long-lived
+//! server does not accumulate one `JoinHandle` per connection it ever served.
 
+use crate::service::ServerCore;
 use crate::Result;
-use crowd_agg::{AggError, AggRuntime, CompletionHandle};
+use crowd_agg::{AggError, AggRuntime};
 use crowd_core::config::ServerConfig;
-use crowd_core::device::CheckinPayload;
 use crowd_core::server::Server;
 use crowd_learning::MulticlassLogistic;
-use crowd_linalg::{GradientUpdate, SparseVector, Vector};
+use crowd_linalg::Vector;
 use crowd_proto::auth::TokenRegistry;
 use crowd_proto::codec::decode;
 use crowd_proto::frame::{write_message_pooled, DEFAULT_MAX_FRAME};
-use crowd_proto::message::{
-    BatchAck, BatchCheckinAck, BusyReply, CheckinAck, CheckinRequest, CheckoutResponse, ErrorCode,
-    ErrorReply, GradientPayload, Message,
-};
-use crowd_proto::{BufPool, PROTOCOL_VERSION};
+use crowd_proto::message::Message;
 use crowd_store::{RecoveryReport, Store};
+use polling::{Event, Events, Poller};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,22 +40,18 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How long a handler waits for a queued checkin's epoch to be applied before
-/// reporting an internal error. Epochs close on `epoch_size` or the idle
-/// flush, so in practice this bound is never approached.
-const CHECKIN_WAIT: Duration = Duration::from_secs(30);
-
 /// Read timeout on handler sockets, so connections parked in `read_message`
 /// notice a server shutdown instead of pinning their thread forever.
 const READ_TIMEOUT: Duration = Duration::from_millis(200);
 
+/// Poller key for the accept listener (the only registration in this poller).
+const LISTENER_KEY: usize = 0;
+
 struct Shared {
-    runtime: AggRuntime<MulticlassLogistic>,
-    tokens: TokenRegistry,
+    core: Arc<ServerCore>,
     stop: AtomicBool,
-    /// Frame buffers shared by every connection handler: payload reads and
-    /// reply encodes reuse pooled storage instead of allocating per message.
-    pool: BufPool,
+    /// Wakes the accept loop's wait deterministically on shutdown.
+    poller: Arc<Poller>,
 }
 
 /// The Crowd-ML TCP server.
@@ -65,6 +63,18 @@ pub struct NetServerHandle {
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
     recovery: Option<RecoveryReport>,
+}
+
+pub(crate) fn build_runtime(
+    model: MulticlassLogistic,
+    config: ServerConfig,
+) -> Result<(AggRuntime<MulticlassLogistic>, Option<RecoveryReport>)> {
+    if config.persist.is_enabled() {
+        let (store, server, report) = Store::open(model, config).map_err(AggError::from)?;
+        Ok((AggRuntime::with_store(server, Some(store))?, Some(report)))
+    } else {
+        Ok((AggRuntime::new(Server::new(model, config)?)?, None))
+    }
 }
 
 impl NetServer {
@@ -82,22 +92,24 @@ impl NetServer {
         config: ServerConfig,
         tokens: TokenRegistry,
     ) -> Result<NetServerHandle> {
-        let (runtime, recovery) = if config.persist.is_enabled() {
-            let (store, server, report) = Store::open(model, config).map_err(AggError::from)?;
-            (AggRuntime::with_store(server, Some(store))?, Some(report))
-        } else {
-            (AggRuntime::new(Server::new(model, config)?)?, None)
-        };
+        let (runtime, recovery) = build_runtime(model, config)?;
+        let poller = Arc::new(Poller::new()?);
         let shared = Arc::new(Shared {
-            runtime,
-            tokens,
+            core: Arc::new(ServerCore::new(runtime, tokens)),
             stop: AtomicBool::new(false),
-            pool: BufPool::default(),
+            poller,
         });
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        shared
+            .poller
+            .add(&listener, Event::readable(LISTENER_KEY))?;
         let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        let accept_thread = std::thread::Builder::new()
+            .name("crowd-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(std::io::Error::other)?;
         Ok(NetServerHandle {
             addr,
             shared,
@@ -127,44 +139,81 @@ fn reap_finished(handlers: &mut Vec<Handler>) {
     });
 }
 
+/// Spawns one handler thread for an accepted connection. On spawn failure
+/// (thread exhaustion) the stream is dropped: the device sees a closed
+/// connection and retries, which is non-critical per Remark 1 of the paper.
+fn spawn_handler(stream: TcpStream, shared: &Arc<Shared>, handlers: &mut Vec<Handler>) {
+    let done = Arc::new(AtomicBool::new(false));
+    let conn_done = Arc::clone(&done);
+    let conn_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("crowd-conn".into())
+        .spawn(move || {
+            // Per-connection failures only affect that device (Remark 1 of
+            // the paper: failed checkouts/checkins are non-critical).
+            let _ = handle_connection(stream, conn_shared);
+            conn_done.store(true, Ordering::SeqCst);
+        });
+    if let Ok(thread) = spawned {
+        handlers.push(Handler {
+            done,
+            thread: Some(thread),
+        });
+    }
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut handlers: Vec<Handler> = Vec::new();
-    loop {
-        // Blocking accept: shutdown() wakes it with a self-connection after
-        // setting the stop flag, so there is no poll-sleep latency/CPU cost.
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    break;
+    let mut events = Events::new();
+    'outer: loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Park until the listener is readable or a shutdown notify() lands.
+        // The notifier is an in-process wake: unlike the old self-connection
+        // it cannot lose a race against concurrent client connects.
+        events.clear();
+        let waited = shared.poller.wait(&mut events, None);
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if waited.is_err() {
+            break;
+        }
+        // Drain the accept backlog (the listener registration is oneshot, so
+        // it stays disarmed while we accept).
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break 'outer;
+                    }
+                    reap_finished(&mut handlers);
+                    spawn_handler(stream, &shared, &mut handlers);
                 }
-                reap_finished(&mut handlers);
-                let done = Arc::new(AtomicBool::new(false));
-                let conn_done = Arc::clone(&done);
-                let conn_shared = Arc::clone(&shared);
-                let thread = std::thread::spawn(move || {
-                    // Per-connection failures only affect that device (Remark 1
-                    // of the paper: failed checkouts/checkins are non-critical).
-                    let _ = handle_connection(stream, conn_shared);
-                    conn_done.store(true, Ordering::SeqCst);
-                });
-                handlers.push(Handler {
-                    done,
-                    thread: Some(thread),
-                });
-            }
-            Err(_) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    break;
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break 'outer;
+                    }
+                    // Transient accept failures (e.g. EMFILE under connection
+                    // load) are retried, but with a pause — spinning on a
+                    // failing accept would pin a core and starve the handlers
+                    // whose exits free the descriptors.
+                    std::thread::sleep(Duration::from_millis(10));
+                    reap_finished(&mut handlers);
                 }
-                // Transient accept failures (e.g. EMFILE under connection
-                // load) are retried, but with a pause — spinning on a failing
-                // accept would pin a core and starve the handlers whose exits
-                // free the descriptors.
-                std::thread::sleep(Duration::from_millis(10));
-                reap_finished(&mut handlers);
             }
         }
+        if shared
+            .poller
+            .modify(&listener, Event::readable(LISTENER_KEY))
+            .is_err()
+        {
+            break;
+        }
     }
+    let _ = shared.poller.delete(&listener);
     for mut h in handlers {
         if let Some(thread) = h.thread.take() {
             let _ = thread.join();
@@ -188,8 +237,8 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) -> Result<()> {
             // EOF or broken pipe: the device closed its connection.
             ConnRead::Closed => return Ok(()),
         };
-        let reply = handle_message(&shared, message);
-        write_message_pooled(&mut stream, &reply, &shared.pool)?;
+        let reply = shared.core.handle_message(message);
+        write_message_pooled(&mut stream, &reply, &shared.core.pool)?;
         if shared.stop.load(Ordering::SeqCst) {
             return Ok(());
         }
@@ -258,180 +307,11 @@ fn read_message_tolerant(stream: &mut TcpStream, shared: &Shared) -> Result<Conn
     }
     // Frame payloads land in pooled buffers: the decode reads straight from
     // the reused frame slice, and the buffer returns to the pool afterwards.
-    let mut payload = shared.pool.take(len);
+    let mut payload = shared.core.pool.take(len);
     match read_full(stream, payload.as_mut_slice(), false, shared) {
         FillResult::Done => Ok(ConnRead::Message(decode(&payload)?)),
         FillResult::Idle | FillResult::Eof => Ok(ConnRead::Closed),
     }
-}
-
-fn handle_message(shared: &Shared, message: Message) -> Message {
-    match message {
-        Message::CheckoutRequest(req) => {
-            if req.version != PROTOCOL_VERSION {
-                return error_reply(
-                    ErrorCode::BadRequest,
-                    format!("unsupported protocol version {}", req.version),
-                );
-            }
-            if !shared.tokens.verify(req.device_id, &req.token) {
-                return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
-            }
-            // Refusing the *checkout* is where over-querying is actually
-            // prevented: a device that cannot read parameters computes no
-            // further gradients on its own ε.
-            if shared.runtime.budget_exhausted(req.device_id) {
-                return error_reply(
-                    ErrorCode::BudgetExhausted,
-                    format!("device {} has exhausted its privacy budget", req.device_id),
-                );
-            }
-            // Lock-free read path: clone the epoch snapshot, never touching the
-            // write path's locks.
-            let snapshot = shared.runtime.snapshot();
-            Message::CheckoutResponse(CheckoutResponse {
-                iteration: snapshot.iteration,
-                params: snapshot.params.as_slice().to_vec(),
-                stopped: snapshot.stopped,
-            })
-        }
-        Message::CheckinRequest(req) => {
-            if !shared.tokens.verify(req.device_id, &req.token) {
-                return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
-            }
-            let payload = match payload_of(req) {
-                Ok(p) => p,
-                Err(reply) => return *reply,
-            };
-            match shared.runtime.submit(payload) {
-                Ok(handle) => match wait_ack(handle) {
-                    Ok(ack) => Message::CheckinAck(ack),
-                    Err(reply) => *reply,
-                },
-                Err(e) => agg_error_reply(e),
-            }
-        }
-        Message::BatchCheckinRequest(req) => {
-            // Admit every item before waiting on any of them, so a batch fills
-            // at most one epoch's worth of queue slots at a time and the
-            // runtime can fold co-submitted gradients into shared epochs.
-            let submitted: Vec<std::result::Result<CompletionHandle, Box<Message>>> = req
-                .items
-                .into_iter()
-                .map(|item| {
-                    if !shared.tokens.verify(item.device_id, &item.token) {
-                        return Err(Box::new(error_reply(
-                            ErrorCode::Unauthorized,
-                            "unknown device or bad token",
-                        )));
-                    }
-                    shared
-                        .runtime
-                        .submit(payload_of(item)?)
-                        .map_err(|e| Box::new(agg_error_reply(e)))
-                })
-                .collect();
-            let acks = submitted
-                .into_iter()
-                .map(|entry| match entry {
-                    Ok(handle) => match wait_ack(handle) {
-                        Ok(ack) => BatchAck {
-                            accepted: ack.accepted,
-                            iteration: ack.iteration,
-                            stopped: ack.stopped,
-                            reject: None,
-                        },
-                        Err(reply) => rejected_ack(&reply),
-                    },
-                    Err(reply) => rejected_ack(&reply),
-                })
-                .collect();
-            Message::BatchCheckinAck(BatchCheckinAck { acks })
-        }
-        other => error_reply(
-            ErrorCode::BadRequest,
-            format!("unexpected message {}", other.name()),
-        ),
-    }
-}
-
-/// Converts a decoded checkin into the runtime payload without copying the
-/// gradient — a sparse upload stays sparse all the way to the shard
-/// accumulators. Re-validation of the sparse structure (the codec already
-/// checked it) costs O(nnz) and turns a hand-crafted bad payload into a
-/// `BadRequest` reply instead of trusting the transport. The error reply is
-/// boxed to keep the happy path's `Result` small.
-fn payload_of(req: CheckinRequest) -> std::result::Result<CheckinPayload, Box<Message>> {
-    let gradient = match req.gradient {
-        GradientPayload::Dense(values) => GradientUpdate::Dense(Vector::from_vec(values)),
-        GradientPayload::Sparse {
-            dim,
-            indices,
-            values,
-        } => match SparseVector::new(dim as usize, indices, values) {
-            Ok(sparse) => GradientUpdate::Sparse(sparse),
-            Err(e) => return Err(Box::new(error_reply(ErrorCode::BadRequest, e.to_string()))),
-        },
-    };
-    Ok(CheckinPayload {
-        device_id: req.device_id,
-        checkout_iteration: req.checkout_iteration,
-        nonce: req.nonce,
-        gradient,
-        num_samples: req.num_samples as usize,
-        error_count: req.error_count,
-        label_counts: req.label_counts,
-    })
-}
-
-fn wait_ack(handle: CompletionHandle) -> std::result::Result<CheckinAck, Box<Message>> {
-    match handle.wait_timeout(CHECKIN_WAIT) {
-        Ok(outcome) => Ok(CheckinAck {
-            accepted: outcome.accepted,
-            iteration: outcome.iteration,
-            stopped: outcome.stopped,
-        }),
-        Err(e) => Err(Box::new(agg_error_reply(e))),
-    }
-}
-
-/// Maps a runtime refusal to its wire reply: backpressure becomes `Busy`,
-/// everything else an `Error`.
-fn agg_error_reply(e: AggError) -> Message {
-    match e {
-        AggError::Busy { retry_after_ms } => Message::Busy(BusyReply { retry_after_ms }),
-        AggError::Invalid(detail) => error_reply(ErrorCode::BadRequest, detail),
-        AggError::ShuttingDown => error_reply(ErrorCode::TaskEnded, "server is shutting down"),
-        AggError::Timeout => error_reply(ErrorCode::Internal, "epoch application timed out"),
-        AggError::BudgetExhausted { device_id } => error_reply(
-            ErrorCode::BudgetExhausted,
-            format!("device {device_id} has exhausted its privacy budget"),
-        ),
-        AggError::Core(e) => error_reply(ErrorCode::Internal, e.to_string()),
-        AggError::Store(e) => error_reply(ErrorCode::Internal, e.to_string()),
-    }
-}
-
-/// Collapses a refusal reply into a per-item batch acknowledgement.
-fn rejected_ack(reply: &Message) -> BatchAck {
-    let reject = match reply {
-        Message::Busy(_) => ErrorCode::Busy,
-        Message::Error(e) => e.code,
-        _ => ErrorCode::Internal,
-    };
-    BatchAck {
-        accepted: false,
-        iteration: 0,
-        stopped: false,
-        reject: Some(reject),
-    }
-}
-
-fn error_reply(code: ErrorCode, detail: impl Into<String>) -> Message {
-    Message::Error(ErrorReply {
-        code,
-        detail: detail.into(),
-    })
 }
 
 impl NetServerHandle {
@@ -442,33 +322,33 @@ impl NetServerHandle {
 
     /// Current server iteration (number of applied epochs).
     pub fn iteration(&self) -> u64 {
-        self.shared.runtime.iteration()
+        self.shared.core.runtime.iteration()
     }
 
     /// A copy of the current parameters.
     pub fn params(&self) -> Vector {
-        self.shared.runtime.params()
+        self.shared.core.runtime.params()
     }
 
     /// Whether the stopping criterion has been met.
     pub fn stopped(&self) -> bool {
-        self.shared.runtime.stopped()
+        self.shared.core.runtime.stopped()
     }
 
     /// The total number of samples reported by devices.
     pub fn total_samples(&self) -> u64 {
-        self.shared.runtime.total_samples()
+        self.shared.core.runtime.total_samples()
     }
 
     /// The privately estimated error rate (Eq. 14), if any samples were reported.
     pub fn error_estimate(&self) -> Option<f64> {
-        self.shared.runtime.error_estimate()
+        self.shared.core.runtime.error_estimate()
     }
 
     /// A snapshot of the aggregation-runtime counters (`epoch_merges`,
     /// `checkins_applied`, `busy_rejections`, …).
     pub fn runtime_stats(&self) -> crowd_sim::TraceCollector {
-        self.shared.runtime.stats()
+        self.shared.core.runtime.stats()
     }
 
     /// What the recovery path found at bind time (`None` for volatile servers).
@@ -478,12 +358,12 @@ impl NetServerHandle {
 
     /// The per-device ε ledger, ascending by device id.
     pub fn budget_ledger(&self) -> Vec<(u64, f64)> {
-        self.shared.runtime.budget_ledger()
+        self.shared.core.runtime.budget_ledger()
     }
 
     /// `true` when the device has spent its entire privacy budget.
     pub fn budget_exhausted(&self, device_id: u64) -> bool {
-        self.shared.runtime.budget_exhausted(device_id)
+        self.shared.core.runtime.budget_exhausted(device_id)
     }
 
     /// Signals the accept loop to stop, wakes it, and waits for it (and the
@@ -500,9 +380,9 @@ impl NetServerHandle {
     /// acknowledged state via real snapshot-load + WAL-replay.
     pub fn kill(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.runtime.kill();
+        self.shared.core.runtime.kill();
         if let Some(handle) = self.accept_thread.take() {
-            let _ = TcpStream::connect(self.addr);
+            let _ = self.shared.poller.notify();
             let _ = handle.join();
         }
     }
@@ -512,10 +392,11 @@ impl NetServerHandle {
         // Flush the runtime FIRST: any handler blocked on a partially filled
         // epoch gets its outcome and can finish, so the handler joins below
         // cannot stall behind an epoch that would never close.
-        self.shared.runtime.shutdown();
+        self.shared.core.runtime.shutdown();
         if let Some(handle) = self.accept_thread.take() {
-            // Wake the blocking accept with a throwaway self-connection.
-            let _ = TcpStream::connect(self.addr);
+            // Wake the poller wait in-process; deterministic even while
+            // clients are racing connects against the shutdown.
+            let _ = self.shared.poller.notify();
             let _ = handle.join();
         }
     }
@@ -532,7 +413,11 @@ mod tests {
     use super::*;
     use crowd_proto::auth::AuthToken;
     use crowd_proto::frame::{read_message, write_message};
-    use crowd_proto::message::{BatchCheckinRequest, CheckoutRequest};
+    use crowd_proto::message::{
+        BatchCheckinRequest, CheckinAck, CheckinRequest, CheckoutRequest, ErrorCode, ErrorReply,
+        GradientPayload,
+    };
+    use crowd_proto::PROTOCOL_VERSION;
 
     fn start_test_server() -> (NetServerHandle, AuthToken) {
         let model = MulticlassLogistic::new(4, 3).unwrap();
@@ -907,5 +792,49 @@ mod tests {
             acked > 0,
             "the admitted checkins resolve at the final flush"
         );
+    }
+
+    #[test]
+    fn shutdown_is_prompt_under_concurrent_connects() {
+        // Regression test for the old shutdown wake: a throwaway
+        // self-connection could land *behind* a burst of client connects in
+        // the accept backlog, leaving shutdown at the mercy of client
+        // traffic. The poller notify() is an in-process edge that cannot be
+        // displaced, so shutdown must complete promptly even while a client
+        // thread is hammering connects the whole time.
+        for _round in 0..5 {
+            let (handle, _token) = start_test_server();
+            let addr = handle.addr();
+            let hammer_stop = Arc::new(AtomicBool::new(false));
+            let hammer_flag = Arc::clone(&hammer_stop);
+            let hammer = std::thread::spawn(move || {
+                let mut opened = Vec::new();
+                while !hammer_flag.load(Ordering::SeqCst) {
+                    // Keep a rolling window of idle connections plus a steady
+                    // stream of fresh ones, exactly the traffic shape that
+                    // raced the old self-connect wake.
+                    if let Ok(stream) = TcpStream::connect(addr) {
+                        opened.push(stream);
+                        if opened.len() > 8 {
+                            opened.remove(0);
+                        }
+                    }
+                }
+            });
+            // The shutdown must not wait for the hammer to stop. Run it on
+            // its own thread and bound the wait with a channel timeout (no
+            // wallclock reads needed).
+            let (done_tx, done_rx) = std::sync::mpsc::channel();
+            let closer = std::thread::spawn(move || {
+                handle.shutdown();
+                let _ = done_tx.send(());
+            });
+            done_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("shutdown stalled behind concurrent client connects");
+            hammer_stop.store(true, Ordering::SeqCst);
+            let _ = hammer.join();
+            let _ = closer.join();
+        }
     }
 }

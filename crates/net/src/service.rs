@@ -1,0 +1,296 @@
+//! Transport-independent request handling shared by the threaded
+//! [`crate::server::NetServer`] and the event-driven
+//! [`crate::reactor_server::ReactorServer`].
+//!
+//! Both servers authenticate against the same [`TokenRegistry`], serve the
+//! same [`AggRuntime`], and produce byte-identical replies; only the I/O model
+//! differs. The blocking entry point ([`ServerCore::handle_message`]) waits
+//! for checkin completions inline; the event entry point ([`handle_event`])
+//! maps the same requests onto [`crowd_reactor::Response`] so a reactor
+//! thread never blocks: checkouts answer immediately, checkin completions
+//! resolve on the completion pump, and a full ingest queue *parks* the
+//! connection (read throttling) instead of emitting a Busy reply.
+
+use crowd_agg::{AggError, AggRuntime, CompletionHandle, SubmitRejection};
+use crowd_core::device::CheckinPayload;
+use crowd_learning::MulticlassLogistic;
+use crowd_linalg::{GradientUpdate, SparseVector, Vector};
+use crowd_proto::auth::TokenRegistry;
+use crowd_proto::message::{
+    BatchAck, BatchCheckinAck, BusyReply, CheckinAck, CheckinRequest, CheckoutResponse, ErrorCode,
+    ErrorReply, GradientPayload, Message,
+};
+use crowd_proto::{BufPool, PROTOCOL_VERSION};
+use crowd_reactor::Response;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking handler (or the completion pump) waits for a queued
+/// checkin's epoch to be applied before reporting an internal error. Epochs
+/// close on `epoch_size` or the idle flush, so in practice this bound is
+/// never approached.
+pub(crate) const CHECKIN_WAIT: Duration = Duration::from_secs(30);
+
+/// Server state shared by every connection, independent of transport.
+pub(crate) struct ServerCore {
+    pub(crate) runtime: AggRuntime<MulticlassLogistic>,
+    pub(crate) tokens: TokenRegistry,
+    /// Frame buffers shared by every connection: payload reads and reply
+    /// encodes reuse pooled storage instead of allocating per message.
+    pub(crate) pool: Arc<BufPool>,
+}
+
+impl ServerCore {
+    pub(crate) fn new(runtime: AggRuntime<MulticlassLogistic>, tokens: TokenRegistry) -> Self {
+        ServerCore {
+            runtime,
+            tokens,
+            pool: Arc::new(BufPool::default()),
+        }
+    }
+
+    /// Handles one request, blocking until the reply is known. Used by the
+    /// thread-per-connection server and (for batch requests) the reactor's
+    /// completion pump.
+    pub(crate) fn handle_message(&self, message: Message) -> Message {
+        match message {
+            Message::CheckoutRequest(req) => {
+                if req.version != PROTOCOL_VERSION {
+                    return error_reply(
+                        ErrorCode::BadRequest,
+                        format!("unsupported protocol version {}", req.version),
+                    );
+                }
+                if !self.tokens.verify(req.device_id, &req.token) {
+                    return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
+                }
+                // Refusing the *checkout* is where over-querying is actually
+                // prevented: a device that cannot read parameters computes no
+                // further gradients on its own ε.
+                if self.runtime.budget_exhausted(req.device_id) {
+                    return error_reply(
+                        ErrorCode::BudgetExhausted,
+                        format!("device {} has exhausted its privacy budget", req.device_id),
+                    );
+                }
+                // Lock-free read path: clone the epoch snapshot, never touching
+                // the write path's locks.
+                let snapshot = self.runtime.snapshot();
+                Message::CheckoutResponse(CheckoutResponse {
+                    iteration: snapshot.iteration,
+                    params: snapshot.params.as_slice().to_vec(),
+                    stopped: snapshot.stopped,
+                })
+            }
+            Message::CheckinRequest(req) => {
+                if !self.tokens.verify(req.device_id, &req.token) {
+                    return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
+                }
+                let payload = match payload_of(req) {
+                    Ok(p) => p,
+                    Err(reply) => return *reply,
+                };
+                match self.runtime.submit(payload) {
+                    Ok(handle) => match wait_ack(handle) {
+                        Ok(ack) => Message::CheckinAck(ack),
+                        Err(reply) => *reply,
+                    },
+                    Err(e) => agg_error_reply(e),
+                }
+            }
+            Message::BatchCheckinRequest(req) => {
+                // Admit every item before waiting on any of them, so a batch
+                // fills at most one epoch's worth of queue slots at a time and
+                // the runtime can fold co-submitted gradients into shared
+                // epochs.
+                let submitted: Vec<std::result::Result<CompletionHandle, Box<Message>>> = req
+                    .items
+                    .into_iter()
+                    .map(|item| {
+                        if !self.tokens.verify(item.device_id, &item.token) {
+                            return Err(Box::new(error_reply(
+                                ErrorCode::Unauthorized,
+                                "unknown device or bad token",
+                            )));
+                        }
+                        self.runtime
+                            .submit(payload_of(item)?)
+                            .map_err(|e| Box::new(agg_error_reply(e)))
+                    })
+                    .collect();
+                let acks = submitted
+                    .into_iter()
+                    .map(|entry| match entry {
+                        Ok(handle) => match wait_ack(handle) {
+                            Ok(ack) => BatchAck {
+                                accepted: ack.accepted,
+                                iteration: ack.iteration,
+                                stopped: ack.stopped,
+                                reject: None,
+                            },
+                            Err(reply) => rejected_ack(&reply),
+                        },
+                        Err(reply) => rejected_ack(&reply),
+                    })
+                    .collect();
+                Message::BatchCheckinAck(BatchCheckinAck { acks })
+            }
+            other => error_reply(
+                ErrorCode::BadRequest,
+                format!("unexpected message {}", other.name()),
+            ),
+        }
+    }
+}
+
+/// Handles one request for the reactor without ever blocking the event loop.
+///
+/// * Checkouts (and malformed traffic) answer inline — they only clone the
+///   epoch snapshot.
+/// * Checkins are admitted to the ingest queue here; the wait for the applied
+///   epoch becomes a [`Response::Pending`] closure on the completion pump.
+/// * A full queue becomes [`Response::Throttle`]: the payload is parked (the
+///   decoded request is handed back by the runtime) and re-admission is
+///   probed by the reactor while the connection's reads stay disarmed. The
+///   device never sees a Busy reply on this path — it sees a quiet socket.
+/// * Batch checkins block on their epochs, so they run wholesale on the pump.
+pub(crate) fn handle_event(core: &Arc<ServerCore>, message: Message) -> Response {
+    match message {
+        Message::CheckinRequest(req) => {
+            if !core.tokens.verify(req.device_id, &req.token) {
+                return Response::Now(error_reply(
+                    ErrorCode::Unauthorized,
+                    "unknown device or bad token",
+                ));
+            }
+            let payload = match payload_of(req) {
+                Ok(p) => p,
+                Err(reply) => return Response::Now(*reply),
+            };
+            submit_event(core, payload)
+        }
+        Message::BatchCheckinRequest(_) => {
+            let core = Arc::clone(core);
+            Response::Pending(Box::new(move || core.handle_message(message)))
+        }
+        other => Response::Now(core.handle_message(other)),
+    }
+}
+
+/// Turns a completion handle into a pump-side reply closure.
+fn pending_ack(handle: CompletionHandle) -> Response {
+    Response::Pending(Box::new(move || match wait_ack(handle) {
+        Ok(ack) => Message::CheckinAck(ack),
+        Err(reply) => *reply,
+    }))
+}
+
+fn submit_event(core: &Arc<ServerCore>, payload: CheckinPayload) -> Response {
+    match core.runtime.submit_or_return(payload) {
+        Ok(handle) => pending_ack(handle),
+        Err(SubmitRejection::Busy {
+            payload,
+            retry_after_ms,
+        }) => {
+            // Backpressure: park the decoded payload and let the reactor
+            // probe re-admission. The dedup reservation was released by
+            // `submit_or_return`, so each probe is admitted fresh.
+            let core = Arc::clone(core);
+            let mut parked = Some(payload);
+            Response::Throttle {
+                retry_after_ms,
+                retry: Box::new(move || {
+                    let payload = parked.take()?;
+                    match core.runtime.submit_or_return(payload) {
+                        Ok(handle) => Some(pending_ack(handle)),
+                        Err(SubmitRejection::Busy { payload, .. }) => {
+                            parked = Some(payload);
+                            None
+                        }
+                        Err(SubmitRejection::Refused(e)) => Some(Response::Now(agg_error_reply(e))),
+                    }
+                }),
+            }
+        }
+        Err(SubmitRejection::Refused(e)) => Response::Now(agg_error_reply(e)),
+    }
+}
+
+/// Converts a decoded checkin into the runtime payload without copying the
+/// gradient — a sparse upload stays sparse all the way to the shard
+/// accumulators. Re-validation of the sparse structure (the codec already
+/// checked it) costs O(nnz) and turns a hand-crafted bad payload into a
+/// `BadRequest` reply instead of trusting the transport. The error reply is
+/// boxed to keep the happy path's `Result` small.
+pub(crate) fn payload_of(req: CheckinRequest) -> std::result::Result<CheckinPayload, Box<Message>> {
+    let gradient = match req.gradient {
+        GradientPayload::Dense(values) => GradientUpdate::Dense(Vector::from_vec(values)),
+        GradientPayload::Sparse {
+            dim,
+            indices,
+            values,
+        } => match SparseVector::new(dim as usize, indices, values) {
+            Ok(sparse) => GradientUpdate::Sparse(sparse),
+            Err(e) => return Err(Box::new(error_reply(ErrorCode::BadRequest, e.to_string()))),
+        },
+    };
+    Ok(CheckinPayload {
+        device_id: req.device_id,
+        checkout_iteration: req.checkout_iteration,
+        nonce: req.nonce,
+        gradient,
+        num_samples: req.num_samples as usize,
+        error_count: req.error_count,
+        label_counts: req.label_counts,
+    })
+}
+
+pub(crate) fn wait_ack(handle: CompletionHandle) -> std::result::Result<CheckinAck, Box<Message>> {
+    match handle.wait_timeout(CHECKIN_WAIT) {
+        Ok(outcome) => Ok(CheckinAck {
+            accepted: outcome.accepted,
+            iteration: outcome.iteration,
+            stopped: outcome.stopped,
+        }),
+        Err(e) => Err(Box::new(agg_error_reply(e))),
+    }
+}
+
+/// Maps a runtime refusal to its wire reply: backpressure becomes `Busy`,
+/// everything else an `Error`.
+pub(crate) fn agg_error_reply(e: AggError) -> Message {
+    match e {
+        AggError::Busy { retry_after_ms } => Message::Busy(BusyReply { retry_after_ms }),
+        AggError::Invalid(detail) => error_reply(ErrorCode::BadRequest, detail),
+        AggError::ShuttingDown => error_reply(ErrorCode::TaskEnded, "server is shutting down"),
+        AggError::Timeout => error_reply(ErrorCode::Internal, "epoch application timed out"),
+        AggError::BudgetExhausted { device_id } => error_reply(
+            ErrorCode::BudgetExhausted,
+            format!("device {device_id} has exhausted its privacy budget"),
+        ),
+        AggError::Core(e) => error_reply(ErrorCode::Internal, e.to_string()),
+        AggError::Store(e) => error_reply(ErrorCode::Internal, e.to_string()),
+    }
+}
+
+/// Collapses a refusal reply into a per-item batch acknowledgement.
+pub(crate) fn rejected_ack(reply: &Message) -> BatchAck {
+    let reject = match reply {
+        Message::Busy(_) => ErrorCode::Busy,
+        Message::Error(e) => e.code,
+        _ => ErrorCode::Internal,
+    };
+    BatchAck {
+        accepted: false,
+        iteration: 0,
+        stopped: false,
+        reject: Some(reject),
+    }
+}
+
+pub(crate) fn error_reply(code: ErrorCode, detail: impl Into<String>) -> Message {
+    Message::Error(ErrorReply {
+        code,
+        detail: detail.into(),
+    })
+}

@@ -26,7 +26,7 @@ pub mod pool;
 pub use auth::AuthToken;
 pub use error::ProtoError;
 pub use message::Message;
-pub use pool::BufPool;
+pub use pool::{BufPool, OwnedPooledBuf};
 
 /// Result alias for protocol operations.
 pub type Result<T> = std::result::Result<T, ProtoError>;

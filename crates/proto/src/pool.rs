@@ -16,7 +16,7 @@
 //! is dropped on return instead of being parked.
 
 use std::ops::{Deref, DerefMut};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Default bound on pooled buffers (per pool, not per connection).
 const DEFAULT_MAX_BUFFERS: usize = 32;
@@ -88,6 +88,30 @@ impl BufPool {
         }
     }
 
+    /// Like [`BufPool::take`], but the returned guard owns an [`Arc`] handle
+    /// to the pool instead of borrowing it, so it can be stored in long-lived
+    /// state (e.g. a reactor connection that accumulates a frame across many
+    /// readiness events).
+    pub fn take_owned(self: &Arc<Self>, len: usize) -> OwnedPooledBuf {
+        let mut buf = self.pop();
+        buf.clear();
+        buf.resize(len, 0);
+        OwnedPooledBuf {
+            pool: Arc::clone(self),
+            buf,
+        }
+    }
+
+    /// Owned counterpart of [`BufPool::take_empty`].
+    pub fn take_empty_owned(self: &Arc<Self>) -> OwnedPooledBuf {
+        let mut buf = self.pop();
+        buf.clear();
+        OwnedPooledBuf {
+            pool: Arc::clone(self),
+            buf,
+        }
+    }
+
     /// Number of buffers currently idle on the shelf.
     pub fn idle_buffers(&self) -> usize {
         self.shelf
@@ -118,6 +142,34 @@ impl DerefMut for PooledBuf<'_> {
 }
 
 impl Drop for PooledBuf<'_> {
+    fn drop(&mut self) {
+        self.pool.put(std::mem::take(&mut self.buf));
+    }
+}
+
+/// A buffer checked out of an `Arc`-shared [`BufPool`]; returns to the pool
+/// on drop. Unlike [`PooledBuf`] it carries no borrow of the pool, at the
+/// cost of one reference-count bump per checkout.
+#[derive(Debug)]
+pub struct OwnedPooledBuf {
+    pool: Arc<BufPool>,
+    buf: Vec<u8>,
+}
+
+impl Deref for OwnedPooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for OwnedPooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for OwnedPooledBuf {
     fn drop(&mut self) {
         self.pool.put(std::mem::take(&mut self.buf));
     }
@@ -245,6 +297,32 @@ mod tests {
         // Still functional: reuse comes off the shelf, zeroed.
         let buf = pool.take(8);
         assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn owned_buffers_return_to_the_pool_and_outlive_borrows() {
+        let pool = std::sync::Arc::new(BufPool::new(4));
+        let buf = pool.take_owned(16);
+        assert_eq!(buf.len(), 16);
+        assert!(buf.iter().all(|&b| b == 0));
+        // The owned guard keeps the pool alive on its own.
+        let mut appender = pool.take_empty_owned();
+        appender.extend_from_slice(b"abc");
+        drop(pool);
+        drop(buf);
+        drop(appender);
+    }
+
+    #[test]
+    fn owned_buffers_are_reused_zeroed() {
+        let pool = std::sync::Arc::new(BufPool::new(4));
+        {
+            let mut buf = pool.take_owned(8);
+            buf[0] = 0xAA;
+        }
+        assert_eq!(pool.idle_buffers(), 1);
+        let again = pool.take_owned(8);
+        assert!(again.iter().all(|&b| b == 0));
     }
 
     #[test]

@@ -1,0 +1,570 @@
+//! Resumable per-connection frame state machines.
+//!
+//! The blocking server reads a frame with two `read_exact` calls; a reactor
+//! cannot block, so these state machines accept however many bytes the socket
+//! has *right now* and pick up exactly where they left off on the next
+//! readiness event. Frames are the wire format of `crowd-proto`:
+//! `[len: u32 little-endian][payload: len bytes]`, with the payload decoded
+//! into a [`Message`]. Payload storage comes from a shared [`BufPool`], so
+//! steady-state traffic does not touch the allocator.
+//!
+//! Both machines are transport-agnostic (`Read` / `Write` traits) which is
+//! what makes exhaustive fragmentation testing possible: the proptest suite
+//! feeds them through adapters that split the stream at arbitrary byte
+//! boundaries.
+
+use crowd_proto::codec::{decode, encode_into};
+use crowd_proto::pool::{BufPool, OwnedPooledBuf};
+use crowd_proto::{Message, ProtoError};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::sync::Arc;
+
+/// Errors that terminate a connection's frame stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Hard socket error (not `WouldBlock`/`Interrupted`, which are handled).
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode, or an oversized length prefix.
+    Proto(ProtoError),
+    /// The peer disconnected in the middle of a frame.
+    TruncatedFrame {
+        /// Bytes of the frame received before EOF (including the prefix).
+        got: usize,
+        /// Bytes the frame declared (including the prefix).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Proto(e) => write!(f, "protocol error: {e}"),
+            FrameError::TruncatedFrame { got, expected } => {
+                write!(f, "peer closed mid-frame after {got} of {expected} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<ProtoError> for FrameError {
+    fn from(e: ProtoError) -> Self {
+        FrameError::Proto(e)
+    }
+}
+
+/// What a [`FrameReader::poll_read`] call produced.
+#[derive(Debug)]
+pub enum ReadEvent {
+    /// One complete frame, decoded.
+    Frame(Message),
+    /// The socket has no more bytes right now; wait for readability.
+    NeedMore,
+    /// Clean EOF at a frame boundary.
+    Closed,
+}
+
+enum ReadState {
+    /// Accumulating the 4-byte length prefix.
+    Len { buf: [u8; 4], filled: usize },
+    /// Accumulating the payload.
+    Payload { buf: OwnedPooledBuf, filled: usize },
+}
+
+/// Incremental reader: turns arbitrarily fragmented socket bytes into frames.
+pub struct FrameReader {
+    pool: Arc<BufPool>,
+    max_frame: usize,
+    state: ReadState,
+}
+
+impl fmt::Debug for FrameReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrameReader")
+            .field("max_frame", &self.max_frame)
+            .field("mid_frame", &self.mid_frame())
+            .finish()
+    }
+}
+
+impl FrameReader {
+    /// Creates a reader drawing payload buffers from `pool` and rejecting
+    /// frames larger than `max_frame` bytes.
+    pub fn new(pool: Arc<BufPool>, max_frame: usize) -> Self {
+        FrameReader {
+            pool,
+            max_frame,
+            state: ReadState::Len {
+                buf: [0; 4],
+                filled: 0,
+            },
+        }
+    }
+
+    /// Whether any bytes of an unfinished frame have been received — i.e.
+    /// whether an EOF now would be a protocol violation.
+    pub fn mid_frame(&self) -> bool {
+        match &self.state {
+            ReadState::Len { filled, .. } => *filled > 0,
+            ReadState::Payload { .. } => true,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = ReadState::Len {
+            buf: [0; 4],
+            filled: 0,
+        };
+    }
+
+    /// Reads as much as the socket will give without blocking. Returns after
+    /// the **first** complete frame (call again for pipelined frames), on
+    /// `WouldBlock`, or at EOF.
+    pub fn poll_read<R: Read>(&mut self, stream: &mut R) -> Result<ReadEvent, FrameError> {
+        loop {
+            match &mut self.state {
+                ReadState::Len { buf, filled } => {
+                    debug_assert!(*filled < 4);
+                    match stream.read(&mut buf[*filled..]) {
+                        Ok(0) => {
+                            return if *filled == 0 {
+                                Ok(ReadEvent::Closed)
+                            } else {
+                                Err(FrameError::TruncatedFrame {
+                                    got: *filled,
+                                    expected: 4,
+                                })
+                            };
+                        }
+                        Ok(n) => {
+                            *filled += n;
+                            if *filled == 4 {
+                                let len = u32::from_le_bytes(*buf) as usize;
+                                if len > self.max_frame {
+                                    return Err(FrameError::Proto(ProtoError::FrameTooLarge {
+                                        declared: len,
+                                        max: self.max_frame,
+                                    }));
+                                }
+                                self.state = ReadState::Payload {
+                                    buf: self.pool.take_owned(len),
+                                    filled: 0,
+                                };
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            return Ok(ReadEvent::NeedMore)
+                        }
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(e) => return Err(FrameError::Io(e)),
+                    }
+                }
+                ReadState::Payload { buf, filled } => {
+                    if *filled == buf.len() {
+                        let message = decode(buf)?;
+                        self.reset();
+                        return Ok(ReadEvent::Frame(message));
+                    }
+                    match stream.read(&mut buf[*filled..]) {
+                        Ok(0) => {
+                            return Err(FrameError::TruncatedFrame {
+                                got: 4 + *filled,
+                                expected: 4 + buf.len(),
+                            })
+                        }
+                        Ok(n) => *filled += n,
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            return Ok(ReadEvent::NeedMore)
+                        }
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(e) => return Err(FrameError::Io(e)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// What a [`FrameWriter::poll_write`] call produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WriteEvent {
+    /// Everything queued has hit the socket.
+    Flushed,
+    /// The socket would block; wait for writability.
+    NeedMore,
+}
+
+/// Incremental writer: queues encoded frames and drains them as the socket
+/// accepts bytes.
+pub struct FrameWriter {
+    pool: Arc<BufPool>,
+    queue: VecDeque<OwnedPooledBuf>,
+    /// Bytes of `queue.front()` already written.
+    offset: usize,
+}
+
+impl fmt::Debug for FrameWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrameWriter")
+            .field("queued_frames", &self.queue.len())
+            .field("offset", &self.offset)
+            .finish()
+    }
+}
+
+impl FrameWriter {
+    /// Creates a writer drawing encode buffers from `pool`.
+    pub fn new(pool: Arc<BufPool>) -> Self {
+        FrameWriter {
+            pool,
+            queue: VecDeque::new(),
+            offset: 0,
+        }
+    }
+
+    /// Encodes `message` (with its length prefix) and appends it to the
+    /// outbound queue. Call [`FrameWriter::poll_write`] to drain.
+    pub fn enqueue(&mut self, message: &Message) {
+        let mut buf = self.pool.take_empty_owned();
+        buf.extend_from_slice(&[0u8; 4]);
+        encode_into(message, &mut *buf);
+        let len = (buf.len() - 4) as u32;
+        buf[..4].copy_from_slice(&len.to_le_bytes());
+        self.queue.push_back(buf);
+    }
+
+    /// Whether nothing is queued (all replies flushed).
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of queued (fully or partially unwritten) frames.
+    pub fn queued_frames(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Writes as much as the socket will take without blocking.
+    pub fn poll_write<W: Write>(&mut self, stream: &mut W) -> Result<WriteEvent, FrameError> {
+        while let Some(front) = self.queue.front() {
+            while self.offset < front.len() {
+                match stream.write(&front[self.offset..]) {
+                    Ok(0) => {
+                        return Err(FrameError::Io(std::io::Error::new(
+                            ErrorKind::WriteZero,
+                            "socket accepted zero bytes",
+                        )))
+                    }
+                    Ok(n) => self.offset += n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(WriteEvent::NeedMore),
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => return Err(FrameError::Io(e)),
+                }
+            }
+            self.queue.pop_front();
+            self.offset = 0;
+        }
+        Ok(WriteEvent::Flushed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_proto::auth::AuthToken;
+    use crowd_proto::frame::DEFAULT_MAX_FRAME;
+    use crowd_proto::message::{CheckinAck, CheckoutRequest, CheckoutResponse};
+    use proptest::prelude::*;
+
+    fn pool() -> Arc<BufPool> {
+        Arc::new(BufPool::default())
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::CheckoutRequest(CheckoutRequest {
+                version: 3,
+                device_id: 42,
+                token: AuthToken::derive(42, 7),
+            }),
+            Message::CheckoutResponse(CheckoutResponse {
+                iteration: 10,
+                params: vec![0.5; 257],
+                stopped: false,
+            }),
+            Message::CheckinAck(CheckinAck {
+                accepted: true,
+                iteration: 11,
+                stopped: false,
+            }),
+        ]
+    }
+
+    fn encode_frames(messages: &[Message]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for m in messages {
+            crowd_proto::frame::write_message(&mut bytes, m).unwrap();
+        }
+        bytes
+    }
+
+    /// A reader that serves a byte stream in caller-chosen chunk sizes, with
+    /// a `WouldBlock` between chunks — the worst-case fragmentation a
+    /// nonblocking socket can produce.
+    struct Fragmented {
+        bytes: Vec<u8>,
+        pos: usize,
+        chunks: Vec<usize>,
+        chunk_idx: usize,
+        ready: bool,
+    }
+
+    impl Fragmented {
+        fn new(bytes: Vec<u8>, chunks: Vec<usize>) -> Self {
+            Fragmented {
+                bytes,
+                pos: 0,
+                chunks,
+                chunk_idx: 0,
+                ready: true,
+            }
+        }
+
+        fn exhausted(&self) -> bool {
+            self.pos >= self.bytes.len()
+        }
+    }
+
+    impl Read for Fragmented {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "not ready"));
+            }
+            if self.pos >= self.bytes.len() {
+                return Ok(0);
+            }
+            let chunk = self
+                .chunks
+                .get(self.chunk_idx)
+                .copied()
+                .unwrap_or(usize::MAX)
+                .max(1);
+            self.chunk_idx += 1;
+            self.ready = false;
+            let n = chunk.min(buf.len()).min(self.bytes.len() - self.pos);
+            buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn read_all(reader: &mut FrameReader, stream: &mut Fragmented) -> Vec<Message> {
+        let mut out = Vec::new();
+        loop {
+            match reader.poll_read(stream).unwrap() {
+                ReadEvent::Frame(m) => out.push(m),
+                ReadEvent::NeedMore => {
+                    if stream.exhausted() && !reader.mid_frame() {
+                        // a real reactor would wait for readability here
+                    }
+                    continue;
+                }
+                ReadEvent::Closed => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_fragmentation_reassembles_every_boundary() {
+        let messages = sample_messages();
+        let bytes = encode_frames(&messages);
+        let chunks = vec![1; bytes.len()];
+        let mut stream = Fragmented::new(bytes, chunks);
+        let mut reader = FrameReader::new(pool(), DEFAULT_MAX_FRAME);
+        assert_eq!(read_all(&mut reader, &mut stream), messages);
+    }
+
+    #[test]
+    fn split_at_every_boundary_of_one_frame() {
+        // Exhaustive: for a single frame, split the stream into two reads at
+        // every possible byte boundary.
+        let messages = vec![sample_messages().remove(0)];
+        let bytes = encode_frames(&messages);
+        for split in 0..=bytes.len() {
+            let mut stream = Fragmented::new(bytes.clone(), vec![split, usize::MAX]);
+            let mut reader = FrameReader::new(pool(), DEFAULT_MAX_FRAME);
+            assert_eq!(
+                read_all(&mut reader, &mut stream),
+                messages,
+                "failed at split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut stream = Fragmented::new(bytes, vec![usize::MAX]);
+        let mut reader = FrameReader::new(pool(), 1024);
+        loop {
+            match reader.poll_read(&mut stream) {
+                Ok(ReadEvent::NeedMore) => continue,
+                Err(FrameError::Proto(ProtoError::FrameTooLarge { declared, max })) => {
+                    assert_eq!(declared, u32::MAX as usize);
+                    assert_eq!(max, 1024);
+                    break;
+                }
+                other => panic!("expected FrameTooLarge, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_truncation_not_clean_close() {
+        let bytes = encode_frames(&sample_messages()[..1]);
+        for cut in 1..bytes.len() {
+            let mut stream = Fragmented::new(bytes[..cut].to_vec(), vec![usize::MAX]);
+            let mut reader = FrameReader::new(pool(), DEFAULT_MAX_FRAME);
+            let err = loop {
+                match reader.poll_read(&mut stream) {
+                    Ok(ReadEvent::NeedMore) => continue,
+                    Ok(other) => panic!("cut={cut}: unexpected {other:?}"),
+                    Err(e) => break e,
+                }
+            };
+            assert!(
+                matches!(err, FrameError::TruncatedFrame { .. }),
+                "cut={cut}: expected truncation, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_close_between_frames_is_closed() {
+        let bytes = encode_frames(&sample_messages());
+        let mut stream = Fragmented::new(bytes, vec![usize::MAX]);
+        let mut reader = FrameReader::new(pool(), DEFAULT_MAX_FRAME);
+        let got = read_all(&mut reader, &mut stream);
+        assert_eq!(got.len(), 3);
+        assert!(!reader.mid_frame());
+    }
+
+    /// A writer that accepts a bounded number of bytes per call with a
+    /// `WouldBlock` in between — forces partial-write resumption.
+    struct Throttled {
+        accepted: Vec<u8>,
+        per_call: usize,
+        ready: bool,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "full"));
+            }
+            self.ready = false;
+            let n = self.per_call.min(buf.len()).max(1);
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn partial_writes_resume_and_produce_identical_bytes() {
+        let messages = sample_messages();
+        let expected = encode_frames(&messages);
+        for per_call in [1usize, 3, 7, 64, 4096] {
+            let mut writer = FrameWriter::new(pool());
+            for m in &messages {
+                writer.enqueue(m);
+            }
+            assert_eq!(writer.queued_frames(), messages.len());
+            let mut sink = Throttled {
+                accepted: Vec::new(),
+                per_call,
+                ready: true,
+            };
+            loop {
+                match writer.poll_write(&mut sink).unwrap() {
+                    WriteEvent::Flushed => break,
+                    WriteEvent::NeedMore => continue,
+                }
+            }
+            assert!(writer.is_idle());
+            assert_eq!(sink.accepted, expected, "per_call={per_call}");
+        }
+    }
+
+    #[test]
+    fn writer_reader_round_trip_through_state_machines() {
+        let messages = sample_messages();
+        let mut writer = FrameWriter::new(pool());
+        for m in &messages {
+            writer.enqueue(m);
+        }
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            per_call: 5,
+            ready: true,
+        };
+        while writer.poll_write(&mut sink).unwrap() != WriteEvent::Flushed {}
+        let mut stream = Fragmented::new(sink.accepted, vec![9; 10_000]);
+        let mut reader = FrameReader::new(pool(), DEFAULT_MAX_FRAME);
+        assert_eq!(read_all(&mut reader, &mut stream), messages);
+    }
+
+    proptest! {
+        /// Any fragmentation of any interleaving of frames reassembles to the
+        /// original messages: chunk sizes are adversarial, including 1-byte
+        /// reads and chunks spanning frame boundaries.
+        #[test]
+        fn random_fragmentation_reassembles(
+            chunk_sizes in proptest::collection::vec(1usize..64, 1..200),
+            reps in 1usize..4,
+        ) {
+            let mut messages = Vec::new();
+            for _ in 0..reps {
+                messages.extend(sample_messages());
+            }
+            let bytes = encode_frames(&messages);
+            let mut stream = Fragmented::new(bytes, chunk_sizes);
+            let mut reader = FrameReader::new(pool(), DEFAULT_MAX_FRAME);
+            prop_assert_eq!(read_all(&mut reader, &mut stream), messages);
+        }
+
+        /// Any per-call write budget drains the queue to exactly the bytes a
+        /// blocking writer would have produced.
+        #[test]
+        fn random_write_throttling_is_lossless(per_call in 1usize..128) {
+            let messages = sample_messages();
+            let expected = encode_frames(&messages);
+            let mut writer = FrameWriter::new(pool());
+            for m in &messages {
+                writer.enqueue(m);
+            }
+            let mut sink = Throttled { accepted: Vec::new(), per_call, ready: true };
+            loop {
+                match writer.poll_write(&mut sink).unwrap() {
+                    WriteEvent::Flushed => break,
+                    WriteEvent::NeedMore => continue,
+                }
+            }
+            prop_assert_eq!(sink.accepted, expected);
+        }
+    }
+}

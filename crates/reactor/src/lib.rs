@@ -1,0 +1,29 @@
+//! Event-driven server core for the Crowd-ML TCP deployment.
+//!
+//! The threaded [`crowd-net`] server dedicates one OS thread (and two blocking
+//! syscalls' worth of latency) to every connected device; at thousands of
+//! devices the scheduler, stack memory, and context switches dominate. This
+//! crate replaces that model with a classic reactor:
+//!
+//! * a small **fixed pool of reactor threads**, each running a readiness loop
+//!   over a [`polling::Poller`] (epoll on Linux, `poll(2)` fallback),
+//! * **per-connection frame state machines** ([`frame::FrameReader`] /
+//!   [`frame::FrameWriter`]) that resume partial reads and writes at any byte
+//!   boundary, reusing `crowd-proto`'s pooled buffers,
+//! * a **completion pump** per reactor that turns the aggregation runtime's
+//!   blocking completion handles into poller wakeups, and
+//! * **backpressure by read throttling**: when the ingest queue is full the
+//!   connection's read interest is simply not re-armed, so the kernel's TCP
+//!   flow control pushes back on the device instead of a Busy-reply storm.
+//!
+//! The crate is transport-generic: it serves any [`Service`] that maps a
+//! decoded [`crowd_proto::Message`] to a [`Response`]. `crowd-net` wires it to
+//! the aggregation runtime.
+
+#![forbid(unsafe_code)]
+
+pub mod frame;
+pub mod reactor;
+
+pub use frame::{FrameError, FrameReader, FrameWriter, ReadEvent, WriteEvent};
+pub use reactor::{PendingReply, Reactor, ReactorConfig, ReactorStats, Response, RetryFn, Service};

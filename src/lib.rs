@@ -12,7 +12,9 @@
 //! * [`learning`] — models, losses, SGD, schedules, metrics.
 //! * [`sim`] — discrete-event simulation of asynchronous devices and delays.
 //! * [`proto`] — wire protocol for device/server communication.
-//! * [`net`] — TCP deployment of the protocol.
+//! * [`net`] — TCP deployment of the protocol (threaded and reactor servers).
+//! * [`reactor`] — dependency-free event-driven I/O core: poller-backed
+//!   nonblocking server runtime with resumable frame state machines.
 //! * [`core`] — the Crowd-ML framework itself: device/server routines, baselines,
 //!   and experiment runners.
 //! * [`agg`] — the sharded, batched gradient-aggregation runtime the TCP server
@@ -50,5 +52,6 @@ pub use crowd_learning as learning;
 pub use crowd_linalg as linalg;
 pub use crowd_net as net;
 pub use crowd_proto as proto;
+pub use crowd_reactor as reactor;
 pub use crowd_sim as sim;
 pub use crowd_store as store;

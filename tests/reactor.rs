@@ -1,0 +1,117 @@
+//! Reactor-server integration suite: the scale claim, cross-server parity,
+//! and durability through the event-driven path.
+//!
+//! The headline claim of the reactor subsystem is capacity: a fixed pool of
+//! reactor threads holds thousands of concurrent device connections where the
+//! thread-per-connection server would need thousands of OS threads. The scale
+//! test below drives 2,000 devices — each holding a persistent connection for
+//! its whole checkout+checkin lifetime — from one `FleetDriver` thread and
+//! requires every exchange to complete.
+//!
+//! Correctness claims ride on the shared `ServerCore`: the chaos suite's
+//! sequential schedule must land bitwise-identically on either server, and
+//! crash/recovery semantics must be unchanged when the WAL-backed runtime is
+//! fronted by the reactor. `CROWD_SERVER=reactor` re-runs the whole chaos
+//! suite (`tests/chaos.rs`) against the reactor in CI; this file keeps the
+//! always-on cross-server checks.
+
+use crowd_ml::learning::MulticlassLogistic;
+use crowd_ml::net::chaos::{ChaosCluster, ServerKind};
+use crowd_ml::net::{FleetConfig, FleetDriver, ReactorServer};
+use crowd_ml::proto::auth::TokenRegistry;
+use crowd_ml::sim::chaos::FaultPlan;
+use crowd_ml::store::testutil::temp_dir;
+use std::time::Duration;
+
+/// Watchdog wrapper: these tests drive real sockets, so a regression that
+/// wedges the event loop should fail with a message, not hang CI.
+fn under_watchdog(limit: Duration, body: fn()) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(limit).expect("test exceeded its watchdog");
+    let _ = worker.join();
+}
+
+#[test]
+fn reactor_holds_2000_concurrent_devices() {
+    under_watchdog(Duration::from_secs(300), || {
+        let devices = 2000usize;
+        let model = MulticlassLogistic::new(4, 3).unwrap();
+        let tokens = TokenRegistry::with_derived_tokens(devices as u64, 99);
+        let handle =
+            ReactorServer::start(model, crowd_ml::core::config::ServerConfig::new(), tokens)
+                .unwrap();
+        let config = FleetConfig {
+            devices,
+            rounds: 1,
+            dim: 12,
+            classes: 3,
+            auth_secret: 99,
+            // The whole fleet is admitted at once: 2k truly concurrent
+            // connections against the fixed reactor pool.
+            max_open: devices,
+            ..FleetConfig::default()
+        };
+        let report = FleetDriver::run(handle.addr(), config).unwrap();
+        assert_eq!(report.failed_devices, 0, "{report:?}");
+        assert_eq!(report.acked + report.rejected, devices as u64);
+        assert_eq!(report.checkouts, devices as u64);
+        let stats = handle.reactor_stats().unwrap();
+        assert!(
+            stats.accepted >= devices as u64,
+            "expected ≥{devices} accepted connections, saw {}",
+            stats.accepted
+        );
+        assert_eq!(
+            handle.runtime_stats().get("checkins_applied"),
+            devices as u64
+        );
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn chaos_transport_faults_on_reactor_land_bitwise_on_reference() {
+    under_watchdog(Duration::from_secs(120), || {
+        // Transport transparency (the chaos suite's strongest invariant),
+        // with the reactor serving: a faulty run must land bitwise on the
+        // fault-free reference of the same seed.
+        let mut reference = ChaosCluster::new(FaultPlan::fault_free(23));
+        reference.server_kind = ServerKind::Reactor;
+        let mut chaotic = ChaosCluster::new(FaultPlan::transport_only(23));
+        chaotic.server_kind = ServerKind::Reactor;
+        let a = reference.run().unwrap();
+        let b = chaotic.run().unwrap();
+        assert_eq!(a.params.as_slice(), b.params.as_slice());
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(a.acked_checkins, b.acked_checkins);
+    });
+}
+
+#[test]
+fn chaos_crash_recovery_works_through_the_reactor() {
+    under_watchdog(Duration::from_secs(120), || {
+        // Scripted crash/restart cycles with the reactor fronting the
+        // WAL-backed runtime: the run terminates and the ledger charges
+        // exactly one ε per acknowledged checkin, never more.
+        let dir = temp_dir("reactor-chaos-crash");
+        let mut cluster = ChaosCluster::new(FaultPlan::full(3, 24));
+        cluster.server_kind = ServerKind::Reactor;
+        cluster.data_dir = Some(dir.clone());
+        let report = cluster.run().unwrap();
+        assert!(report.iterations > 0);
+        for (device, eps) in &report.ledger {
+            let expected =
+                cluster.per_checkin_epsilon * report.acked_checkins[*device as usize] as f64;
+            assert!(
+                (eps - expected).abs() < 1e-9,
+                "device {device}: charged {eps}, expected {expected}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    });
+}

@@ -1,0 +1,210 @@
+//! Raw libc-symbol bindings for the two poller backends.
+//!
+//! `std` already links libc, so the symbols below resolve without adding any
+//! dependency; this module merely declares the prototypes. All `unsafe` in
+//! the workspace is confined to this file, behind small safe wrappers that
+//! own their file descriptors and validate every return code.
+
+use std::io;
+use std::os::fd::RawFd;
+
+use core::ffi::{c_int, c_uint, c_ulong, c_void};
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLONESHOT: u32 = 1 << 30;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLL_CLOEXEC: c_int = 0x80000;
+const EFD_CLOEXEC: c_int = 0x80000;
+const EFD_NONBLOCK: c_int = 0x800;
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+
+const EINTR: i32 = 4;
+
+/// Largest batch of events pulled from the kernel per `epoll_wait` call.
+const EVENT_BATCH: usize = 256;
+
+// `struct epoll_event` is packed on x86 so the 64-bit data member is not
+// 8-aligned; other Linux ABIs use natural alignment.
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// Mirror of `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    fd: c_int,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// An owned file descriptor, closed on drop.
+#[derive(Debug)]
+pub struct Fd(RawFd);
+
+impl Drop for Fd {
+    fn drop(&mut self) {
+        // Nothing useful to do with a close error during teardown.
+        unsafe {
+            close(self.0);
+        }
+    }
+}
+
+fn check(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn epoll_create() -> io::Result<Fd> {
+    let fd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+    Ok(Fd(fd))
+}
+
+/// Adds/modifies/removes `fd` in the epoll set.
+pub fn epoll_ctl_op(epfd: &Fd, op: c_int, fd: RawFd, flags: u32, key: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events: flags,
+        data: key,
+    };
+    check(unsafe { epoll_ctl(epfd.0, op, fd, &mut ev) })?;
+    Ok(())
+}
+
+/// Waits for events, retrying on EINTR. Returns `(key, flags)` pairs.
+pub fn epoll_wait_events(epfd: &Fd, timeout_ms: i32) -> io::Result<Vec<(u64, u32)>> {
+    let mut buf = [EpollEvent { events: 0, data: 0 }; EVENT_BATCH];
+    loop {
+        let n = unsafe { epoll_wait(epfd.0, buf.as_mut_ptr(), EVENT_BATCH as c_int, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() == Some(EINTR) {
+                continue;
+            }
+            return Err(err);
+        }
+        // Copy out of the (potentially packed) kernel structs.
+        return Ok(buf[..n as usize]
+            .iter()
+            .map(|ev| {
+                let data = ev.data;
+                let events = ev.events;
+                (data, events)
+            })
+            .collect());
+    }
+}
+
+/// Builds a `pollfd` entry with the requested interest.
+pub fn pollfd(fd: RawFd, readable: bool, writable: bool) -> PollFd {
+    let mut events = 0i16;
+    if readable {
+        events |= POLLIN;
+    }
+    if writable {
+        events |= POLLOUT;
+    }
+    PollFd {
+        fd,
+        events,
+        revents: 0,
+    }
+}
+
+/// A `pollfd` entry waiting for readability.
+pub fn pollfd_readable(fd: RawFd) -> PollFd {
+    pollfd(fd, true, false)
+}
+
+/// Decodes a fired `pollfd` entry into `(fd, readable, writable)`, or `None`
+/// if it did not fire.
+pub fn pollfd_fired(pfd: &PollFd) -> Option<(RawFd, bool, bool)> {
+    if pfd.revents == 0 {
+        return None;
+    }
+    let readable = pfd.revents & (POLLIN | POLLHUP | POLLERR) != 0;
+    let writable = pfd.revents & (POLLOUT | POLLHUP | POLLERR) != 0;
+    Some((pfd.fd, readable, writable))
+}
+
+/// `poll(2)` over a mutable pollfd slice, retrying on EINTR.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() == Some(EINTR) {
+                continue;
+            }
+            return Err(err);
+        }
+        return Ok(n as usize);
+    }
+}
+
+/// A cross-thread wakeup primitive backed by a nonblocking `eventfd`.
+#[derive(Debug)]
+pub struct Notifier {
+    fd: Fd,
+}
+
+impl Notifier {
+    pub fn new() -> io::Result<Notifier> {
+        let fd = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(Notifier { fd: Fd(fd) })
+    }
+
+    pub fn fd(&self) -> RawFd {
+        self.fd.0
+    }
+
+    /// Increments the eventfd counter, waking any poller that includes it.
+    /// Saturation (EAGAIN at u64::MAX-1 pending notifies) is impossible in
+    /// practice and would only mean "already signalled", so errors are
+    /// swallowed.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        unsafe {
+            write(self.fd.0, (&one as *const u64).cast::<c_void>(), 8);
+        }
+    }
+
+    /// Resets the counter after a wakeup. EAGAIN (not signalled) is fine.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        unsafe {
+            read(self.fd.0, (&mut buf as *mut u64).cast::<c_void>(), 8);
+        }
+    }
+}
