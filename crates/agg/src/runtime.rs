@@ -26,8 +26,8 @@ use crowd_core::device::CheckinPayload;
 use crowd_core::server::{CheckinOutcome, CheckoutTicket, EpochAggregate, Server};
 use crowd_learning::model::Model;
 use crowd_linalg::Vector;
-use crowd_sim::trace::{SharedTrace, TraceCollector};
 use crowd_store::Store;
+use crowd_telemetry::{CounterId, GaugeId, HistogramId, MetricsSnapshot, Registry, Stage, Tick};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -58,6 +58,9 @@ const DEDUP_CAPACITY: usize = 8192;
 struct Job {
     payload: CheckinPayload,
     reply: mpsc::Sender<CheckinOutcome>,
+    /// When the checkin was admitted, for the end-to-end latency histogram
+    /// (`checkin_latency_us`: queue wait + shard ingest + epoch apply + ack).
+    submitted: Tick,
 }
 
 struct Inner<M: Model> {
@@ -74,7 +77,10 @@ struct Inner<M: Model> {
     settings: AggSettings,
     param_dim: usize,
     num_classes: usize,
-    stats: SharedTrace,
+    /// The crowd-scope registry every counter, gauge, histogram, and span on
+    /// the checkin path lands in. Shared so servers can scrape it live and
+    /// deterministic harnesses can inject a logical-clock registry.
+    metrics: Arc<Registry>,
     /// The durability hook: when present, every epoch is WAL-appended (with
     /// its ε charges) *before* it is applied and its checkins acked, so the
     /// append group-commits with the epoch batching. Locked strictly after
@@ -156,6 +162,19 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
     /// checkins are acknowledged; periodic snapshots and the clean-shutdown
     /// checkpoint come from the store's configured cadence.
     pub fn with_store(server: Server<M>, store: Option<Store>) -> Result<Self> {
+        Self::with_instrumentation(server, store, Arc::new(Registry::new()))
+    }
+
+    /// Like [`AggRuntime::with_store`], but every counter, gauge, histogram,
+    /// and span lands in the caller's `metrics` registry. This is how a
+    /// serving layer shares one scrapeable registry with the runtime, and how
+    /// deterministic suites inject a logical-clock registry so two identical
+    /// seeded runs render byte-identical metric dumps.
+    pub fn with_instrumentation(
+        server: Server<M>,
+        store: Option<Store>,
+        metrics: Arc<Registry>,
+    ) -> Result<Self> {
         let settings = server.config().agg;
         settings.validate().map_err(AggError::Core)?;
         let param_dim = server.params().len();
@@ -170,6 +189,12 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
             .map(|&(id, _)| id)
             .filter(|&id| server.budget_exhausted(id))
             .collect();
+        // The store shares the runtime's registry so WAL append bytes, fsync
+        // latency, and snapshot durations land in the same scrape.
+        let store = store.map(|mut s| {
+            s.set_metrics(Arc::clone(&metrics));
+            s
+        });
         let inner = Arc::new(Inner {
             shards: ShardSet::new(settings.shard_count, param_dim, num_classes),
             snapshot: RwLock::new(Arc::new(ParamSnapshot {
@@ -183,7 +208,7 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
             settings,
             param_dim,
             num_classes,
-            stats: SharedTrace::new(),
+            metrics,
             store: store.map(Mutex::new),
             exhausted: RwLock::new(exhausted),
             dedup: Mutex::new(DedupTable::new(DEDUP_CAPACITY)),
@@ -262,13 +287,13 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
         if let Some(key) = dedup_key {
             match self.inner.dedup.lock().admit(key) {
                 Admission::Replay(outcome) => {
-                    self.inner.stats.count("dedup_replays");
+                    self.inner.metrics.incr(CounterId::DedupReplays);
                     let (tx, rx) = mpsc::channel();
                     let _ = tx.send(outcome);
                     return Ok(CompletionHandle { rx });
                 }
                 Admission::InFlight => {
-                    self.inner.stats.count("dedup_inflight_busy");
+                    self.inner.metrics.incr(CounterId::DedupInflightBusy);
                     return Err(SubmitRejection::Busy {
                         payload,
                         retry_after_ms: self.inner.settings.retry_after_ms,
@@ -284,18 +309,28 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
         };
         if self.budget_exhausted(payload.device_id) {
             abandon(self);
-            self.inner.stats.count("budget_rejections");
+            self.inner.metrics.incr(CounterId::BudgetRejections);
             return Err(SubmitRejection::Refused(AggError::BudgetExhausted {
                 device_id: payload.device_id,
             }));
         }
         let (tx, rx) = mpsc::channel();
-        let job = Job { payload, reply: tx };
+        let device_id = payload.device_id;
+        let job = Job {
+            payload,
+            reply: tx,
+            submitted: self.inner.metrics.start(),
+        };
         match self.inner.queue.try_push(job) {
-            Ok(()) => Ok(CompletionHandle { rx }),
+            Ok(()) => {
+                self.inner.metrics.gauge_add(GaugeId::QueueDepth, 1);
+                self.inner.metrics.span(Stage::QueueAdmit, device_id);
+                Ok(CompletionHandle { rx })
+            }
             Err(PushError::Full(job)) => {
                 abandon(self);
-                self.inner.stats.count("busy_rejections");
+                self.inner.metrics.incr(CounterId::BusyRejections);
+                self.inner.metrics.span(Stage::QueuePark, device_id);
                 Err(SubmitRejection::Busy {
                     payload: job.payload,
                     retry_after_ms: self.inner.settings.retry_after_ms,
@@ -377,10 +412,18 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
         self.inner.core.lock().budget_ledger()
     }
 
-    /// A snapshot of the runtime counters (`epoch_merges`, `checkins_applied`,
-    /// `busy_rejections`, …).
-    pub fn stats(&self) -> TraceCollector {
-        self.inner.stats.snapshot()
+    /// A point-in-time snapshot of the runtime's metrics (`epoch_merges`,
+    /// `checkins_applied`, `busy_rejections`, the `checkin_latency_us`
+    /// histogram, …), sorted by name for deterministic rendering.
+    pub fn stats(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// The live metric registry the runtime records into. Servers clone this
+    /// to instrument their own request path and answer metrics scrapes from
+    /// one shared registry.
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.inner.metrics)
     }
 
     /// Stops accepting checkins, applies everything already admitted, joins
@@ -416,7 +459,7 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
                 let core = self.inner.core.lock();
                 let mut store = store.lock();
                 if store.snapshot(&core.export_state()).is_err() {
-                    self.inner.stats.count("snapshot_errors");
+                    self.inner.metrics.incr(CounterId::SnapshotErrors);
                 }
             }
         }
@@ -443,6 +486,7 @@ fn worker_loop<M: Model>(inner: Arc<Inner<M>>) {
     loop {
         match inner.queue.pop_timeout(idle) {
             Pop::Item(job) => {
+                inner.metrics.gauge_add(GaugeId::QueueDepth, -1);
                 // Per-checkin epochs must stay per-checkin even when several
                 // workers race (a shard drain would coalesce concurrently
                 // ingested payloads into one epoch and under-count server
@@ -464,6 +508,7 @@ fn worker_loop<M: Model>(inner: Arc<Inner<M>>) {
                     device_id: job.payload.device_id,
                     nonce: job.payload.nonce,
                     reply: job.reply,
+                    submitted: job.submitted,
                 };
                 if let Err(rejected) = inner.shards.ingest(&job.payload, waiter) {
                     // Unreachable for payloads that passed submit-time
@@ -477,7 +522,7 @@ fn worker_loop<M: Model>(inner: Arc<Inner<M>>) {
                             .abandon((rejected.device_id, rejected.nonce));
                     }
                     let snap = inner.snapshot.read().clone();
-                    inner.stats.count("ingest_errors");
+                    inner.metrics.incr(CounterId::IngestErrors);
                     let _ = rejected.reply.send(CheckinOutcome {
                         accepted: false,
                         iteration: snap.iteration,
@@ -486,6 +531,9 @@ fn worker_loop<M: Model>(inner: Arc<Inner<M>>) {
                     });
                     continue;
                 }
+                inner
+                    .metrics
+                    .span(Stage::ShardIngest, job.payload.device_id);
                 let counted = inner.pending.fetch_add(1, Ordering::SeqCst) + 1;
                 if counted >= epoch_threshold {
                     merge(&inner);
@@ -522,10 +570,19 @@ fn durable_apply<M: Model>(
     mut core: MutexGuard<'_, Server<M>>,
     epoch: &EpochAggregate,
 ) -> (CheckinOutcome, bool) {
+    let merge_start = inner.metrics.start();
+    // The ε charges feed both the WAL record (durable runtimes) and the
+    // ε-spend distribution (whenever budget accounting is on); skip the
+    // recompute when neither applies.
+    let charges = if inner.store.is_some() || !core.config().budget.is_disabled() {
+        Some(core.epoch_charges(epoch))
+    } else {
+        None
+    };
     if let Some(store) = &inner.store {
-        let charges = core.epoch_charges(epoch);
         let mut store = store.lock();
-        if let Err(e) = store.log_epoch(core.iteration(), epoch, &charges) {
+        if let Err(e) = store.log_epoch(core.iteration(), epoch, charges.as_deref().unwrap_or(&[]))
+        {
             let outcome = CheckinOutcome {
                 accepted: false,
                 iteration: core.iteration(),
@@ -534,7 +591,7 @@ fn durable_apply<M: Model>(
             };
             drop(store);
             drop(core);
-            inner.stats.count("wal_errors");
+            inner.metrics.incr(CounterId::WalErrors);
             eprintln!("crowd-agg: WAL append failed, refusing epoch: {e}");
             return (outcome, false);
         }
@@ -558,14 +615,25 @@ fn durable_apply<M: Model>(
                 let mut store = store.lock();
                 if store.note_applied() {
                     match store.snapshot(&core.export_state()) {
-                        Ok(()) => inner.stats.count("snapshots"),
-                        Err(_) => inner.stats.count("snapshot_errors"),
+                        Ok(()) => inner.metrics.incr(CounterId::Snapshots),
+                        Err(_) => inner.metrics.incr(CounterId::SnapshotErrors),
                     }
                 }
             }
             *inner.snapshot.write() = snapshot;
             drop(core);
-            inner.stats.count("epoch_merges");
+            inner.metrics.incr(CounterId::EpochMerges);
+            inner
+                .metrics
+                .observe_since(HistogramId::EpochMergeUs, merge_start);
+            inner.metrics.span(Stage::EpochMerge, outcome.iteration);
+            if let Some(charges) = &charges {
+                for &(_, eps) in charges.iter() {
+                    inner
+                        .metrics
+                        .observe(HistogramId::EpsSpendMicroeps, microeps(eps));
+                }
+            }
             (outcome, true)
         }
         Err(_) => {
@@ -578,9 +646,19 @@ fn durable_apply<M: Model>(
                 staleness: 0,
             };
             drop(core);
-            inner.stats.count("apply_errors");
+            inner.metrics.incr(CounterId::ApplyErrors);
             (outcome, false)
         }
+    }
+}
+
+/// ε in integer micro-ε, the unit of the `eps_spend_microeps` histogram
+/// (saturating; non-finite or negative charges record as zero).
+fn microeps(eps: f64) -> u64 {
+    if eps.is_finite() && eps > 0.0 {
+        (eps * 1e6).round().min(u64::MAX as f64) as u64
+    } else {
+        0
     }
 }
 
@@ -592,7 +670,7 @@ fn apply_singleton<M: Model>(inner: &Inner<M>, job: Job) {
     let core = inner.core.lock();
     let (outcome, applied) = durable_apply(inner, core, &epoch);
     if applied {
-        inner.stats.count("checkins_applied");
+        inner.metrics.incr(CounterId::CheckinsApplied);
         // Record the outcome BEFORE acking, so a duplicate that races the ack
         // can never slip past the table and be applied a second time.
         record_dedup(inner, job.payload.device_id, job.payload.nonce, outcome);
@@ -603,6 +681,10 @@ fn apply_singleton<M: Model>(inner: &Inner<M>, job: Job) {
             .lock()
             .abandon((job.payload.device_id, job.payload.nonce));
     }
+    inner
+        .metrics
+        .observe_since(HistogramId::CheckinLatencyUs, job.submitted);
+    inner.metrics.span(Stage::Ack, job.payload.device_id);
     let _ = job.reply.send(outcome);
 }
 
@@ -630,9 +712,9 @@ fn merge<M: Model>(inner: &Inner<M>) {
     inner.shards.recycle_epoch(epoch);
     let waiters = drained.waiters;
     if applied {
-        inner.stats.add("checkins_applied", drained.count);
+        inner.metrics.add(CounterId::CheckinsApplied, drained.count);
         if drained.count > 1 {
-            inner.stats.count("batched_epochs");
+            inner.metrics.incr(CounterId::BatchedEpochs);
         }
     }
     // Staleness is per-checkin: measured against the iteration the epoch was
@@ -652,6 +734,10 @@ fn merge<M: Model>(inner: &Inner<M>) {
         } else if waiter.nonce != 0 {
             inner.dedup.lock().abandon((waiter.device_id, waiter.nonce));
         }
+        inner
+            .metrics
+            .observe_since(HistogramId::CheckinLatencyUs, waiter.submitted);
+        inner.metrics.span(Stage::Ack, waiter.device_id);
         let _ = waiter.reply.send(per_checkin);
     }
 }

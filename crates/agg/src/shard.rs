@@ -42,6 +42,8 @@ pub(crate) struct Waiter {
     /// The checkin's dedup nonce (0 = no dedup requested).
     pub(crate) nonce: u64,
     pub(crate) reply: mpsc::Sender<CheckinOutcome>,
+    /// When the checkin was admitted, redeemed for `checkin_latency_us` at ack.
+    pub(crate) submitted: crowd_telemetry::Tick,
 }
 
 /// Running per-device accumulation within the current epoch.
@@ -282,6 +284,7 @@ mod tests {
                 device_id: 0,
                 nonce: 0,
                 reply: tx,
+                submitted: crowd_telemetry::Clock::logical().start(),
             },
             rx,
         )
@@ -451,6 +454,7 @@ mod tests {
                                 device_id: device,
                                 nonce: 0,
                                 reply: tx,
+                                submitted: crowd_telemetry::Clock::logical().start(),
                             },
                         )
                         .is_ok());

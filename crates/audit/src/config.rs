@@ -7,9 +7,11 @@
 /// state — the bitwise-determinism surface.
 pub const DETERMINISM_CRATES: &[&str] = &["core", "agg", "store", "dp", "linalg"];
 
-/// Files allowed to read the wall clock: client retry/backoff timing and the
-/// benchmark harness. Entries are workspace-relative path prefixes.
-pub const WALLCLOCK_ALLOWED: &[&str] = &["crates/net/src/client.rs", "crates/bench/src/"];
+/// Files allowed to read the wall clock: the telemetry clock module (the ONE
+/// place a monotonic `Instant` is anchored — everything else observes time
+/// through `crowd_telemetry::Clock`) and the benchmark harness. Entries are
+/// workspace-relative path prefixes.
+pub const WALLCLOCK_ALLOWED: &[&str] = &["crates/telemetry/src/clock.rs", "crates/bench/src/"];
 
 /// Request-path modules where a panic tears down a server worker mid-epoch:
 /// everything between a byte arriving on the socket and the durable ack.
@@ -27,6 +29,7 @@ pub const PANIC_FREE_PATHS: &[&str] = &[
     "crates/agg/src/dedup.rs",
     "crates/agg/src/queue.rs",
     "crates/store/src/",
+    "crates/telemetry/src/",
 ];
 
 /// The file carrying the message tag table (`Message::tag`).

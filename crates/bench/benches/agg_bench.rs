@@ -186,6 +186,71 @@ fn run_sharded_pipelined(threads: u64, shards: usize, epoch: u64) -> u64 {
     run_sharded_pipelined_with(threads, shards, epoch, false)
 }
 
+/// One pipelined run's submit→ack latency distribution, read off the
+/// crowd-scope registry and reported as extra `BENCH_JSON` entries
+/// (`checkin_latency_p50_us` / `checkin_latency_p99_us`, values in ns like
+/// every other entry). These feed `BENCH_runtime.json` so the perf
+/// trajectory tracks tail latency, not just throughput; the bench gate
+/// treats them like any other named entry.
+fn report_checkin_latency_percentiles() {
+    let runtime = Arc::new(sharded_runtime(8, 64));
+    let mut handles = Vec::new();
+    for device in 0..8u64 {
+        let runtime = Arc::clone(&runtime);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..CHECKINS_PER_DEVICE / ROUND {
+                black_box(runtime.snapshot().iteration);
+                let tickets: Vec<_> = (0..ROUND)
+                    .map(|slot| {
+                        runtime
+                            .submit(payload(device, round * ROUND + slot))
+                            .unwrap()
+                    })
+                    .collect();
+                for ticket in tickets {
+                    black_box(ticket.wait().unwrap());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = runtime.stats();
+    runtime.shutdown();
+    let bins = snap
+        .histogram("checkin_latency_us")
+        .expect("registry checkin latency histogram");
+    println!(
+        "bench {:<50} p50={}us p99={}us (n={})",
+        "checkin_latency/pipelined_e64",
+        bins.p50(),
+        bins.p99(),
+        bins.count()
+    );
+    let Some(path) = std::env::var_os("BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write;
+    // Mirrors the vendored criterion shim's BENCH_JSON line format.
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        for (name, us) in [
+            ("checkin_latency_p50_us", bins.p50()),
+            ("checkin_latency_p99_us", bins.p99()),
+        ] {
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"{name}\",\"ns_per_iter\":{:.1}}}",
+                us as f64 * 1e3
+            );
+        }
+    }
+}
+
 fn bench_agg(c: &mut Criterion) {
     let mut group = c.benchmark_group("checkin_throughput");
     for &threads in &[2u64, 8] {
@@ -216,6 +281,7 @@ fn bench_agg(c: &mut Criterion) {
         });
     }
     group.finish();
+    report_checkin_latency_percentiles();
 }
 
 criterion_group!(benches, bench_agg);

@@ -134,7 +134,7 @@ impl AnyServerHandle {
     }
 
     /// A snapshot of the aggregation-runtime counters.
-    pub fn runtime_stats(&self) -> crowd_sim::TraceCollector {
+    pub fn runtime_stats(&self) -> crowd_telemetry::MetricsSnapshot {
         delegate!(self, h => h.runtime_stats())
     }
 
@@ -219,6 +219,10 @@ pub struct ChaosReport {
     /// Duplicate checkins the server answered from its dedup table, summed
     /// across server incarnations.
     pub dedup_replays: u64,
+    /// The final server incarnation's full crowd-scope metric snapshot
+    /// (counters, gauges, histograms) — what a wire scrape of that server
+    /// would have reported at the end of the run.
+    pub metrics: crowd_telemetry::MetricsSnapshot,
     /// Event log: one line per notable event, for the failure artifact.
     pub trace: Vec<String>,
 }
@@ -470,8 +474,10 @@ impl Driver {
             }
         }
 
-        dedup_replays += handle.runtime_stats().get("dedup_replays");
+        let final_metrics = handle.runtime_stats();
+        dedup_replays += final_metrics.get("dedup_replays");
         let report = ChaosReport {
+            metrics: final_metrics,
             params: handle.params(),
             iterations: handle.iteration(),
             ledger: handle.budget_ledger(),

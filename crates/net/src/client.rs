@@ -10,6 +10,7 @@ use crowd_linalg::{GradientUpdate, Vector};
 use crowd_proto::frame::{read_message_pooled, write_message_pooled, DEFAULT_MAX_FRAME};
 use crowd_proto::message::{
     BatchAck, BatchCheckinRequest, CheckinRequest, CheckoutRequest, GradientPayload, Message,
+    MetricsReport, MetricsRequest,
 };
 use crowd_proto::{AuthToken, BufPool, PROTOCOL_VERSION};
 use crowd_sim::chaos::{FaultAction, TransportFaults};
@@ -325,6 +326,29 @@ impl DeviceClient {
             }),
             other => Err(NetError::UnexpectedMessage {
                 expected: "checkout_response",
+                received: other.name(),
+            }),
+        }
+    }
+
+    /// Scrapes the server's metric registry over the wire (the `crowd-scope`
+    /// observability surface, wire v4). A scrape is a read authenticated
+    /// exactly like a checkout, hence idempotent: transient transport
+    /// failures are retried under the client's policy.
+    pub fn scrape_metrics(&self) -> Result<MetricsReport> {
+        let reply = self.exchange_idempotent(&Message::MetricsRequest(MetricsRequest {
+            version: PROTOCOL_VERSION,
+            device_id: self.device_id,
+            token: self.token,
+        }))?;
+        match reply {
+            Message::MetricsReport(report) => Ok(report),
+            Message::Error(e) => Err(NetError::ServerError {
+                code: e.code,
+                detail: e.detail,
+            }),
+            other => Err(NetError::UnexpectedMessage {
+                expected: "metrics_report",
                 received: other.name(),
             }),
         }

@@ -44,7 +44,7 @@ pub struct ClusterReport {
     pub device_reports: Vec<DeviceReport>,
     /// Aggregation-runtime counters (`epoch_merges`, `checkins_applied`,
     /// `busy_rejections`, …).
-    pub runtime_stats: crowd_sim::TraceCollector,
+    pub runtime_stats: crowd_telemetry::MetricsSnapshot,
     /// Per-device cumulative ε spend `(device_id, ε)`, ascending by device id.
     /// Empty when budget accounting is disabled and the run is non-private.
     pub budget_spent: Vec<(u64, f64)>,

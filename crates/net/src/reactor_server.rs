@@ -64,11 +64,12 @@ impl ReactorServer {
         let service_core = Arc::clone(&core);
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        let reactor = Reactor::start(
+        let reactor = Reactor::start_with_metrics(
             listener,
             Arc::new(move |message| handle_event(&service_core, message)),
             Arc::clone(&core.pool),
             reactor_config,
+            Arc::clone(&core.metrics),
         )?;
         Ok(ReactorServerHandle {
             addr,
@@ -119,8 +120,13 @@ impl ReactorServerHandle {
     }
 
     /// A snapshot of the aggregation-runtime counters.
-    pub fn runtime_stats(&self) -> crowd_sim::TraceCollector {
+    pub fn runtime_stats(&self) -> crowd_telemetry::MetricsSnapshot {
         self.core.runtime.stats()
+    }
+
+    /// The shared metric registry backing this server's scrape surface.
+    pub fn metrics(&self) -> Arc<crowd_telemetry::Registry> {
+        Arc::clone(&self.core.metrics)
     }
 
     /// Point-in-time reactor counters (accepted/active/parked/inflight).

@@ -184,10 +184,18 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         // it stays disarmed while we accept).
         loop {
             match listener.accept() {
-                Ok((stream, _peer)) => {
+                Ok((stream, peer)) => {
                     if shared.stop.load(Ordering::SeqCst) {
                         break 'outer;
                     }
+                    shared
+                        .core
+                        .metrics
+                        .incr(crowd_telemetry::CounterId::ConnsAccepted);
+                    shared
+                        .core
+                        .metrics
+                        .span(crowd_telemetry::Stage::Accept, u64::from(peer.port()));
                     reap_finished(&mut handlers);
                     spawn_handler(stream, &shared, &mut handlers);
                 }
@@ -345,10 +353,16 @@ impl NetServerHandle {
         self.shared.core.runtime.error_estimate()
     }
 
-    /// A snapshot of the aggregation-runtime counters (`epoch_merges`,
-    /// `checkins_applied`, `busy_rejections`, …).
-    pub fn runtime_stats(&self) -> crowd_sim::TraceCollector {
+    /// A snapshot of the server's crowd-scope metrics (`epoch_merges`,
+    /// `checkins_applied`, `busy_rejections`, request-latency histograms, …).
+    pub fn runtime_stats(&self) -> crowd_telemetry::MetricsSnapshot {
         self.shared.core.runtime.stats()
+    }
+
+    /// The live metric registry the server and its aggregation runtime record
+    /// into — the same registry a wire [`Message::MetricsRequest`] scrapes.
+    pub fn metrics(&self) -> Arc<crowd_telemetry::Registry> {
+        Arc::clone(&self.shared.core.metrics)
     }
 
     /// What the recovery path found at bind time (`None` for volatile servers).

@@ -18,10 +18,11 @@ use crowd_linalg::{GradientUpdate, SparseVector, Vector};
 use crowd_proto::auth::TokenRegistry;
 use crowd_proto::message::{
     BatchAck, BatchCheckinAck, BusyReply, CheckinAck, CheckinRequest, CheckoutResponse, ErrorCode,
-    ErrorReply, GradientPayload, Message,
+    ErrorReply, GradientPayload, HistogramReport, Message, MetricsReport,
 };
 use crowd_proto::{BufPool, PROTOCOL_VERSION};
 use crowd_reactor::Response;
+use crowd_telemetry::{CounterId, HistogramId, MetricsSnapshot, Registry};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,21 +39,43 @@ pub(crate) struct ServerCore {
     /// Frame buffers shared by every connection: payload reads and reply
     /// encodes reuse pooled storage instead of allocating per message.
     pub(crate) pool: Arc<BufPool>,
+    /// The aggregation runtime's crowd-scope registry, shared so the serving
+    /// layer's own counters and per-message-type latency land in the same
+    /// scrape the `MetricsRequest` admin message answers from.
+    pub(crate) metrics: Arc<Registry>,
 }
 
 impl ServerCore {
     pub(crate) fn new(runtime: AggRuntime<MulticlassLogistic>, tokens: TokenRegistry) -> Self {
+        let metrics = runtime.metrics();
         ServerCore {
             runtime,
             tokens,
             pool: Arc::new(BufPool::default()),
+            metrics,
         }
     }
 
     /// Handles one request, blocking until the reply is known. Used by the
     /// thread-per-connection server and (for batch requests) the reactor's
-    /// completion pump.
+    /// completion pump. Request latency is recorded per message type.
     pub(crate) fn handle_message(&self, message: Message) -> Message {
+        let hist = match &message {
+            Message::CheckoutRequest(_) => Some(HistogramId::ReqCheckoutUs),
+            Message::CheckinRequest(_) => Some(HistogramId::ReqCheckinUs),
+            Message::BatchCheckinRequest(_) => Some(HistogramId::ReqBatchCheckinUs),
+            Message::MetricsRequest(_) => Some(HistogramId::ReqMetricsUs),
+            _ => None,
+        };
+        let start = self.metrics.start();
+        let reply = self.dispatch(message);
+        if let Some(id) = hist {
+            self.metrics.observe_since(id, start);
+        }
+        reply
+    }
+
+    fn dispatch(&self, message: Message) -> Message {
         match message {
             Message::CheckoutRequest(req) => {
                 if req.version != PROTOCOL_VERSION {
@@ -68,6 +91,7 @@ impl ServerCore {
                 // prevented: a device that cannot read parameters computes no
                 // further gradients on its own ε.
                 if self.runtime.budget_exhausted(req.device_id) {
+                    self.metrics.incr(CounterId::ExhaustionRefusals);
                     return error_reply(
                         ErrorCode::BudgetExhausted,
                         format!("device {} has exhausted its privacy budget", req.device_id),
@@ -76,6 +100,7 @@ impl ServerCore {
                 // Lock-free read path: clone the epoch snapshot, never touching
                 // the write path's locks.
                 let snapshot = self.runtime.snapshot();
+                self.metrics.incr(CounterId::CheckoutsServed);
                 Message::CheckoutResponse(CheckoutResponse {
                     iteration: snapshot.iteration,
                     params: snapshot.params.as_slice().to_vec(),
@@ -135,11 +160,59 @@ impl ServerCore {
                     .collect();
                 Message::BatchCheckinAck(BatchCheckinAck { acks })
             }
+            Message::MetricsRequest(req) => {
+                if req.version != PROTOCOL_VERSION {
+                    return error_reply(
+                        ErrorCode::BadRequest,
+                        format!("unsupported protocol version {}", req.version),
+                    );
+                }
+                // The scrape is authenticated exactly like a checkout: any
+                // registered device (an operator holds one) may read the
+                // registry, which carries no per-device training data.
+                if !self.tokens.verify(req.device_id, &req.token) {
+                    return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
+                }
+                Message::MetricsReport(metrics_report(&self.runtime.stats()))
+            }
             other => error_reply(
                 ErrorCode::BadRequest,
                 format!("unexpected message {}", other.name()),
             ),
         }
+    }
+}
+
+/// Builds the wire scrape reply from a registry snapshot: every counter and
+/// gauge verbatim, histograms reduced to count/sum/max plus the four summary
+/// quantiles. Sections stay name-sorted (the snapshot's order), so identical
+/// registries encode byte-identically.
+pub(crate) fn metrics_report(snap: &MetricsSnapshot) -> MetricsReport {
+    MetricsReport {
+        counters: snap
+            .counters()
+            .iter()
+            .map(|&(name, v)| (name.to_string(), v))
+            .collect(),
+        gauges: snap
+            .gauges()
+            .iter()
+            .map(|&(name, v)| (name.to_string(), v))
+            .collect(),
+        histograms: snap
+            .histograms()
+            .iter()
+            .map(|(name, bins)| HistogramReport {
+                name: name.to_string(),
+                count: bins.count(),
+                sum: bins.sum(),
+                max: bins.max(),
+                p50: bins.p50(),
+                p90: bins.p90(),
+                p99: bins.p99(),
+                p999: bins.p999(),
+            })
+            .collect(),
     }
 }
 

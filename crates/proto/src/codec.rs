@@ -9,7 +9,8 @@ use crate::auth::{AuthToken, TOKEN_LEN};
 use crate::error::ProtoError;
 use crate::message::{
     BatchAck, BatchCheckinAck, BatchCheckinRequest, BusyReply, CheckinAck, CheckinRequest,
-    CheckoutRequest, CheckoutResponse, ErrorCode, ErrorReply, GradientPayload, Message,
+    CheckoutRequest, CheckoutResponse, ErrorCode, ErrorReply, GradientPayload, HistogramReport,
+    Message, MetricsReport, MetricsRequest,
 };
 use crate::Result;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -81,6 +82,34 @@ pub fn encode_into<B: BufMut>(message: &Message, buf: &mut B) {
         }
         Message::Busy(m) => {
             buf.put_u32_le(m.retry_after_ms);
+        }
+        Message::MetricsRequest(m) => {
+            buf.put_u16_le(m.version);
+            buf.put_u64_le(m.device_id);
+            buf.put_slice(m.token.as_bytes());
+        }
+        Message::MetricsReport(m) => {
+            buf.put_u32_le(m.counters.len() as u32);
+            for (name, value) in &m.counters {
+                put_string(buf, name);
+                buf.put_u64_le(*value);
+            }
+            buf.put_u32_le(m.gauges.len() as u32);
+            for (name, value) in &m.gauges {
+                put_string(buf, name);
+                buf.put_i64_le(*value);
+            }
+            buf.put_u32_le(m.histograms.len() as u32);
+            for h in &m.histograms {
+                put_string(buf, &h.name);
+                buf.put_u64_le(h.count);
+                buf.put_u64_le(h.sum);
+                buf.put_u64_le(h.max);
+                buf.put_u64_le(h.p50);
+                buf.put_u64_le(h.p90);
+                buf.put_u64_le(h.p99);
+                buf.put_u64_le(h.p999);
+            }
         }
     }
 }
@@ -167,6 +196,53 @@ pub fn decode(mut buf: &[u8]) -> Result<Message> {
         8 => {
             let retry_after_ms = get_u32(&mut buf, "retry_after_ms")?;
             Message::Busy(BusyReply { retry_after_ms })
+        }
+        9 => {
+            let version = get_u16(&mut buf, "version")?;
+            let device_id = get_u64(&mut buf, "device_id")?;
+            let token = get_token(&mut buf)?;
+            Message::MetricsRequest(MetricsRequest {
+                version,
+                device_id,
+                token,
+            })
+        }
+        10 => {
+            let count = get_batch_len(&mut buf, "metric counters")?;
+            let mut counters = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = get_string(&mut buf, "counter name")?;
+                let value = get_u64(&mut buf, "counter value")?;
+                counters.push((name, value));
+            }
+            let count = get_batch_len(&mut buf, "metric gauges")?;
+            let mut gauges = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = get_string(&mut buf, "gauge name")?;
+                let value = get_i64(&mut buf, "gauge value")?;
+                gauges.push((name, value));
+            }
+            let count = get_batch_len(&mut buf, "metric histograms")?;
+            let mut histograms = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = get_string(&mut buf, "histogram name")?;
+                ensure(buf, 7 * 8, "histogram stats")?;
+                histograms.push(HistogramReport {
+                    name,
+                    count: buf.get_u64_le(),
+                    sum: buf.get_u64_le(),
+                    max: buf.get_u64_le(),
+                    p50: buf.get_u64_le(),
+                    p90: buf.get_u64_le(),
+                    p99: buf.get_u64_le(),
+                    p999: buf.get_u64_le(),
+                });
+            }
+            Message::MetricsReport(MetricsReport {
+                counters,
+                gauges,
+                histograms,
+            })
         }
         other => return Err(ProtoError::UnknownMessageTag(other)),
     };
@@ -491,6 +567,25 @@ mod tests {
                 ],
             }),
             Message::Busy(BusyReply { retry_after_ms: 25 }),
+            Message::MetricsRequest(MetricsRequest {
+                version: 4,
+                device_id: 3,
+                token: AuthToken::derive(3, 7),
+            }),
+            Message::MetricsReport(MetricsReport {
+                counters: vec![("checkins_applied".into(), 64), ("dedup_replays".into(), 2)],
+                gauges: vec![("queue_depth".into(), -1), ("conns_active".into(), 7)],
+                histograms: vec![HistogramReport {
+                    name: "req_checkin_us".into(),
+                    count: 64,
+                    sum: 1024,
+                    max: 200,
+                    p50: 15,
+                    p90: 31,
+                    p99: 255,
+                    p999: 255,
+                }],
+            }),
         ]
     }
 

@@ -36,5 +36,7 @@ pub type Result<T> = std::result::Result<T, ProtoError>;
 ///
 /// Version 2 introduced the dense/sparse [`message::GradientPayload`] encoding
 /// inside checkin requests; version 3 added the duplicate-detection nonce that
-/// makes retried checkins idempotent.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// makes retried checkins idempotent; version 4 added the authenticated
+/// [`message::MetricsRequest`]/[`message::MetricsReport`] admin scrape of the
+/// server's crowd-scope metric registry.
+pub const PROTOCOL_VERSION: u16 = 4;

@@ -189,6 +189,54 @@ pub struct BusyReply {
     pub retry_after_ms: u32,
 }
 
+/// Operator → server: scrape the server's crowd-scope metric registry
+/// (wire v4). Authenticated like a checkout: metrics expose operational
+/// detail, so anonymous peers get an error, not a dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRequest {
+    /// Protocol version of the sender.
+    pub version: u16,
+    /// Identity the scrape authenticates as (any registered device).
+    pub device_id: u64,
+    /// Authentication token.
+    pub token: AuthToken,
+}
+
+/// One histogram in a [`MetricsReport`]: counts plus extracted percentiles
+/// (the full bucket vector stays server-side; percentiles are what the
+/// paper's scalability claims cite).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramReport {
+    /// Metric name (unit suffix included, e.g. `req_checkin_us`).
+    pub name: String,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+    /// Median (log₂-bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+/// Server → operator: the metric registry snapshot, sorted by name within
+/// each section so identical registries encode byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Counter `(name, value)` pairs, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge `(name, value)` pairs, ascending by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, ascending by name.
+    pub histograms: Vec<HistogramReport>,
+}
+
 /// An error reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorReply {
@@ -269,6 +317,10 @@ pub enum Message {
     BatchCheckinAck(BatchCheckinAck),
     /// Server → device: backpressure rejection with a retry hint.
     Busy(BusyReply),
+    /// Operator → server: scrape the metric registry (wire v4).
+    MetricsRequest(MetricsRequest),
+    /// Server → operator: the metric registry snapshot (wire v4).
+    MetricsReport(MetricsReport),
 }
 
 impl Message {
@@ -283,6 +335,8 @@ impl Message {
             Message::BatchCheckinRequest(_) => 6,
             Message::BatchCheckinAck(_) => 7,
             Message::Busy(_) => 8,
+            Message::MetricsRequest(_) => 9,
+            Message::MetricsReport(_) => 10,
         }
     }
 
@@ -297,6 +351,8 @@ impl Message {
             Message::BatchCheckinRequest(_) => "batch_checkin_request",
             Message::BatchCheckinAck(_) => "batch_checkin_ack",
             Message::Busy(_) => "busy",
+            Message::MetricsRequest(_) => "metrics_request",
+            Message::MetricsReport(_) => "metrics_report",
         }
     }
 }
@@ -340,16 +396,28 @@ mod tests {
             Message::BatchCheckinRequest(BatchCheckinRequest { items: vec![] }),
             Message::BatchCheckinAck(BatchCheckinAck { acks: vec![] }),
             Message::Busy(BusyReply { retry_after_ms: 2 }),
+            Message::MetricsRequest(MetricsRequest {
+                version: 1,
+                device_id: 0,
+                token: AuthToken::derive(0, 0),
+            }),
+            Message::MetricsReport(MetricsReport {
+                counters: vec![],
+                gauges: vec![],
+                histograms: vec![],
+            }),
         ];
         let mut tags: Vec<u8> = msgs.iter().map(|m| m.tag()).collect();
         tags.sort_unstable();
         tags.dedup();
-        assert_eq!(tags.len(), 8);
+        assert_eq!(tags.len(), 10);
         assert_eq!(msgs[0].name(), "checkout_request");
         assert_eq!(msgs[4].name(), "error");
         assert_eq!(msgs[5].name(), "batch_checkin_request");
         assert_eq!(msgs[6].name(), "batch_checkin_ack");
         assert_eq!(msgs[7].name(), "busy");
+        assert_eq!(msgs[8].name(), "metrics_request");
+        assert_eq!(msgs[9].name(), "metrics_report");
     }
 
     #[test]

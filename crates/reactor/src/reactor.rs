@@ -42,6 +42,7 @@
 use crate::frame::{FrameError, FrameReader, FrameWriter, ReadEvent, WriteEvent};
 use crowd_proto::pool::BufPool;
 use crowd_proto::Message;
+use crowd_telemetry::{CounterId, GaugeId, Registry, Stage};
 use polling::{Event, Events, Poller};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -130,6 +131,12 @@ impl Default for ReactorConfig {
 }
 
 /// Point-in-time counters, for tests and operational visibility.
+///
+/// Since the crowd-scope migration this is a *view* over the reactor's
+/// [`Registry`] (`conns_accepted`, `conns_active`, `conns_parked`,
+/// `inflight`, `conns_rejected`) — the registry snapshot is the one
+/// authoritative stats surface; this struct just names the reactor's slice
+/// of it for convenience.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReactorStats {
     /// Connections accepted over the reactor's lifetime.
@@ -156,21 +163,24 @@ struct Shared {
     service: Arc<dyn Service>,
     pool: Arc<BufPool>,
     config: ReactorConfig,
+    /// Connection accounting lives in the crowd-scope registry
+    /// (`conns_accepted`/`conns_rejected` counters, `conns_active`/
+    /// `conns_parked`/`inflight` gauges) — one source for [`ReactorStats`]
+    /// and wire scrapes alike.
+    metrics: Arc<Registry>,
     stop: AtomicBool,
     accepting: AtomicBool,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    conn_count: AtomicUsize,
-    inflight: AtomicUsize,
-    parked: AtomicUsize,
+    /// Round-robin distribution state for accepted connections (distinct from
+    /// the `conns_accepted` telemetry counter, which nothing reads back).
+    next_conn: AtomicU64,
     unflushed: AtomicUsize,
     shards: Vec<ShardHandle>,
 }
 
 impl Shared {
     fn quiesced(&self) -> bool {
-        self.inflight.load(Ordering::Acquire) == 0
-            && self.parked.load(Ordering::Acquire) == 0
+        self.metrics.gauge(GaugeId::Inflight) == 0
+            && self.metrics.gauge(GaugeId::ConnsParked) == 0
             && self.unflushed.load(Ordering::Acquire) == 0
     }
 
@@ -209,12 +219,26 @@ pub struct Reactor {
 }
 
 impl Reactor {
-    /// Starts the reactor pool serving `service` on `listener`.
+    /// Starts the reactor pool serving `service` on `listener`, with a fresh
+    /// private metric registry.
     pub fn start(
         listener: TcpListener,
         service: Arc<dyn Service>,
         pool: Arc<BufPool>,
         config: ReactorConfig,
+    ) -> io::Result<Reactor> {
+        Self::start_with_metrics(listener, service, pool, config, Arc::new(Registry::new()))
+    }
+
+    /// Like [`Reactor::start`], but connection counters, park/resume rates,
+    /// and accept/decode spans land in the caller's `metrics` registry — how
+    /// a server shares one scrapeable registry across its serving layers.
+    pub fn start_with_metrics(
+        listener: TcpListener,
+        service: Arc<dyn Service>,
+        pool: Arc<BufPool>,
+        config: ReactorConfig,
+        metrics: Arc<Registry>,
     ) -> io::Result<Reactor> {
         let threads = config.threads.max(1);
         let addr = listener.local_addr()?;
@@ -233,13 +257,10 @@ impl Reactor {
             service,
             pool,
             config: ReactorConfig { threads, ..config },
+            metrics,
             stop: AtomicBool::new(false),
             accepting: AtomicBool::new(true),
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            conn_count: AtomicUsize::new(0),
-            inflight: AtomicUsize::new(0),
-            parked: AtomicUsize::new(0),
+            next_conn: AtomicU64::new(0),
             unflushed: AtomicUsize::new(0),
             shards: shard_handles,
         });
@@ -305,15 +326,21 @@ impl Reactor {
         self.addr
     }
 
-    /// Current counters.
+    /// Current counters, read from the reactor's registry.
     pub fn stats(&self) -> ReactorStats {
+        let m = &self.shared.metrics;
         ReactorStats {
-            accepted: self.shared.accepted.load(Ordering::Acquire),
-            active: self.shared.conn_count.load(Ordering::Acquire),
-            parked: self.shared.parked.load(Ordering::Acquire),
-            inflight: self.shared.inflight.load(Ordering::Acquire),
-            rejected: self.shared.rejected.load(Ordering::Acquire),
+            accepted: m.counter(CounterId::ConnsAccepted),
+            active: m.gauge(GaugeId::ConnsActive).max(0) as usize,
+            parked: m.gauge(GaugeId::ConnsParked).max(0) as usize,
+            inflight: m.gauge(GaugeId::Inflight).max(0) as usize,
+            rejected: m.counter(CounterId::ConnsRejected),
         }
+    }
+
+    /// The registry the reactor records into.
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.metrics)
     }
 
     /// Stops accepting new connections (existing ones keep being served).
@@ -389,6 +416,9 @@ struct Conn {
     mode: Mode,
     /// Whether this connection currently contributes to `Shared::unflushed`.
     counted_unflushed: bool,
+    /// A request frame is partially read: the next completed frame counts as
+    /// a resume (`frame_resumes`).
+    mid_frame: bool,
 }
 
 enum Slot {
@@ -559,11 +589,13 @@ impl Shard {
             };
             match listener.accept() {
                 Ok((stream, _)) => {
-                    let n = self.shared.accepted.fetch_add(1, Ordering::AcqRel);
-                    if self.shared.conn_count.load(Ordering::Acquire)
-                        >= self.shared.config.max_connections
+                    let n = self.shared.next_conn.fetch_add(1, Ordering::AcqRel);
+                    self.shared.metrics.incr(CounterId::ConnsAccepted);
+                    self.shared.metrics.span(Stage::Accept, n);
+                    if self.shared.metrics.gauge(GaugeId::ConnsActive)
+                        >= self.shared.config.max_connections as i64
                     {
-                        self.shared.rejected.fetch_add(1, Ordering::AcqRel);
+                        self.shared.metrics.incr(CounterId::ConnsRejected);
                         drop(stream);
                         continue;
                     }
@@ -607,13 +639,14 @@ impl Shard {
             generation: 0,
             mode: Mode::Idle,
             counted_unflushed: false,
+            mid_frame: false,
         };
         let idx = self.slab.insert(conn);
         let generation = self.slab.generation(idx).unwrap_or(0);
         if let Some(conn) = self.slab.get_mut(idx) {
             conn.generation = generation;
         }
-        self.shared.conn_count.fetch_add(1, Ordering::AcqRel);
+        self.shared.metrics.gauge_add(GaugeId::ConnsActive, 1);
         let key = idx + 1;
         let registered = {
             let conn = match self.slab.get_mut(idx) {
@@ -629,7 +662,7 @@ impl Shard {
 
     fn apply_completions(&mut self) {
         while let Ok(done) = self.done_rx.try_recv() {
-            self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.shared.metrics.gauge_add(GaugeId::Inflight, -1);
             let matches = self.slab.generation(done.conn) == Some(done.generation)
                 && self.slab.get_mut(done.conn).is_some();
             if !matches {
@@ -676,7 +709,7 @@ impl Shard {
         if let Some(conn) = self.slab.get_mut(idx) {
             if matches!(conn.mode, Mode::Parked { .. }) {
                 conn.mode = Mode::Idle;
-                self.shared.parked.fetch_sub(1, Ordering::AcqRel);
+                self.shared.metrics.gauge_add(GaugeId::ConnsParked, -1);
             }
         }
     }
@@ -693,7 +726,7 @@ impl Shard {
             }
             Response::Pending(wait) => {
                 conn.mode = Mode::Awaiting;
-                self.shared.inflight.fetch_add(1, Ordering::AcqRel);
+                self.shared.metrics.gauge_add(GaugeId::Inflight, 1);
                 let job = PumpJob {
                     conn: idx,
                     generation,
@@ -702,12 +735,13 @@ impl Shard {
                 if self.pump_tx.send(job).is_err() {
                     // Pump gone (shutdown); the connection will be dropped
                     // with the reactor.
-                    self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                    self.shared.metrics.gauge_add(GaugeId::Inflight, -1);
                 }
             }
             Response::Throttle { retry, .. } => {
                 conn.mode = Mode::Parked { retry };
-                self.shared.parked.fetch_add(1, Ordering::AcqRel);
+                self.shared.metrics.incr(CounterId::Parks);
+                self.shared.metrics.gauge_add(GaugeId::ConnsParked, 1);
                 self.parked_list.push(idx);
             }
         }
@@ -752,8 +786,16 @@ impl Shard {
                     return DriveOutcome::Keep;
                 }
                 match conn.reader.poll_read(&mut conn.stream) {
-                    Ok(ReadEvent::Frame(message)) => self.shared.service.handle(message),
+                    Ok(ReadEvent::Frame(message)) => {
+                        if conn.mid_frame {
+                            conn.mid_frame = false;
+                            self.shared.metrics.incr(CounterId::FrameResumes);
+                        }
+                        self.shared.metrics.span(Stage::FrameDecode, idx as u64);
+                        self.shared.service.handle(message)
+                    }
                     Ok(ReadEvent::NeedMore) => {
+                        conn.mid_frame = conn.reader.mid_frame();
                         let key = idx + 1;
                         let _ = self.poller.modify(&conn.stream, Event::readable(key));
                         return DriveOutcome::Keep;
@@ -789,12 +831,12 @@ impl Shard {
             return;
         };
         let _ = self.poller.delete(&conn.stream);
-        self.shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+        self.shared.metrics.gauge_add(GaugeId::ConnsActive, -1);
         if conn.counted_unflushed {
             self.shared.unflushed.fetch_sub(1, Ordering::AcqRel);
         }
         if matches!(conn.mode, Mode::Parked { .. }) {
-            self.shared.parked.fetch_sub(1, Ordering::AcqRel);
+            self.shared.metrics.gauge_add(GaugeId::ConnsParked, -1);
         }
         // An Awaiting connection's pump reply is discarded by the generation
         // check in `apply_completions`.

@@ -31,7 +31,9 @@ use crowd_core::config::ServerConfig;
 use crowd_core::server::{EpochAggregate, Server};
 use crowd_core::ServerState;
 use crowd_learning::model::Model;
+use crowd_telemetry::{CounterId, HistogramId, Registry, Stage};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// What [`Store::open`] found on disk.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -62,6 +64,10 @@ pub struct Store {
     fsync: bool,
     wal: WalWriter,
     epochs_since_snapshot: u64,
+    /// When attached (by the aggregation runtime), WAL append bytes/latency
+    /// and snapshot durations are recorded here alongside the runtime's own
+    /// metrics, so one scrape covers the whole durability path.
+    metrics: Option<Arc<Registry>>,
 }
 
 impl Store {
@@ -131,6 +137,7 @@ impl Store {
                 fsync: persist.fsync,
                 wal,
                 epochs_since_snapshot: 0,
+                metrics: None,
             },
             server,
             report,
@@ -147,6 +154,13 @@ impl Store {
         self.wal.seq()
     }
 
+    /// Attaches a crowd-scope registry; subsequent appends and snapshots
+    /// record `wal_appends`, `wal_append_bytes`, `wal_append_us`, and
+    /// `snapshot_us` into it.
+    pub fn set_metrics(&mut self, metrics: Arc<Registry>) {
+        self.metrics = Some(metrics);
+    }
+
     /// Appends one epoch (and its ε charges) to the WAL. Must be called
     /// *before* the epoch is applied and its checkins acknowledged; a failure
     /// here means the epoch must not be applied (no ack without durability).
@@ -156,8 +170,15 @@ impl Store {
         epoch: &EpochAggregate,
         charges: &[(u64, f64)],
     ) -> Result<()> {
-        self.wal
-            .append(&codec::encode_epoch_record(pre_iteration, epoch, charges))?;
+        let record = codec::encode_epoch_record(pre_iteration, epoch, charges);
+        let start = self.metrics.as_ref().map(|m| m.start());
+        self.wal.append(&record)?;
+        if let (Some(metrics), Some(start)) = (&self.metrics, start) {
+            metrics.incr(CounterId::WalAppends);
+            metrics.add(CounterId::WalAppendBytes, record.len() as u64);
+            metrics.observe_since(HistogramId::WalAppendUs, start);
+            metrics.span(Stage::WalAppend, pre_iteration);
+        }
         Ok(())
     }
 
@@ -178,6 +199,7 @@ impl Store {
     /// sees a snapshot whose `wal_seq` points past segments that still
     /// receive acknowledged epochs (which it would delete as superseded).
     pub fn snapshot(&mut self, state: &ServerState) -> Result<()> {
+        let start = self.metrics.as_ref().map(|m| m.start());
         let next_seq = self.wal.seq() + 1;
         let new_wal = WalWriter::create(&self.dir, next_seq, self.fsync)?;
         snapshot::write(&self.dir, next_seq, state, self.fsync)?;
@@ -188,6 +210,9 @@ impl Store {
             }
         }
         self.epochs_since_snapshot = 0;
+        if let (Some(metrics), Some(start)) = (&self.metrics, start) {
+            metrics.observe_since(HistogramId::SnapshotUs, start);
+        }
         Ok(())
     }
 }

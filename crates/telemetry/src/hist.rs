@@ -1,0 +1,265 @@
+//! Fixed-bucket log₂ histograms with atomic counts.
+//!
+//! A [`Histogram`] is 65 atomic buckets — bucket 0 holds the value 0, bucket
+//! *i* ≥ 1 holds values in `[2^(i-1), 2^i - 1]` — plus exact count/sum/max
+//! aggregates. Recording is a handful of relaxed atomic adds: no locks, no
+//! allocation, no floating point, so it is safe on the request hot path and
+//! deterministic to render.
+//!
+//! Percentiles come from the immutable [`HistogramBins`] snapshot and are
+//! computed with integer bucket-upper-bound math: the reported quantile is
+//! the inclusive upper bound of the bucket containing the rank, so for any
+//! recorded value distribution `exact_quantile ≤ reported < 2 ×
+//! max(exact_quantile, 1)` — a guaranteed ≤2× overestimate, never an
+//! underestimate (the property the proptest suite pins down).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: one zero bucket plus one per power of two up to `2^63`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Index of the bucket holding `value`: 0 for 0, else `floor(log2 v) + 1`.
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `index` (the value percentiles report).
+fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A concurrent log₂ histogram; record with [`Histogram::observe`], read via
+/// [`Histogram::bins`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. Lock-free and allocation-free.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Takes an immutable snapshot of the current contents.
+    ///
+    /// Concurrent observers may land between the individual bucket reads;
+    /// the snapshot is exact once writers are quiescent (which is when
+    /// dumps, tests, and the scrape surface read it).
+    pub fn bins(&self) -> HistogramBins {
+        HistogramBins {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable histogram snapshot: cloneable, mergeable, and the thing
+/// percentiles are computed from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramBins {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramBins {
+    fn default() -> Self {
+        HistogramBins {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramBins {
+    /// Creates an empty snapshot (useful as a merge accumulator).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation into the (non-atomic) snapshot; the
+    /// single-threaded counterpart of [`Histogram::observe`] used by
+    /// [`crate::metrics::MetricsSnapshot`]-adjacent collectors like the sim
+    /// trace.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact, not a bucket bound); 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile `q` in `[0, 1]` as the inclusive upper bound of the
+    /// bucket containing that rank (deterministic integer math; the exact
+    /// max for the top-most occupied bucket would be available via
+    /// [`HistogramBins::max`]). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the q-quantile, 1-based, at least 1 ("nearest rank").
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        // Unreachable while count equals the bucket total; fall back to max.
+        self.max
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (bucket upper bound).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (bucket upper bound).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Folds another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramBins) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper_bound(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 5, 9, 17, 100, 1000] {
+            h.observe(v);
+        }
+        let bins = h.bins();
+        assert_eq!(bins.count(), 9);
+        assert_eq!(bins.max(), 1000);
+        // Rank 5 of 9 (p50) is the value 5 → bucket [4,7] → bound 7.
+        assert_eq!(bins.p50(), 7);
+        // p99 lands in the top bucket [512,1023].
+        assert_eq!(bins.p99(), 1023);
+        assert_eq!(bins.quantile(0.0), 0);
+        assert_eq!(bins.quantile(1.0), 1023);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let bins = Histogram::new().bins();
+        assert_eq!(bins.count(), 0);
+        assert_eq!(bins.mean(), 0.0);
+        assert_eq!(bins.p999(), 0);
+        assert_eq!(bins.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = HistogramBins::new();
+        a.record(10);
+        let mut b = HistogramBins::new();
+        b.record(1000);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1013);
+        assert_eq!(a.max(), 1000);
+    }
+}

@@ -1,0 +1,203 @@
+//! Bounded, striped ring of structured span events for request-path tracing.
+//!
+//! Every interesting hop of a checkin's life — accept → frame decode → queue
+//! admit/park → shard ingest → epoch merge → WAL append → ack — can drop a
+//! seq-numbered [`SpanEvent`] into the [`EventRing`]. The ring is **bounded**
+//! (a fixed number of slots per stripe; old events are overwritten), so it
+//! never grows under a week-long chaos run, and **striped** (events hash to
+//! one of several small mutex-protected rings by their key) so concurrent
+//! recorders rarely contend.
+//!
+//! Ring contents are diagnostic, not part of the deterministic metric dump:
+//! interleaving across stripes depends on scheduling, so scrapes exclude
+//! them while tests and operators can read them via [`EventRing::snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Stripes in the ring; keys hash to a stripe, bounding lock contention.
+const STRIPES: usize = 8;
+
+/// Default number of slots per stripe (total capacity = 8 × 256).
+pub const DEFAULT_SLOTS_PER_STRIPE: usize = 256;
+
+/// A stage of the request path, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Connection accepted by a server.
+    Accept,
+    /// A complete frame was decoded off a connection.
+    FrameDecode,
+    /// A checkin was admitted to the ingest queue.
+    QueueAdmit,
+    /// A checkin was parked (queue full / dedup in flight).
+    QueuePark,
+    /// A shard folded the checkin's gradient.
+    ShardIngest,
+    /// An epoch was merged into the model.
+    EpochMerge,
+    /// An epoch record was appended to the WAL.
+    WalAppend,
+    /// A checkin acknowledgement was released.
+    Ack,
+}
+
+impl Stage {
+    /// Stable lowercase name for dumps and assertions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Accept => "accept",
+            Stage::FrameDecode => "frame_decode",
+            Stage::QueueAdmit => "queue_admit",
+            Stage::QueuePark => "queue_park",
+            Stage::ShardIngest => "shard_ingest",
+            Stage::EpochMerge => "epoch_merge",
+            Stage::WalAppend => "wal_append",
+            Stage::Ack => "ack",
+        }
+    }
+}
+
+/// One recorded hop: globally seq-numbered, stamped by the registry's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Global sequence number (total order of recording).
+    pub seq: u64,
+    /// Which pipeline stage recorded the event.
+    pub stage: Stage,
+    /// Correlation key: device id, connection id — whatever the stage knows.
+    pub key: u64,
+    /// Timestamp in clock microseconds (logical ticks under sim clocks).
+    pub at_micros: u64,
+}
+
+struct Stripe {
+    slots: Vec<SpanEvent>,
+    /// Index of the oldest slot (the next to overwrite) once full.
+    next: usize,
+}
+
+/// The bounded striped event ring. See the module docs.
+#[derive(Debug)]
+pub struct EventRing {
+    seq: AtomicU64,
+    slots_per_stripe: usize,
+    // audit:lock(telemetry.ring, 85)
+    stripes: [Mutex<Stripe>; STRIPES],
+}
+
+impl std::fmt::Debug for Stripe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stripe")
+            .field("len", &self.slots.len())
+            .field("next", &self.next)
+            .finish()
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self::with_slots(DEFAULT_SLOTS_PER_STRIPE)
+    }
+}
+
+impl EventRing {
+    /// Creates a ring with `slots_per_stripe` slots in each of its stripes.
+    /// All slot storage is allocated up front so recording never allocates.
+    pub fn with_slots(slots_per_stripe: usize) -> Self {
+        let slots_per_stripe = slots_per_stripe.max(1);
+        EventRing {
+            seq: AtomicU64::new(0),
+            slots_per_stripe,
+            stripes: std::array::from_fn(|_| {
+                Mutex::new(Stripe {
+                    slots: Vec::with_capacity(slots_per_stripe),
+                    next: 0,
+                })
+            }),
+        }
+    }
+
+    /// Records one span event, overwriting the stripe's oldest slot when
+    /// full. Allocation-free: the slot storage was reserved at construction.
+    pub fn record(&self, stage: Stage, key: u64, at_micros: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = SpanEvent {
+            seq,
+            stage,
+            key,
+            at_micros,
+        };
+        // Multiplicative hash spreads sequential device/connection ids.
+        let stripe = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % STRIPES;
+        let mut guard = self.stripes[stripe]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if guard.slots.len() < self.slots_per_stripe {
+            guard.slots.push(event);
+        } else {
+            let next = guard.next;
+            guard.slots[next] = event;
+            guard.next = (next + 1) % self.slots_per_stripe;
+        }
+    }
+
+    /// Upper bound on surviving events: total slots across every stripe.
+    pub fn capacity(&self) -> usize {
+        STRIPES * self.slots_per_stripe
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// The surviving events across all stripes, in sequence order.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        let mut events = Vec::new();
+        for stripe in &self.stripes {
+            let guard = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+            events.extend_from_slice(&guard.slots);
+        }
+        events.sort_unstable_by_key(|e| e.seq);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_sequence_and_bounds_memory() {
+        let ring = EventRing::with_slots(4);
+        // 100 events from 16 keys: every stripe overflows, memory stays at
+        // 8 stripes × 4 slots.
+        for i in 0..100u64 {
+            ring.record(Stage::Ack, i % 16, i);
+        }
+        assert_eq!(ring.recorded(), 100);
+        let events = ring.snapshot();
+        assert!(events.len() <= STRIPES * 4);
+        // Sequence numbers are strictly increasing in the snapshot.
+        for pair in events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+    }
+
+    #[test]
+    fn stage_names_cover_the_pipeline() {
+        let stages = [
+            Stage::Accept,
+            Stage::FrameDecode,
+            Stage::QueueAdmit,
+            Stage::QueuePark,
+            Stage::ShardIngest,
+            Stage::EpochMerge,
+            Stage::WalAppend,
+            Stage::Ack,
+        ];
+        let names: std::collections::BTreeSet<&str> = stages.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), stages.len());
+    }
+}

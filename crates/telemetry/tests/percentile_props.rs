@@ -1,0 +1,93 @@
+//! Property tests pinning the histogram percentile contract: the reported
+//! quantile is the log₂-bucket upper bound, so it never *under*-estimates the
+//! exact nearest-rank quantile and over-estimates by strictly less than 2×.
+
+use crowd_telemetry::{Histogram, HistogramBins};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over the raw values (the reference the
+/// bucketed answer is checked against).
+fn exact_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn reported_quantile_bounds_the_exact_one(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.observe(v);
+        }
+        let bins = hist.bins();
+        let reported = bins.quantile(q);
+        let exact = exact_quantile(&values, q);
+        // Never an underestimate…
+        prop_assert!(reported >= exact, "reported {reported} < exact {exact}");
+        // …and at most the containing bucket's upper bound: 0 stays 0, and a
+        // value v ≥ 1 in bucket [2^(i-1), 2^i - 1] reports at most 2v - 1
+        // (saturated: the top bucket's bound is u64::MAX ≤ 2v saturated).
+        if exact == 0 {
+            prop_assert_eq!(reported, 0);
+        } else {
+            prop_assert!(
+                reported <= exact.saturating_mul(2),
+                "reported {} breaks the 2x bound on exact {}", reported, exact
+            );
+        }
+    }
+
+    #[test]
+    fn count_sum_max_are_exact(values in prop::collection::vec(any::<u64>(), 0..100)) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.observe(v);
+        }
+        let bins = hist.bins();
+        prop_assert_eq!(bins.count(), values.len() as u64);
+        // The atomic sum wraps on overflow (fetch_add), so mirror that here;
+        // realistic microsecond magnitudes never get close.
+        let sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(bins.sum(), sum);
+        prop_assert_eq!(bins.max(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one(
+        a in prop::collection::vec(any::<u64>(), 0..60),
+        b in prop::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let mut left = HistogramBins::new();
+        for &v in &a {
+            left.record(v);
+        }
+        let mut right = HistogramBins::new();
+        for &v in &b {
+            right.record(v);
+        }
+        left.merge(&right);
+        let mut combined = HistogramBins::new();
+        for &v in a.iter().chain(b.iter()) {
+            combined.record(v);
+        }
+        prop_assert_eq!(left, combined);
+    }
+
+    #[test]
+    fn p50_p999_are_monotone(values in prop::collection::vec(any::<u64>(), 1..100)) {
+        let mut bins = HistogramBins::new();
+        for &v in &values {
+            bins.record(v);
+        }
+        prop_assert!(bins.p50() <= bins.p90());
+        prop_assert!(bins.p90() <= bins.p99());
+        prop_assert!(bins.p99() <= bins.p999());
+        prop_assert!(bins.p999() <= bins.max().max(bins.p999()));
+    }
+}

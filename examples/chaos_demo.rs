@@ -85,5 +85,13 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     println!("  terminated with an intact ε ledger through churn and crashes — OK");
 
+    // crowd-scope: dump the final incarnation's metric registry so the CI
+    // smoke step can grep the catalogue and archive the dump as an artifact.
+    assert!(report.metrics.get("checkins_applied") > 0);
+    assert!(report.metrics.get("epoch_merges") > 0);
+    println!("--- metrics dump (final server incarnation) ---");
+    print!("{}", report.metrics.render_text());
+    println!("--- end metrics dump ---");
+
     println!("chaos_demo: all invariants held (seed {seed})");
 }

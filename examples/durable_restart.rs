@@ -123,6 +123,41 @@ fn main() {
         server.iteration(),
         server.budget_ledger().len()
     );
+
+    // crowd-scope: scrape the live server's metric registry over the wire
+    // (the same authenticated admin message an operator would send) and dump
+    // it so the CI smoke step can grep the catalogue and archive it.
+    let scraper = DeviceClient::new(server.addr(), 0, AuthToken::derive(0, SECRET));
+    let scraped = scraper.scrape_metrics().expect("metrics scrape over TCP");
+    let counter = |name: &str| {
+        scraped
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    // The post-restart incarnation applied the remaining checkins durably.
+    assert_eq!(
+        counter("checkins_applied"),
+        (CHECKINS - CRASH_AFTER) as u64,
+        "scrape must report this incarnation's applied checkins"
+    );
+    assert!(counter("wal_appends") > 0, "durable path must hit the WAL");
+    println!("--- metrics scrape (post-restart server, over TCP) ---");
+    for (name, value) in &scraped.counters {
+        println!("counter {name} {value}");
+    }
+    for (name, value) in &scraped.gauges {
+        println!("gauge {name} {value}");
+    }
+    for h in &scraped.histograms {
+        println!(
+            "hist {} count={} sum={} max={} p50={} p90={} p99={} p999={}",
+            h.name, h.count, h.sum, h.max, h.p50, h.p90, h.p99, h.p999
+        );
+    }
+    println!("--- end metrics scrape ---");
     server.shutdown();
     let _ = std::fs::remove_dir_all(&data_dir);
     println!("OK: crash, bitwise recovery, and resumed training all verified");

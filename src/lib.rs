@@ -21,6 +21,8 @@
 //!   serves from.
 //! * [`store`] — durable server state: CRC-framed write-ahead log, atomic
 //!   snapshots, and bitwise crash recovery.
+//! * [`telemetry`] — crowd-scope observability: the typed metric registry,
+//!   log₂ histograms, span rings, and the clock abstraction behind them.
 //!
 //! ## Quick start
 //!
@@ -55,3 +57,4 @@ pub use crowd_proto as proto;
 pub use crowd_reactor as reactor;
 pub use crowd_sim as sim;
 pub use crowd_store as store;
+pub use crowd_telemetry as telemetry;

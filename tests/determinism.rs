@@ -182,3 +182,59 @@ fn runtime_epoch_size_one_matches_classic_server_bitwise() {
     assert_eq!(classic.total_samples(), runtime.total_samples());
     runtime.shutdown();
 }
+
+/// crowd-scope: instrumenting a deterministic run must not break its
+/// determinism. Two identical seeded runs on logical-clock registries render
+/// byte-identical text and JSON metric dumps — counters, gauges, and
+/// histogram percentiles included.
+#[test]
+fn instrumented_runs_render_byte_identical_dumps() {
+    use crowd_ml::telemetry::{Clock, Registry};
+
+    fn run_once() -> (String, String) {
+        let model = MulticlassLogistic::new(DETERMINISM_DIM, DETERMINISM_CLASSES).unwrap();
+        let config = ServerConfig::new()
+            .with_rate_constant(1.5)
+            .with_budget(0.25, f64::INFINITY)
+            .with_agg(AggSettings {
+                shard_count: 3,
+                queue_bound: 64,
+                epoch_size: 1,
+                worker_threads: 1,
+                retry_after_ms: 1,
+                flush_idle_ms: 0,
+            });
+        let metrics = Arc::new(Registry::with_clock(Clock::logical()));
+        let runtime = AggRuntime::with_instrumentation(
+            Server::new(model, config).unwrap(),
+            None,
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        for device in 0..DETERMINISM_DEVICES {
+            for step in 0..DETERMINISM_CHECKINS {
+                // Deterministic time: tick between checkins, never while one
+                // is in flight, so every measured latency is reproducible.
+                metrics.clock().advance(7);
+                let wait = runtime
+                    .submit(determinism_payload(device, step))
+                    .expect("instrumented submit");
+                assert!(wait.wait().expect("instrumented outcome").accepted);
+            }
+        }
+        runtime.shutdown();
+        let snap = metrics.snapshot();
+        (snap.render_text(), snap.render_json())
+    }
+
+    let (text_a, json_a) = run_once();
+    let (text_b, json_b) = run_once();
+    assert_eq!(text_a, text_b, "text dumps must be byte-identical");
+    assert_eq!(json_a, json_b, "JSON dumps must be byte-identical");
+    assert!(text_a.contains("time base: logical"));
+    // The dump reflects the run, not an empty registry.
+    let total = DETERMINISM_DEVICES * DETERMINISM_CHECKINS;
+    assert!(text_a.contains(&format!("counter checkins_applied {total}")));
+    assert!(text_a.contains(&format!("counter epoch_merges {total}")));
+    assert!(text_a.contains(&format!("hist eps_spend_microeps count={total}")));
+}

@@ -17,8 +17,8 @@
 
 use crowd_ml::learning::MulticlassLogistic;
 use crowd_ml::net::chaos::{ChaosCluster, ServerKind};
-use crowd_ml::net::{FleetConfig, FleetDriver, ReactorServer};
-use crowd_ml::proto::auth::TokenRegistry;
+use crowd_ml::net::{DeviceClient, FleetConfig, FleetDriver, ReactorServer};
+use crowd_ml::proto::auth::{AuthToken, TokenRegistry};
 use crowd_ml::sim::chaos::FaultPlan;
 use crowd_ml::store::testutil::temp_dir;
 use std::time::Duration;
@@ -69,6 +69,44 @@ fn reactor_holds_2000_concurrent_devices() {
             handle.runtime_stats().get("checkins_applied"),
             devices as u64
         );
+
+        // crowd-scope acceptance: the live server under fleet load answers a
+        // wire scrape with per-stage latency histograms and pressure gauges.
+        let scraper = DeviceClient::new(handle.addr(), 0, AuthToken::derive(0, 99));
+        // Scrape twice: a scrape's own service time is recorded after its
+        // snapshot was taken, so only the second scrape can observe the first.
+        scraper.scrape_metrics().unwrap();
+        let report = scraper.scrape_metrics().unwrap();
+        let counter = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert!(counter("conns_accepted") >= devices as u64);
+        assert_eq!(counter("checkins_applied"), devices as u64);
+        let hist = |name: &str| {
+            report
+                .histograms
+                .iter()
+                .find(|h| h.name == name)
+                .unwrap_or_else(|| panic!("missing histogram {name}"))
+        };
+        let checkin = hist("checkin_latency_us");
+        assert_eq!(checkin.count, devices as u64);
+        assert!(checkin.p50 <= checkin.p99 && checkin.p99 <= checkin.max.max(checkin.p99));
+        assert!(hist("req_checkout_us").count >= devices as u64);
+        // The scrape itself is instrumented, so its own histogram is live.
+        assert!(hist("req_metrics_us").count >= 1);
+        // Pressure gauges are present (zero once the fleet drained).
+        for gauge in ["queue_depth", "conns_parked", "inflight"] {
+            assert!(
+                report.gauges.iter().any(|(n, _)| n == gauge),
+                "missing gauge {gauge}"
+            );
+        }
         handle.shutdown();
     });
 }
