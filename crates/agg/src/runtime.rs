@@ -196,7 +196,8 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
             s
         });
         let inner = Arc::new(Inner {
-            shards: ShardSet::new(settings.shard_count, param_dim, num_classes),
+            shards: ShardSet::new(settings.shard_count, param_dim, num_classes)
+                .with_merge_workers(settings.worker_threads),
             snapshot: RwLock::new(Arc::new(ParamSnapshot {
                 iteration: ticket.iteration,
                 params: ticket.params,

@@ -33,6 +33,18 @@ use std::sync::mpsc;
 /// simply dropped (the pool exists to serve the steady state, not bursts).
 const MAX_POOLED_BUFFERS: usize = 64;
 
+/// Devices per leaf block of the fixed merge combine tree. A compile-time
+/// constant on purpose: the tree *shape* is a function of the device count
+/// alone, never of worker count or thread scheduling, so parallel and
+/// sequential merges are bitwise identical by construction.
+const MERGE_BLOCK: usize = 16;
+
+/// Fan the merge out to threads only past this many summed elements
+/// (`device count × param_dim`); below it, thread spawn overhead dominates.
+/// Purely a latency knob — crossing it cannot change a single output bit,
+/// because the combine tree is the same either way.
+const PARALLEL_MERGE_MIN_ELEMS: usize = 1 << 18;
+
 /// A checkin waiting for its epoch to be applied: the handler thread blocks on
 /// the receiving half until the merge sends the outcome.
 pub(crate) struct Waiter {
@@ -84,6 +96,10 @@ pub struct ShardSet {
     /// accumulators and the merge scratch.
     // audit:lock(agg.shard-scratch, 25)
     scratch: Mutex<Vec<Vec<f64>>>,
+    /// Threads the epoch merge may fan block sums across (1 = sequential).
+    merge_workers: usize,
+    /// Minimum summed elements before the merge actually goes parallel.
+    parallel_min_elems: usize,
 }
 
 impl ShardSet {
@@ -102,7 +118,27 @@ impl ShardSet {
             param_dim,
             num_classes,
             scratch: Mutex::new(Vec::new()),
+            merge_workers: 1,
+            parallel_min_elems: PARALLEL_MERGE_MIN_ELEMS,
         }
+    }
+
+    /// Lets the epoch merge fan its fixed combine tree across up to `n`
+    /// scoped threads. The tree shape never depends on `n`, so any worker
+    /// count (including 1) produces the identical aggregate; this only cuts
+    /// merge latency once an epoch is large enough to clear the
+    /// parallelism threshold.
+    pub fn with_merge_workers(mut self, n: usize) -> Self {
+        self.merge_workers = n.max(1);
+        self
+    }
+
+    /// Overrides the parallel-merge size threshold (elements = devices ×
+    /// `param_dim`). Exposed for tests and tuning; values at or below 0 make
+    /// every multi-block merge parallel.
+    pub fn with_parallel_min_elems(mut self, elems: usize) -> Self {
+        self.parallel_min_elems = elems;
+        self
     }
 
     /// Number of lock stripes.
@@ -194,11 +230,40 @@ impl ShardSet {
         Ok(())
     }
 
+    /// Sums one leaf block of the combine tree: device accumulators fold
+    /// left-to-right (ascending device id) into a pool-zeroed buffer, and the
+    /// drained per-device storage returns to the pool. Runs on the draining
+    /// thread or a merge worker — the fold order is identical either way.
+    fn block_sum(&self, block: Vec<(u64, DeviceAccum)>) -> (Vector, Vec<DeviceEpochStats>) {
+        let mut sum = self.take_zeroed();
+        let mut stats = Vec::with_capacity(block.len());
+        for (device_id, accum) in block {
+            // Accumulators are all created at `param_dim`, so the elementwise
+            // fold is total; `+=` matches `axpy(1.0, ·)` bit for bit without
+            // a fallible call in the merge path.
+            crowd_linalg::kernels::add_assign(sum.as_mut_slice(), accum.gradient_sum.as_slice());
+            self.put_back(accum.gradient_sum);
+            stats.push(DeviceEpochStats {
+                device_id,
+                checkins: accum.checkins,
+                samples: accum.samples,
+                errors: accum.errors,
+                label_counts: accum.label_counts,
+            });
+        }
+        (sum, stats)
+    }
+
     /// Takes everything accumulated so far and merges it into one epoch.
     ///
     /// Stripes are locked one at a time (their contents moved out), then the
-    /// per-device sums are folded in ascending device-id order — the fixed merge
-    /// order that makes the aggregate bitwise reproducible.
+    /// per-device sums are folded through a *fixed combine tree*: ascending
+    /// device-id order, grouped into [`MERGE_BLOCK`]-sized leaf blocks whose
+    /// sums fold left-to-right into the aggregate. The tree shape depends
+    /// only on the device count — never on shard count, worker count, or
+    /// thread interleaving — so the merged epoch is bitwise reproducible,
+    /// and large epochs can compute their block sums on scoped threads
+    /// (see [`ShardSet::with_merge_workers`]) with zero effect on the bits.
     pub(crate) fn drain(&self) -> DrainedEpoch {
         let mut combined: BTreeMap<u64, DeviceAccum> = BTreeMap::new();
         let mut waiters = Vec::new();
@@ -223,26 +288,77 @@ impl ShardSet {
                 count: 0,
             };
         }
-        // The merge scratch comes from (and returns to) the buffer pool: no
-        // parameter-sized allocation on the steady-state epoch path.
-        let mut gradient_sum = self.take_zeroed();
-        let mut device_stats = Vec::with_capacity(combined.len());
-        for (device_id, accum) in combined {
-            // Accumulators are all created at `param_dim`, so the elementwise
-            // fold is total; like ingest, `+=` matches `axpy(1.0, ·)` bit for
-            // bit without a fallible call in the merge path.
-            crowd_linalg::kernels::add_assign(
-                gradient_sum.as_mut_slice(),
-                accum.gradient_sum.as_slice(),
-            );
-            self.put_back(accum.gradient_sum);
-            device_stats.push(DeviceEpochStats {
-                device_id,
-                checkins: accum.checkins,
-                samples: accum.samples,
-                errors: accum.errors,
-                label_counts: accum.label_counts,
+        // Group the device-ordered accumulators into the tree's leaf blocks.
+        let device_count = combined.len();
+        let mut blocks: Vec<Vec<(u64, DeviceAccum)>> =
+            Vec::with_capacity(device_count.div_ceil(MERGE_BLOCK));
+        for entry in combined {
+            match blocks.last_mut() {
+                Some(block) if block.len() < MERGE_BLOCK => block.push(entry),
+                _ => {
+                    let mut block = Vec::with_capacity(MERGE_BLOCK);
+                    block.push(entry);
+                    blocks.push(block);
+                }
+            }
+        }
+        // Block sums land in order-preserving slots; whether a scoped worker
+        // or this thread fills a slot cannot matter, because each block's
+        // fold and the final left-to-right fold over slots are both fixed.
+        let mut slots: Vec<Option<(Vector, Vec<DeviceEpochStats>)>> =
+            blocks.iter().map(|_| None).collect();
+        let workers = self.merge_workers.min(blocks.len()).max(1);
+        if workers > 1 && device_count.saturating_mul(self.param_dim) >= self.parallel_min_elems {
+            let per = blocks.len().div_ceil(workers);
+            // Hand each worker an owned run of blocks plus the matching
+            // `&mut` run of result slots (disjoint, so no locks needed).
+            let mut groups: Vec<Vec<Vec<(u64, DeviceAccum)>>> = Vec::with_capacity(workers);
+            let mut group = Vec::with_capacity(per);
+            for block in blocks {
+                group.push(block);
+                if group.len() == per {
+                    groups.push(std::mem::take(&mut group));
+                    group = Vec::with_capacity(per);
+                }
+            }
+            if !group.is_empty() {
+                groups.push(group);
+            }
+            std::thread::scope(|scope| {
+                let mut rest = slots.as_mut_slice();
+                for group in groups {
+                    let take = group.len().min(rest.len());
+                    let (mine, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                    rest = tail;
+                    scope.spawn(move || {
+                        for (slot, block) in mine.iter_mut().zip(group) {
+                            *slot = Some(self.block_sum(block));
+                        }
+                    });
+                }
             });
+        } else {
+            for (slot, block) in slots.iter_mut().zip(blocks) {
+                *slot = Some(self.block_sum(block));
+            }
+        }
+        // Root fold, left to right over block sums. A single block (≤ 16
+        // devices, the common small-epoch case) short-circuits: its sum IS
+        // the aggregate, with no extra zero-buffer add. The merge scratch
+        // comes from (and returns to) the buffer pool: no parameter-sized
+        // allocation on the steady-state epoch path.
+        let mut filled = slots.into_iter().flatten();
+        let (mut gradient_sum, mut device_stats) = match filled.next() {
+            Some((sum, stats)) => (sum, stats),
+            // Unreachable (count > 0 ⇒ ≥ 1 block), but the merge path must
+            // not panic a worker: report an empty epoch instead.
+            None => (self.take_zeroed(), Vec::new()),
+        };
+        device_stats.reserve(device_count.saturating_sub(device_stats.len()));
+        for (block_sum, stats) in filled {
+            crowd_linalg::kernels::add_assign(gradient_sum.as_mut_slice(), block_sum.as_slice());
+            self.put_back(block_sum);
+            device_stats.extend(stats);
         }
         DrainedEpoch {
             epoch: Some(EpochAggregate {
@@ -411,6 +527,68 @@ mod tests {
             assert_eq!(set.pooled_buffers(), 4);
             set.recycle_epoch(agg);
             assert_eq!(set.pooled_buffers(), 5);
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The combine-tree contract: a parallel merge (many workers, tiny
+        /// threshold so it really runs on threads) is bitwise identical to
+        /// the sequential merge at any shard count, device count, and
+        /// dimension — including device counts straddling block boundaries.
+        #[test]
+        fn parallel_merge_matches_sequential_merge_bitwise(
+            shard_count in 1usize..9,
+            devices in 1u64..70,
+            dim in 1usize..40,
+            checkins_per_device in 1u64..4,
+            seed in any::<u64>(),
+        ) {
+            let make_grad = |device: u64, step: u64| -> Vec<f64> {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (device.wrapping_mul(1000) + step),
+                );
+                (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+            };
+            let fill = |set: &ShardSet| {
+                for device in 0..devices {
+                    for step in 0..checkins_per_device {
+                        let (tx, _rx) = mpsc::channel();
+                        let mut p = payload(device, make_grad(device, step), step);
+                        p.label_counts = vec![1, 1];
+                        assert!(set
+                            .ingest(
+                                &p,
+                                Waiter {
+                                    checkout_iteration: step,
+                                    device_id: device,
+                                    nonce: 0,
+                                    reply: tx,
+                                    submitted: crowd_telemetry::Clock::logical().start(),
+                                },
+                            )
+                            .is_ok());
+                    }
+                }
+            };
+            let sequential = ShardSet::new(shard_count, dim, 2);
+            fill(&sequential);
+            let expected = sequential.drain().epoch.unwrap();
+
+            let parallel = ShardSet::new(shard_count, dim, 2)
+                .with_merge_workers(4)
+                .with_parallel_min_elems(0);
+            fill(&parallel);
+            let merged = parallel.drain().epoch.unwrap();
+
+            prop_assert_eq!(merged.checkin_count, expected.checkin_count);
+            prop_assert_eq!(&merged.device_stats, &expected.device_stats);
+            for (a, b) in merged.gradient_sum.iter().zip(expected.gradient_sum.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

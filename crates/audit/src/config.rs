@@ -32,6 +32,13 @@ pub const PANIC_FREE_PATHS: &[&str] = &[
     "crates/telemetry/src/",
 ];
 
+/// Files allowed to contain `unsafe` code: the single audited SIMD kernel
+/// module (whose safety argument lives next to the intrinsics) and the
+/// vendored polling shim's FFI surface. Everywhere else the workspace is
+/// `deny(unsafe_code)` and any `unsafe` token is a finding. Entries are
+/// workspace-relative path prefixes.
+pub const UNSAFE_ALLOWED: &[&str] = &["crates/linalg/src/kernels/simd.rs", "vendor/polling/"];
+
 /// The file carrying the message tag table (`Message::tag`).
 pub const WIRE_MESSAGE_FILE: &str = "crates/proto/src/message.rs";
 

@@ -1,0 +1,119 @@
+//! Rule `unsafe-confinement`: `unsafe` code outside the audited kernel module.
+//!
+//! The workspace's memory-safety story is that exactly one module — the SIMD
+//! kernel module in `crowd-linalg` — contains `unsafe` blocks, each with a
+//! written safety argument, and everything else is `deny(unsafe_code)`. A new
+//! `unsafe` block (or a fresh `#[allow(unsafe_code)]` escape hatch) anywhere
+//! else silently widens that surface, so both are findings unless the file is
+//! on the [`crate::config::UNSAFE_ALLOWED`] list or the line is waived with
+//! `// audit:allow(unsafe-confinement, reason)`.
+
+use crate::config::{path_in, UNSAFE_ALLOWED};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "unsafe-confinement";
+
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if path_in(&file.rel_path, UNSAFE_ALLOWED) {
+            continue;
+        }
+        for (i, t) in file.tokens.iter().enumerate() {
+            let Some(id) = t.kind.ident() else { continue };
+            // `unsafe` covers blocks, fns, impls, and traits; `unsafe_code`
+            // only matters inside an `allow(...)` that re-enables it (the
+            // lint name also appears in `deny`/`forbid`, which are the
+            // posture we want).
+            let hit = match id {
+                "unsafe" => true,
+                "unsafe_code" => {
+                    let mut k = i;
+                    let mut in_allow = false;
+                    while k > 0 {
+                        k -= 1;
+                        match file.tokens[k].kind.ident() {
+                            Some("allow") => {
+                                in_allow = true;
+                                break;
+                            }
+                            Some("deny") | Some("forbid") | Some("warn") => break,
+                            _ => {}
+                        }
+                        if i - k > 4 {
+                            break;
+                        }
+                    }
+                    in_allow
+                }
+                _ => false,
+            };
+            if !hit || file.in_test(i) {
+                continue;
+            }
+            let line = file.line_of(i);
+            if file.allowed(RULE, line) {
+                continue;
+            }
+            findings.push(Finding::new(
+                RULE,
+                &file.rel_path,
+                line,
+                format!(
+                    "`{id}` outside the audited SIMD kernel module — keep unsafe \
+                     confined to crates/linalg/src/kernels/simd.rs, or annotate \
+                     `// audit:allow(unsafe-confinement, reason)`"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unsafe_blocks_fns_and_allow_attrs() {
+        let src = "\
+#![allow(unsafe_code)]
+fn f() { unsafe { core::ptr::read(p) } }
+unsafe fn g() {}
+";
+        let file = SourceFile::parse("crates/agg/src/x.rs", src);
+        let found = check(&[file]);
+        assert_eq!(found.len(), 3); // allow(unsafe_code) + 2 `unsafe` tokens
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[1].line, 2);
+    }
+
+    #[test]
+    fn deny_and_forbid_attrs_are_fine() {
+        let file = SourceFile::parse(
+            "crates/agg/src/lib.rs",
+            "#![deny(unsafe_code)]\n#![forbid(unsafe_code)]\nfn f() {}\n",
+        );
+        assert!(check(&[file]).is_empty());
+    }
+
+    #[test]
+    fn allowed_paths_tests_and_annotations_are_exempt() {
+        let kernel = SourceFile::parse(
+            "crates/linalg/src/kernels/simd.rs",
+            "#![allow(unsafe_code)]\nfn f() { unsafe { x() } }",
+        );
+        assert!(check(&[kernel]).is_empty());
+        let test_only = SourceFile::parse(
+            "crates/agg/src/x.rs",
+            "#[cfg(test)]\nmod t { fn f() { unsafe { x() } } }",
+        );
+        assert!(check(&[test_only]).is_empty());
+        let annotated = SourceFile::parse(
+            "crates/agg/src/x.rs",
+            "fn f() {\n    // audit:allow(unsafe-confinement, vetted FFI shim)\n    unsafe { x() }\n}",
+        );
+        assert!(check(&[annotated]).is_empty());
+    }
+}

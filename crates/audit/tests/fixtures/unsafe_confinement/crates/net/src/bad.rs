@@ -1,0 +1,26 @@
+//! Fixture: one `unsafe` block outside the audited SIMD kernel module.
+//! Never compiled — only lexed by the audit tests.
+
+/// The violation: raw-pointer access outside crates/linalg/src/kernels/simd.rs.
+pub fn bad_read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Escape 1: an allow annotation with a reason.
+pub fn allowed_read(p: *const u8) -> u8 {
+    // audit:allow(unsafe-confinement, vetted FFI shim reviewed in PR 9)
+    unsafe { *p }
+}
+
+/// Escape 2: denying the lint is the posture we want, not a finding.
+pub mod posture {
+    #![deny(unsafe_code)]
+}
+
+#[cfg(test)]
+mod tests {
+    /// Escape 3: test code is exempt.
+    pub fn read_in_tests(p: *const u8) -> u8 {
+        unsafe { *p }
+    }
+}

@@ -40,6 +40,15 @@ fn sparse_gradient(dim: usize) -> GradientPayload {
     payload
 }
 
+/// A quantized gradient (wire v5): i16 levels plus a shared scale.
+fn quantized_gradient(dim: usize) -> GradientPayload {
+    let levels = (0..dim).map(|i| (i % 1000) as i16 - 500).collect();
+    GradientPayload::Quantized {
+        scale: 1e-4,
+        levels,
+    }
+}
+
 fn bench_codec(c: &mut Criterion) {
     let mut encode_group = c.benchmark_group("encode_checkin");
     for &dim in &[50usize, 500, 5000] {
@@ -81,6 +90,15 @@ fn bench_codec(c: &mut Criterion) {
     roundtrip_group.bench_function("sparse95", |bench| {
         bench.iter(|| {
             let bytes = encode(black_box(&sparse));
+            black_box(decode(&bytes).unwrap())
+        })
+    });
+    // The quantized transport ships 2-byte levels instead of 8-byte doubles;
+    // the round trip should be no slower than dense while ~4× smaller.
+    let quantized = checkin_with(quantized_gradient(5000));
+    roundtrip_group.bench_function("quantized", |bench| {
+        bench.iter(|| {
+            let bytes = encode(black_box(&quantized));
             black_box(decode(&bytes).unwrap())
         })
     });

@@ -78,6 +78,21 @@ fn bench_gradients(c: &mut Criterion) {
             )
         })
     });
+    // The unfused baseline the fused pass replaces: three independent scores
+    // evaluations (predict, loss, gradient) per sample.
+    grad_group.bench_function("separate_passes", |bench| {
+        let mut scratch = crowd_linalg::Vector::zeros(model.param_dim());
+        bench.iter(|| {
+            let predicted = model.predict(black_box(&w), &sample.features).unwrap();
+            let loss = model
+                .loss(black_box(&w), &sample.features, sample.label)
+                .unwrap();
+            model
+                .gradient_into(black_box(&w), &sample.features, sample.label, &mut scratch)
+                .unwrap();
+            black_box((predicted, loss, scratch.as_slice()[0]))
+        })
+    });
     grad_group.finish();
 
     c.bench_function("per_sample_prediction_d50_c10", |bench| {

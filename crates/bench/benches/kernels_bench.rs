@@ -1,0 +1,54 @@
+//! The SIMD kernel dispatch vs the scalar reference at the server-side hot
+//! dimensionality (D = 5000, roughly the MNIST-like D·C parameter vector).
+//!
+//! `crowd_linalg::kernels::{dot, axpy, ...}` dispatch to the widest lane width
+//! the CPU supports (honouring `CROWD_SIMD`); `kernels::scalar::*` is the
+//! portable reference every SIMD path must match bitwise. The acceptance bar
+//! for the vectorized kernels is dot/axpy at d=5000 running ≥1.5× faster than
+//! the scalar reference when SIMD is active.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowd_linalg::kernels;
+use crowd_linalg::random::normal_vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let dim = 5000;
+    let a = normal_vector(&mut rng, dim);
+    let b = normal_vector(&mut rng, dim);
+
+    let mut group = c.benchmark_group("kernels_d5000");
+    group.bench_function("dot_scalar", |bench| {
+        bench.iter(|| black_box(kernels::scalar::dot(black_box(a.as_slice()), b.as_slice())))
+    });
+    group.bench_function("dot_simd", |bench| {
+        bench.iter(|| black_box(kernels::dot(black_box(a.as_slice()), b.as_slice())))
+    });
+    group.bench_function("sum_sq_scalar", |bench| {
+        bench.iter(|| black_box(kernels::scalar::sum_sq(black_box(a.as_slice()))))
+    });
+    group.bench_function("sum_sq_simd", |bench| {
+        bench.iter(|| black_box(kernels::sum_sq(black_box(a.as_slice()))))
+    });
+    group.bench_function("axpy_scalar", |bench| {
+        let mut y = b.clone();
+        bench.iter(|| {
+            kernels::scalar::axpy(0.125, black_box(a.as_slice()), y.as_mut_slice());
+            black_box(y.as_slice()[0])
+        })
+    });
+    group.bench_function("axpy_simd", |bench| {
+        let mut y = b.clone();
+        bench.iter(|| {
+            kernels::axpy(0.125, black_box(a.as_slice()), y.as_mut_slice());
+            black_box(y.as_slice()[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -10,8 +10,15 @@
 
 use crowd_core::config::PrivacyConfig;
 use crowd_core::experiment::{CrowdMlExperiment, ExperimentConfig};
+use crowd_core::privacy::Sanitizer;
 use crowd_core::report::FigureReport;
-use crowd_core::Result;
+use crowd_core::{CoreError, Result};
+use crowd_data::Sample;
+use crowd_learning::metrics::{error_rate, ErrorCurve};
+use crowd_learning::{minibatch_statistics, LearningRate, Model, MulticlassLogistic};
+use crowd_linalg::{QuantizedVector, Vector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Which of the two simulated workloads a figure uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,6 +200,116 @@ pub fn run_delay_sweep(
     Ok(report)
 }
 
+/// Dense uplink wire size for a `dim`-coordinate gradient: payload tag,
+/// length prefix, and 8 bytes per coordinate (mirrors
+/// `GradientPayload::Dense::encoded_len`).
+fn dense_wire_bytes(dim: usize) -> u64 {
+    (1 + 4 + 8 * dim) as u64
+}
+
+/// One arm of the quantized-transport ablation: DP-noised minibatch SGD on
+/// the pooled training set where each sanitized gradient is shipped either
+/// losslessly (8-byte doubles) or as stochastically rounded i16 levels
+/// (`quantize = true`), then applied server-side. Returns the error curve and
+/// the total uplink bytes the arm would have put on the wire.
+#[allow(clippy::too_many_arguments)]
+fn transport_arm(
+    quantize: bool,
+    model: &MulticlassLogistic,
+    train: &[Sample],
+    test: &crowd_data::Dataset,
+    config: &ExperimentConfig,
+    total_batches: usize,
+    eval_every: usize,
+    seed: u64,
+) -> Result<(ErrorCurve, u64)> {
+    // One stream drives batch sampling and Laplace noise in both arms; the
+    // quantized arm draws its rounding bits from a second stream so the two
+    // arms see the same data order and the same noise realizations.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(5));
+    let mut quant_rng = StdRng::seed_from_u64(seed.wrapping_add(6));
+    let mut params = Vector::zeros(model.param_dim());
+    let mut schedule = LearningRate::InvSqrt {
+        c: config.rate_constant,
+    };
+    let mut curve = ErrorCurve::new();
+    let mut wire_bytes = 0u64;
+    for t in 1..=total_batches {
+        let batch: Vec<Sample> = (0..config.minibatch)
+            .map(|_| train[rng.gen_range(0..train.len())].clone())
+            .collect();
+        let stats = minibatch_statistics(model, &params, &batch, config.lambda, &[])?;
+        let sanitizer = Sanitizer::new(&config.privacy, stats.num_samples)?;
+        let sanitized = sanitizer.sanitize(
+            &mut rng,
+            &stats.gradient,
+            stats.num_errors,
+            &stats.label_counts,
+        );
+        let applied = if quantize {
+            let q =
+                QuantizedVector::quantize_stochastic(sanitized.gradient.as_slice(), &mut quant_rng)
+                    .map_err(|e| CoreError::Protocol(e.to_string()))?;
+            wire_bytes += q.wire_bytes() as u64;
+            q.to_dense()
+        } else {
+            wire_bytes += dense_wire_bytes(sanitized.gradient.len());
+            sanitized.gradient
+        };
+        let eta = schedule.rate(t, &applied);
+        crowd_linalg::kernels::axpy(-eta, applied.as_slice(), params.as_mut_slice());
+        if t % eval_every == 0 || t == total_batches {
+            curve.push(t * config.minibatch, error_rate(model, &params, test)?);
+        }
+    }
+    Ok((curve, wire_bytes))
+}
+
+/// Runs the quantized-transport ablation: the same DP-noised SGD stream
+/// (ε⁻¹ = 0.1, b = 20 — the default private configuration, where the Laplace
+/// noise floor dominates the i16 quantization step) shipped dense vs
+/// quantized, reporting accuracy curves plus uplink bytes per checkin for
+/// both transports.
+pub fn run_quantization_ablation(
+    workload: SimulatedWorkload,
+    scale: RunScale,
+    seed: u64,
+) -> Result<FigureReport> {
+    let experiment = simulated_experiment(workload, scale, 20, 0.1, 0.0, 1.0, seed)?;
+    let data = experiment.materialize()?;
+    let model = MulticlassLogistic::new(data.dim, data.num_classes)?;
+    let config = experiment.config();
+    let total_samples = ((data.pooled_train.len() as f64) * scale.passes).ceil() as usize;
+    let total_batches = (total_samples / config.minibatch).max(1);
+    let eval_every = (total_batches / scale.eval_points).max(1);
+
+    let mut report = FigureReport::new(format!(
+        "Quantized transport ablation: {} — eps^-1 = 0.1, b = 20, dense vs i16 uplink",
+        workload.name()
+    ));
+    for &(label, quantize) in &[
+        ("Dense (8 B/coord)", false),
+        ("Quantized (2 B/coord)", true),
+    ] {
+        let (curve, wire_bytes) = transport_arm(
+            quantize,
+            &model,
+            data.pooled_train.samples(),
+            &data.test,
+            config,
+            total_batches,
+            eval_every,
+            seed,
+        )?;
+        report.add_curve(label, curve);
+        report.add_constant(
+            format!("{label} uplink bytes/checkin"),
+            (wire_bytes / total_batches as u64) as f64,
+        );
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +349,28 @@ mod tests {
             run_privacy_minibatch_sweep(SimulatedWorkload::MnistLike, tiny_scale(), 2).unwrap();
         assert_eq!(report.curves.len(), 6);
         assert!(report.summary_table().contains("Crowd-ML (SGD,b=20)"));
+    }
+
+    #[test]
+    fn quantization_ablation_reports_both_transports_and_byte_savings() {
+        let report =
+            run_quantization_ablation(SimulatedWorkload::MnistLike, tiny_scale(), 4).unwrap();
+        assert_eq!(report.curves.len(), 2);
+        assert_eq!(report.constants.len(), 2);
+        let bytes_of = |needle: &str| {
+            report
+                .constants
+                .iter()
+                .find(|(label, _)| label.contains(needle))
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        let dense = bytes_of("Dense");
+        let quantized = bytes_of("Quantized");
+        assert!(
+            quantized * 2.0 < dense,
+            "quantized uplink {quantized} B/checkin not 2x smaller than dense {dense}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::privacy::Sanitizer;
 use crate::Result;
 use crowd_data::Sample;
 use crowd_learning::model::{minibatch_statistics, Model};
-use crowd_linalg::{GradientUpdate, Vector};
+use crowd_linalg::{GradientUpdate, QuantizedVector, Vector};
 use rand::Rng;
 
 /// What a device did with an observed sample.
@@ -199,16 +199,35 @@ impl Device {
         self.awaiting_params = false;
         self.checkins_completed += 1;
 
+        // Wire v5: a DP-noised gradient whose Laplace scale dominates the
+        // i16 quantization step ships as stochastically rounded fixed-point
+        // levels — 2 bytes per coordinate instead of 8, with rounding error
+        // provably below the noise already injected. Otherwise ship the
+        // lossless encoding (sparse when the measured density makes it
+        // smaller on the wire; noised gradients are always dense).
+        let max_abs = sanitized
+            .gradient
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v.abs()));
+        let quant_step = max_abs / f64::from(crowd_linalg::quant::QMAX);
+        let gradient =
+            if crowd_dp::noise_dominates_quantization(sanitizer.gradient_noise_scale(), quant_step)
+            {
+                GradientUpdate::Quantized(
+                    QuantizedVector::quantize_stochastic(sanitized.gradient.as_slice(), rng)
+                        .map_err(|e| CoreError::Protocol(e.to_string()))?,
+                )
+            } else {
+                GradientUpdate::from_dense_auto(sanitized.gradient)
+            };
+
         Ok(CheckinPayload {
             device_id: self.id,
             checkout_iteration,
             // 1-based checkin counter: unique within the device for the whole
             // run (and deterministic), never the "no dedup" sentinel 0.
             nonce: self.checkins_completed,
-            // Ship the sparse representation when the measured density makes
-            // it smaller on the wire (noised gradients are always dense; a
-            // non-private hinge or rarely-active logistic gradient is not).
-            gradient: GradientUpdate::from_dense_auto(sanitized.gradient),
+            gradient,
             num_samples: stats.num_samples,
             error_count: sanitized.error_count,
             label_counts: sanitized.label_counts,
@@ -330,6 +349,39 @@ mod tests {
             .compute_checkin(&model, &params, 0, 0.0, &mut rng)
             .unwrap();
         assert_ne!(noisy_payload.gradient, clean_payload.gradient);
+    }
+
+    #[test]
+    fn private_checkin_quantizes_when_noise_floor_dominates() {
+        // ε = 0.5 over one checkin gives a Laplace scale far above the i16
+        // quantization step of a unit-clipped gradient, so the lossy
+        // encoding is provably safe and must be selected.
+        let mut noisy = Device::new(
+            1,
+            DeviceConfig::new(1),
+            PrivacyConfig::with_total_epsilon(0.5),
+        )
+        .unwrap();
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let params = model.init_params();
+        noisy.observe(sample(1));
+        let mut rng = StdRng::seed_from_u64(11);
+        let payload = noisy
+            .compute_checkin(&model, &params, 0, 0.0, &mut rng)
+            .unwrap();
+        assert!(
+            matches!(payload.gradient, GradientUpdate::Quantized(_)),
+            "DP-noised upload should select the quantized encoding"
+        );
+        assert_eq!(payload.gradient.dim(), model.param_dim());
+
+        // A non-private device must never pay the quantization loss.
+        let mut clean = device(1);
+        clean.observe(sample(1));
+        let payload = clean
+            .compute_checkin(&model, &params, 0, 0.0, &mut rng)
+            .unwrap();
+        assert!(!matches!(payload.gradient, GradientUpdate::Quantized(_)));
     }
 
     #[test]

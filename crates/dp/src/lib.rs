@@ -38,6 +38,22 @@ pub use laplace::LaplaceMechanism;
 /// Result alias for fallible privacy operations.
 pub type Result<T> = std::result::Result<T, DpError>;
 
+/// Transport selection rule for quantized gradient uploads: does the DP
+/// noise floor dominate the quantization error?
+///
+/// A Laplace mechanism with scale λ adds per-coordinate noise of standard
+/// deviation `λ·√2`; unbiased stochastic rounding with step `s` adds noise of
+/// standard deviation at most `s/2`. Requiring `2·s ≤ λ` keeps the
+/// quantization std at most `λ/4 ≈ 18%` of the mechanism's — statistically
+/// invisible next to the noise the privacy budget already forces — so the
+/// client can ship 16-bit fixed point instead of 64-bit floats. Returns
+/// `false` for λ = 0 (non-private runs quantize nothing: the gradient's full
+/// precision is meaningful) and for step 0 (an all-zero gradient gains
+/// nothing from quantization).
+pub fn noise_dominates_quantization(laplace_scale: f64, quant_step: f64) -> bool {
+    laplace_scale > 0.0 && quant_step > 0.0 && 2.0 * quant_step <= laplace_scale
+}
+
 /// A privacy level ε. The paper writes privacy strength as ε (smaller is more
 /// private) and frequently reports its inverse ε⁻¹ in the experiments.
 ///
@@ -111,6 +127,19 @@ mod tests {
         assert_eq!(Epsilon::from_inverse(0.0).unwrap(), Epsilon::NonPrivate);
         assert_eq!(Epsilon::from_inverse(0.1).unwrap().value(), 10.0);
         assert!(Epsilon::from_inverse(-0.1).is_err());
+    }
+
+    #[test]
+    fn quantization_rule_needs_noise_and_a_step() {
+        // Noise scale comfortably above the step → quantize.
+        assert!(noise_dominates_quantization(0.4, 0.1));
+        // Boundary 2·s = λ counts as dominated.
+        assert!(noise_dominates_quantization(0.2, 0.1));
+        // Step too coarse for the noise floor.
+        assert!(!noise_dominates_quantization(0.1, 0.1));
+        // Non-private (λ = 0) and all-zero (s = 0) never quantize.
+        assert!(!noise_dominates_quantization(0.0, 0.1));
+        assert!(!noise_dominates_quantization(0.4, 0.0));
     }
 
     #[test]

@@ -109,14 +109,32 @@ impl Model for MulticlassLogistic {
         out: &mut Vector,
     ) -> Result<SampleEval> {
         self.validate(x, y)?;
-        // One scores pass feeds prediction, loss, and gradient; each consumer
-        // sees the exact values the standalone methods would recompute.
+        // One scores pass feeds prediction, loss, and gradient, and the
+        // post-processing is itself fused: a single max fold, a single exp
+        // pass, and a single sum serve both the log-sum-exp and the softmax,
+        // instead of each recomputing them. Every intermediate reproduces the
+        // standalone methods' arithmetic operation for operation (same fold
+        // seeds, same left-to-right order), so prediction, loss, and gradient
+        // stay bitwise identical to `predict`/`loss`/`gradient_into`.
         let mut scores = self.scores(params, x)?;
         let predicted = crowd_linalg::ops::argmax(&scores).ok_or(LearningError::ShapeMismatch {
             reason: "model produced no scores".into(),
         })?;
-        let loss = log_sum_exp(&scores) - scores[y];
-        softmax_in_place(&mut scores);
+        let score_y = scores[y];
+        let max = scores.iter().fold(f64::NEG_INFINITY, |m, &s| m.max(s));
+        let mut sum = 0.0;
+        for s in scores.iter_mut() {
+            *s = (*s - max).exp();
+            sum += *s;
+        }
+        // `log_sum_exp` short-circuits to `max` before exponentiating when the
+        // max is ±inf/NaN; the softmax loop above still runs in that case,
+        // exactly as `softmax_in_place` would.
+        let lse = if max.is_finite() { max + sum.ln() } else { max };
+        let loss = lse - score_y;
+        for s in scores.iter_mut() {
+            *s /= sum;
+        }
         self.scatter_gradient(&scores, x, y, out)?;
         Ok(SampleEval { predicted, loss })
     }
@@ -345,6 +363,30 @@ mod tests {
                 "gradient L1 norm {}",
                 g.norm_l1()
             );
+        }
+    }
+
+    #[test]
+    fn fused_evaluate_matches_standalone_methods_bitwise() {
+        let m = MulticlassLogistic::new(7, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for trial in 0..50 {
+            let w = normal_vector(&mut rng, m.param_dim());
+            let x = normal_vector(&mut rng, 7);
+            let y = trial % 5;
+            let mut fused_grad = Vector::zeros(m.param_dim());
+            let eval = m.evaluate_into(&w, &x, y, &mut fused_grad).unwrap();
+            assert_eq!(eval.predicted, m.predict(&w, &x).unwrap());
+            assert_eq!(
+                eval.loss.to_bits(),
+                m.loss(&w, &x, y).unwrap().to_bits(),
+                "fused loss diverged on trial {trial}"
+            );
+            let mut separate_grad = Vector::zeros(m.param_dim());
+            m.gradient_into(&w, &x, y, &mut separate_grad).unwrap();
+            for (a, b) in fused_grad.iter().zip(separate_grad.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "fused gradient diverged");
+            }
         }
     }
 

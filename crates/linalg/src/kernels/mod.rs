@@ -1,0 +1,244 @@
+//! Unrolled BLAS-1 kernels with a *fixed* summation order.
+//!
+//! Every reduction here accumulates into four independent lanes over
+//! stride-4 chunks and combines them as `((s0 + s1) + (s2 + s3)) + tail`.
+//! The order never depends on alignment, thread count, or call site, so the
+//! results are bitwise reproducible run to run — which is what the durable
+//! store's recovery proptests and the sharded-aggregation determinism tests
+//! rely on. The four lanes break the sequential add dependency chain, letting
+//! the CPU retire ~4 FLOPs per cycle instead of stalling on one accumulator.
+//!
+//! The element-wise kernels (`axpy`, `add_assign`, `scale`) are bitwise
+//! identical to their naive loops (each element is independent); only the
+//! reductions (`dot`, `sum_sq`) differ from a left-to-right fold — by design,
+//! and identically on every run.
+//!
+//! # SIMD dispatch
+//!
+//! On x86_64 the hot kernels route through explicit SSE2/AVX2 bodies in
+//! [`simd`] chosen once per process by runtime feature detection. The vector
+//! lanes of a 4-wide accumulator *are* the four scalar lanes `s0..s3`, and
+//! the horizontal combine extracts them and reapplies the exact
+//! `((s0 + s1) + (s2 + s3)) + tail` order — no FMA, no reassociation — so
+//! every SIMD kernel is bitwise identical to its [`scalar`] twin (proptested
+//! in `tests/simd_bitwise.rs`, including ±0.0, subnormals, and NaN
+//! payloads). Setting `CROWD_SIMD=0` forces the scalar bodies; any other
+//! value (or unset) uses the best detected level. Non-x86_64 targets always
+//! take the scalar path.
+
+use std::sync::OnceLock;
+
+pub mod scalar;
+#[cfg(target_arch = "x86_64")]
+pub mod simd;
+
+/// Which kernel bodies the process dispatches to. Decided once, at first use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable four-lane scalar unrolls (always available).
+    Scalar,
+    /// 128-bit SSE2 (x86_64 baseline): two 2-lane accumulators.
+    #[cfg(target_arch = "x86_64")]
+    Sse2,
+    /// 256-bit AVX2: one 4-lane accumulator, detected at runtime.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+
+fn detect() -> SimdLevel {
+    if std::env::var_os("CROWD_SIMD").is_some_and(|v| v == "0") {
+        return SimdLevel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else {
+            // SSE2 is part of the x86_64 baseline — always present.
+            SimdLevel::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    SimdLevel::Scalar
+}
+
+/// The dispatch level in effect for this process (cached after first call).
+#[inline]
+pub fn simd_level() -> SimdLevel {
+    *LEVEL.get_or_init(detect)
+}
+
+/// Dot product `a · b` over equal-length slices, four-lane unrolled.
+///
+/// Callers are responsible for the length check; mismatched tails are ignored
+/// in release builds.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "kernel dot length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    match simd_level() {
+        SimdLevel::Avx2 => return simd::dot_avx2(a, b),
+        SimdLevel::Sse2 => return simd::dot_sse2(a, b),
+        SimdLevel::Scalar => {}
+    }
+    scalar::dot(a, b)
+}
+
+/// Sum of squares `Σ aᵢ²`, four-lane unrolled (the L2 norm is its sqrt).
+#[inline]
+pub fn sum_sq(a: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    match simd_level() {
+        SimdLevel::Avx2 => return simd::sum_sq_avx2(a),
+        SimdLevel::Sse2 => return simd::sum_sq_sse2(a),
+        SimdLevel::Scalar => {}
+    }
+    scalar::sum_sq(a)
+}
+
+/// Sum of absolute values `Σ |aᵢ|`, four-lane unrolled.
+#[inline]
+pub fn sum_abs(a: &[f64]) -> f64 {
+    scalar::sum_abs(a)
+}
+
+/// In-place `y += alpha * x`, unrolled. Bitwise identical to the naive loop.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "kernel axpy length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    match simd_level() {
+        SimdLevel::Avx2 => return simd::axpy_avx2(alpha, x, y),
+        SimdLevel::Sse2 => return simd::axpy_sse2(alpha, x, y),
+        SimdLevel::Scalar => {}
+    }
+    scalar::axpy(alpha, x, y)
+}
+
+/// In-place `y += x`, unrolled. Bitwise identical to the naive loop.
+#[inline]
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    debug_assert_eq!(x.len(), y.len(), "kernel add length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    match simd_level() {
+        SimdLevel::Avx2 => return simd::add_assign_avx2(y, x),
+        SimdLevel::Sse2 => return simd::add_assign_sse2(y, x),
+        SimdLevel::Scalar => {}
+    }
+    scalar::add_assign(y, x)
+}
+
+/// In-place `y *= alpha`, unrolled. Bitwise identical to the naive loop.
+#[inline]
+pub fn scale(alpha: f64, y: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    match simd_level() {
+        SimdLevel::Avx2 => return simd::scale_avx2(alpha, y),
+        SimdLevel::Sse2 => return simd::scale_sse2(alpha, y),
+        SimdLevel::Scalar => {}
+    }
+    scalar::scale(alpha, y)
+}
+
+/// Sparse scatter-add `out[indices[k]] += values[k]` in index order.
+///
+/// Bitwise identical to the naive loop in every mode: the adds happen one
+/// element at a time, in index order. Indices are bounds-checked against
+/// `out.len()` up front (`SparseVector` already guarantees this invariant);
+/// with SIMD dispatch active the body is then a 4-way unrolled unchecked
+/// loop, which matters because a scatter defeats the autovectorizer's
+/// bounds-check elimination. Out-of-range entries take the checked scalar
+/// loop, which panics in debug builds exactly like the old inline loop did.
+#[inline]
+pub fn scatter_add(indices: &[u32], values: &[f64], out: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_level() != SimdLevel::Scalar && simd::scatter_add(indices, values, out) {
+        return;
+    }
+    scalar::scatter_add(indices, values, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn dot_matches_reference_within_rounding() {
+        for n in [0usize, 1, 3, 4, 7, 8, 100, 1001] {
+            let a = seq(n, |i| (i as f64 * 0.37).sin());
+            let b = seq(n, |i| (i as f64 * 0.11).cos());
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let got = dot(&a, &b);
+            assert!(
+                (got - naive).abs() <= 1e-12 * naive.abs().max(1.0),
+                "n={n}: {got} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_is_deterministic_across_calls() {
+        let a = seq(1001, |i| (i as f64 * 0.73).sin() * 1e3);
+        let b = seq(1001, |i| (i as f64 * 0.19).cos() * 1e-3);
+        let first = dot(&a, &b);
+        for _ in 0..10 {
+            assert_eq!(first.to_bits(), dot(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn sums_match_reference() {
+        for n in [0usize, 2, 4, 9, 257] {
+            let a = seq(n, |i| i as f64 - 3.5);
+            let sq: f64 = a.iter().map(|x| x * x).sum();
+            let ab: f64 = a.iter().map(|x| x.abs()).sum();
+            assert!((sum_sq(&a) - sq).abs() <= 1e-12 * sq.max(1.0));
+            assert!((sum_abs(&a) - ab).abs() <= 1e-12 * ab.max(1.0));
+        }
+    }
+
+    #[test]
+    fn axpy_and_add_are_bitwise_naive() {
+        for n in [0usize, 1, 5, 64, 103] {
+            let x = seq(n, |i| (i as f64 * 0.3).sin());
+            let mut y = seq(n, |i| (i as f64 * 0.7).cos());
+            let mut naive = y.clone();
+            axpy(0.37, &x, &mut y);
+            for (nv, xv) in naive.iter_mut().zip(&x) {
+                *nv += 0.37 * xv;
+            }
+            assert_eq!(y, naive, "axpy n={n}");
+            add_assign(&mut y, &x);
+            for (nv, xv) in naive.iter_mut().zip(&x) {
+                *nv += xv;
+            }
+            assert_eq!(y, naive, "add n={n}");
+            scale(1.7, &mut y);
+            for nv in naive.iter_mut() {
+                *nv *= 1.7;
+            }
+            assert_eq!(y, naive, "scale n={n}");
+        }
+    }
+
+    #[test]
+    fn scatter_add_matches_naive_bitwise() {
+        let idx = [1u32, 3, 4, 9, 10, 11, 12, 15];
+        let vals = [0.5, -1.5, 2.0, -0.0, 3.25, 1e-300, -7.0, 0.125];
+        let mut out = seq(16, |i| i as f64 * 0.1);
+        let mut naive = out.clone();
+        scatter_add(&idx, &vals, &mut out);
+        for (&i, &v) in idx.iter().zip(&vals) {
+            naive[i as usize] += v;
+        }
+        for (a, b) in out.iter().zip(&naive) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Portable scalar kernel bodies — the reference the SIMD paths must match.
+//!
+//! These are the original four-lane unrolls, kept byte-for-byte as the
+//! dispatch fallback for non-x86_64 targets and for `CROWD_SIMD=0`. They are
+//! also exported for the `simd_matches_scalar_bitwise` proptests and the
+//! scalar-vs-SIMD benches, which compare against them directly regardless of
+//! the process-wide dispatch level.
+
+/// Dot product `a · b` over equal-length slices, four-lane unrolled.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        s0 += xa[0] * xb[0];
+        s1 += xa[1] * xb[1];
+        s2 += xa[2] * xb[2];
+        s3 += xa[3] * xb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
+}
+
+/// Sum of squares `Σ aᵢ²`, four-lane unrolled.
+#[inline]
+pub fn sum_sq(a: &[f64]) -> f64 {
+    let mut chunks = a.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for c in &mut chunks {
+        s0 += c[0] * c[0];
+        s1 += c[1] * c[1];
+        s2 += c[2] * c[2];
+        s3 += c[3] * c[3];
+    }
+    let mut tail = 0.0;
+    for x in chunks.remainder() {
+        tail += x * x;
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
+}
+
+/// Sum of absolute values `Σ |aᵢ|`, four-lane unrolled.
+#[inline]
+pub fn sum_abs(a: &[f64]) -> f64 {
+    let mut chunks = a.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for c in &mut chunks {
+        s0 += c[0].abs();
+        s1 += c[1].abs();
+        s2 += c[2].abs();
+        s3 += c[3].abs();
+    }
+    let mut tail = 0.0;
+    for x in chunks.remainder() {
+        tail += x.abs();
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
+}
+
+/// In-place `y += alpha * x`, unrolled. Bitwise identical to the naive loop.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let mut cy = y.chunks_exact_mut(4);
+    let mut cx = x.chunks_exact(4);
+    for (ya, xa) in (&mut cy).zip(&mut cx) {
+        ya[0] += alpha * xa[0];
+        ya[1] += alpha * xa[1];
+        ya[2] += alpha * xa[2];
+        ya[3] += alpha * xa[3];
+    }
+    for (yv, xv) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yv += alpha * xv;
+    }
+}
+
+/// In-place `y += x`, unrolled. Bitwise identical to the naive loop.
+#[inline]
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    let mut cy = y.chunks_exact_mut(4);
+    let mut cx = x.chunks_exact(4);
+    for (ya, xa) in (&mut cy).zip(&mut cx) {
+        ya[0] += xa[0];
+        ya[1] += xa[1];
+        ya[2] += xa[2];
+        ya[3] += xa[3];
+    }
+    for (yv, xv) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yv += xv;
+    }
+}
+
+/// In-place `y *= alpha`, unrolled. Bitwise identical to the naive loop.
+#[inline]
+pub fn scale(alpha: f64, y: &mut [f64]) {
+    let mut cy = y.chunks_exact_mut(4);
+    for ya in &mut cy {
+        ya[0] *= alpha;
+        ya[1] *= alpha;
+        ya[2] *= alpha;
+        ya[3] *= alpha;
+    }
+    for yv in cy.into_remainder() {
+        *yv *= alpha;
+    }
+}
+
+/// Bounds-checked scatter-add `out[indices[k]] += values[k]` in index order.
+#[inline]
+pub fn scatter_add(indices: &[u32], values: &[f64], out: &mut [f64]) {
+    for (&i, &v) in indices.iter().zip(values) {
+        out[i as usize] += v;
+    }
+}

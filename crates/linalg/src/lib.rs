@@ -24,8 +24,13 @@
 //!   normal via Box–Muller).
 //!
 //! All floating-point storage is `f64`.
+//!
+//! `unsafe` is denied crate-wide with exactly one audited exception: the
+//! explicit SIMD bodies in [`kernels::simd`] (see that module's determinism
+//! argument). crowd-audit's `unsafe-confinement` rule enforces the
+//! containment mechanically.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod error;
 pub mod fft;
@@ -33,6 +38,7 @@ pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod pca;
+pub mod quant;
 pub mod random;
 pub mod sparse;
 pub mod stats;
@@ -41,6 +47,7 @@ pub mod vector;
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use pca::Pca;
+pub use quant::QuantizedVector;
 pub use sparse::{GradientUpdate, SparseVector};
 pub use vector::Vector;
 

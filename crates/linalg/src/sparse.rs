@@ -110,9 +110,7 @@ impl SparseVector {
                 self.dim,
             ));
         }
-        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
-            out[i as usize] += v;
-        }
+        crate::kernels::scatter_add(&self.indices, &self.values, out);
         Ok(())
     }
 
@@ -149,6 +147,11 @@ pub enum GradientUpdate {
     Dense(Vector),
     /// Non-zero coordinates only.
     Sparse(SparseVector),
+    /// Stochastically quantized fixed-point coordinates (DP-noised uploads
+    /// whose noise floor dominates the quantization step — see
+    /// [`crate::quant`]). Folds by dequantizing element-wise in index order,
+    /// so the merge stays bitwise deterministic without densifying first.
+    Quantized(crate::quant::QuantizedVector),
 }
 
 impl GradientUpdate {
@@ -175,6 +178,7 @@ impl GradientUpdate {
         match self {
             GradientUpdate::Dense(v) => v.len(),
             GradientUpdate::Sparse(s) => s.dim(),
+            GradientUpdate::Quantized(q) => q.dim(),
         }
     }
 
@@ -183,6 +187,7 @@ impl GradientUpdate {
         match self {
             GradientUpdate::Dense(v) => v.len(),
             GradientUpdate::Sparse(s) => s.nnz(),
+            GradientUpdate::Quantized(q) => q.dim(),
         }
     }
 
@@ -208,6 +213,7 @@ impl GradientUpdate {
                 Ok(())
             }
             GradientUpdate::Sparse(s) => out.add_sparse(s),
+            GradientUpdate::Quantized(q) => q.add_into(out.as_mut_slice()),
         }
     }
 
@@ -216,6 +222,7 @@ impl GradientUpdate {
         match self {
             GradientUpdate::Dense(v) => v.clone(),
             GradientUpdate::Sparse(s) => s.to_dense(),
+            GradientUpdate::Quantized(q) => q.to_dense(),
         }
     }
 }

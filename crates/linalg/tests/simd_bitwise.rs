@@ -1,0 +1,245 @@
+//! `simd_matches_scalar_bitwise`: every vectorized kernel body must return
+//! byte-for-byte what the scalar reference returns, on adversarial inputs.
+//!
+//! Inputs are raw `u64` bit patterns reinterpreted as `f64` (magnitudes from
+//! subnormal to huge), with IEEE-754 edge cases spliced in: ±0.0, the
+//! smallest subnormals, and quiet NaNs carrying a recognizable payload.
+//!
+//! Two comparison modes, because of one genuine platform subtlety: an
+//! *invalid* operation (`inf·0`, `inf−inf`) manufactures the x86 default
+//! QNaN (`0xFFF8…`), and when two NaNs with *different* payloads meet in an
+//! add, the surviving payload follows hardware operand order — which Rust
+//! deliberately leaves unspecified (it can differ between two scalar
+//! compilations, let alone scalar vs SIMD). So:
+//!
+//! * **No infinities in the inputs** (the common case here): every NaN in
+//!   flight carries the single per-case payload, propagation is fully
+//!   determined, and the test demands *exact* bit equality — NaN payloads
+//!   included.
+//! * **Infinities allowed**: outputs must be bit-equal or both-NaN (any
+//!   payload), since default QNaNs can now mix with the case payload.
+//!
+//! Alignment coverage: each case slices off a sampled 0..4-element prefix,
+//! so the SIMD loops run at every 8-byte phase relative to 32-byte vector
+//! alignment (`loadu`/`storeu` must not care).
+
+#![cfg(target_arch = "x86_64")]
+
+use crowd_linalg::kernels::{scalar, simd};
+use proptest::prelude::*;
+
+/// Special values spliced into the bit-pattern soup.
+const SPECIALS: &[f64] = &[
+    0.0,
+    -0.0,
+    f64::MIN_POSITIVE, // smallest normal
+    -f64::MIN_POSITIVE,
+    5e-324,   // smallest subnormal
+    -5e-324,  // and its negation
+    1.5e-310, // mid-range subnormal
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    1.0,
+    -1.0,
+];
+
+/// The one quiet-NaN payload a case is allowed to use (see module docs).
+fn case_nan(which: u64) -> f64 {
+    if which == 0 {
+        f64::NAN
+    } else {
+        f64::from_bits(0x7ff8_0000_dead_beef)
+    }
+}
+
+/// Collapses every NaN to the case payload. In strict mode, also strips
+/// infinities *and* clamps magnitudes below 1e100: products and sums of such
+/// values cannot overflow to ±inf, so no invalid operation can manufacture a
+/// default QNaN mid-reduction and the single case payload survives exactly.
+fn canon(v: f64, nan: f64, allow_inf: bool) -> f64 {
+    if v.is_nan() {
+        nan
+    } else if !allow_inf && v.abs() > 1e100 {
+        // Rescale into the safe band, keeping sign and mantissa texture.
+        if v.is_infinite() {
+            if v > 0.0 {
+                1e100
+            } else {
+                -1e100
+            }
+        } else {
+            v * 1e-210
+        }
+    } else {
+        v
+    }
+}
+
+/// Builds a value vector from raw bits, splicing in specials and NaNs.
+fn build(
+    bits: &[u64],
+    picks: &[(usize, usize)],
+    nans: &[usize],
+    nan: f64,
+    allow_inf: bool,
+) -> Vec<f64> {
+    let mut v: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+    if v.is_empty() {
+        return v;
+    }
+    let n = v.len();
+    for &(pos, which) in picks {
+        v[pos % n] = SPECIALS[which % SPECIALS.len()];
+    }
+    for &pos in nans {
+        v[pos % n] = f64::NAN;
+    }
+    for x in &mut v {
+        *x = canon(*x, nan, allow_inf);
+    }
+    v
+}
+
+/// Bit equality, relaxed to NaN-equivalence when `strict` is off.
+fn feq(a: f64, b: f64, strict: bool) -> bool {
+    a.to_bits() == b.to_bits() || (!strict && a.is_nan() && b.is_nan())
+}
+
+fn assert_scalar_eq(a: f64, b: f64, strict: bool, what: &str) {
+    assert!(
+        feq(a, b, strict),
+        "{what}: {a:?} ({:#x}) vs {b:?} ({:#x})",
+        a.to_bits(),
+        b.to_bits()
+    );
+}
+
+fn assert_slices_eq(a: &[f64], b: &[f64], strict: bool, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            feq(*x, *y, strict),
+            "{what}: coordinate {i} differs: {x:?} vs {y:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn simd_matches_scalar_bitwise(
+        bits_a in prop::collection::vec(any::<u64>(), 0..259),
+        bits_b in prop::collection::vec(any::<u64>(), 0..259),
+        picks_a in prop::collection::vec((0usize..1024, 0usize..1024), 0..6),
+        picks_b in prop::collection::vec((0usize..1024, 0usize..1024), 0..6),
+        nans_a in prop::collection::vec(0usize..1024, 0..3),
+        nans_b in prop::collection::vec(0usize..1024, 0..3),
+        nan_which in 0u64..2,
+        allow_inf in any::<bool>(),
+        offset in 0usize..4,
+        alpha_bits in any::<u64>(),
+    ) {
+        let nan = case_nan(nan_which);
+        let a_full = build(&bits_a, &picks_a, &nans_a, nan, allow_inf);
+        let b_full = build(&bits_b, &picks_b, &nans_b, nan, allow_inf);
+        // Trim to a common length and a sampled alignment phase.
+        let n = a_full.len().min(b_full.len());
+        let start = offset.min(n);
+        let a = &a_full[start..n];
+        let b = &b_full[start..n];
+        let alpha = canon(f64::from_bits(alpha_bits), nan, allow_inf);
+        let strict = !allow_inf;
+
+        // Reductions: exact combine-order reproduction.
+        assert_scalar_eq(simd::dot_avx2(a, b), scalar::dot(a, b), strict, "dot_avx2");
+        assert_scalar_eq(simd::dot_sse2(a, b), scalar::dot(a, b), strict, "dot_sse2");
+        assert_scalar_eq(simd::sum_sq_avx2(a), scalar::sum_sq(a), strict, "sum_sq_avx2");
+        assert_scalar_eq(simd::sum_sq_sse2(a), scalar::sum_sq(a), strict, "sum_sq_sse2");
+
+        // Element-wise kernels: per-lane purity ⇒ bitwise identity.
+        let mut y_ref = a.to_vec();
+        let mut y_avx = a.to_vec();
+        let mut y_sse = a.to_vec();
+        scalar::axpy(alpha, b, &mut y_ref);
+        simd::axpy_avx2(alpha, b, &mut y_avx);
+        simd::axpy_sse2(alpha, b, &mut y_sse);
+        assert_slices_eq(&y_avx, &y_ref, strict, "axpy_avx2");
+        assert_slices_eq(&y_sse, &y_ref, strict, "axpy_sse2");
+
+        let mut y_ref = a.to_vec();
+        let mut y_avx = a.to_vec();
+        let mut y_sse = a.to_vec();
+        scalar::add_assign(&mut y_ref, b);
+        simd::add_assign_avx2(&mut y_avx, b);
+        simd::add_assign_sse2(&mut y_sse, b);
+        assert_slices_eq(&y_avx, &y_ref, strict, "add_assign_avx2");
+        assert_slices_eq(&y_sse, &y_ref, strict, "add_assign_sse2");
+
+        let mut y_ref = a.to_vec();
+        let mut y_avx = a.to_vec();
+        let mut y_sse = a.to_vec();
+        scalar::scale(alpha, &mut y_ref);
+        simd::scale_avx2(alpha, &mut y_avx);
+        simd::scale_sse2(alpha, &mut y_sse);
+        assert_slices_eq(&y_avx, &y_ref, strict, "scale_avx2");
+        assert_slices_eq(&y_sse, &y_ref, strict, "scale_sse2");
+    }
+
+    #[test]
+    fn scatter_add_matches_scalar_bitwise(
+        dim in 1usize..200,
+        entries in prop::collection::vec((0usize..1024, any::<u64>()), 0..64),
+        base_bits in prop::collection::vec(any::<u64>(), 1..200),
+        nan_which in 0u64..2,
+    ) {
+        // Each slot receives at most one add (indices deduped like a
+        // SparseVector), so no two NaN payloads ever meet in one add and the
+        // comparison can stay strict even with infinities present.
+        let nan = case_nan(nan_which);
+        let mut idx: Vec<u32> = entries.iter().map(|&(i, _)| (i % dim) as u32).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        let vals: Vec<f64> = entries
+            .iter()
+            .take(idx.len())
+            .map(|&(_, b)| canon(f64::from_bits(b), nan, true))
+            .collect();
+        let idx = &idx[..vals.len()];
+        let base: Vec<f64> = (0..dim)
+            .map(|i| canon(f64::from_bits(base_bits[i % base_bits.len()]), nan, true))
+            .collect();
+        let mut out_ref = base.clone();
+        let mut out_simd = base;
+        scalar::scatter_add(idx, &vals, &mut out_ref);
+        prop_assert!(simd::scatter_add(idx, &vals, &mut out_simd), "indices were in range");
+        assert_slices_eq(&out_simd, &out_ref, true, "scatter_add");
+        // Out-of-range input is refused untouched.
+        let mut short = vec![7.0];
+        prop_assert!(!simd::scatter_add(&[1], &[3.0], &mut short));
+        prop_assert_eq!(short[0], 7.0);
+    }
+}
+
+/// The dispatcher must agree with the scalar reference no matter which level
+/// detection picked (AVX2, SSE2, or `CROWD_SIMD=0` scalar).
+#[test]
+fn dispatched_kernels_match_scalar_bitwise() {
+    let a: Vec<f64> = (0..1027).map(|i| ((i as f64) * 0.37).sin() * 1e3).collect();
+    let b: Vec<f64> = (0..1027)
+        .map(|i| ((i as f64) * 0.19).cos() * 1e-3)
+        .collect();
+    assert_eq!(
+        crowd_linalg::kernels::dot(&a, &b).to_bits(),
+        scalar::dot(&a, &b).to_bits()
+    );
+    assert_eq!(
+        crowd_linalg::kernels::sum_sq(&a).to_bits(),
+        scalar::sum_sq(&a).to_bits()
+    );
+    let mut y1 = b.clone();
+    let mut y2 = b.clone();
+    crowd_linalg::kernels::axpy(0.37, &a, &mut y1);
+    scalar::axpy(0.37, &a, &mut y2);
+    assert_slices_eq(&y1, &y2, true, "axpy dispatch");
+}

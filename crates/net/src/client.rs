@@ -73,7 +73,8 @@ impl Default for RetryPolicy {
 }
 
 /// Maps a device's gradient representation onto the wire encoding without
-/// densifying: a sparse update ships only its stored coordinates.
+/// densifying: a sparse update ships only its stored coordinates, and a
+/// quantized update ships its `i16` levels plus the shared scale.
 fn wire_gradient(gradient: &GradientUpdate) -> GradientPayload {
     match gradient {
         GradientUpdate::Dense(v) => GradientPayload::Dense(v.as_slice().to_vec()),
@@ -81,6 +82,10 @@ fn wire_gradient(gradient: &GradientUpdate) -> GradientPayload {
             dim: s.dim() as u32,
             indices: s.indices().to_vec(),
             values: s.values().to_vec(),
+        },
+        GradientUpdate::Quantized(q) => GradientPayload::Quantized {
+            scale: q.scale(),
+            levels: q.levels().to_vec(),
         },
     }
 }

@@ -14,7 +14,7 @@
 use crowd_agg::{AggError, AggRuntime, CompletionHandle, SubmitRejection};
 use crowd_core::device::CheckinPayload;
 use crowd_learning::MulticlassLogistic;
-use crowd_linalg::{GradientUpdate, SparseVector, Vector};
+use crowd_linalg::{GradientUpdate, QuantizedVector, SparseVector, Vector};
 use crowd_proto::auth::TokenRegistry;
 use crowd_proto::message::{
     BatchAck, BatchCheckinAck, BusyReply, CheckinAck, CheckinRequest, CheckoutResponse, ErrorCode,
@@ -111,6 +111,7 @@ impl ServerCore {
                 if !self.tokens.verify(req.device_id, &req.token) {
                     return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
                 }
+                note_gradient_encoding(&self.metrics, &req.gradient);
                 let payload = match payload_of(req) {
                     Ok(p) => p,
                     Err(reply) => return *reply,
@@ -138,6 +139,7 @@ impl ServerCore {
                                 "unknown device or bad token",
                             )));
                         }
+                        note_gradient_encoding(&self.metrics, &item.gradient);
                         self.runtime
                             .submit(payload_of(item)?)
                             .map_err(|e| Box::new(agg_error_reply(e)))
@@ -236,6 +238,7 @@ pub(crate) fn handle_event(core: &Arc<ServerCore>, message: Message) -> Response
                     "unknown device or bad token",
                 ));
             }
+            note_gradient_encoding(&core.metrics, &req.gradient);
             let payload = match payload_of(req) {
                 Ok(p) => p,
                 Err(reply) => return Response::Now(*reply),
@@ -289,6 +292,20 @@ fn submit_event(core: &Arc<ServerCore>, payload: CheckinPayload) -> Response {
     }
 }
 
+/// Counts a checkin's gradient encoding: quantized uploads bump
+/// `quantized_checkins` and credit `quantized_bytes_saved` with the wire bytes
+/// the encoding avoided relative to a dense body of the same dimension.
+pub(crate) fn note_gradient_encoding(metrics: &Registry, gradient: &GradientPayload) {
+    if let GradientPayload::Quantized { levels, .. } = gradient {
+        metrics.incr(CounterId::QuantizedCheckins);
+        let dense_len = 1 + 4 + 8 * levels.len();
+        metrics.add(
+            CounterId::QuantizedBytesSaved,
+            (dense_len.saturating_sub(gradient.encoded_len())) as u64,
+        );
+    }
+}
+
 /// Converts a decoded checkin into the runtime payload without copying the
 /// gradient — a sparse upload stays sparse all the way to the shard
 /// accumulators. Re-validation of the sparse structure (the codec already
@@ -306,6 +323,12 @@ pub(crate) fn payload_of(req: CheckinRequest) -> std::result::Result<CheckinPayl
             Ok(sparse) => GradientUpdate::Sparse(sparse),
             Err(e) => return Err(Box::new(error_reply(ErrorCode::BadRequest, e.to_string()))),
         },
+        GradientPayload::Quantized { scale, levels } => {
+            match QuantizedVector::from_parts(scale, levels) {
+                Ok(q) => GradientUpdate::Quantized(q),
+                Err(e) => return Err(Box::new(error_reply(ErrorCode::BadRequest, e.to_string()))),
+            }
+        }
     };
     Ok(CheckinPayload {
         device_id: req.device_id,

@@ -27,6 +27,9 @@ pub const MAX_BATCH_ITEMS: usize = 4096;
 const GRADIENT_DENSE: u8 = 0;
 /// Wire tag for a sparse (indices + values) gradient encoding.
 const GRADIENT_SPARSE: u8 = 1;
+/// Wire tag for a quantized (shared scale + `i16` levels) gradient encoding
+/// (wire v5).
+const GRADIENT_QUANTIZED: u8 = 2;
 
 /// Encodes a message into a standalone byte buffer (without the frame length
 /// prefix).
@@ -283,9 +286,13 @@ fn put_gradient<B: BufMut>(buf: &mut B, gradient: &GradientPayload) {
             for &i in indices {
                 buf.put_u32_le(i);
             }
-            for &v in values {
-                buf.put_f64_le(v);
-            }
+            buf.put_f64_slice_le(values);
+        }
+        GradientPayload::Quantized { scale, levels } => {
+            buf.put_u8(GRADIENT_QUANTIZED);
+            buf.put_u32_le(levels.len() as u32);
+            buf.put_f64_le(*scale);
+            buf.put_i16_slice_le(levels);
         }
     }
 }
@@ -329,6 +336,22 @@ fn get_gradient(buf: &mut &[u8]) -> Result<GradientPayload> {
                 indices,
                 values,
             })
+        }
+        GRADIENT_QUANTIZED => {
+            let dim = get_vec_len(buf, "quantized gradient")?;
+            ensure(buf, 8, "quantized scale")?;
+            let scale = buf.get_f64_le();
+            // The scale multiplies every reconstructed coordinate; a NaN,
+            // infinite, or negative scale would poison the whole aggregate.
+            if !scale.is_finite() || scale < 0.0 {
+                return Err(ProtoError::InvalidField {
+                    field: "quantized scale",
+                    reason: format!("scale {scale} is not finite and non-negative"),
+                });
+            }
+            ensure(buf, dim * 2, "quantized levels")?;
+            let levels = (0..dim).map(|_| buf.get_i16_le()).collect();
+            Ok(GradientPayload::Quantized { scale, levels })
         }
         other => Err(ProtoError::InvalidField {
             field: "gradient encoding",
@@ -375,9 +398,7 @@ fn put_bool<B: BufMut>(buf: &mut B, value: bool) {
 
 fn put_f64_vec<B: BufMut>(buf: &mut B, values: &[f64]) {
     buf.put_u32_le(values.len() as u32);
-    for &v in values {
-        buf.put_f64_le(v);
-    }
+    buf.put_f64_slice_le(values);
 }
 
 fn put_i64_vec<B: BufMut>(buf: &mut B, values: &[i64]) {
@@ -512,6 +533,19 @@ mod tests {
                 num_samples: 4,
                 error_count: 0,
                 label_counts: vec![2, 2],
+            }),
+            Message::CheckinRequest(CheckinRequest {
+                device_id: 11,
+                token: AuthToken::derive(11, 7),
+                checkout_iteration: 57,
+                nonce: 157,
+                gradient: GradientPayload::Quantized {
+                    scale: 3.5e-5,
+                    levels: vec![0, -1, 32767, -32768, 12],
+                },
+                num_samples: 8,
+                error_count: 2,
+                label_counts: vec![4, 4],
             }),
             Message::CheckinAck(CheckinAck {
                 accepted: true,
@@ -770,6 +804,64 @@ mod tests {
         assert_eq!(bytes[offset], 0);
         bytes[offset] = 9;
         assert!(decode(&bytes).is_err());
+    }
+
+    /// Tentpole guarantee (wire v5): a quantized checkin body is at least 2×
+    /// smaller than the dense encoding of the same gradient.
+    #[test]
+    fn quantized_encoding_is_at_least_twice_as_small_on_the_wire() {
+        let dim = 5000;
+        let dense_bytes = encode(&checkin_with(GradientPayload::Dense(vec![0.25; dim]))).len();
+        let quantized_bytes = encode(&checkin_with(GradientPayload::Quantized {
+            scale: 0.25 / 32767.0,
+            levels: vec![32767; dim],
+        }))
+        .len();
+        assert!(
+            quantized_bytes * 2 < dense_bytes,
+            "quantized {quantized_bytes} B should be under half of dense {dense_bytes} B"
+        );
+    }
+
+    #[test]
+    fn malformed_quantized_scale_rejected() {
+        for bad_scale in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let bytes = encode(&checkin_with(GradientPayload::Quantized {
+                scale: bad_scale,
+                levels: vec![1, 2, 3],
+            }));
+            assert!(
+                decode(&bytes).is_err(),
+                "scale {bad_scale} unexpectedly decoded"
+            );
+        }
+        // A zero scale (all-zero gradient) is legitimate.
+        let bytes = encode(&checkin_with(GradientPayload::Quantized {
+            scale: 0.0,
+            levels: vec![0, 0],
+        }));
+        assert!(decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn oversized_quantized_dim_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(3); // checkin tag
+        buf.put_u64_le(1);
+        buf.put_slice(AuthToken::derive(1, 7).as_bytes());
+        buf.put_u64_le(0); // checkout_iteration
+        buf.put_u64_le(0); // nonce
+        buf.put_u32_le(1);
+        buf.put_i64_le(0);
+        buf.put_u8(2); // quantized encoding
+        buf.put_u32_le(u32::MAX); // dim beyond MAX_VEC_LEN
+        assert!(matches!(
+            decode(&buf),
+            Err(ProtoError::InvalidField {
+                field: "quantized gradient",
+                ..
+            })
+        ));
     }
 
     #[test]

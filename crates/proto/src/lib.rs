@@ -38,5 +38,7 @@ pub type Result<T> = std::result::Result<T, ProtoError>;
 /// inside checkin requests; version 3 added the duplicate-detection nonce that
 /// makes retried checkins idempotent; version 4 added the authenticated
 /// [`message::MetricsRequest`]/[`message::MetricsReport`] admin scrape of the
-/// server's crowd-scope metric registry.
-pub const PROTOCOL_VERSION: u16 = 4;
+/// server's crowd-scope metric registry; version 5 added the quantized
+/// gradient encoding (`i16` levels times a shared scale) that DP-noised
+/// uploads select when their noise floor dominates the quantization error.
+pub const PROTOCOL_VERSION: u16 = 5;

@@ -35,14 +35,22 @@ pub struct CheckoutResponse {
     pub stopped: bool,
 }
 
-/// A gradient as it crosses the wire: dense, or sparse coordinates when the
-/// vector is mostly *exact* zeros.
+/// A gradient as it crosses the wire: dense, sparse coordinates when the
+/// vector is mostly *exact* zeros, or quantized fixed-point levels when the
+/// sender's DP noise floor already dwarfs the quantization error.
 ///
-/// The encoding is chosen per message by measured density ([`
-/// GradientPayload::from_dense_auto`]) — never by lossy thresholding — so the
-/// server folds sparse and dense uploads into bitwise identical aggregates.
-/// At 100k parameters, a 95%-zero gradient shrinks a checkin from ~800 KB to
-/// ~60 KB.
+/// The dense/sparse choice is made per message by measured density
+/// ([`GradientPayload::from_dense_auto`]) — never by lossy thresholding — so
+/// the server folds sparse and dense uploads into bitwise identical
+/// aggregates. At 100k parameters, a 95%-zero gradient shrinks a checkin from
+/// ~800 KB to ~60 KB.
+///
+/// The quantized encoding (wire v5) is different in kind: it is *lossy*, so a
+/// device only selects it for DP-noised uploads where the rounding error is
+/// provably below the privacy noise already injected (see
+/// `crowd_dp::noise_dominates_quantization`). Each coordinate travels as an
+/// `i16` level times a shared per-message scale: 2 bytes instead of 8, a ~4×
+/// body reduction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GradientPayload {
     /// All coordinates, in order.
@@ -56,6 +64,14 @@ pub enum GradientPayload {
         /// Coordinate values, aligned with `indices`.
         values: Vec<f64>,
     },
+    /// Stochastically rounded fixed-point levels with a shared scale; the
+    /// receiver reconstructs coordinate `i` as `levels[i] as f64 * scale`.
+    Quantized {
+        /// Per-message dequantization scale (finite, `>= 0`).
+        scale: f64,
+        /// One signed 16-bit level per coordinate, in order.
+        levels: Vec<i16>,
+    },
 }
 
 impl GradientPayload {
@@ -64,6 +80,7 @@ impl GradientPayload {
         match self {
             GradientPayload::Dense(v) => v.len(),
             GradientPayload::Sparse { dim, .. } => *dim as usize,
+            GradientPayload::Quantized { levels, .. } => levels.len(),
         }
     }
 
@@ -72,15 +89,18 @@ impl GradientPayload {
         match self {
             GradientPayload::Dense(v) => v.len(),
             GradientPayload::Sparse { indices, .. } => indices.len(),
+            GradientPayload::Quantized { levels, .. } => levels.len(),
         }
     }
 
     /// Bytes of the encoded gradient field (excluding the message framing):
-    /// `1 + 4 + 8·dim` dense, `1 + 8 + 12·nnz` sparse.
+    /// `1 + 4 + 8·dim` dense, `1 + 8 + 12·nnz` sparse, `1 + 12 + 2·dim`
+    /// quantized.
     pub fn encoded_len(&self) -> usize {
         match self {
             GradientPayload::Dense(v) => 1 + 4 + 8 * v.len(),
             GradientPayload::Sparse { indices, .. } => 1 + 8 + 12 * indices.len(),
+            GradientPayload::Quantized { levels, .. } => 1 + 4 + 8 + 2 * levels.len(),
         }
     }
 
@@ -441,6 +461,25 @@ mod tests {
         nz[3] = -0.0;
         let payload = GradientPayload::from_dense_auto(nz);
         assert_eq!(payload.nnz(), 1);
+    }
+
+    #[test]
+    fn quantized_payload_is_at_least_twice_as_small_as_dense() {
+        let dim = 5000;
+        let quantized = GradientPayload::Quantized {
+            scale: 1.0 / 32767.0,
+            levels: vec![17; dim],
+        };
+        assert_eq!(quantized.dim(), dim);
+        assert_eq!(quantized.nnz(), dim);
+        assert_eq!(quantized.encoded_len(), 1 + 4 + 8 + 2 * dim);
+        let dense = GradientPayload::Dense(vec![0.1; dim]);
+        assert!(
+            quantized.encoded_len() * 2 < dense.encoded_len(),
+            "quantized {} B vs dense {} B",
+            quantized.encoded_len(),
+            dense.encoded_len()
+        );
     }
 
     #[test]

@@ -85,6 +85,10 @@ metric_ids! {
         WalAppendBytes => "wal_append_bytes",
         /// WAL append operations (store).
         WalAppends => "wal_appends",
+        /// Checkins that arrived with the quantized gradient encoding (net).
+        QuantizedCheckins => "quantized_checkins",
+        /// Wire bytes saved by quantized versus dense gradient encoding (net).
+        QuantizedBytesSaved => "quantized_bytes_saved",
     }
 }
 

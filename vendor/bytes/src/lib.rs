@@ -207,17 +207,69 @@ pub trait BufMut {
         put_f32_le(f32),
         put_f64_le(f64),
     }
+
+    /// Appends a whole `f64` slice in little-endian order. Byte-identical to
+    /// calling [`BufMut::put_f64_le`] per element; concrete buffers override
+    /// it to amortize the per-write capacity check over blocks.
+    fn put_f64_slice_le(&mut self, values: &[f64]) {
+        for &v in values {
+            self.put_f64_le(v);
+        }
+    }
+
+    /// Appends a whole `i16` slice in little-endian order (same contract as
+    /// [`BufMut::put_f64_slice_le`]).
+    fn put_i16_slice_le(&mut self, values: &[i16]) {
+        for &v in values {
+            self.put_i16_le(v);
+        }
+    }
+}
+
+/// Serializes a numeric slice through a stack block, calling `sink` with runs
+/// of ready-to-append bytes: one capacity check per block instead of per
+/// element, identical bytes.
+macro_rules! blocked_put {
+    ($values:expr, $width:expr, $sink:expr) => {{
+        let mut block = [0u8; 256 * $width];
+        for chunk in $values.chunks(256) {
+            let mut n = 0;
+            for &v in chunk {
+                block[n..n + $width].copy_from_slice(&v.to_le_bytes());
+                n += $width;
+            }
+            $sink(&block[..n]);
+        }
+    }};
 }
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.inner.extend_from_slice(src);
     }
+
+    fn put_f64_slice_le(&mut self, values: &[f64]) {
+        self.inner.put_f64_slice_le(values);
+    }
+
+    fn put_i16_slice_le(&mut self, values: &[i16]) {
+        self.inner.put_i16_slice_le(values);
+    }
 }
 
 impl BufMut for Vec<u8> {
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
+    }
+
+    fn put_f64_slice_le(&mut self, values: &[f64]) {
+        self.reserve(values.len() * 8);
+        blocked_put!(values, 8, |bytes| self.extend_from_slice(bytes));
+    }
+
+    fn put_i16_slice_le(&mut self, values: &[i16]) {
+        self.reserve(values.len() * 2);
+        blocked_put!(values, 2, |bytes| self.extend_from_slice(bytes));
     }
 }
 
@@ -226,6 +278,14 @@ impl BufMut for Vec<u8> {
 impl<T: BufMut + ?Sized> BufMut for &mut T {
     fn put_slice(&mut self, src: &[u8]) {
         (**self).put_slice(src);
+    }
+
+    fn put_f64_slice_le(&mut self, values: &[f64]) {
+        (**self).put_f64_slice_le(values);
+    }
+
+    fn put_i16_slice_le(&mut self, values: &[i16]) {
+        (**self).put_i16_slice_le(values);
     }
 }
 
@@ -262,5 +322,46 @@ mod tests {
     fn underflow_panics() {
         let mut cursor: &[u8] = &[1];
         let _ = cursor.get_u32_le();
+    }
+
+    #[test]
+    fn bulk_slice_writes_match_per_element_writes() {
+        // Lengths straddling the 256-element block boundary.
+        for len in [0usize, 1, 7, 255, 256, 257, 1000] {
+            let f64s: Vec<f64> = (0..len).map(|i| i as f64 * -1.5e-3).collect();
+            let i16s: Vec<i16> = (0..len).map(|i| (i as i16).wrapping_mul(-257)).collect();
+
+            let mut per_element: Vec<u8> = vec![0xAA]; // non-empty prefix kept
+            for &v in &f64s {
+                per_element.put_f64_le(v);
+            }
+            for &v in &i16s {
+                per_element.put_i16_le(v);
+            }
+
+            let mut bulk_vec: Vec<u8> = vec![0xAA];
+            bulk_vec.put_f64_slice_le(&f64s);
+            bulk_vec.put_i16_slice_le(&i16s);
+            assert_eq!(bulk_vec, per_element, "Vec<u8> bulk diverged at {len}");
+
+            let mut bulk_bytes = BytesMut::new();
+            bulk_bytes.put_u8(0xAA);
+            bulk_bytes.put_f64_slice_le(&f64s);
+            bulk_bytes.put_i16_slice_le(&i16s);
+            assert_eq!(&bulk_bytes[..], &per_element[..], "BytesMut bulk diverged");
+
+            // The forwarding impl must not fall back to the default loop's
+            // semantics differing — same bytes through &mut.
+            let mut fwd: Vec<u8> = vec![0xAA];
+            {
+                let r = &mut fwd;
+                fn write<B: BufMut>(mut b: B, f: &[f64], q: &[i16]) {
+                    b.put_f64_slice_le(f);
+                    b.put_i16_slice_le(q);
+                }
+                write(r, &f64s, &i16s);
+            }
+            assert_eq!(fwd, per_element, "&mut forwarding diverged at {len}");
+        }
     }
 }
