@@ -121,6 +121,7 @@ mod tests {
             iteration,
             stopped: false,
             staleness: 0,
+            deduped: false,
         }
     }
 

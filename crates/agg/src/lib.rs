@@ -35,7 +35,9 @@ pub mod runtime;
 pub mod shard;
 
 pub use queue::BoundedQueue;
-pub use runtime::{AggRuntime, CompletionHandle, ParamSnapshot, SubmitRejection};
+pub use runtime::{
+    AggRuntime, CompletionHandle, ParamSnapshot, RoundSubmitOutcome, SubmitRejection,
+};
 pub use shard::ShardSet;
 
 use std::fmt;

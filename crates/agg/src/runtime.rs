@@ -23,7 +23,10 @@ use crate::shard::{ShardSet, Waiter};
 use crate::{AggError, Result};
 use crowd_core::config::AggSettings;
 use crowd_core::device::CheckinPayload;
-use crowd_core::server::{CheckinOutcome, CheckoutTicket, EpochAggregate, Server};
+use crowd_core::server::{
+    CheckinOutcome, CheckoutTicket, EpochAggregate, PendingSubmission, RoundAdmission, RoundInfo,
+    Server,
+};
 use crowd_learning::model::Model;
 use crowd_linalg::Vector;
 use crowd_store::Store;
@@ -92,6 +95,11 @@ struct Inner<M: Model> {
     /// epoch pushes a device over its ceiling.
     // audit:lock(agg.exhausted, 40)
     exhausted: RwLock<HashSet<u64>>,
+    /// The open round's published parameters, mirrored out of the core server
+    /// so checkouts read them without touching the core lock. Written only
+    /// under the core lock (at construction and whenever a round advances).
+    // audit:lock(agg.rounds, 55)
+    rounds: RwLock<Option<RoundInfo>>,
     /// Recent checkin outcomes keyed on `(device_id, nonce)`: a retried or
     /// network-duplicated checkin is answered with the original ack instead of
     /// being applied (and ε-charged) twice.
@@ -118,6 +126,21 @@ pub enum SubmitRejection {
     /// Hard refusal (malformed, budget exhausted, shutting down); the
     /// connection should be answered with the mapped error reply.
     Refused(AggError),
+}
+
+/// How [`AggRuntime::submit_round`] answered a masked round submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundSubmitOutcome {
+    /// The contribution stands (freshly accepted, or a deduplicated retry of
+    /// one that already did — `outcome.deduped` distinguishes them). It is
+    /// applied to the model when the round finalizes.
+    Acked(CheckinOutcome),
+    /// The named round has closed; the device must refetch parameters (which
+    /// carry the current `RoundParams`) and resync.
+    Outdated {
+        /// The server's current round id.
+        current_round: u64,
+    },
 }
 
 /// A ticket for a submitted checkin: blocks until the checkin's epoch has been
@@ -195,6 +218,7 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
             s.set_metrics(Arc::clone(&metrics));
             s
         });
+        let round_info = server.round_info();
         let inner = Arc::new(Inner {
             shards: ShardSet::new(settings.shard_count, param_dim, num_classes)
                 .with_merge_workers(settings.worker_threads),
@@ -212,9 +236,14 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
             metrics,
             store: store.map(Mutex::new),
             exhausted: RwLock::new(exhausted),
+            rounds: RwLock::new(round_info),
             dedup: Mutex::new(DedupTable::new(DEDUP_CAPACITY)),
             crashed: AtomicBool::new(false),
         });
+        // A recovered round may already be past its deadline (the crash could
+        // land between the expiring apply and its finalization); settle it
+        // before serving.
+        finalize_due_rounds(&inner);
         let workers = (0..settings.worker_threads)
             .map(|_| {
                 let worker_inner = Arc::clone(&inner);
@@ -290,7 +319,10 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
                 Admission::Replay(outcome) => {
                     self.inner.metrics.incr(CounterId::DedupReplays);
                     let (tx, rx) = mpsc::channel();
-                    let _ = tx.send(outcome);
+                    let _ = tx.send(CheckinOutcome {
+                        deduped: true,
+                        ..outcome
+                    });
                     return Ok(CompletionHandle { rx });
                 }
                 Admission::InFlight => {
@@ -347,6 +379,116 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
     /// Submits a checkin and blocks until its epoch is applied.
     pub fn checkin(&self, payload: CheckinPayload) -> Result<CheckinOutcome> {
         self.submit(payload)?.wait()
+    }
+
+    /// The open round's published parameters, or `None` on a free-running
+    /// server. Reads the round mirror — never the core lock — so checkout
+    /// handlers can attach `RoundParams` to every response for free.
+    pub fn round_info(&self) -> Option<RoundInfo> {
+        *self.inner.rounds.read()
+    }
+
+    /// Submits one masked round contribution.
+    ///
+    /// Unlike free-run checkins, round submissions bypass the ingest queue and
+    /// shard accumulators: the masked words are opaque until the whole cohort
+    /// is unmasked together, so the submission goes straight into the core
+    /// server's pending set (WAL-logged first when durable) and is applied —
+    /// and ε-charged — when the round finalizes. If this submission completes
+    /// the cohort, the round is finalized before the ack returns.
+    pub fn submit_round(
+        &self,
+        round_id: u64,
+        submission: PendingSubmission,
+    ) -> Result<RoundSubmitOutcome> {
+        let inner = &self.inner;
+        if submission.words.len() != inner.param_dim {
+            return Err(AggError::Invalid(format!(
+                "round submission has {} masked words, expected {}",
+                submission.words.len(),
+                inner.param_dim
+            )));
+        }
+        if submission.label_counts.len() != inner.num_classes {
+            return Err(AggError::Invalid(format!(
+                "round submission reports {} label counts, expected {}",
+                submission.label_counts.len(),
+                inner.num_classes
+            )));
+        }
+        if submission.num_samples == 0 {
+            return Err(AggError::Invalid(
+                "round submission must cover at least one sample".into(),
+            ));
+        }
+        if self.budget_exhausted(submission.device_id) {
+            inner.metrics.incr(CounterId::BudgetRejections);
+            return Err(AggError::BudgetExhausted {
+                device_id: submission.device_id,
+            });
+        }
+        let device_id = submission.device_id;
+        let checkout_iteration = submission.checkout_iteration;
+        let logged = inner.store.is_some().then(|| submission.clone());
+        let mut core = inner.core.lock();
+        match core
+            .round_submit(round_id, submission)
+            .map_err(AggError::Core)?
+        {
+            RoundAdmission::Accepted { cohort_complete } => {
+                if let (Some(store), Some(sub)) = (&inner.store, &logged) {
+                    if let Err(e) = store.lock().log_round_submit(round_id, sub) {
+                        // The pending entry stays (there is no un-submit), but
+                        // no ack is sent: a crash loses exactly what the device
+                        // believes unacknowledged, and a live retry resolves as
+                        // a duplicate of a contribution that did stand.
+                        drop(core);
+                        inner.metrics.incr(CounterId::WalErrors);
+                        eprintln!("crowd-agg: WAL append failed, refusing round submission: {e}");
+                        return Err(AggError::ShuttingDown);
+                    }
+                }
+                let outcome = CheckinOutcome {
+                    accepted: true,
+                    iteration: core.iteration(),
+                    stopped: core.stopped(),
+                    staleness: core.iteration().saturating_sub(checkout_iteration),
+                    deduped: false,
+                };
+                inner.metrics.incr(CounterId::RoundSubmissions);
+                inner.metrics.span(Stage::ShardIngest, device_id);
+                if cohort_complete {
+                    finalize_round_locked(inner, core);
+                    finalize_due_rounds(inner);
+                } else {
+                    drop(core);
+                }
+                Ok(RoundSubmitOutcome::Acked(outcome))
+            }
+            RoundAdmission::Duplicate => {
+                let outcome = CheckinOutcome {
+                    accepted: true,
+                    iteration: core.iteration(),
+                    stopped: core.stopped(),
+                    staleness: 0,
+                    deduped: true,
+                };
+                drop(core);
+                inner.metrics.incr(CounterId::DedupReplays);
+                Ok(RoundSubmitOutcome::Acked(outcome))
+            }
+            RoundAdmission::Outdated { current_round } => {
+                drop(core);
+                inner.metrics.incr(CounterId::RoundOutdatedRejections);
+                Ok(RoundSubmitOutcome::Outdated { current_round })
+            }
+            RoundAdmission::NotSelected => {
+                drop(core);
+                Err(AggError::Invalid(format!(
+                    "device {device_id} is not in round {round_id}'s cohort"
+                )))
+            }
+        }
     }
 
     fn validate(&self, payload: &CheckinPayload) -> Result<()> {
@@ -427,6 +569,20 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
         Arc::clone(&self.inner.metrics)
     }
 
+    /// Settles the open cohort round immediately, exactly as a graceful
+    /// shutdown would: pending submissions are finalized (their masks
+    /// cancelled, their ε charged) and the successor round is published. A
+    /// no-op when rounds are disabled or nothing is pending. Harnesses call
+    /// this before reading the ledger of a still-running server, so
+    /// acknowledged round submissions are never observed uncharged.
+    pub fn settle_rounds(&self) {
+        let core = self.inner.core.lock();
+        if core.round_pending() > 0 {
+            finalize_round_locked(&self.inner, core);
+            finalize_due_rounds(&self.inner);
+        }
+    }
+
     /// Stops accepting checkins, applies everything already admitted, joins
     /// the worker pool, and — when durable — writes a final checkpoint
     /// snapshot (compacting the WAL away). Idempotent; also invoked on drop.
@@ -456,6 +612,17 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
         // Checkpoint once, on the call that actually tore the runtime down,
         // and never after a crash-stop.
         if joined_any && !self.inner.crashed.load(Ordering::SeqCst) {
+            // A graceful shutdown settles the open round first: its pending
+            // submissions were acknowledged, so their ε must be charged (via
+            // the finalization epoch) before the checkpoint freezes the
+            // ledger.
+            let core = self.inner.core.lock();
+            if core.round_pending() > 0 {
+                finalize_round_locked(&self.inner, core);
+                finalize_due_rounds(&self.inner);
+            } else {
+                drop(core);
+            }
             if let Some(store) = &self.inner.store {
                 let core = self.inner.core.lock();
                 let mut store = store.lock();
@@ -470,6 +637,68 @@ impl<M: Model + Send + 'static> AggRuntime<M> {
 impl<M: Model + Send + 'static> Drop for AggRuntime<M> {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Finalizes the open round while holding the core lock: logs the round
+/// boundary, publishes the successor round's parameters, and — when the
+/// cohort contributed — pushes the unmasked finalization epoch through the
+/// standard durable apply path. Consumes the lock.
+fn finalize_round_locked<M: Model>(inner: &Inner<M>, mut core: MutexGuard<'_, Server<M>>) {
+    let start = inner.metrics.start();
+    let (closed, epoch) = match core.finalize_round() {
+        Ok(parts) => parts,
+        Err(_) => {
+            drop(core);
+            inner.metrics.incr(CounterId::ApplyErrors);
+            return;
+        }
+    };
+    if let Some(store) = &inner.store {
+        if let Err(e) = store.lock().log_round_advance(closed) {
+            inner.metrics.incr(CounterId::WalErrors);
+            eprintln!("crowd-agg: WAL append failed on round-{closed} advance: {e}");
+        }
+    }
+    *inner.rounds.write() = core.round_info();
+    match epoch {
+        Some(epoch) => {
+            let count = epoch.checkin_count;
+            let (_, applied) = durable_apply(inner, core, &epoch);
+            if applied {
+                inner.metrics.incr(CounterId::RoundsFinalized);
+                inner.metrics.add(CounterId::CheckinsApplied, count);
+            }
+        }
+        None => {
+            drop(core);
+            inner.metrics.incr(CounterId::RoundsExpired);
+        }
+    }
+    inner
+        .metrics
+        .observe_since(HistogramId::RoundFinalizeUs, start);
+}
+
+/// Finalizes rounds whose deadline the iteration clock has passed. Loops
+/// because a finalization epoch itself advances the clock (possibly expiring
+/// its freshly opened successor); an expiry with no submissions re-opens at
+/// the current iteration, so the loop always terminates.
+fn finalize_due_rounds<M: Model>(inner: &Inner<M>) {
+    // Scoped so the `agg.rounds` read guard drops before the loop takes
+    // `agg.core` (core → rounds is the documented acquisition order).
+    {
+        let rounds = inner.rounds.read();
+        if rounds.is_none() {
+            return;
+        }
+    }
+    loop {
+        let core = inner.core.lock();
+        if !core.round_expired() {
+            return;
+        }
+        finalize_round_locked(inner, core);
     }
 }
 
@@ -529,6 +758,7 @@ fn worker_loop<M: Model>(inner: Arc<Inner<M>>) {
                         iteration: snap.iteration,
                         stopped: snap.stopped,
                         staleness: 0,
+                        deduped: false,
                     });
                     continue;
                 }
@@ -589,6 +819,7 @@ fn durable_apply<M: Model>(
                 iteration: core.iteration(),
                 stopped: core.stopped(),
                 staleness: 0,
+                deduped: false,
             };
             drop(store);
             drop(core);
@@ -645,6 +876,7 @@ fn durable_apply<M: Model>(
                 iteration: core.iteration(),
                 stopped: core.stopped(),
                 staleness: 0,
+                deduped: false,
             };
             drop(core);
             inner.metrics.incr(CounterId::ApplyErrors);
@@ -682,6 +914,11 @@ fn apply_singleton<M: Model>(inner: &Inner<M>, job: Job) {
             .lock()
             .abandon((job.payload.device_id, job.payload.nonce));
     }
+    // The apply advanced the iteration clock; settle any now-due round before
+    // acking, so a caller that has its ack also sees the finalized round.
+    if applied {
+        finalize_due_rounds(inner);
+    }
     inner
         .metrics
         .observe_since(HistogramId::CheckinLatencyUs, job.submitted);
@@ -718,6 +955,11 @@ fn merge<M: Model>(inner: &Inner<M>) {
             inner.metrics.incr(CounterId::BatchedEpochs);
         }
     }
+    // The apply advanced the iteration clock; settle any now-due round before
+    // acking, so a caller that has its ack also sees the finalized round.
+    if applied {
+        finalize_due_rounds(inner);
+    }
     // Staleness is per-checkin: measured against the iteration the epoch was
     // applied at (the pre-update iteration, as in the classic checkin path).
     let pre_iteration = outcome.iteration - u64::from(outcome.accepted);
@@ -727,6 +969,7 @@ fn merge<M: Model>(inner: &Inner<M>) {
             iteration: outcome.iteration,
             stopped: outcome.stopped,
             staleness: pre_iteration.saturating_sub(waiter.checkout_iteration),
+            deduped: false,
         };
         if applied {
             // The epoch (and its ε charges) went through: remember the
@@ -1031,9 +1274,17 @@ mod tests {
         assert_eq!(original.iteration, 1);
         let params_after_first = rt.params();
         // The same (device, nonce) again — a retry or a network duplicate —
-        // must replay the original ack and leave the parameters untouched.
+        // must replay the original ack (flagged as a dedup) and leave the
+        // parameters untouched.
         let replayed = rt.checkin(p).unwrap();
-        assert_eq!(replayed, original);
+        assert!(replayed.deduped);
+        assert_eq!(
+            CheckinOutcome {
+                deduped: false,
+                ..replayed
+            },
+            original
+        );
         assert_eq!(rt.iteration(), 1);
         assert_eq!(rt.params().as_slice(), params_after_first.as_slice());
         assert_eq!(rt.stats().get("dedup_replays"), 1);
@@ -1070,6 +1321,178 @@ mod tests {
         assert_eq!(rt.iteration(), 2);
         assert_eq!(rt.stats().get("dedup_replays"), 0);
         rt.shutdown();
+    }
+
+    fn round_config(population: u64, fraction: f64, deadline: u32) -> ServerConfig {
+        ServerConfig::new().with_rate_constant(1.0).with_rounds(
+            crowd_core::RoundSettings::new(population)
+                .with_select_fraction(fraction)
+                .with_deadline_epochs(deadline),
+        )
+    }
+
+    /// A masked submission for `device_id` against the runtime's open round,
+    /// carrying the given gradient.
+    fn masked(
+        rt: &AggRuntime<MulticlassLogistic>,
+        device_id: u64,
+        gradient: &[f64],
+    ) -> (u64, PendingSubmission) {
+        let info = rt.round_info().unwrap();
+        let cohort = crowd_rounds::cohort(info.seed, info.population, info.select_fraction);
+        let masks = crowd_rounds::net_mask(info.seed, device_id, &cohort, gradient.len());
+        (
+            info.round_id,
+            PendingSubmission {
+                device_id,
+                nonce: 500 + device_id,
+                checkout_iteration: rt.iteration(),
+                words: crowd_rounds::mask(gradient, &masks),
+                num_samples: 2,
+                error_count: 1,
+                label_counts: vec![1, 1, 0],
+            },
+        )
+    }
+
+    #[test]
+    fn complete_cohort_finalizes_to_the_unmasked_mean() {
+        // Fraction 1.0: all 3 devices are selected.
+        let rt = runtime(round_config(3, 1.0, 100));
+        assert_eq!(rt.round_info().unwrap().round_id, 1);
+        let gradient = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        for device in 0..3u64 {
+            let (round_id, sub) = masked(&rt, device, &gradient);
+            match rt.submit_round(round_id, sub).unwrap() {
+                RoundSubmitOutcome::Acked(outcome) => {
+                    assert!(outcome.accepted);
+                    assert!(!outcome.deduped);
+                }
+                other => panic!("expected ack, got {other:?}"),
+            }
+        }
+        // The third submission completed the cohort: one epoch applied, the
+        // next round opened, and the step equals the unmasked mean gradient
+        // (all three sent the same one) with η(1) = 1.
+        assert_eq!(rt.iteration(), 1);
+        assert_eq!(rt.round_info().unwrap().round_id, 2);
+        assert!((rt.params()[0] + 1.0).abs() < 1e-12);
+        let stats = rt.stats();
+        assert_eq!(stats.get("round_submissions"), 3);
+        assert_eq!(stats.get("rounds_finalized"), 1);
+        assert_eq!(stats.get("checkins_applied"), 3);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn round_retry_is_deduped_and_stale_round_is_outdated() {
+        let rt = runtime(round_config(3, 1.0, 100));
+        let gradient = [0.5; 6];
+        let (round_id, sub) = masked(&rt, 0, &gradient);
+        assert!(matches!(
+            rt.submit_round(round_id, sub.clone()).unwrap(),
+            RoundSubmitOutcome::Acked(o) if !o.deduped
+        ));
+        // A retried submission (ack lost on the wire) replays, not re-applies.
+        assert!(matches!(
+            rt.submit_round(round_id, sub.clone()).unwrap(),
+            RoundSubmitOutcome::Acked(o) if o.deduped
+        ));
+        // A submission against a round that is not current resyncs the device.
+        match rt.submit_round(round_id + 7, sub).unwrap() {
+            RoundSubmitOutcome::Outdated { current_round } => {
+                assert_eq!(current_round, round_id)
+            }
+            other => panic!("expected outdated, got {other:?}"),
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.get("dedup_replays"), 1);
+        assert_eq!(stats.get("round_outdated_rejections"), 1);
+        assert_eq!(rt.iteration(), 0, "no cohort completion, no epoch");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn partial_cohort_is_finalized_by_graceful_shutdown() {
+        let rt = runtime(round_config(4, 1.0, 100));
+        let gradient = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        for device in 0..2u64 {
+            let (round_id, sub) = masked(&rt, device, &gradient);
+            rt.submit_round(round_id, sub).unwrap();
+        }
+        assert_eq!(rt.iteration(), 0);
+        rt.shutdown();
+        // Shutdown settled the half-full round: the two acknowledged
+        // submissions were applied (mask compensation recovered their sum).
+        assert_eq!(rt.iteration(), 1);
+        assert!((rt.params()[0] + 1.0).abs() < 1e-12);
+        assert_eq!(rt.stats().get("rounds_finalized"), 1);
+    }
+
+    #[test]
+    fn deadline_expiry_finalizes_survivors_mid_run() {
+        // Deadline of 2 epochs; unselected devices' free-run checkins drive
+        // the iteration clock past it.
+        let mut config = round_config(8, 0.5, 2);
+        config = config.with_shard_count(1);
+        let rt = runtime(config);
+        let info = rt.round_info().unwrap();
+        let cohort = crowd_rounds::cohort(info.seed, info.population, info.select_fraction);
+        assert!(!cohort.is_empty() && cohort.len() < 8);
+        // One cohort member submits; the rest drop out.
+        let survivor = cohort[0];
+        let (round_id, sub) = masked(&rt, survivor, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        rt.submit_round(round_id, sub).unwrap();
+        // Two free-run checkins from a non-member expire the round.
+        let free = (0..8).find(|d| !cohort.contains(d)).unwrap();
+        for step in 0..2u64 {
+            assert!(
+                rt.checkin(payload(free, vec![0.0; 6], step))
+                    .unwrap()
+                    .accepted
+            );
+        }
+        // The expiry epoch applied the lone survivor's unmasked gradient
+        // (compensating every dropout's pairwise masks).
+        assert_eq!(rt.iteration(), 3);
+        assert_eq!(rt.round_info().unwrap().round_id, 2);
+        assert_eq!(rt.stats().get("rounds_finalized"), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn mid_round_kill_recovers_pending_and_finalizes_identically() {
+        let dir = temp_dir("round-kill");
+        let mk = |dir: &std::path::Path| {
+            round_config(3, 1.0, 100)
+                .with_data_dir(dir)
+                .with_snapshot_every(100)
+        };
+        let gradient = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let (store, server, _) = crowd_store::Store::open(model, mk(&dir)).unwrap();
+        let rt = AggRuntime::with_store(server, Some(store)).unwrap();
+        for device in 0..2u64 {
+            let (round_id, sub) = masked(&rt, device, &gradient);
+            rt.submit_round(round_id, sub).unwrap();
+        }
+        rt.kill();
+
+        // Recovery rebuilds the pending cohort from the WAL; the last member
+        // completes it and finalization matches the uninterrupted run.
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let (store, server, report) = crowd_store::Store::open(model, mk(&dir)).unwrap();
+        assert_eq!(report.replayed_submissions, 2);
+        let rt = AggRuntime::with_store(server, Some(store)).unwrap();
+        let (round_id, sub) = masked(&rt, 2, &gradient);
+        match rt.submit_round(round_id, sub).unwrap() {
+            RoundSubmitOutcome::Acked(outcome) => assert!(outcome.accepted),
+            other => panic!("expected ack, got {other:?}"),
+        }
+        assert_eq!(rt.iteration(), 1);
+        assert!((rt.params()[0] + 1.0).abs() < 1e-12);
+        rt.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,9 +18,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use crowd_agg::AggRuntime;
-use crowd_core::config::{AggSettings, ServerConfig};
+use crowd_core::config::{AggSettings, RoundSettings, ServerConfig};
 use crowd_core::device::CheckinPayload;
-use crowd_core::server::Server;
+use crowd_core::server::{PendingSubmission, Server};
 use crowd_learning::MulticlassLogistic;
 use crowd_linalg::Vector;
 use parking_lot::Mutex;
@@ -251,6 +251,114 @@ fn report_checkin_latency_percentiles() {
     }
 }
 
+// The rounds bench uses a smaller model (d = 1 000) than the throughput
+// benches: a cohort round is dominated by per-member mask generation and the
+// finalization unmask+sum, both O(cohort · d), and this size keeps one round
+// in the microsecond regime where the latency histogram has resolution.
+const ROUND_DIM: usize = 100;
+const ROUND_CLASSES: usize = 10;
+const COHORT: u64 = 8;
+
+fn rounds_runtime() -> AggRuntime<MulticlassLogistic> {
+    let config = ServerConfig::new()
+        .with_agg(AggSettings {
+            shard_count: 4,
+            queue_bound: 4096,
+            epoch_size: 1,
+            worker_threads: 2,
+            retry_after_ms: 1,
+            flush_idle_ms: 1,
+        })
+        .with_rounds(
+            RoundSettings::new(COHORT)
+                .with_select_fraction(1.0)
+                .with_deadline_epochs(1_000_000),
+        );
+    let model = MulticlassLogistic::new(ROUND_DIM, ROUND_CLASSES).unwrap();
+    AggRuntime::new(Server::new(model, config).unwrap()).unwrap()
+}
+
+/// One full cohort round: every member derives its net mask, masks a dense
+/// gradient, and submits; the last submission completes the cohort and drives
+/// finalization (mask cancellation, unmasked sum, projected update) inline.
+fn run_one_round(runtime: &AggRuntime<MulticlassLogistic>) {
+    let info = runtime.round_info().expect("rounds are enabled");
+    let members = crowd_rounds::cohort(info.seed, info.population, info.select_fraction);
+    let dim = ROUND_DIM * ROUND_CLASSES;
+    let grad = vec![0.001f64; dim];
+    for &d in &members {
+        let mask_words = crowd_rounds::net_mask(info.seed, d, &members, dim);
+        let words = crowd_rounds::mask(&grad, &mask_words);
+        let submission = PendingSubmission {
+            device_id: d,
+            nonce: info.round_id,
+            checkout_iteration: 0,
+            words,
+            num_samples: 2 * ROUND_CLASSES as u32,
+            error_count: 2,
+            label_counts: vec![2; ROUND_CLASSES],
+        };
+        black_box(runtime.submit_round(info.round_id, submission).unwrap());
+    }
+}
+
+/// Server-side round-finalization latency percentiles off the crowd-scope
+/// `round_finalize_us` histogram, reported as `BENCH_JSON` entries
+/// (`round_finalize_p50_us` / `round_finalize_p99_us`, values in ns like
+/// every other entry) so `BENCH_runtime.json` tracks finalization latency.
+fn report_round_finalize_percentiles() {
+    let runtime = rounds_runtime();
+    for _ in 0..64 {
+        run_one_round(&runtime);
+    }
+    let snap = runtime.stats();
+    runtime.shutdown();
+    let bins = snap
+        .histogram("round_finalize_us")
+        .expect("registry round finalize histogram");
+    println!(
+        "bench {:<50} p50={}us p99={}us (n={})",
+        "round_finalize/latency_cohort8",
+        bins.p50(),
+        bins.p99(),
+        bins.count()
+    );
+    let Some(path) = std::env::var_os("BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        for (name, us) in [
+            ("round_finalize_p50_us", bins.p50()),
+            ("round_finalize_p99_us", bins.p99()),
+        ] {
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"{name}\",\"ns_per_iter\":{:.1}}}",
+                us as f64 * 1e3
+            );
+        }
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_finalize");
+    group.bench_function(
+        format!("cohort{COHORT}_d{}", ROUND_DIM * ROUND_CLASSES),
+        |b| {
+            let runtime = rounds_runtime();
+            b.iter(|| run_one_round(&runtime));
+            runtime.shutdown();
+        },
+    );
+    group.finish();
+    report_round_finalize_percentiles();
+}
+
 fn bench_agg(c: &mut Criterion) {
     let mut group = c.benchmark_group("checkin_throughput");
     for &threads in &[2u64, 8] {
@@ -284,5 +392,5 @@ fn bench_agg(c: &mut Criterion) {
     report_checkin_latency_percentiles();
 }
 
-criterion_group!(benches, bench_agg);
+criterion_group!(benches, bench_agg, bench_rounds);
 criterion_main!(benches);

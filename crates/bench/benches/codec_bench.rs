@@ -18,6 +18,7 @@ fn checkin_with(gradient: GradientPayload) -> Message {
         token: AuthToken::derive(42, 7),
         checkout_iteration: 1000,
         nonce: 0,
+        round_id: 0,
         gradient,
         num_samples: 20,
         error_count: 3,
@@ -125,6 +126,7 @@ fn bench_codec(c: &mut Criterion) {
             iteration: 5,
             params: vec![0.5; 500],
             stopped: false,
+            round: None,
         });
         bench.iter(|| {
             let bytes = encode(black_box(&msg));

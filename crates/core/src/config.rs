@@ -301,6 +301,80 @@ impl Default for BudgetSettings {
     }
 }
 
+/// Round-based cohort protocol settings (wire v6).
+///
+/// When configured, the server runs the `crowd-rounds` protocol: it publishes
+/// [`crowd_proto::message::RoundParams`]-shaped parameters in every checkout,
+/// accepts exactly one masked submission per selected device per round, and
+/// folds the unmasked cohort sum into the model when the round finalizes
+/// (cohort complete or `deadline_epochs` applied epochs elapsed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundSettings {
+    /// Fraction of the population selected into each round's cohort, in
+    /// `(0, 1]`.
+    pub select_fraction: f64,
+    /// A round expires after this many applied server epochs without cohort
+    /// completion; survivors are then finalized with dropout compensation.
+    pub deadline_epochs: u32,
+    /// Device-id population the selection draws from (`0..population`).
+    pub population: u64,
+    /// Base seed; each round's selection seed is derived from
+    /// `(seed, round_id)`.
+    pub seed: u64,
+}
+
+impl RoundSettings {
+    /// Defaults: half the population per round, 8-epoch deadline.
+    pub fn new(population: u64) -> Self {
+        RoundSettings {
+            select_fraction: 0.5,
+            deadline_epochs: 8,
+            population,
+            seed: 0x0C0D_0217,
+        }
+    }
+
+    /// Sets the cohort selection fraction.
+    pub fn with_select_fraction(mut self, fraction: f64) -> Self {
+        self.select_fraction = fraction;
+        self
+    }
+
+    /// Sets the round deadline in applied epochs.
+    pub fn with_deadline_epochs(mut self, epochs: u32) -> Self {
+        self.deadline_epochs = epochs;
+        self
+    }
+
+    /// Sets the base selection seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the settings.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.select_fraction.is_finite()
+            && self.select_fraction > 0.0
+            && self.select_fraction <= 1.0)
+        {
+            return Err(CoreError::Config(format!(
+                "select_fraction {} must be in (0, 1]",
+                self.select_fraction
+            )));
+        }
+        if self.deadline_epochs == 0 {
+            return Err(CoreError::Config("deadline_epochs must be positive".into()));
+        }
+        if self.population == 0 {
+            return Err(CoreError::Config(
+                "round population must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Server configuration (Algorithm 2 inputs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
@@ -321,6 +395,8 @@ pub struct ServerConfig {
     pub persist: PersistSettings,
     /// Per-device privacy-budget accounting on the checkin write path.
     pub budget: BudgetSettings,
+    /// Round-based cohort protocol; `None` (the default) free-runs as before.
+    pub rounds: Option<RoundSettings>,
 }
 
 impl ServerConfig {
@@ -336,6 +412,7 @@ impl ServerConfig {
             agg: AggSettings::new(),
             persist: PersistSettings::new(),
             budget: BudgetSettings::new(),
+            rounds: None,
         }
     }
 
@@ -417,6 +494,12 @@ impl ServerConfig {
         self
     }
 
+    /// Enables the round-based cohort protocol.
+    pub fn with_rounds(mut self, rounds: RoundSettings) -> Self {
+        self.rounds = Some(rounds);
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.schedule.c() <= 0.0 || !self.schedule.c().is_finite() {
@@ -439,6 +522,9 @@ impl ServerConfig {
         self.agg.validate()?;
         self.persist.validate()?;
         self.budget.validate()?;
+        if let Some(rounds) = &self.rounds {
+            rounds.validate()?;
+        }
         Ok(())
     }
 }
@@ -620,6 +706,34 @@ mod tests {
         };
         assert!(tracking.validate().is_ok());
         assert!(!tracking.is_disabled());
+    }
+
+    #[test]
+    fn round_settings_validate() {
+        assert!(RoundSettings::new(8).validate().is_ok());
+        let cfg = ServerConfig::new().with_rounds(
+            RoundSettings::new(8)
+                .with_select_fraction(0.25)
+                .with_deadline_epochs(4)
+                .with_seed(99),
+        );
+        let r = cfg.rounds.unwrap();
+        assert_eq!(r.select_fraction, 0.25);
+        assert_eq!(r.deadline_epochs, 4);
+        assert_eq!(r.seed, 99);
+        assert!(cfg.validate().is_ok());
+        for broken in [
+            RoundSettings::new(8).with_select_fraction(0.0),
+            RoundSettings::new(8).with_select_fraction(1.5),
+            RoundSettings::new(8).with_select_fraction(f64::NAN),
+            RoundSettings::new(8).with_deadline_epochs(0),
+            RoundSettings::new(0),
+        ] {
+            assert!(broken.validate().is_err());
+            assert!(ServerConfig::new().with_rounds(broken).validate().is_err());
+        }
+        // ServerConfig::new() stays round-free (wire round_id 0 = free-run).
+        assert!(ServerConfig::new().rounds.is_none());
     }
 
     #[test]

@@ -149,6 +149,7 @@ impl ExperimentConfig {
                 agg: crate::config::AggSettings::new(),
                 persist: crate::config::PersistSettings::new(),
                 budget: crate::config::BudgetSettings::new(),
+                rounds: None,
             },
             self.privacy,
         )

@@ -36,11 +36,14 @@ pub mod simulation;
 
 pub use config::{
     AggSettings, BudgetSettings, CrowdMlConfig, DeviceConfig, PersistSettings, PrivacyConfig,
-    ServerConfig,
+    RoundSettings, ServerConfig,
 };
 pub use device::{CheckinPayload, Device, DeviceAction};
 pub use error::CoreError;
-pub use server::{CheckinOutcome, DeviceEpochStats, EpochAggregate, Server, ServerState};
+pub use server::{
+    CheckinOutcome, DeviceEpochStats, EpochAggregate, PendingSubmission, RoundAdmission, RoundInfo,
+    RoundStateSnapshot, Server, ServerState,
+};
 
 /// Result alias for the core crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -5,7 +5,7 @@
 //! per-device counters `N_s^m`, `N_e^m`, `N_y^{k,m}`, and evaluates the stopping
 //! criterion `t ≥ T_max` or `Σ N_e / Σ N_s ≤ ρ`.
 
-use crate::config::ServerConfig;
+use crate::config::{RoundSettings, ServerConfig};
 use crate::device::CheckinPayload;
 use crate::error::CoreError;
 use crate::Result;
@@ -112,6 +112,113 @@ pub struct CheckinOutcome {
     /// How many updates happened between the device's checkout and this checkin
     /// (the staleness the delay analysis of §IV-B3 reasons about).
     pub staleness: u64,
+    /// `true` when this outcome is a replay of an earlier identical checkin
+    /// (same device and nonce) rather than a fresh apply. The core apply path
+    /// never sets this; the deduplicating runtime does when it answers a
+    /// retried request from its table.
+    pub deduped: bool,
+}
+
+/// One selected device's masked round contribution, held by the server until
+/// its round finalizes (cohort complete or deadline reached).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingSubmission {
+    /// The contributing device.
+    pub device_id: u64,
+    /// The checkin's idempotency nonce (identifies the submission on retry).
+    pub nonce: u64,
+    /// The server iteration the device checked parameters out at.
+    pub checkout_iteration: u64,
+    /// The masked gradient words (`crowd_rounds::mask` output), one per
+    /// coordinate.
+    pub words: Vec<u64>,
+    /// Samples behind the gradient (`n_s`).
+    pub num_samples: u32,
+    /// Perturbed misclassification count (`n̂_e`).
+    pub error_count: i64,
+    /// Perturbed per-class label counts (`n̂_y^k`).
+    pub label_counts: Vec<i64>,
+}
+
+/// Round protocol state in the deterministic snapshot layout: everything
+/// needed to resume a half-finished round after a crash. The cohort is *not*
+/// stored — it is recomputed from the configured [`RoundSettings`] and the
+/// round id, exactly as every device recomputes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundStateSnapshot {
+    /// The currently open round (starts at 1).
+    pub round_id: u64,
+    /// Server iteration when the round opened; the round expires once
+    /// `iteration ≥ opened_iteration + deadline_epochs`.
+    pub opened_iteration: u64,
+    /// Submissions accepted so far, ascending by device id.
+    pub pending: Vec<PendingSubmission>,
+}
+
+/// How the server classified a round submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundAdmission {
+    /// Recorded; `cohort_complete` when every cohort member has now submitted
+    /// (the caller should finalize the round).
+    Accepted {
+        /// Whether this submission completed the cohort.
+        cohort_complete: bool,
+    },
+    /// The device already contributed this exact `(round_id, nonce)` — either
+    /// to the still-open round or to an already-finalized one. The original
+    /// acceptance stands; nothing was recorded twice.
+    Duplicate,
+    /// The named round is no longer (or not yet) the server's current round;
+    /// the device must refetch parameters and resync.
+    Outdated {
+        /// The server's current round id, for the device's resync.
+        current_round: u64,
+    },
+    /// The device is not in the round's cohort and must free-run instead.
+    NotSelected,
+}
+
+/// The current round's published parameters (the server-side source of the
+/// wire-level `RoundParams`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundInfo {
+    /// The currently open round (starts at 1; 0 is reserved for "free-run").
+    pub round_id: u64,
+    /// This round's derived selection/mask seed.
+    pub seed: u64,
+    /// Configured cohort fraction.
+    pub select_fraction: f64,
+    /// Configured deadline in applied epochs.
+    pub deadline_epochs: u32,
+    /// Configured device population.
+    pub population: u64,
+}
+
+/// Live round bookkeeping inside the server.
+#[derive(Debug, Clone)]
+struct RoundRuntime {
+    round_id: u64,
+    opened_iteration: u64,
+    /// Derived seed for this round (cached from `round_seed`).
+    seed: u64,
+    /// Ascending cohort member ids for this round.
+    cohort: Vec<u64>,
+    /// Accepted submissions by device id.
+    pending: BTreeMap<u64, PendingSubmission>,
+}
+
+impl RoundRuntime {
+    fn open(settings: &RoundSettings, round_id: u64, opened_iteration: u64) -> Self {
+        let seed = crowd_rounds::round_seed(settings.seed, round_id);
+        let cohort = crowd_rounds::cohort(seed, settings.population, settings.select_fraction);
+        RoundRuntime {
+            round_id,
+            opened_iteration,
+            seed,
+            cohort,
+            pending: BTreeMap::new(),
+        }
+    }
 }
 
 /// The complete mutable state of a [`Server`], in a deterministic layout.
@@ -140,6 +247,14 @@ pub struct ServerState {
     pub schedule: LearningRate,
     /// Per-device cumulative ε spend, ascending by device id.
     pub budget_ledger: Vec<(u64, f64)>,
+    /// The open round (with its pending submissions) when the round protocol
+    /// is configured; `None` on a free-running server.
+    pub round: Option<RoundStateSnapshot>,
+    /// Per-device `(round_id, nonce)` of the last accepted round submission,
+    /// ascending by device id. Lets a retry that straddles a round advance be
+    /// answered as a duplicate instead of `Outdated` (which would provoke a
+    /// double contribution).
+    pub last_round: Vec<(u64, u64, u64)>,
 }
 
 /// The Crowd-ML server.
@@ -156,6 +271,10 @@ pub struct Server<M: Model> {
     total_samples: u64,
     total_errors: i64,
     accountant: BudgetAccountant,
+    /// The open round when `config.rounds` is set.
+    round: Option<RoundRuntime>,
+    /// Per-device `(round_id, nonce)` of the last accepted round submission.
+    last_round: BTreeMap<u64, (u64, u64)>,
 }
 
 /// Ledger key for a device (the accountant tracks entities by string).
@@ -169,6 +288,10 @@ impl<M: Model> Server<M> {
         config.validate()?;
         let params = model.init_params();
         let accountant = BudgetAccountant::new(config.budget.ceiling);
+        let round = config
+            .rounds
+            .as_ref()
+            .map(|settings| RoundRuntime::open(settings, 1, 0));
         Ok(Server {
             schedule: config.schedule.clone(),
             model,
@@ -179,6 +302,8 @@ impl<M: Model> Server<M> {
             total_samples: 0,
             total_errors: 0,
             accountant,
+            round,
+            last_round: BTreeMap::new(),
         })
     }
 
@@ -279,6 +404,186 @@ impl<M: Model> Server<M> {
             .collect()
     }
 
+    /// The current round's published parameters, or `None` on a free-running
+    /// server.
+    pub fn round_info(&self) -> Option<RoundInfo> {
+        let (round, settings) = (self.round.as_ref()?, self.config.rounds.as_ref()?);
+        Some(RoundInfo {
+            round_id: round.round_id,
+            seed: round.seed,
+            select_fraction: settings.select_fraction,
+            deadline_epochs: settings.deadline_epochs,
+            population: settings.population,
+        })
+    }
+
+    /// The current round's cohort (ascending device ids), or `None` on a
+    /// free-running server.
+    pub fn round_cohort(&self) -> Option<&[u64]> {
+        self.round.as_ref().map(|r| r.cohort.as_slice())
+    }
+
+    /// Submissions accepted into the open round and not yet finalized.
+    pub fn round_pending(&self) -> usize {
+        self.round.as_ref().map_or(0, |r| r.pending.len())
+    }
+
+    /// Classifies and (when current) records one masked round submission.
+    ///
+    /// On [`RoundAdmission::Accepted`] the submission is pending until
+    /// [`Server::finalize_round`]; the device's `(round_id, nonce)` is also
+    /// remembered so a retried submission — even one arriving after the round
+    /// advanced — is answered [`RoundAdmission::Duplicate`] instead of being
+    /// double-counted or bounced into a second contribution.
+    pub fn round_submit(
+        &mut self,
+        round_id: u64,
+        submission: PendingSubmission,
+    ) -> Result<RoundAdmission> {
+        let num_classes = self.model.num_classes();
+        let dim = self.params.len();
+        let round = self.round.as_mut().ok_or_else(|| {
+            CoreError::Protocol("round submission to a server without rounds".into())
+        })?;
+        if self.last_round.get(&submission.device_id) == Some(&(round_id, submission.nonce)) {
+            return Ok(RoundAdmission::Duplicate);
+        }
+        if round_id != round.round_id {
+            return Ok(RoundAdmission::Outdated {
+                current_round: round.round_id,
+            });
+        }
+        if round.cohort.binary_search(&submission.device_id).is_err() {
+            return Ok(RoundAdmission::NotSelected);
+        }
+        if round.pending.contains_key(&submission.device_id) {
+            // Same device, same round, different nonce: the device lost the
+            // ack and re-derived a nonce. Its contribution already stands.
+            return Ok(RoundAdmission::Duplicate);
+        }
+        if submission.words.len() != dim {
+            return Err(CoreError::Protocol(format!(
+                "round submission has {} masked words, expected {dim}",
+                submission.words.len()
+            )));
+        }
+        if submission.label_counts.len() != num_classes {
+            return Err(CoreError::Protocol(format!(
+                "round submission reports {} label counts, expected {num_classes}",
+                submission.label_counts.len()
+            )));
+        }
+        if submission.num_samples == 0 {
+            return Err(CoreError::Protocol(
+                "round submission must cover at least one sample".into(),
+            ));
+        }
+        self.last_round
+            .insert(submission.device_id, (round_id, submission.nonce));
+        round.pending.insert(submission.device_id, submission);
+        Ok(RoundAdmission::Accepted {
+            cohort_complete: round.pending.len() == round.cohort.len(),
+        })
+    }
+
+    /// Whether the open round has passed its deadline
+    /// (`iteration ≥ opened_iteration + deadline_epochs`). Always `false` on
+    /// a free-running server.
+    pub fn round_expired(&self) -> bool {
+        match (&self.round, &self.config.rounds) {
+            (Some(round), Some(settings)) => {
+                self.iteration >= round.opened_iteration + settings.deadline_epochs as u64
+            }
+            _ => false,
+        }
+    }
+
+    /// Closes the open round and opens the next one: unmasks the survivors'
+    /// submissions (recomputing each one's full-cohort net mask — the dropout
+    /// compensation), folds them in ascending device order, and returns the
+    /// closed round id plus the finalization epoch (`None` when nobody
+    /// submitted). The caller applies the epoch through the ordinary
+    /// [`Server::apply_aggregate`] path, which is what makes the finalized
+    /// cohort sum bitwise identical to the unmasked equivalent.
+    pub fn finalize_round(&mut self) -> Result<(u64, Option<EpochAggregate>)> {
+        let settings = *self.config.rounds.as_ref().ok_or_else(|| {
+            CoreError::Protocol("finalize_round on a server without rounds".into())
+        })?;
+        let dim = self.params.len();
+        let round = self
+            .round
+            .as_mut()
+            .ok_or_else(|| CoreError::Protocol("no open round".into()))?;
+        let closed = round.round_id;
+        let epoch = if round.pending.is_empty() {
+            None
+        } else {
+            let survivors: Vec<(u64, Vec<u64>)> = round
+                .pending
+                .values()
+                .map(|s| (s.device_id, s.words.clone()))
+                .collect();
+            let sum = crowd_rounds::finalize_sum(round.seed, &round.cohort, &survivors, dim)
+                .ok_or_else(|| {
+                    CoreError::Protocol("round survivors inconsistent with cohort".into())
+                })?;
+            let min_checkout_iteration = round
+                .pending
+                .values()
+                .map(|s| s.checkout_iteration)
+                .min()
+                .unwrap_or(0);
+            // BTreeMap iteration gives the ascending device order the
+            // deterministic fold requires.
+            let device_stats = round
+                .pending
+                .values()
+                .map(|s| DeviceEpochStats {
+                    device_id: s.device_id,
+                    checkins: 1,
+                    samples: s.num_samples as u64,
+                    errors: s.error_count,
+                    label_counts: s.label_counts.clone(),
+                })
+                .collect();
+            Some(EpochAggregate {
+                gradient_sum: Vector::from_vec(sum),
+                checkin_count: round.pending.len() as u64,
+                min_checkout_iteration,
+                device_stats,
+            })
+        };
+        self.round = Some(RoundRuntime::open(&settings, closed + 1, self.iteration));
+        Ok((closed, epoch))
+    }
+
+    /// Replay counterpart of the round advance inside
+    /// [`Server::finalize_round`]: closes `closed_round_id` (which must be
+    /// the open round) and opens its successor, discarding pending
+    /// submissions — the finalization epoch, if any, is replayed separately
+    /// as an ordinary epoch record.
+    pub fn advance_round(&mut self, closed_round_id: u64) -> Result<()> {
+        let settings = *self.config.rounds.as_ref().ok_or_else(|| {
+            CoreError::Protocol("advance_round on a server without rounds".into())
+        })?;
+        let round = self
+            .round
+            .as_ref()
+            .ok_or_else(|| CoreError::Protocol("no open round".into()))?;
+        if round.round_id != closed_round_id {
+            return Err(CoreError::Protocol(format!(
+                "advance closes round {closed_round_id} but round {} is open",
+                round.round_id
+            )));
+        }
+        self.round = Some(RoundRuntime::open(
+            &settings,
+            closed_round_id + 1,
+            self.iteration,
+        ));
+        Ok(())
+    }
+
     /// Exports the complete mutable state in the deterministic layout of
     /// [`ServerState`] (maps sorted by device id).
     pub fn export_state(&self) -> ServerState {
@@ -296,6 +601,16 @@ impl<M: Model> Server<M> {
             progress,
             schedule: self.schedule.clone(),
             budget_ledger: self.budget_ledger(),
+            round: self.round.as_ref().map(|r| RoundStateSnapshot {
+                round_id: r.round_id,
+                opened_iteration: r.opened_iteration,
+                pending: r.pending.values().cloned().collect(),
+            }),
+            last_round: self
+                .last_round
+                .iter()
+                .map(|(&d, &(r, n))| (d, r, n))
+                .collect(),
         }
     }
 
@@ -330,6 +645,28 @@ impl<M: Model> Server<M> {
         server.total_errors = state.total_errors;
         server.progress = state.progress.into_iter().collect();
         server.schedule = state.schedule;
+        match (&server.config.rounds, state.round) {
+            (Some(settings), Some(snap)) => {
+                // Reopen the round and recompute its cohort from config, as
+                // every device does; only the pending submissions are data.
+                let mut round = RoundRuntime::open(settings, snap.round_id, snap.opened_iteration);
+                for sub in snap.pending {
+                    round.pending.insert(sub.device_id, sub);
+                }
+                server.round = Some(round);
+            }
+            (None, None) => {}
+            (Some(_), None) | (None, Some(_)) => {
+                return Err(CoreError::Protocol(
+                    "round configuration does not match the persisted state".into(),
+                ));
+            }
+        }
+        server.last_round = state
+            .last_round
+            .into_iter()
+            .map(|(d, r, n)| (d, (r, n)))
+            .collect();
         server
             .accountant
             .restore_spent(
@@ -494,6 +831,7 @@ impl<M: Model> Server<M> {
                 iteration: self.iteration,
                 stopped: true,
                 staleness,
+                deduped: false,
             });
         }
 
@@ -514,6 +852,7 @@ impl<M: Model> Server<M> {
             iteration: self.iteration,
             stopped: self.stopped(),
             staleness,
+            deduped: false,
         })
     }
 }
@@ -873,6 +1212,242 @@ mod tests {
         bad_counts.progress[0].1.label_counts = vec![0, 0];
         let model = MulticlassLogistic::new(2, 3).unwrap();
         assert!(Server::restore(model, ServerConfig::new(), bad_counts).is_err());
+    }
+
+    fn round_server(population: u64, fraction: f64) -> Server<MulticlassLogistic> {
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let config = ServerConfig::new().with_rate_constant(1.0).with_rounds(
+            crate::config::RoundSettings::new(population)
+                .with_select_fraction(fraction)
+                .with_deadline_epochs(3)
+                .with_seed(42),
+        );
+        Server::new(model, config).unwrap()
+    }
+
+    fn submission(
+        server: &Server<MulticlassLogistic>,
+        device_id: u64,
+        nonce: u64,
+    ) -> PendingSubmission {
+        let info = server.round_info().unwrap();
+        let cohort = server.round_cohort().unwrap().to_vec();
+        let gradient: Vec<f64> = (0..6)
+            .map(|i| (device_id as f64 + 1.0) * 0.1 + i as f64 * 0.01)
+            .collect();
+        let mask_words = crowd_rounds::net_mask(info.seed, device_id, &cohort, 6);
+        PendingSubmission {
+            device_id,
+            nonce,
+            checkout_iteration: server.iteration(),
+            words: crowd_rounds::mask(&gradient, &mask_words),
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1, 0],
+        }
+    }
+
+    #[test]
+    fn round_lifecycle_accepts_finalizes_and_advances() {
+        let mut s = round_server(4, 1.0);
+        let info = s.round_info().unwrap();
+        assert_eq!(info.round_id, 1);
+        assert_eq!(s.round_cohort().unwrap(), &[0, 1, 2, 3]);
+        assert!(!s.round_expired());
+
+        for d in 0..3u64 {
+            let admission = s.round_submit(1, submission(&s, d, 100 + d)).unwrap();
+            assert_eq!(
+                admission,
+                RoundAdmission::Accepted {
+                    cohort_complete: false
+                }
+            );
+        }
+        // A retried submission (same round, same nonce) is a duplicate.
+        assert_eq!(
+            s.round_submit(1, submission(&s, 0, 100)).unwrap(),
+            RoundAdmission::Duplicate
+        );
+        // Same device, same round, fresh nonce: still a duplicate (the
+        // contribution already stands).
+        assert_eq!(
+            s.round_submit(1, submission(&s, 0, 999)).unwrap(),
+            RoundAdmission::Duplicate
+        );
+        let last = s.round_submit(1, submission(&s, 3, 103)).unwrap();
+        assert_eq!(
+            last,
+            RoundAdmission::Accepted {
+                cohort_complete: true
+            }
+        );
+
+        let (closed, epoch) = s.finalize_round().unwrap();
+        assert_eq!(closed, 1);
+        let epoch = epoch.unwrap();
+        assert_eq!(epoch.checkin_count, 4);
+        // The unmasked fold equals the raw-gradient fold bitwise.
+        let mut expected = [0.0f64; 6];
+        for d in 0..4u64 {
+            for (e, i) in expected.iter_mut().zip(0..6) {
+                *e += (d as f64 + 1.0) * 0.1 + i as f64 * 0.01;
+            }
+        }
+        assert_eq!(
+            epoch
+                .gradient_sum
+                .as_slice()
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            expected.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+        s.apply_aggregate(&epoch).unwrap();
+        assert_eq!(s.round_info().unwrap().round_id, 2);
+        // A straggler of round 1 with its original nonce: duplicate, not
+        // outdated (it was already counted).
+        assert_eq!(
+            s.round_submit(1, submission(&s, 2, 102)).unwrap(),
+            RoundAdmission::Duplicate
+        );
+        // A genuinely stale newcomer gets Outdated with the current round.
+        let stale = s.round_submit(1, submission(&s, 2, 555)).unwrap();
+        assert_eq!(stale, RoundAdmission::Outdated { current_round: 2 });
+    }
+
+    #[test]
+    fn round_rejects_outsiders_and_malformed_submissions() {
+        let mut s = round_server(8, 0.4);
+        let cohort = s.round_cohort().unwrap().to_vec();
+        assert!(!cohort.is_empty() && cohort.len() < 8);
+        let outsider = (0..8).find(|d| !cohort.contains(d)).unwrap();
+        assert_eq!(
+            s.round_submit(1, submission(&s, outsider, 1)).unwrap(),
+            RoundAdmission::NotSelected
+        );
+        let member = cohort[0];
+        let mut bad_dim = submission(&s, member, 2);
+        bad_dim.words.pop();
+        assert!(s.round_submit(1, bad_dim).is_err());
+        let mut bad_counts = submission(&s, member, 3);
+        bad_counts.label_counts.pop();
+        assert!(s.round_submit(1, bad_counts).is_err());
+        let mut no_samples = submission(&s, member, 4);
+        no_samples.num_samples = 0;
+        assert!(s.round_submit(1, no_samples).is_err());
+        // A free-running server refuses round traffic outright.
+        let mut free = server();
+        let sub = PendingSubmission {
+            device_id: 0,
+            nonce: 0,
+            checkout_iteration: 0,
+            words: vec![0; 6],
+            num_samples: 1,
+            error_count: 0,
+            label_counts: vec![0, 0, 0],
+        };
+        assert!(free.round_submit(1, sub).is_err());
+        assert!(free.finalize_round().is_err());
+        assert!(free.round_info().is_none());
+        assert!(!free.round_expired());
+    }
+
+    #[test]
+    fn round_expiry_finalizes_survivors_with_compensation() {
+        let mut s = round_server(4, 1.0);
+        // Two of four submit; the others vanish.
+        s.round_submit(1, submission(&s, 1, 11)).unwrap();
+        s.round_submit(1, submission(&s, 3, 13)).unwrap();
+        // Free-run epochs advance the clock past the 3-epoch deadline.
+        for step in 0..3 {
+            assert!(!s.round_expired());
+            s.checkin(&payload(9, vec![0.1; 6], step)).unwrap();
+        }
+        assert!(s.round_expired());
+        let (closed, epoch) = s.finalize_round().unwrap();
+        assert_eq!(closed, 1);
+        let epoch = epoch.unwrap();
+        assert_eq!(epoch.checkin_count, 2);
+        // Survivor sum (devices 1 and 3) bitwise: dropout compensation
+        // recovered the exact bits despite devices 0 and 2 never submitting.
+        let mut expected = [0.0f64; 6];
+        for d in [1u64, 3] {
+            for (e, i) in expected.iter_mut().zip(0..6) {
+                *e += (d as f64 + 1.0) * 0.1 + i as f64 * 0.01;
+            }
+        }
+        assert_eq!(
+            epoch
+                .gradient_sum
+                .as_slice()
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            expected.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+        // Round 2 opened at the current iteration: not instantly expired.
+        assert!(!s.round_expired());
+        // An empty expired round finalizes to no epoch but still advances.
+        for step in 3..6 {
+            s.checkin(&payload(9, vec![0.1; 6], step)).unwrap();
+        }
+        assert!(s.round_expired());
+        let (closed, epoch) = s.finalize_round().unwrap();
+        assert_eq!(closed, 2);
+        assert!(epoch.is_none());
+        assert_eq!(s.round_info().unwrap().round_id, 3);
+    }
+
+    #[test]
+    fn round_state_export_restore_round_trips() {
+        let mut s = round_server(4, 1.0);
+        s.round_submit(1, submission(&s, 0, 10)).unwrap();
+        s.round_submit(1, submission(&s, 2, 12)).unwrap();
+        s.checkin(&payload(7, vec![0.2; 6], 0)).unwrap();
+        let state = s.export_state();
+        let snap = state.round.as_ref().unwrap();
+        assert_eq!(snap.round_id, 1);
+        assert_eq!(snap.pending.len(), 2);
+        assert_eq!(state.last_round, vec![(0, 1, 10), (2, 1, 12)]);
+
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let mut restored = Server::restore(model, s.config().clone(), state.clone()).unwrap();
+        assert_eq!(restored.export_state(), state);
+        assert_eq!(restored.round_cohort(), s.round_cohort());
+        // Both finalize to the identical epoch.
+        let (_, a) = s.finalize_round().unwrap();
+        let (_, b) = restored.finalize_round().unwrap();
+        assert_eq!(a, b);
+
+        // Config/state round mismatches are refused both ways.
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let mut no_rounds = ServerConfig::new();
+        no_rounds.rounds = None;
+        assert!(Server::restore(model, no_rounds, s.export_state()).is_err());
+        let model = MulticlassLogistic::new(2, 3).unwrap();
+        let plain = server().export_state();
+        assert!(Server::restore(
+            model,
+            s.config().clone(),
+            ServerState {
+                round: None,
+                ..plain
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn advance_round_replays_the_finalize_transition() {
+        let mut s = round_server(4, 1.0);
+        s.round_submit(1, submission(&s, 0, 10)).unwrap();
+        assert!(s.advance_round(2).is_err());
+        s.advance_round(1).unwrap();
+        assert_eq!(s.round_info().unwrap().round_id, 2);
+        // Pending submissions of the closed round are discarded.
+        assert!(s.export_state().round.unwrap().pending.is_empty());
+        assert!(server().advance_round(1).is_err());
     }
 
     #[test]

@@ -20,17 +20,18 @@
 //! acknowledged checkin — never more (no over-charging through duplicates,
 //! retries, or crash recovery).
 
-use crate::client::{DeviceClient, RetryPolicy};
+use crate::client::{CheckinOutcome, DeviceClient, RetryPolicy, RoundSession};
 use crate::reactor_server::{ReactorServer, ReactorServerHandle};
 use crate::server::{NetServer, NetServerHandle};
 use crate::{NetError, Result};
-use crowd_core::config::{DeviceConfig, PrivacyConfig, ServerConfig};
-use crowd_core::device::{Device, DeviceAction};
+use crowd_core::config::{DeviceConfig, PrivacyConfig, RoundSettings, ServerConfig};
+use crowd_core::device::{CheckinPayload, Device, DeviceAction};
 use crowd_data::{Dataset, Sample};
 use crowd_learning::MulticlassLogistic;
 use crowd_linalg::Vector;
 use crowd_proto::auth::{AuthToken, TokenRegistry};
 use crowd_proto::message::ErrorCode;
+use crowd_rounds::Role;
 use crowd_sim::chaos::FaultPlan;
 use crowd_store::RecoveryReport;
 use rand::rngs::StdRng;
@@ -153,6 +154,12 @@ impl AnyServerHandle {
         delegate!(self, h => h.budget_exhausted(device_id))
     }
 
+    /// Settles the open cohort round without stopping the server, so the
+    /// ledger can be read consistently mid-run.
+    pub fn settle_rounds(&self) {
+        delegate!(self, h => h.settle_rounds())
+    }
+
     /// Gracefully stops the server.
     pub fn shutdown(self) {
         delegate!(self, h => h.shutdown())
@@ -185,6 +192,11 @@ pub struct ChaosCluster {
     /// Base server configuration (schedule, agg knobs); budget and persistence
     /// are layered on top by the driver.
     pub server: ServerConfig,
+    /// Cohort-round settings; `Some` runs the server in rounds mode (wire
+    /// v6): selected devices submit masked shares through [`RoundSession`],
+    /// unselected devices free-run, and the churn schedule's scripted
+    /// mid-round dropouts simply never submit.
+    pub rounds: Option<RoundSettings>,
     /// Data directory for a durable server. Required when the plan scripts
     /// crashes; `None` runs volatile.
     pub data_dir: Option<PathBuf>,
@@ -219,6 +231,9 @@ pub struct ChaosReport {
     /// Duplicate checkins the server answered from its dedup table, summed
     /// across server incarnations.
     pub dedup_replays: u64,
+    /// Scripted mid-round cohort dropouts performed (minibatches a selected
+    /// device discarded instead of submitting). Zero outside rounds mode.
+    pub round_dropouts: u64,
     /// The final server incarnation's full crowd-scope metric snapshot
     /// (counters, gauges, histograms) — what a wire scrape of that server
     /// would have reported at the end of the run.
@@ -257,10 +272,19 @@ impl ChaosCluster {
             dim: 4,
             classes: 3,
             server: ServerConfig::new().with_rate_constant(1.0),
+            rounds: None,
             data_dir: None,
             auth_secret: 0xC4A05,
             server_kind: ServerKind::from_env(),
         }
+    }
+
+    /// Enables cohort rounds over the cluster's own fleet: every device is in
+    /// the population, half are selected per round, and the deadline is tuned
+    /// short enough that dropped-out cohorts still expire within a run.
+    pub fn with_rounds(mut self) -> Self {
+        self.rounds = Some(RoundSettings::new(self.devices as u64).with_deadline_epochs(4));
+        self
     }
 
     /// Runs the cluster under the plan. Deterministic given the plan and the
@@ -293,6 +317,9 @@ impl Driver {
             .server
             .clone()
             .with_budget(self.opts.per_checkin_epsilon, f64::INFINITY);
+        if let Some(rounds) = self.opts.rounds {
+            config = config.with_rounds(rounds);
+        }
         if let Some(dir) = &self.opts.data_dir {
             config = config.with_data_dir(dir).with_snapshot_every(3);
         }
@@ -338,9 +365,10 @@ impl Driver {
         };
         let mut clients: Vec<DeviceClient> = (0..opts.devices as u64)
             .map(|d| {
-                DeviceClient::new(handle.addr(), d, AuthToken::derive(d, opts.auth_secret))
-                    .with_retry(retry)
-                    .with_transport_faults(Arc::clone(&faults))
+                DeviceClient::builder(handle.addr(), d, AuthToken::derive(d, opts.auth_secret))
+                    .retry(retry)
+                    .transport_faults(Arc::clone(&faults))
+                    .build()
             })
             .collect();
         let mut devices: Vec<Device> = (0..opts.devices as u64)
@@ -372,6 +400,11 @@ impl Driver {
         let mut retired = 0u64;
         let mut dedup_replays = 0u64;
         let mut late_joins = 0u64;
+        let mut round_dropouts = 0u64;
+        // Rounds mode: the highest round id each device has submitted a
+        // masked share to (0 = none yet); a device contributes to a round at
+        // most once, later minibatches in the same round free-run.
+        let mut last_submitted = vec![0u64; opts.devices];
         for d in 0..opts.devices as u64 {
             let join = opts
                 .plan
@@ -430,7 +463,14 @@ impl Driver {
                     &mut rngs[d],
                 )?;
                 let nonce = payload.nonce;
-                self.checkin_until_acked(&clients[d], &payload)?;
+                if opts.rounds.is_some() {
+                    if !self.round_step(&clients[d], &payload, &mut last_submitted[d])? {
+                        round_dropouts += 1;
+                        continue;
+                    }
+                } else {
+                    self.checkin_until_acked(&clients[d], &payload)?;
+                }
                 acked[d] += 1;
                 self.log(format!(
                     "round {round} device {device_id} checkin nonce {nonce} acked (server it {})",
@@ -474,6 +514,10 @@ impl Driver {
             }
         }
 
+        // Settle the open round before reading the ledger: its pending
+        // submissions were acknowledged, so the invariant `ledger == ε·acked`
+        // requires their finalization charge to land first.
+        handle.settle_rounds();
         let final_metrics = handle.runtime_stats();
         dedup_replays += final_metrics.get("dedup_replays");
         let report = ChaosReport {
@@ -487,6 +531,7 @@ impl Driver {
             late_joins,
             retired,
             dedup_replays,
+            round_dropouts,
             trace: std::mem::take(&mut self.trace),
         };
         handle.shutdown();
@@ -537,7 +582,12 @@ impl Driver {
     ) -> Result<()> {
         loop {
             match client.checkin(payload) {
-                Ok((_accepted, _stopped)) => return Ok(()),
+                Ok(CheckinOutcome::BudgetExhausted) => {
+                    // Unreachable under the driver's infinite ceiling; keep
+                    // an invariant violation loud instead of counting an ack.
+                    return Err(NetError::Round("budget exhausted mid-chaos-run"));
+                }
+                Ok(_) => return Ok(()),
                 Err(e @ NetError::ServerError { code, .. }) => {
                     if code.is_retryable() {
                         std::thread::sleep(Duration::from_millis(1));
@@ -551,6 +601,108 @@ impl Driver {
                     self.log(format!(
                         "device {} checkin nonce {} transport retry",
                         client.device_id(),
+                        payload.nonce
+                    ));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Joins the current round, absorbing transport faults the same way
+    /// [`Self::checkout_until_served`] does for plain checkouts.
+    fn join_round_until_served(&mut self, client: &DeviceClient) -> Result<RoundSession> {
+        loop {
+            match client.join_round() {
+                Ok(session) => return Ok(session),
+                // The server runs free: a harness misconfiguration, not a
+                // transport fault — fail loudly.
+                Err(e @ NetError::Round(_)) => return Err(e),
+                Err(e @ NetError::ServerError { code, .. }) if !code.is_retryable() => {
+                    return Err(e)
+                }
+                Err(e) => {
+                    self.log(format!(
+                        "device {} join_round retry: {e}",
+                        client.device_id()
+                    ));
+                }
+            }
+        }
+    }
+
+    /// One minibatch under rounds mode. The device joins the current round;
+    /// Unselected devices (and Selected ones whose share is already in)
+    /// free-run, Selected devices submit the payload as a masked cohort share
+    /// — unless the churn schedule scripts a mid-round dropout, in which case
+    /// the minibatch is discarded unsent. Returns `Ok(true)` when an ack was
+    /// obtained, `Ok(false)` when the dropout fired.
+    fn round_step(
+        &mut self,
+        client: &DeviceClient,
+        payload: &CheckinPayload,
+        last_submitted: &mut u64,
+    ) -> Result<bool> {
+        loop {
+            let session = self.join_round_until_served(client)?;
+            let round_id = session.round_id();
+            if session.role() == Role::Unselected || *last_submitted == round_id {
+                // Free-run checkins are what advance the round's deadline
+                // clock, so unselected devices still make progress.
+                self.checkin_until_acked(client, payload)?;
+                return Ok(true);
+            }
+            if let Some(churn) = &self.opts.plan.churn {
+                if churn.round_dropout(client.device_id(), round_id) {
+                    self.log(format!(
+                        "device {} drops out of round {round_id} (minibatch nonce {} lost)",
+                        client.device_id(),
+                        payload.nonce
+                    ));
+                    return Ok(false);
+                }
+            }
+            if self.submit_until_resolved(&session, payload)? {
+                *last_submitted = round_id;
+                return Ok(true);
+            }
+            // The round closed under us without our share: rejoin the
+            // successor round and contribute there instead.
+            self.log(format!(
+                "device {} outdated in round {round_id}; resyncing",
+                client.device_id()
+            ));
+        }
+    }
+
+    /// Drives one masked submission to an ack, retrying residual transport
+    /// failures with the same nonce (server-side round dedup makes the retry
+    /// idempotent even across the round's finalization). `Ok(true)` when
+    /// acknowledged, `Ok(false)` on a `RoundOutdated` refusal.
+    fn submit_until_resolved(
+        &mut self,
+        session: &RoundSession,
+        payload: &CheckinPayload,
+    ) -> Result<bool> {
+        loop {
+            match session.submit(payload) {
+                Ok(CheckinOutcome::RoundOutdated { .. }) => return Ok(false),
+                Ok(CheckinOutcome::BudgetExhausted) => {
+                    return Err(NetError::Round("budget exhausted mid-chaos-run"));
+                }
+                Ok(_) => return Ok(true),
+                Err(e @ NetError::ServerError { code, .. }) => {
+                    if code.is_retryable() {
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    return Err(e);
+                }
+                Err(NetError::Io(_)) | Err(NetError::Proto(_)) => {
+                    self.log(format!(
+                        "round {} submit nonce {} transport retry",
+                        session.round_id(),
                         payload.nonce
                     ));
                     continue;
@@ -607,6 +759,57 @@ mod tests {
         assert_eq!(chaotic.iterations, reference.iterations);
         assert_eq!(chaotic.ledger, reference.ledger);
         assert_eq!(chaotic.acked_checkins, reference.acked_checkins);
+    }
+
+    #[test]
+    fn rounds_fault_free_run_masks_submissions_and_charges_once_per_ack() {
+        let report = ChaosCluster::new(FaultPlan::fault_free(21))
+            .with_rounds()
+            .run()
+            .unwrap();
+        assert!(report.iterations > 0);
+        assert_eq!(report.round_dropouts, 0);
+        assert!(
+            report.metrics.get("round_submissions") > 0,
+            "no masked submissions in a rounds-mode run"
+        );
+        for (device, eps) in &report.ledger {
+            let expected = 0.25 * report.acked_checkins[*device as usize] as f64;
+            assert!(
+                (eps - expected).abs() < 1e-9,
+                "device {device}: charged {eps}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_transport_chaos_lands_bitwise_on_reference() {
+        let reference = ChaosCluster::new(FaultPlan::fault_free(23))
+            .with_rounds()
+            .run()
+            .unwrap();
+        let mut plan = FaultPlan::transport_only(23);
+        plan.transport = TransportFaults::from_seed(23, 2);
+        let chaotic = ChaosCluster::new(plan).with_rounds().run().unwrap();
+        assert_eq!(chaotic.params.as_slice(), reference.params.as_slice());
+        assert_eq!(chaotic.iterations, reference.iterations);
+        assert_eq!(chaotic.ledger, reference.ledger);
+        assert_eq!(chaotic.acked_checkins, reference.acked_checkins);
+    }
+
+    #[test]
+    fn rounds_with_scripted_dropouts_hold_the_ledger_invariant() {
+        let report = ChaosCluster::new(FaultPlan::rounds(29))
+            .with_rounds()
+            .run()
+            .unwrap();
+        for (device, eps) in &report.ledger {
+            let expected = 0.25 * report.acked_checkins[*device as usize] as f64;
+            assert!(
+                (eps - expected).abs() < 1e-9,
+                "device {device}: charged {eps}, expected {expected}"
+            );
+        }
     }
 
     #[test]

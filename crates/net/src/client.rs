@@ -3,16 +3,17 @@
 use crate::error::NetError;
 use crate::Result;
 use crowd_core::config::{DeviceConfig, PrivacyConfig};
-use crowd_core::device::{Device, DeviceAction};
+use crowd_core::device::{CheckinPayload, Device, DeviceAction};
 use crowd_data::Dataset;
 use crowd_learning::model::Model;
 use crowd_linalg::{GradientUpdate, Vector};
 use crowd_proto::frame::{read_message_pooled, write_message_pooled, DEFAULT_MAX_FRAME};
 use crowd_proto::message::{
-    BatchAck, BatchCheckinRequest, CheckinRequest, CheckoutRequest, GradientPayload, Message,
-    MetricsReport, MetricsRequest,
+    BatchAck, BatchCheckinRequest, CheckinAck, CheckinRequest, CheckoutRequest, ErrorCode,
+    GradientPayload, Message, MetricsReport, MetricsRequest, RoundParams,
 };
 use crowd_proto::{AuthToken, BufPool, PROTOCOL_VERSION};
+use crowd_rounds::Role;
 use crowd_sim::chaos::{FaultAction, TransportFaults};
 use rand::Rng;
 use std::net::{SocketAddr, TcpStream};
@@ -100,6 +101,101 @@ pub struct CheckedOutParams {
     pub params: Vector,
     /// Whether the server reports the task as stopped.
     pub stopped: bool,
+    /// The server's current round parameters, when it runs the round-based
+    /// cohort protocol (wire v6); `None` on a free-running server.
+    pub round: Option<RoundParams>,
+}
+
+/// Typed result of one checkin, replacing the old `(accepted, stopped)` pair.
+///
+/// Budget exhaustion and round staleness arrive on the wire as error replies
+/// but are *protocol states*, not failures: they surface as variants here so
+/// a caller matches once instead of inspecting error codes. Transport
+/// failures and genuine server errors still arrive as `Err`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckinOutcome {
+    /// The gradient was applied; the server has advanced to `iteration`.
+    Applied {
+        /// Server iteration after applying this checkin.
+        iteration: u64,
+    },
+    /// A dedup replay: an earlier attempt of this nonce was already applied
+    /// (and ε-charged), so nothing happened twice.
+    Deduped,
+    /// The task's stopping criterion is met and the device should stop
+    /// collecting; `applied` reports whether this checkin still made it in.
+    Stopped {
+        /// Whether the gradient was applied before the stop was observed.
+        applied: bool,
+    },
+    /// The device's privacy budget is spent; it should end participation.
+    BudgetExhausted,
+    /// The round this checkin named closed while the device was computing.
+    /// Non-fatal: refetch the round parameters (the server's current round is
+    /// included here), re-derive the role, and resubmit against the new round.
+    RoundOutdated {
+        /// The server's current round id.
+        current_round: u64,
+    },
+}
+
+impl CheckinOutcome {
+    /// Whether this checkin's gradient was (or had already been) applied.
+    pub fn applied(&self) -> bool {
+        matches!(
+            self,
+            CheckinOutcome::Applied { .. }
+                | CheckinOutcome::Deduped
+                | CheckinOutcome::Stopped { applied: true }
+        )
+    }
+
+    /// Whether the server reported the task's stopping criterion as met.
+    pub fn task_stopped(&self) -> bool {
+        matches!(self, CheckinOutcome::Stopped { .. })
+    }
+}
+
+impl From<CheckinAck> for CheckinOutcome {
+    fn from(ack: CheckinAck) -> Self {
+        if ack.deduped {
+            CheckinOutcome::Deduped
+        } else if ack.stopped {
+            CheckinOutcome::Stopped {
+                applied: ack.accepted,
+            }
+        } else if ack.accepted {
+            CheckinOutcome::Applied {
+                iteration: ack.iteration,
+            }
+        } else {
+            // The server only withholds `accepted` once the task stopped;
+            // map the combination defensively rather than invent a variant.
+            CheckinOutcome::Stopped { applied: false }
+        }
+    }
+}
+
+/// Folds a checkin reply into the typed outcome: budget exhaustion and round
+/// staleness become `Ok` protocol states, everything else an error.
+fn checkin_outcome(reply: Message) -> Result<CheckinOutcome> {
+    match reply {
+        Message::CheckinAck(ack) => Ok(ack.into()),
+        Message::Error(e) => match e.code {
+            ErrorCode::BudgetExhausted => Ok(CheckinOutcome::BudgetExhausted),
+            ErrorCode::RoundOutdated => Ok(CheckinOutcome::RoundOutdated {
+                current_round: e.round_id,
+            }),
+            _ => Err(NetError::ServerError {
+                code: e.code,
+                detail: e.detail,
+            }),
+        },
+        other => Err(NetError::UnexpectedMessage {
+            expected: "checkin_ack",
+            received: other.name(),
+        }),
+    }
 }
 
 /// Summary of one device's participation in a networked task.
@@ -154,33 +250,66 @@ fn is_transient_transport(e: &NetError) -> bool {
     )
 }
 
-impl DeviceClient {
-    /// Creates a client for `device_id` talking to the server at `addr`, with
-    /// the default busy-retry policy.
-    pub fn new(addr: SocketAddr, device_id: u64, token: AuthToken) -> Self {
-        DeviceClient {
-            addr,
-            device_id,
-            token,
-            retry: RetryPolicy::new(),
-            pool: Arc::new(BufPool::default()),
-            faults: None,
-            ops: Arc::new(AtomicU64::new(0)),
-        }
-    }
+/// The single construction path for [`DeviceClient`]: the address, identity,
+/// and token are mandatory, everything else layers on before [`build`]
+/// (replacing the old `new` / `with_retry` / `with_transport_faults`
+/// special-case constructors).
+///
+/// [`build`]: DeviceClientBuilder::build
+#[derive(Debug, Clone)]
+pub struct DeviceClientBuilder {
+    addr: SocketAddr,
+    device_id: u64,
+    token: AuthToken,
+    retry: RetryPolicy,
+    faults: Option<Arc<TransportFaults>>,
+}
 
-    /// Replaces the busy-retry policy.
-    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+impl DeviceClientBuilder {
+    /// Replaces the default busy-retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Disables retries entirely (one attempt per request).
+    pub fn no_retry(self) -> Self {
+        self.retry(RetryPolicy::none())
     }
 
     /// Installs a seeded transport-fault shim: every wire exchange consults it
     /// and may be dropped, delayed, duplicated, or truncated. The client's
     /// retry and dedup machinery must absorb whatever it injects.
-    pub fn with_transport_faults(mut self, faults: Arc<TransportFaults>) -> Self {
+    pub fn transport_faults(mut self, faults: Arc<TransportFaults>) -> Self {
         self.faults = Some(faults);
         self
+    }
+
+    /// Builds the client.
+    pub fn build(self) -> DeviceClient {
+        DeviceClient {
+            addr: self.addr,
+            device_id: self.device_id,
+            token: self.token,
+            retry: self.retry,
+            pool: Arc::new(BufPool::default()),
+            faults: self.faults,
+            ops: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl DeviceClient {
+    /// Starts building a client for `device_id` talking to the server at
+    /// `addr`, with the default busy-retry policy and a faithful transport.
+    pub fn builder(addr: SocketAddr, device_id: u64, token: AuthToken) -> DeviceClientBuilder {
+        DeviceClientBuilder {
+            addr,
+            device_id,
+            token,
+            retry: RetryPolicy::new(),
+            faults: None,
+        }
     }
 
     /// Re-targets the client at a new address (a restarted server on a fresh
@@ -324,6 +453,7 @@ impl DeviceClient {
                 iteration: r.iteration,
                 params: Vector::from_vec(r.params),
                 stopped: r.stopped,
+                round: r.round,
             }),
             Message::Error(e) => Err(NetError::ServerError {
                 code: e.code,
@@ -359,8 +489,9 @@ impl DeviceClient {
         }
     }
 
-    /// Checks in a sanitized payload (Fig. 2, steps 4–5). Returns
-    /// `(accepted, stopped)`.
+    /// Checks in a sanitized payload (Fig. 2, steps 4–5) as an ordinary
+    /// free-running (round-untagged) checkin, returning the typed
+    /// [`CheckinOutcome`].
     ///
     /// A payload carrying a dedup nonce is retried through transient transport
     /// failures: even if an earlier attempt was applied server-side, the
@@ -369,12 +500,13 @@ impl DeviceClient {
     /// Nonce-less payloads keep the conservative behaviour — a transport
     /// failure is reported to the caller, because a blind retry could
     /// double-apply.
-    pub fn checkin(&self, payload: &crowd_core::device::CheckinPayload) -> Result<(bool, bool)> {
+    pub fn checkin(&self, payload: &CheckinPayload) -> Result<CheckinOutcome> {
         let request = Message::CheckinRequest(CheckinRequest {
             device_id: self.device_id,
             token: self.token,
             checkout_iteration: payload.checkout_iteration,
             nonce: payload.nonce,
+            round_id: 0,
             gradient: wire_gradient(&payload.gradient),
             num_samples: payload.num_samples as u32,
             error_count: payload.error_count,
@@ -385,17 +517,31 @@ impl DeviceClient {
         } else {
             self.exchange(&request)?
         };
-        match reply {
-            Message::CheckinAck(ack) => Ok((ack.accepted, ack.stopped)),
-            Message::Error(e) => Err(NetError::ServerError {
-                code: e.code,
-                detail: e.detail,
-            }),
-            other => Err(NetError::UnexpectedMessage {
-                expected: "checkin_ack",
-                received: other.name(),
-            }),
-        }
+        checkin_outcome(reply)
+    }
+
+    /// Joins the server's current round (wire v6): one checkout both reads
+    /// the model parameters and the published [`RoundParams`], from which the
+    /// device derives its [`Role`] and cohort — no extra coordination
+    /// messages. Errors with [`NetError::Round`] when the server runs free.
+    pub fn join_round(&self) -> Result<RoundSession> {
+        let checked_out = self.checkout()?;
+        let round = checked_out
+            .round
+            .ok_or(NetError::Round("the server is not running rounds"))?;
+        let cohort = crowd_rounds::cohort(round.seed, round.population, round.select_fraction);
+        let role = if cohort.binary_search(&self.device_id).is_ok() {
+            Role::Selected
+        } else {
+            Role::Unselected
+        };
+        Ok(RoundSession {
+            client: self.clone(),
+            round,
+            checked_out,
+            role,
+            cohort,
+        })
     }
 
     /// Checks in several buffered minibatches per frame (the `BatchCheckin`
@@ -405,11 +551,7 @@ impl DeviceClient {
     /// acknowledgement per payload.
     ///
     /// [`MAX_BATCH_ITEMS`]: crowd_proto::codec::MAX_BATCH_ITEMS
-    pub fn checkin_batch(
-        &self,
-        payloads: &[crowd_core::device::CheckinPayload],
-    ) -> Result<Vec<BatchAck>> {
-        use crowd_proto::message::ErrorCode;
+    pub fn checkin_batch(&self, payloads: &[CheckinPayload]) -> Result<Vec<BatchAck>> {
         let mut acks = Vec::with_capacity(payloads.len());
         for chunk in payloads.chunks(crowd_proto::codec::MAX_BATCH_ITEMS) {
             let items: Vec<CheckinRequest> = chunk
@@ -419,6 +561,7 @@ impl DeviceClient {
                     token: self.token,
                     checkout_iteration: payload.checkout_iteration,
                     nonce: payload.nonce,
+                    round_id: 0,
                     gradient: wire_gradient(&payload.gradient),
                     num_samples: payload.num_samples as u32,
                     error_count: payload.error_count,
@@ -558,9 +701,18 @@ impl DeviceClient {
             let mut busy_rounds = 0u32;
             loop {
                 match self.checkin(&payload) {
-                    Ok((_accepted, stopped)) => {
+                    // Budget exhaustion ends participation gracefully; the
+                    // rejected minibatch is simply lost.
+                    Ok(CheckinOutcome::BudgetExhausted) => {
+                        report.budget_exhausted = true;
+                        break;
+                    }
+                    // Free-run checkins are round-untagged, so this is
+                    // unreachable here; a lost minibatch is the safe reading.
+                    Ok(CheckinOutcome::RoundOutdated { .. }) => break,
+                    Ok(outcome) => {
                         report.checkins += 1;
-                        if stopped {
+                        if outcome.task_stopped() {
                             report.stopped_by_server = true;
                         }
                         break;
@@ -572,12 +724,6 @@ impl DeviceClient {
                                 self.retry.max_backoff.max(Duration::from_millis(1)),
                             );
                             continue;
-                        }
-                        // Budget exhaustion ends participation gracefully; the
-                        // rejected minibatch is simply lost.
-                        if code == crowd_proto::message::ErrorCode::BudgetExhausted {
-                            report.budget_exhausted = true;
-                            break;
                         }
                         return Err(NetError::ServerError { code, detail });
                     }
@@ -597,6 +743,98 @@ impl DeviceClient {
     }
 }
 
+/// A device's typed view of one aggregation round (wire v6), produced by
+/// [`DeviceClient::join_round`].
+///
+/// The session snapshots the checkout (model parameters + round parameters)
+/// and the role derived from the round seed. A `Selected` device submits
+/// exactly one masked contribution via [`RoundSession::submit`]; an
+/// `Unselected` one free-runs ordinary [`DeviceClient::checkin`]s until the
+/// next round. When a submit comes back [`CheckinOutcome::RoundOutdated`],
+/// the round closed mid-computation — [`RoundSession::resync`] joins the
+/// current one (non-fatal by design).
+#[derive(Debug, Clone)]
+pub struct RoundSession {
+    client: DeviceClient,
+    round: RoundParams,
+    checked_out: CheckedOutParams,
+    role: Role,
+    /// Ascending cohort ids, derived from the round seed like every party
+    /// derives them.
+    cohort: Vec<u64>,
+}
+
+impl RoundSession {
+    /// This device's role in the joined round.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The joined round's id.
+    pub fn round_id(&self) -> u64 {
+        self.round.round_id
+    }
+
+    /// The round parameters as published by the server.
+    pub fn round(&self) -> RoundParams {
+        self.round
+    }
+
+    /// The checkout this session was created from (model parameters).
+    pub fn checked_out(&self) -> &CheckedOutParams {
+        &self.checked_out
+    }
+
+    /// The round's cohort (ascending device ids).
+    pub fn cohort(&self) -> &[u64] {
+        &self.cohort
+    }
+
+    /// Submits this round's masked contribution (`Selected` role only): the
+    /// payload gradient is densified and each coordinate's IEEE-754 bits get
+    /// the device's seed-derived pairwise net mask added (wrapping), so the
+    /// raw gradient never crosses the wire and the masks cancel exactly in
+    /// the finalized cohort sum. Retried through transport faults when the
+    /// payload carries a dedup nonce, like [`DeviceClient::checkin`].
+    pub fn submit(&self, payload: &CheckinPayload) -> Result<CheckinOutcome> {
+        if self.role != Role::Selected {
+            return Err(NetError::Round("only a selected device submits to a round"));
+        }
+        let dense = payload.gradient.to_dense();
+        let mask_words = crowd_rounds::net_mask(
+            self.round.seed,
+            self.client.device_id,
+            &self.cohort,
+            dense.len(),
+        );
+        let words = crowd_rounds::mask(dense.as_slice(), &mask_words);
+        let request = Message::CheckinRequest(CheckinRequest {
+            device_id: self.client.device_id,
+            token: self.client.token,
+            checkout_iteration: payload.checkout_iteration,
+            nonce: payload.nonce,
+            round_id: self.round.round_id,
+            gradient: GradientPayload::Masked { words },
+            num_samples: payload.num_samples as u32,
+            error_count: payload.error_count,
+            label_counts: payload.label_counts.clone(),
+        });
+        let reply = if payload.nonce != 0 {
+            self.client.exchange_idempotent(&request)?
+        } else {
+            self.client.exchange(&request)?
+        };
+        checkin_outcome(reply)
+    }
+
+    /// Rejoins the server's *current* round after a
+    /// [`CheckinOutcome::RoundOutdated`]: one fresh checkout, a newly derived
+    /// role.
+    pub fn resync(&self) -> Result<RoundSession> {
+        self.client.join_round()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -612,12 +850,14 @@ mod tests {
         let model = MulticlassLogistic::new(3, 2).unwrap();
         let tokens = TokenRegistry::with_derived_tokens(2, 5);
         let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
-        let client = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 5));
+        let client = DeviceClient::builder(handle.addr(), 1, AuthToken::derive(1, 5)).build();
         assert_eq!(client.device_id(), 1);
 
         let checked_out = client.checkout().unwrap();
         assert_eq!(checked_out.iteration, 0);
         assert_eq!(checked_out.params.len(), 6);
+        // A free-running server publishes no round parameters.
+        assert_eq!(checked_out.round, None);
 
         let payload = crowd_core::device::CheckinPayload {
             device_id: 1,
@@ -628,9 +868,10 @@ mod tests {
             error_count: 1,
             label_counts: vec![1, 1],
         };
-        let (accepted, stopped) = client.checkin(&payload).unwrap();
-        assert!(accepted);
-        assert!(!stopped);
+        let outcome = client.checkin(&payload).unwrap();
+        assert_eq!(outcome, CheckinOutcome::Applied { iteration: 1 });
+        assert!(outcome.applied());
+        assert!(!outcome.task_stopped());
         assert_eq!(handle.iteration(), 1);
         handle.shutdown();
     }
@@ -640,7 +881,7 @@ mod tests {
         let model = MulticlassLogistic::new(3, 2).unwrap();
         let tokens = TokenRegistry::with_derived_tokens(2, 5);
         let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
-        let client = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 5));
+        let client = DeviceClient::builder(handle.addr(), 1, AuthToken::derive(1, 5)).build();
         let payloads: Vec<crowd_core::device::CheckinPayload> = (0..3)
             .map(|i| crowd_core::device::CheckinPayload {
                 device_id: 1,
@@ -654,7 +895,9 @@ mod tests {
             .collect();
         let acks = client.checkin_batch(&payloads).unwrap();
         assert_eq!(acks.len(), 3);
-        assert!(acks.iter().all(|a| a.accepted && a.reject.is_none()));
+        assert!(acks
+            .iter()
+            .all(|a| a.accepted && !a.deduped && a.reject.is_none()));
         assert_eq!(handle.iteration(), 3);
         assert_eq!(handle.total_samples(), 6);
         handle.shutdown();
@@ -684,7 +927,7 @@ mod tests {
         let tokens = TokenRegistry::with_derived_tokens(2, 5);
         let config = ServerConfig::new().with_budget(0.25, f64::INFINITY);
         let handle = NetServer::start(model, config, tokens).unwrap();
-        let client = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 5));
+        let client = DeviceClient::builder(handle.addr(), 1, AuthToken::derive(1, 5)).build();
         let payload = crowd_core::device::CheckinPayload {
             device_id: 1,
             checkout_iteration: 0,
@@ -699,6 +942,7 @@ mod tests {
             token: AuthToken::derive(1, 5),
             checkout_iteration: 0,
             nonce: payload.nonce,
+            round_id: 0,
             gradient: wire_gradient(&payload.gradient),
             num_samples: 2,
             error_count: 1,
@@ -719,10 +963,11 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(2));
         }
-        // The retry (same nonce) succeeds and is NOT applied a second time.
-        let (accepted, stopped) = client.checkin(&payload).unwrap();
-        assert!(accepted);
-        assert!(!stopped);
+        // The retry (same nonce) resolves as a dedup replay — recognized,
+        // counted as applied, and NOT applied a second time.
+        let outcome = client.checkin(&payload).unwrap();
+        assert_eq!(outcome, CheckinOutcome::Deduped);
+        assert!(outcome.applied());
         assert_eq!(handle.iteration(), 1, "duplicate applied twice");
         assert_eq!(handle.total_samples(), 2);
         // Charged once, not twice.
@@ -739,7 +984,7 @@ mod tests {
         let model = MulticlassLogistic::new(3, 2).unwrap();
         let tokens = TokenRegistry::with_derived_tokens(2, 5);
         let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
-        let client = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 5));
+        let client = DeviceClient::builder(handle.addr(), 1, AuthToken::derive(1, 5)).build();
         let actions = [
             FaultAction::DropBeforeSend,
             FaultAction::TruncateFrame,
@@ -752,6 +997,7 @@ mod tests {
                 token: AuthToken::derive(1, 5),
                 checkout_iteration: 0,
                 nonce,
+                round_id: 0,
                 gradient: GradientPayload::Dense(vec![0.1; 6]),
                 num_samples: 1,
                 error_count: 0,
@@ -769,6 +1015,7 @@ mod tests {
             token: AuthToken::derive(1, 5),
             checkout_iteration: 0,
             nonce: 200,
+            round_id: 0,
             gradient: GradientPayload::Dense(vec![0.1; 6]),
             num_samples: 1,
             error_count: 0,
@@ -796,10 +1043,82 @@ mod tests {
         let model = MulticlassLogistic::new(3, 2).unwrap();
         let tokens = TokenRegistry::with_derived_tokens(1, 5);
         let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
-        let bad = DeviceClient::new(handle.addr(), 0, AuthToken::derive(0, 999));
+        let bad = DeviceClient::builder(handle.addr(), 0, AuthToken::derive(0, 999)).build();
         match bad.checkout() {
             Err(NetError::ServerError { .. }) => {}
             other => panic!("expected ServerError, got {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn round_session_masks_submissions_and_resyncs_when_stale() {
+        use crowd_core::config::RoundSettings;
+        let model = MulticlassLogistic::new(3, 2).unwrap();
+        let config = ServerConfig::new().with_rounds(
+            RoundSettings::new(2)
+                .with_select_fraction(1.0)
+                .with_deadline_epochs(100),
+        );
+        let tokens = TokenRegistry::with_derived_tokens(2, 5);
+        let handle = NetServer::start(model, config, tokens).unwrap();
+        let clients: Vec<DeviceClient> = (0..2)
+            .map(|d| DeviceClient::builder(handle.addr(), d, AuthToken::derive(d, 5)).build())
+            .collect();
+
+        let sessions: Vec<RoundSession> = clients.iter().map(|c| c.join_round().unwrap()).collect();
+        assert!(sessions
+            .iter()
+            .all(|s| s.round_id() == 1 && s.role() == Role::Selected));
+        assert_eq!(sessions[0].cohort(), &[0, 1]);
+
+        let payload = |d: u64| crowd_core::device::CheckinPayload {
+            device_id: d,
+            checkout_iteration: 0,
+            nonce: 900 + d,
+            gradient: Vector::from_vec(vec![0.5 - d as f64, 0.25, -0.125, 1.0, 0.0, -2.0]).into(),
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1],
+        };
+        // The first submission is held pending (acked, nothing applied yet).
+        let first = sessions[0].submit(&payload(0)).unwrap();
+        assert_eq!(first, CheckinOutcome::Applied { iteration: 0 });
+        assert_eq!(handle.iteration(), 0);
+        // The cohort's last submission completes the round: the masks cancel
+        // and the finalized sum applies as one epoch.
+        let second = sessions[1].submit(&payload(1)).unwrap();
+        assert_eq!(second, CheckinOutcome::Applied { iteration: 0 });
+        assert_eq!(handle.iteration(), 1);
+        // A retry of a settled submission (same nonce) replays, not re-applies.
+        assert_eq!(
+            sessions[1].submit(&payload(1)).unwrap(),
+            CheckinOutcome::Deduped
+        );
+        assert_eq!(handle.iteration(), 1);
+        // A *fresh* submission against the closed round is outdated — the
+        // reply names the current round and `resync` rejoins it.
+        let mut stale = payload(0);
+        stale.nonce = 777;
+        assert_eq!(
+            sessions[0].submit(&stale).unwrap(),
+            CheckinOutcome::RoundOutdated { current_round: 2 }
+        );
+        let resynced = sessions[0].resync().unwrap();
+        assert_eq!(resynced.round_id(), 2);
+        assert_eq!(resynced.checked_out().iteration, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn join_round_on_a_free_running_server_is_a_protocol_error() {
+        let model = MulticlassLogistic::new(3, 2).unwrap();
+        let tokens = TokenRegistry::with_derived_tokens(1, 5);
+        let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
+        let client = DeviceClient::builder(handle.addr(), 0, AuthToken::derive(0, 5)).build();
+        match client.join_round() {
+            Err(NetError::Round(_)) => {}
+            other => panic!("expected NetError::Round, got {other:?}"),
         }
         handle.shutdown();
     }
@@ -816,7 +1135,7 @@ mod tests {
         let model = MulticlassLogistic::new(6, 3).unwrap();
         let tokens = TokenRegistry::with_derived_tokens(1, 7);
         let handle = NetServer::start(model, ServerConfig::new(), tokens).unwrap();
-        let client = DeviceClient::new(handle.addr(), 0, AuthToken::derive(0, 7));
+        let client = DeviceClient::builder(handle.addr(), 0, AuthToken::derive(0, 7)).build();
         let model = MulticlassLogistic::new(6, 3).unwrap();
         let report = client
             .run_task(

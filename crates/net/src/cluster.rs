@@ -114,11 +114,12 @@ impl LocalCluster {
             let auth_secret = self.auth_secret;
             let seed = self.seed;
             threads.push(std::thread::spawn(move || {
-                let client = DeviceClient::new(
+                let client = DeviceClient::builder(
                     addr,
                     device_id as u64,
                     AuthToken::derive(device_id as u64, auth_secret),
-                );
+                )
+                .build();
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(device_id as u64));
                 // A model construction failure (cannot happen after the server
                 // constructor validated the same dimensions) is reported like

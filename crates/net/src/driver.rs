@@ -328,6 +328,7 @@ impl FleetDriver {
             token: AuthToken::derive(id, self.config.auth_secret),
             checkout_iteration: device.checkout_iteration,
             nonce: round,
+            round_id: 0,
             gradient: GradientPayload::Dense(gradient),
             num_samples: 2,
             error_count: 1,

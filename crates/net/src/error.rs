@@ -27,6 +27,9 @@ pub enum NetError {
         /// What was received.
         received: &'static str,
     },
+    /// A round-session operation was used outside its protocol state (the
+    /// server runs free, or an unselected device tried to submit).
+    Round(&'static str),
 }
 
 impl fmt::Display for NetError {
@@ -42,6 +45,7 @@ impl fmt::Display for NetError {
             NetError::UnexpectedMessage { expected, received } => {
                 write!(f, "expected {expected}, received {received}")
             }
+            NetError::Round(detail) => write!(f, "round protocol misuse: {detail}"),
         }
     }
 }

@@ -32,8 +32,9 @@ pub mod server;
 mod service;
 
 pub use chaos::{AnyServerHandle, ChaosCluster, ChaosReport, ServerKind};
-pub use client::DeviceClient;
+pub use client::{CheckinOutcome, DeviceClient, DeviceClientBuilder, RetryPolicy, RoundSession};
 pub use cluster::{ClusterReport, LocalCluster};
+pub use crowd_rounds::Role;
 pub use driver::{FleetConfig, FleetDriver, FleetReport};
 pub use error::NetError;
 pub use reactor_server::{ReactorServer, ReactorServerHandle};

@@ -375,6 +375,13 @@ impl NetServerHandle {
         self.shared.core.runtime.budget_ledger()
     }
 
+    /// Settles the open cohort round (finalizing pending submissions and
+    /// charging their ε) without stopping the server. No-op when rounds are
+    /// off or nothing is pending.
+    pub fn settle_rounds(&self) {
+        self.shared.core.runtime.settle_rounds()
+    }
+
     /// `true` when the device has spent its entire privacy budget.
     pub fn budget_exhausted(&self, device_id: u64) -> bool {
         self.shared.core.runtime.budget_exhausted(device_id)
@@ -452,6 +459,7 @@ mod tests {
             token: AuthToken::derive(device_id, secret),
             checkout_iteration: 0,
             nonce: 0,
+            round_id: 0,
             gradient: GradientPayload::Dense(gradient),
             num_samples: 2,
             error_count: 1,
@@ -526,6 +534,7 @@ mod tests {
                 accepted: true,
                 iteration: 0,
                 stopped: false,
+                deduped: false,
             }),
         );
         assert!(matches!(

@@ -11,14 +11,15 @@
 //! resolve on the completion pump, and a full ingest queue *parks* the
 //! connection (read throttling) instead of emitting a Busy reply.
 
-use crowd_agg::{AggError, AggRuntime, CompletionHandle, SubmitRejection};
+use crowd_agg::{AggError, AggRuntime, CompletionHandle, RoundSubmitOutcome, SubmitRejection};
 use crowd_core::device::CheckinPayload;
+use crowd_core::server::PendingSubmission;
 use crowd_learning::MulticlassLogistic;
 use crowd_linalg::{GradientUpdate, QuantizedVector, SparseVector, Vector};
 use crowd_proto::auth::TokenRegistry;
 use crowd_proto::message::{
     BatchAck, BatchCheckinAck, BusyReply, CheckinAck, CheckinRequest, CheckoutResponse, ErrorCode,
-    ErrorReply, GradientPayload, HistogramReport, Message, MetricsReport,
+    ErrorReply, GradientPayload, HistogramReport, Message, MetricsReport, RoundParams,
 };
 use crowd_proto::{BufPool, PROTOCOL_VERSION};
 use crowd_reactor::Response;
@@ -105,6 +106,7 @@ impl ServerCore {
                     iteration: snapshot.iteration,
                     params: snapshot.params.as_slice().to_vec(),
                     stopped: snapshot.stopped,
+                    round: self.round_params(),
                 })
             }
             Message::CheckinRequest(req) => {
@@ -112,6 +114,12 @@ impl ServerCore {
                     return error_reply(ErrorCode::Unauthorized, "unknown device or bad token");
                 }
                 note_gradient_encoding(&self.metrics, &req.gradient);
+                if matches!(req.gradient, GradientPayload::Masked { .. }) {
+                    return self.round_checkin(req);
+                }
+                if let Some(reply) = self.stale_round_reply(req.round_id) {
+                    return reply;
+                }
                 let payload = match payload_of(req) {
                     Ok(p) => p,
                     Err(reply) => return *reply,
@@ -140,6 +148,14 @@ impl ServerCore {
                             )));
                         }
                         note_gradient_encoding(&self.metrics, &item.gradient);
+                        if matches!(item.gradient, GradientPayload::Masked { .. }) {
+                            // Round submissions resolve synchronously; the
+                            // reply (ack or refusal) is folded in positionally.
+                            return Err(Box::new(self.round_checkin(item)));
+                        }
+                        if let Some(reply) = self.stale_round_reply(item.round_id) {
+                            return Err(Box::new(reply));
+                        }
                         self.runtime
                             .submit(payload_of(item)?)
                             .map_err(|e| Box::new(agg_error_reply(e)))
@@ -153,11 +169,12 @@ impl ServerCore {
                                 accepted: ack.accepted,
                                 iteration: ack.iteration,
                                 stopped: ack.stopped,
+                                deduped: ack.deduped,
                                 reject: None,
                             },
-                            Err(reply) => rejected_ack(&reply),
+                            Err(reply) => batch_ack_of(&reply),
                         },
-                        Err(reply) => rejected_ack(&reply),
+                        Err(reply) => batch_ack_of(&reply),
                     })
                     .collect();
                 Message::BatchCheckinAck(BatchCheckinAck { acks })
@@ -181,6 +198,71 @@ impl ServerCore {
                 ErrorCode::BadRequest,
                 format!("unexpected message {}", other.name()),
             ),
+        }
+    }
+
+    /// The current round parameters, as published in every checkout when the
+    /// server runs the round-based cohort protocol (wire v6).
+    fn round_params(&self) -> Option<RoundParams> {
+        self.runtime.round_info().map(|info| RoundParams {
+            round_id: info.round_id,
+            seed: info.seed,
+            select_fraction: info.select_fraction,
+            deadline_epochs: info.deadline_epochs,
+            population: info.population,
+        })
+    }
+
+    /// Handles a round submission (a masked checkin): the gradient is recorded
+    /// against the round it names and applied at round finalization, so the
+    /// acknowledgement is immediate — no epoch wait.
+    pub(crate) fn round_checkin(&self, req: CheckinRequest) -> Message {
+        let GradientPayload::Masked { words } = req.gradient else {
+            return error_reply(ErrorCode::Internal, "round_checkin on an unmasked gradient");
+        };
+        if req.round_id == 0 {
+            return error_reply(
+                ErrorCode::BadRequest,
+                "a masked checkin must name the round it contributes to",
+            );
+        }
+        let submission = PendingSubmission {
+            device_id: req.device_id,
+            nonce: req.nonce,
+            checkout_iteration: req.checkout_iteration,
+            words,
+            num_samples: req.num_samples,
+            error_count: req.error_count,
+            label_counts: req.label_counts,
+        };
+        match self.runtime.submit_round(req.round_id, submission) {
+            Ok(RoundSubmitOutcome::Acked(outcome)) => Message::CheckinAck(CheckinAck {
+                accepted: outcome.accepted,
+                iteration: outcome.iteration,
+                stopped: outcome.stopped,
+                deduped: outcome.deduped,
+            }),
+            Ok(RoundSubmitOutcome::Outdated { current_round }) => {
+                round_outdated_reply(current_round)
+            }
+            Err(e) => agg_error_reply(e),
+        }
+    }
+
+    /// Refuses a free-run checkin tagged with a round other than the server's
+    /// current one: the device's protocol view is stale and it must refetch
+    /// the round parameters. `round_id == 0` opts out of the check, and the
+    /// tag is meaningless (not stale) when rounds are disabled.
+    fn stale_round_reply(&self, round_id: u64) -> Option<Message> {
+        if round_id == 0 {
+            return None;
+        }
+        match self.runtime.round_info() {
+            Some(info) if info.round_id != round_id => {
+                self.metrics.incr(CounterId::RoundOutdatedRejections);
+                Some(round_outdated_reply(info.round_id))
+            }
+            _ => None,
         }
     }
 }
@@ -239,6 +321,16 @@ pub(crate) fn handle_event(core: &Arc<ServerCore>, message: Message) -> Response
                 ));
             }
             note_gradient_encoding(&core.metrics, &req.gradient);
+            if matches!(req.gradient, GradientPayload::Masked { .. }) {
+                // A round submission locks the aggregation core synchronously
+                // (and may finalize an epoch when it completes the cohort), so
+                // it runs on the completion pump, never the event loop.
+                let core = Arc::clone(core);
+                return Response::Pending(Box::new(move || core.round_checkin(req)));
+            }
+            if let Some(reply) = core.stale_round_reply(req.round_id) {
+                return Response::Now(reply);
+            }
             let payload = match payload_of(req) {
                 Ok(p) => p,
                 Err(reply) => return Response::Now(*reply),
@@ -329,6 +421,14 @@ pub(crate) fn payload_of(req: CheckinRequest) -> std::result::Result<CheckinPayl
                 Err(e) => return Err(Box::new(error_reply(ErrorCode::BadRequest, e.to_string()))),
             }
         }
+        GradientPayload::Masked { .. } => {
+            // Masked gradients are round submissions; callers route them to
+            // `ServerCore::round_checkin` before building a free-run payload.
+            return Err(Box::new(error_reply(
+                ErrorCode::BadRequest,
+                "a masked gradient is only valid as a round submission",
+            )));
+        }
     };
     Ok(CheckinPayload {
         device_id: req.device_id,
@@ -347,6 +447,7 @@ pub(crate) fn wait_ack(handle: CompletionHandle) -> std::result::Result<CheckinA
             accepted: outcome.accepted,
             iteration: outcome.iteration,
             stopped: outcome.stopped,
+            deduped: outcome.deduped,
         }),
         Err(e) => Err(Box::new(agg_error_reply(e))),
     }
@@ -380,7 +481,24 @@ pub(crate) fn rejected_ack(reply: &Message) -> BatchAck {
         accepted: false,
         iteration: 0,
         stopped: false,
+        deduped: false,
         reject: Some(reject),
+    }
+}
+
+/// Folds any per-item reply into a batch acknowledgement: a checkin ack (a
+/// synchronously resolved round submission) positionally as-is, a refusal via
+/// [`rejected_ack`].
+pub(crate) fn batch_ack_of(reply: &Message) -> BatchAck {
+    match reply {
+        Message::CheckinAck(ack) => BatchAck {
+            accepted: ack.accepted,
+            iteration: ack.iteration,
+            stopped: ack.stopped,
+            deduped: ack.deduped,
+            reject: None,
+        },
+        _ => rejected_ack(reply),
     }
 }
 
@@ -388,5 +506,17 @@ pub(crate) fn error_reply(code: ErrorCode, detail: impl Into<String>) -> Message
     Message::Error(ErrorReply {
         code,
         detail: detail.into(),
+        round_id: 0,
+    })
+}
+
+/// The refusal for a checkin against a closed round, carrying the server's
+/// *current* round id so the stale device can resync without an extra
+/// checkout round-trip.
+pub(crate) fn round_outdated_reply(current_round: u64) -> Message {
+    Message::Error(ErrorReply {
+        code: ErrorCode::RoundOutdated,
+        detail: format!("round closed; the current round is {current_round}"),
+        round_id: current_round,
     })
 }

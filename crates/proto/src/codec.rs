@@ -10,7 +10,7 @@ use crate::error::ProtoError;
 use crate::message::{
     BatchAck, BatchCheckinAck, BatchCheckinRequest, BusyReply, CheckinAck, CheckinRequest,
     CheckoutRequest, CheckoutResponse, ErrorCode, ErrorReply, GradientPayload, HistogramReport,
-    Message, MetricsReport, MetricsRequest,
+    Message, MetricsReport, MetricsRequest, RoundParams,
 };
 use crate::Result;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -30,6 +30,9 @@ const GRADIENT_SPARSE: u8 = 1;
 /// Wire tag for a quantized (shared scale + `i16` levels) gradient encoding
 /// (wire v5).
 const GRADIENT_QUANTIZED: u8 = 2;
+/// Wire tag for a masked (round-cohort `u64` words) gradient encoding
+/// (wire v6).
+const GRADIENT_MASKED: u8 = 3;
 
 /// Encodes a message into a standalone byte buffer (without the frame length
 /// prefix).
@@ -54,6 +57,17 @@ pub fn encode_into<B: BufMut>(message: &Message, buf: &mut B) {
             buf.put_u64_le(m.iteration);
             put_bool(buf, m.stopped);
             put_f64_vec(buf, &m.params);
+            match &m.round {
+                None => buf.put_u8(0),
+                Some(r) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(r.round_id);
+                    buf.put_u64_le(r.seed);
+                    buf.put_f64_le(r.select_fraction);
+                    buf.put_u32_le(r.deadline_epochs);
+                    buf.put_u64_le(r.population);
+                }
+            }
         }
         Message::CheckinRequest(m) => {
             put_checkin(buf, m);
@@ -62,10 +76,12 @@ pub fn encode_into<B: BufMut>(message: &Message, buf: &mut B) {
             put_bool(buf, m.accepted);
             buf.put_u64_le(m.iteration);
             put_bool(buf, m.stopped);
+            put_bool(buf, m.deduped);
         }
         Message::Error(m) => {
             buf.put_u8(m.code.as_u8());
             put_string(buf, &m.detail);
+            buf.put_u64_le(m.round_id);
         }
         Message::BatchCheckinRequest(m) => {
             buf.put_u32_le(m.items.len() as u32);
@@ -79,6 +95,7 @@ pub fn encode_into<B: BufMut>(message: &Message, buf: &mut B) {
                 put_bool(buf, ack.accepted);
                 buf.put_u64_le(ack.iteration);
                 put_bool(buf, ack.stopped);
+                put_bool(buf, ack.deduped);
                 // 0 = processed normally, otherwise the refusing error code.
                 buf.put_u8(ack.reject.map_or(0, ErrorCode::as_u8));
             }
@@ -135,10 +152,44 @@ pub fn decode(mut buf: &[u8]) -> Result<Message> {
             let iteration = get_u64(&mut buf, "iteration")?;
             let stopped = get_bool(&mut buf, "stopped")?;
             let params = get_f64_vec(&mut buf, "params")?;
+            let round = match get_u8(&mut buf, "round presence")? {
+                0 => None,
+                1 => {
+                    let round_id = get_u64(&mut buf, "round_id")?;
+                    let seed = get_u64(&mut buf, "round seed")?;
+                    ensure(buf, 8, "select_fraction")?;
+                    let select_fraction = buf.get_f64_le();
+                    if !(select_fraction.is_finite()
+                        && select_fraction > 0.0
+                        && select_fraction <= 1.0)
+                    {
+                        return Err(ProtoError::InvalidField {
+                            field: "select_fraction",
+                            reason: format!("{select_fraction} outside (0, 1]"),
+                        });
+                    }
+                    let deadline_epochs = get_u32(&mut buf, "deadline_epochs")?;
+                    let population = get_u64(&mut buf, "round population")?;
+                    Some(RoundParams {
+                        round_id,
+                        seed,
+                        select_fraction,
+                        deadline_epochs,
+                        population,
+                    })
+                }
+                other => {
+                    return Err(ProtoError::InvalidField {
+                        field: "round presence",
+                        reason: format!("expected 0 or 1, got {other}"),
+                    })
+                }
+            };
             Message::CheckoutResponse(CheckoutResponse {
                 iteration,
                 params,
                 stopped,
+                round,
             })
         }
         3 => Message::CheckinRequest(get_checkin(&mut buf)?),
@@ -146,10 +197,12 @@ pub fn decode(mut buf: &[u8]) -> Result<Message> {
             let accepted = get_bool(&mut buf, "accepted")?;
             let iteration = get_u64(&mut buf, "iteration")?;
             let stopped = get_bool(&mut buf, "stopped")?;
+            let deduped = get_bool(&mut buf, "deduped")?;
             Message::CheckinAck(CheckinAck {
                 accepted,
                 iteration,
                 stopped,
+                deduped,
             })
         }
         5 => {
@@ -159,7 +212,12 @@ pub fn decode(mut buf: &[u8]) -> Result<Message> {
                 reason: format!("unknown code {raw_code}"),
             })?;
             let detail = get_string(&mut buf, "detail")?;
-            Message::Error(ErrorReply { code, detail })
+            let round_id = get_u64(&mut buf, "error round_id")?;
+            Message::Error(ErrorReply {
+                code,
+                detail,
+                round_id,
+            })
         }
         6 => {
             let count = get_batch_len(&mut buf, "batch items")?;
@@ -176,6 +234,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Message> {
                 let accepted = get_bool(&mut buf, "accepted")?;
                 let iteration = get_u64(&mut buf, "iteration")?;
                 let stopped = get_bool(&mut buf, "stopped")?;
+                let deduped = get_bool(&mut buf, "deduped")?;
                 let raw_reject = get_u8(&mut buf, "reject code")?;
                 let reject = if raw_reject == 0 {
                     None
@@ -191,6 +250,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Message> {
                     accepted,
                     iteration,
                     stopped,
+                    deduped,
                     reject,
                 });
             }
@@ -263,6 +323,7 @@ fn put_checkin<B: BufMut>(buf: &mut B, m: &CheckinRequest) {
     buf.put_slice(m.token.as_bytes());
     buf.put_u64_le(m.checkout_iteration);
     buf.put_u64_le(m.nonce);
+    buf.put_u64_le(m.round_id);
     buf.put_u32_le(m.num_samples);
     buf.put_i64_le(m.error_count);
     put_gradient(buf, &m.gradient);
@@ -293,6 +354,13 @@ fn put_gradient<B: BufMut>(buf: &mut B, gradient: &GradientPayload) {
             buf.put_u32_le(levels.len() as u32);
             buf.put_f64_le(*scale);
             buf.put_i16_slice_le(levels);
+        }
+        GradientPayload::Masked { words } => {
+            buf.put_u8(GRADIENT_MASKED);
+            buf.put_u32_le(words.len() as u32);
+            for &w in words {
+                buf.put_u64_le(w);
+            }
         }
     }
 }
@@ -353,6 +421,10 @@ fn get_gradient(buf: &mut &[u8]) -> Result<GradientPayload> {
             let levels = (0..dim).map(|_| buf.get_i16_le()).collect();
             Ok(GradientPayload::Quantized { scale, levels })
         }
+        GRADIENT_MASKED => {
+            let words = get_u64_vec(buf, "masked gradient")?;
+            Ok(GradientPayload::Masked { words })
+        }
         other => Err(ProtoError::InvalidField {
             field: "gradient encoding",
             reason: format!("unknown encoding {other}"),
@@ -365,6 +437,7 @@ fn get_checkin(buf: &mut &[u8]) -> Result<CheckinRequest> {
     let token = get_token(buf)?;
     let checkout_iteration = get_u64(buf, "checkout_iteration")?;
     let nonce = get_u64(buf, "nonce")?;
+    let round_id = get_u64(buf, "round_id")?;
     let num_samples = get_u32(buf, "num_samples")?;
     let error_count = get_i64(buf, "error_count")?;
     let gradient = get_gradient(buf)?;
@@ -374,6 +447,7 @@ fn get_checkin(buf: &mut &[u8]) -> Result<CheckinRequest> {
         token,
         checkout_iteration,
         nonce,
+        round_id,
         gradient,
         num_samples,
         error_count,
@@ -480,6 +554,12 @@ fn get_i64_vec(buf: &mut &[u8], context: &'static str) -> Result<Vec<i64>> {
     Ok((0..len).map(|_| buf.get_i64_le()).collect())
 }
 
+fn get_u64_vec(buf: &mut &[u8], context: &'static str) -> Result<Vec<u64>> {
+    let len = get_vec_len(buf, context)?;
+    ensure(buf, len * 8, context)?;
+    Ok((0..len).map(|_| buf.get_u64_le()).collect())
+}
+
 fn get_string(buf: &mut &[u8], context: &'static str) -> Result<String> {
     let len = get_vec_len(buf, context)?;
     ensure(buf, len, context)?;
@@ -509,12 +589,26 @@ mod tests {
                 iteration: 1234,
                 params: vec![0.5, -1.25, 3.75, f64::MIN_POSITIVE],
                 stopped: true,
+                round: None,
+            }),
+            Message::CheckoutResponse(CheckoutResponse {
+                iteration: 77,
+                params: vec![1.0, 2.0],
+                stopped: false,
+                round: Some(RoundParams {
+                    round_id: 3,
+                    seed: 0xDEAD_BEEF,
+                    select_fraction: 0.5,
+                    deadline_epochs: 12,
+                    population: 64,
+                }),
             }),
             Message::CheckinRequest(CheckinRequest {
                 device_id: 9,
                 token: AuthToken::derive(9, 7),
                 checkout_iteration: 55,
                 nonce: 155,
+                round_id: 0,
                 gradient: GradientPayload::Dense(vec![1e-9, -2.5, 0.0]),
                 num_samples: 20,
                 error_count: -3,
@@ -525,6 +619,7 @@ mod tests {
                 token: AuthToken::derive(10, 7),
                 checkout_iteration: 56,
                 nonce: 156,
+                round_id: 0,
                 gradient: GradientPayload::Sparse {
                     dim: 100,
                     indices: vec![0, 7, 99],
@@ -539,6 +634,7 @@ mod tests {
                 token: AuthToken::derive(11, 7),
                 checkout_iteration: 57,
                 nonce: 157,
+                round_id: 0,
                 gradient: GradientPayload::Quantized {
                     scale: 3.5e-5,
                     levels: vec![0, -1, 32767, -32768, 12],
@@ -547,14 +643,34 @@ mod tests {
                 error_count: 2,
                 label_counts: vec![4, 4],
             }),
+            Message::CheckinRequest(CheckinRequest {
+                device_id: 12,
+                token: AuthToken::derive(12, 7),
+                checkout_iteration: 58,
+                nonce: 158,
+                round_id: 3,
+                gradient: GradientPayload::Masked {
+                    words: vec![0, u64::MAX, 0x0102_0304_0506_0708],
+                },
+                num_samples: 16,
+                error_count: 1,
+                label_counts: vec![8, 8],
+            }),
             Message::CheckinAck(CheckinAck {
                 accepted: true,
                 iteration: 56,
                 stopped: false,
+                deduped: true,
             }),
             Message::Error(ErrorReply {
                 code: ErrorCode::Unauthorized,
                 detail: "bad token".into(),
+                round_id: 0,
+            }),
+            Message::Error(ErrorReply {
+                code: ErrorCode::RoundOutdated,
+                detail: "round 3 closed".into(),
+                round_id: 4,
             }),
             Message::BatchCheckinRequest(BatchCheckinRequest {
                 items: vec![
@@ -563,6 +679,7 @@ mod tests {
                         token: AuthToken::derive(1, 7),
                         checkout_iteration: 3,
                         nonce: 103,
+                        round_id: 0,
                         gradient: GradientPayload::Dense(vec![0.25, -0.5]),
                         num_samples: 4,
                         error_count: 1,
@@ -573,6 +690,7 @@ mod tests {
                         token: AuthToken::derive(2, 7),
                         checkout_iteration: 3,
                         nonce: 103,
+                        round_id: 0,
                         gradient: GradientPayload::Sparse {
                             dim: 8,
                             indices: vec![3],
@@ -590,12 +708,14 @@ mod tests {
                         accepted: true,
                         iteration: 4,
                         stopped: false,
+                        deduped: false,
                         reject: None,
                     },
                     BatchAck {
                         accepted: false,
                         iteration: 4,
                         stopped: true,
+                        deduped: true,
                         reject: Some(ErrorCode::Unauthorized),
                     },
                 ],
@@ -638,6 +758,7 @@ mod tests {
             iteration: 0,
             params: vec![],
             stopped: false,
+            round: None,
         });
         assert_eq!(decode(&encode(&msg)).unwrap(), msg);
     }
@@ -672,6 +793,7 @@ mod tests {
             accepted: false,
             iteration: 1,
             stopped: false,
+            deduped: false,
         });
         let mut bytes = encode(&msg).to_vec();
         bytes.push(0);
@@ -744,6 +866,7 @@ mod tests {
             token: AuthToken::derive(1, 7),
             checkout_iteration: 0,
             nonce: 0,
+            round_id: 0,
             gradient,
             num_samples: 1,
             error_count: 0,
@@ -798,9 +921,9 @@ mod tests {
         // An unknown gradient-encoding byte is rejected.
         let mut bytes = encode(&checkin_with(GradientPayload::Dense(vec![]))).to_vec();
         // The encoding byte sits right after the fixed checkin header
-        // (tag, device_id, token, checkout_iteration, nonce, num_samples,
-        // error_count).
-        let offset = 1 + 8 + TOKEN_LEN + 8 + 8 + 4 + 8;
+        // (tag, device_id, token, checkout_iteration, nonce, round_id,
+        // num_samples, error_count).
+        let offset = 1 + 8 + TOKEN_LEN + 8 + 8 + 8 + 4 + 8;
         assert_eq!(bytes[offset], 0);
         bytes[offset] = 9;
         assert!(decode(&bytes).is_err());
@@ -851,6 +974,7 @@ mod tests {
         buf.put_slice(AuthToken::derive(1, 7).as_bytes());
         buf.put_u64_le(0); // checkout_iteration
         buf.put_u64_le(0); // nonce
+        buf.put_u64_le(0); // round_id
         buf.put_u32_le(1);
         buf.put_i64_le(0);
         buf.put_u8(2); // quantized encoding
@@ -872,6 +996,7 @@ mod tests {
         buf.put_slice(AuthToken::derive(1, 7).as_bytes());
         buf.put_u64_le(0); // checkout_iteration
         buf.put_u64_le(0); // nonce
+        buf.put_u64_le(0); // round_id
         buf.put_u32_le(1);
         buf.put_i64_le(0);
         buf.put_u8(1); // sparse encoding
@@ -902,6 +1027,7 @@ mod tests {
             iteration: 7,
             params: vec![f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, 1e300],
             stopped: false,
+            round: None,
         });
         let decoded = decode(&encode(&msg)).unwrap();
         if let Message::CheckoutResponse(r) = decoded {

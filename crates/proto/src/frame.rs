@@ -102,11 +102,13 @@ mod tests {
                 iteration: 10,
                 params: vec![1.0; 500],
                 stopped: false,
+                round: None,
             }),
             Message::CheckinAck(CheckinAck {
                 accepted: true,
                 iteration: 11,
                 stopped: true,
+                deduped: false,
             }),
         ];
         let mut buf = Vec::new();
@@ -142,6 +144,7 @@ mod tests {
             accepted: true,
             iteration: 2,
             stopped: false,
+            deduped: false,
         });
         let mut buf = Vec::new();
         write_message(&mut buf, &msg).unwrap();
@@ -156,6 +159,7 @@ mod tests {
             accepted: true,
             iteration: 2,
             stopped: false,
+            deduped: false,
         });
         let mut buf = Vec::new();
         write_message(&mut buf, &msg).unwrap();

@@ -40,5 +40,8 @@ pub type Result<T> = std::result::Result<T, ProtoError>;
 /// [`message::MetricsRequest`]/[`message::MetricsReport`] admin scrape of the
 /// server's crowd-scope metric registry; version 5 added the quantized
 /// gradient encoding (`i16` levels times a shared scale) that DP-noised
-/// uploads select when their noise floor dominates the quantization error.
-pub const PROTOCOL_VERSION: u16 = 5;
+/// uploads select when their noise floor dominates the quantization error;
+/// version 6 added the round-based cohort protocol ([`message::RoundParams`]
+/// in checkouts, per-checkin `round_id`, the masked gradient encoding, and
+/// the `RoundOutdated` resync error).
+pub const PROTOCOL_VERSION: u16 = 6;

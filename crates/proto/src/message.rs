@@ -33,6 +33,33 @@ pub struct CheckoutResponse {
     /// Whether the stopping criterion has already been met (devices should stop
     /// collecting when set).
     pub stopped: bool,
+    /// The current round parameters when the server runs the round-based
+    /// cohort protocol (wire v6); `None` on a free-running server.
+    pub round: Option<RoundParams>,
+}
+
+/// Parameters of the server's current aggregation round (wire v6).
+///
+/// Published in every checkout. From `(seed, select_fraction, population)` a
+/// device derives its role and — when selected — the pairwise masks it shares
+/// with the rest of the cohort; no additional coordination messages exist. A
+/// checkin tagged with a `round_id` older than the server's current round is
+/// refused with [`ErrorCode::RoundOutdated`] and the device resyncs by
+/// checking out again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundParams {
+    /// Monotonically increasing round counter (starts at 1; 0 on the wire
+    /// means "free-run", so it never identifies a round).
+    pub round_id: u64,
+    /// Seed of this round's cohort selection and pair-mask derivation.
+    pub seed: u64,
+    /// Fraction of the population selected into the cohort, in `(0, 1]`.
+    pub select_fraction: f64,
+    /// Rounds expire after this many applied server epochs without cohort
+    /// completion; survivors are finalized with dropout compensation.
+    pub deadline_epochs: u32,
+    /// Device-id population the selection draws from (`0..population`).
+    pub population: u64,
 }
 
 /// A gradient as it crosses the wire: dense, sparse coordinates when the
@@ -72,6 +99,14 @@ pub enum GradientPayload {
         /// One signed 16-bit level per coordinate, in order.
         levels: Vec<i16>,
     },
+    /// A round checkin's masked gradient (wire v6): per coordinate, the
+    /// IEEE-754 bit pattern plus the device's pairwise net mask, wrapping.
+    /// Lossless — the aggregator recovers the exact original bits at round
+    /// finalization — and never a raw gradient on the wire.
+    Masked {
+        /// One masked word per coordinate, in order.
+        words: Vec<u64>,
+    },
 }
 
 impl GradientPayload {
@@ -81,6 +116,7 @@ impl GradientPayload {
             GradientPayload::Dense(v) => v.len(),
             GradientPayload::Sparse { dim, .. } => *dim as usize,
             GradientPayload::Quantized { levels, .. } => levels.len(),
+            GradientPayload::Masked { words } => words.len(),
         }
     }
 
@@ -90,17 +126,19 @@ impl GradientPayload {
             GradientPayload::Dense(v) => v.len(),
             GradientPayload::Sparse { indices, .. } => indices.len(),
             GradientPayload::Quantized { levels, .. } => levels.len(),
+            GradientPayload::Masked { words } => words.len(),
         }
     }
 
     /// Bytes of the encoded gradient field (excluding the message framing):
     /// `1 + 4 + 8·dim` dense, `1 + 8 + 12·nnz` sparse, `1 + 12 + 2·dim`
-    /// quantized.
+    /// quantized, `1 + 4 + 8·dim` masked.
     pub fn encoded_len(&self) -> usize {
         match self {
             GradientPayload::Dense(v) => 1 + 4 + 8 * v.len(),
             GradientPayload::Sparse { indices, .. } => 1 + 8 + 12 * indices.len(),
             GradientPayload::Quantized { levels, .. } => 1 + 4 + 8 + 2 * levels.len(),
+            GradientPayload::Masked { words } => 1 + 4 + 8 * words.len(),
         }
     }
 
@@ -145,6 +183,11 @@ pub struct CheckinRequest {
     /// logical upload and replay the original acknowledgement instead of
     /// applying — and ε-charging — the gradient twice.
     pub nonce: u64,
+    /// The round this checkin contributes to (wire v6), or 0 for an ordinary
+    /// free-run checkin. Round checkins carry a [`GradientPayload::Masked`]
+    /// gradient and are held until the round finalizes; a stale `round_id`
+    /// is refused with [`ErrorCode::RoundOutdated`].
+    pub round_id: u64,
     /// The sanitized averaged gradient `ĝ`, dense or sparse.
     pub gradient: GradientPayload,
     /// The (unperturbed) number of samples `n_s` in the minibatch.
@@ -165,6 +208,10 @@ pub struct CheckinAck {
     pub iteration: u64,
     /// Whether the stopping criterion has been met.
     pub stopped: bool,
+    /// `true` when this acknowledgement is a dedup replay of a previously
+    /// applied checkin (the retry was recognized; nothing was applied or
+    /// ε-charged again).
+    pub deduped: bool,
 }
 
 /// A batch of checkins sent in one frame.
@@ -189,6 +236,9 @@ pub struct BatchAck {
     pub iteration: u64,
     /// Whether the stopping criterion has been met.
     pub stopped: bool,
+    /// `true` when the item's ack is a dedup replay (see
+    /// [`CheckinAck::deduped`]).
+    pub deduped: bool,
     /// Why the item was refused (`None` when it was processed normally; a
     /// refused item also has `accepted == false`).
     pub reject: Option<ErrorCode>,
@@ -264,6 +314,10 @@ pub struct ErrorReply {
     pub code: ErrorCode,
     /// Human-readable detail.
     pub detail: String,
+    /// For [`ErrorCode::RoundOutdated`]: the server's *current* round id, so
+    /// the stale device can resync without an extra checkout round-trip.
+    /// 0 for every other code.
+    pub round_id: u64,
 }
 
 /// Machine-readable protocol error codes.
@@ -284,6 +338,12 @@ pub enum ErrorCode {
     /// serve it further checkouts or accept its checkins. Terminal for the
     /// device (not retryable): it should stop participating in the task.
     BudgetExhausted,
+    /// The checkin's `round_id` no longer names the server's current round
+    /// (the round finalized or expired while the device was computing).
+    /// Non-fatal and *not* blindly retryable: the device refetches the round
+    /// parameters (the reply's `round_id` carries the current round),
+    /// re-derives its role, and resubmits against the new round.
+    RoundOutdated,
 }
 
 impl ErrorCode {
@@ -296,6 +356,7 @@ impl ErrorCode {
             ErrorCode::Internal => 4,
             ErrorCode::Busy => 5,
             ErrorCode::BudgetExhausted => 6,
+            ErrorCode::RoundOutdated => 7,
         }
     }
 
@@ -308,6 +369,7 @@ impl ErrorCode {
             4 => Some(ErrorCode::Internal),
             5 => Some(ErrorCode::Busy),
             6 => Some(ErrorCode::BudgetExhausted),
+            7 => Some(ErrorCode::RoundOutdated),
             _ => None,
         }
     }
@@ -393,12 +455,14 @@ mod tests {
                 iteration: 0,
                 params: vec![],
                 stopped: false,
+                round: None,
             }),
             Message::CheckinRequest(CheckinRequest {
                 device_id: 0,
                 token: AuthToken::derive(0, 0),
                 checkout_iteration: 0,
                 nonce: 100,
+                round_id: 0,
                 gradient: GradientPayload::Dense(vec![]),
                 num_samples: 0,
                 error_count: 0,
@@ -408,10 +472,12 @@ mod tests {
                 accepted: true,
                 iteration: 0,
                 stopped: false,
+                deduped: false,
             }),
             Message::Error(ErrorReply {
                 code: ErrorCode::Internal,
                 detail: String::new(),
+                round_id: 0,
             }),
             Message::BatchCheckinRequest(BatchCheckinRequest { items: vec![] }),
             Message::BatchCheckinAck(BatchCheckinAck { acks: vec![] }),
@@ -491,6 +557,7 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::Busy,
             ErrorCode::BudgetExhausted,
+            ErrorCode::RoundOutdated,
         ] {
             assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
         }
@@ -499,5 +566,8 @@ mod tests {
         assert!(ErrorCode::Busy.is_retryable());
         assert!(!ErrorCode::BadRequest.is_retryable());
         assert!(!ErrorCode::BudgetExhausted.is_retryable());
+        // RoundOutdated is non-fatal but requires a resync, not a blind
+        // retry of the same (stale) payload.
+        assert!(!ErrorCode::RoundOutdated.is_retryable());
     }
 }

@@ -300,11 +300,13 @@ mod tests {
                 iteration: 10,
                 params: vec![0.5; 257],
                 stopped: false,
+                round: None,
             }),
             Message::CheckinAck(CheckinAck {
                 accepted: true,
                 iteration: 11,
                 stopped: false,
+                deduped: false,
             }),
         ]
     }

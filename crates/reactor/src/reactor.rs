@@ -865,6 +865,7 @@ mod tests {
             accepted: true,
             iteration: n,
             stopped: false,
+            deduped: false,
         })
     }
 
@@ -1083,6 +1084,7 @@ mod tests {
             Response::Now(Message::Error(ErrorReply {
                 code: ErrorCode::Internal,
                 detail: "nope".into(),
+                round_id: 0,
             }))
         });
         let reactor = start(service, 1);

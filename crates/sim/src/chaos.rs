@@ -168,6 +168,17 @@ impl ChurnSchedule {
         }
     }
 
+    /// Whether the device drops out of cohort round `round_id` mid-round: it
+    /// checks out, derives a Selected role, and then vanishes without ever
+    /// submitting its masked share. About a fifth of `(device, round)` pairs
+    /// drop; the aggregator must finalize such rounds at their deadline from
+    /// the survivors alone, compensating the missing pairwise masks.
+    pub fn round_dropout(&self, device_id: u64, round_id: u64) -> bool {
+        let mut rng =
+            StdRng::seed_from_u64(mix(self.seed, device_id ^ round_id.rotate_left(16), 0x40));
+        rng.gen_bool(0.2)
+    }
+
     /// Milliseconds this device stalls before every checkin (its straggler
     /// latency). About a quarter of devices straggle; their slow checkins are
     /// what pushes partially filled epochs onto the aggregator's idle-flush
@@ -241,6 +252,19 @@ impl FaultPlan {
             seed,
             transport: TransportFaults::from_seed(seed, 10),
             churn: None,
+            crash: None,
+        }
+    }
+
+    /// The round-mode storm: transport faults plus churn (whose schedule also
+    /// scripts mid-round cohort dropouts via
+    /// [`ChurnSchedule::round_dropout`]), but an always-up server. Used by the
+    /// chaos suite when cohort rounds are enabled.
+    pub fn rounds(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transport: TransportFaults::from_seed(seed, 10),
+            churn: Some(ChurnSchedule::from_seed(seed, 6, 8)),
             crash: None,
         }
     }
@@ -353,6 +377,32 @@ mod tests {
         assert!(late > 0, "no late joiners across 64 devices");
         assert!(retired > 0, "no retirements across 64 devices");
         assert!(stragglers > 0, "no stragglers across 64 devices");
+    }
+
+    #[test]
+    fn round_dropouts_are_deterministic_and_realized() {
+        let churn = ChurnSchedule::from_seed(17, 6, 8);
+        let again = ChurnSchedule::from_seed(17, 6, 8);
+        let mut drops = 0;
+        for device in 0..16u64 {
+            for round in 1..=16u64 {
+                assert_eq!(
+                    churn.round_dropout(device, round),
+                    again.round_dropout(device, round)
+                );
+                if churn.round_dropout(device, round) {
+                    drops += 1;
+                }
+            }
+        }
+        // ~20% of 256 pairs; loose bounds so the test is not seed-brittle.
+        assert!(
+            (10..120).contains(&drops),
+            "{drops} dropouts across 256 (device, round) pairs"
+        );
+        let plan = FaultPlan::rounds(17);
+        assert!(plan.churn.is_some() && plan.crash.is_none());
+        assert!(!plan.is_transport_only());
     }
 
     #[test]

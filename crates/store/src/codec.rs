@@ -6,7 +6,10 @@
 //! prefixed by a `u32` element count. Everything here is pure byte-level code;
 //! file handling lives in [`crate::wal`] and [`crate::snapshot`].
 
-use crowd_core::server::{DeviceEpochStats, DeviceProgress, EpochAggregate, ServerState};
+use crowd_core::server::{
+    DeviceEpochStats, DeviceProgress, EpochAggregate, PendingSubmission, RoundStateSnapshot,
+    ServerState,
+};
 use crowd_learning::LearningRate;
 use crowd_linalg::Vector;
 
@@ -170,6 +173,22 @@ pub(crate) fn get_i64_vec(buf: &mut &[u8], what: &str) -> DecodeResult<Vec<i64>>
     Ok(out)
 }
 
+pub(crate) fn put_u64_slice(buf: &mut Vec<u8>, values: &[u64]) {
+    put_u32(buf, values.len() as u32);
+    for &v in values {
+        put_u64(buf, v);
+    }
+}
+
+pub(crate) fn get_u64_vec(buf: &mut &[u8], what: &str) -> DecodeResult<Vec<u64>> {
+    let len = get_len(buf, what)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(get_u64(buf, what)?);
+    }
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // EpochAggregate
 // ---------------------------------------------------------------------------
@@ -230,7 +249,32 @@ pub struct EpochRecord {
     pub charges: Vec<(u64, f64)>,
 }
 
+/// One decoded WAL record of any kind (wire of the round protocol's
+/// durability: submissions and round advances are logged alongside epochs so
+/// a crash mid-round recovers the pending cohort exactly).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An applied (or about-to-be-applied) aggregation epoch.
+    Epoch(EpochRecord),
+    /// A masked round submission accepted into the open round.
+    RoundSubmit {
+        /// The round the submission was accepted into.
+        round_id: u64,
+        /// The submission exactly as the server holds it pending.
+        submission: PendingSubmission,
+    },
+    /// The open round closed (finalized or expired); its successor opened.
+    /// The finalization epoch, when non-empty, is the following
+    /// [`WalRecord::Epoch`].
+    RoundAdvance {
+        /// The round that closed.
+        closed_round_id: u64,
+    },
+}
+
 const RECORD_KIND_EPOCH: u8 = 1;
+const RECORD_KIND_ROUND_SUBMIT: u8 = 2;
+const RECORD_KIND_ROUND_ADVANCE: u8 = 3;
 
 /// Encodes an epoch record into a WAL payload. Takes the parts by reference —
 /// this runs on the durable write path under the core server lock, so it must
@@ -256,32 +300,91 @@ fn epoch_dim_hint(epoch: &EpochAggregate) -> usize {
     8 * epoch.gradient_sum.len() + 64 * epoch.device_stats.len()
 }
 
-/// Decodes a WAL payload produced by [`encode_epoch_record`].
-pub fn decode_epoch_record(mut buf: &[u8]) -> DecodeResult<EpochRecord> {
+fn put_submission(buf: &mut Vec<u8>, sub: &PendingSubmission) {
+    put_u64(buf, sub.device_id);
+    put_u64(buf, sub.nonce);
+    put_u64(buf, sub.checkout_iteration);
+    put_u64_slice(buf, &sub.words);
+    put_u32(buf, sub.num_samples);
+    put_i64(buf, sub.error_count);
+    put_i64_slice(buf, &sub.label_counts);
+}
+
+fn get_submission(buf: &mut &[u8]) -> DecodeResult<PendingSubmission> {
+    Ok(PendingSubmission {
+        device_id: get_u64(buf, "submission device id")?,
+        nonce: get_u64(buf, "submission nonce")?,
+        checkout_iteration: get_u64(buf, "submission checkout iteration")?,
+        words: get_u64_vec(buf, "submission words")?,
+        num_samples: get_u32(buf, "submission num_samples")?,
+        error_count: get_i64(buf, "submission error_count")?,
+        label_counts: get_i64_vec(buf, "submission label counts")?,
+    })
+}
+
+/// Encodes a round-submission record into a WAL payload.
+pub fn encode_round_submit_record(round_id: u64, submission: &PendingSubmission) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + 8 * submission.words.len());
+    put_u8(&mut buf, RECORD_KIND_ROUND_SUBMIT);
+    put_u64(&mut buf, round_id);
+    put_submission(&mut buf, submission);
+    buf
+}
+
+/// Encodes a round-advance record into a WAL payload.
+pub fn encode_round_advance_record(closed_round_id: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(9);
+    put_u8(&mut buf, RECORD_KIND_ROUND_ADVANCE);
+    put_u64(&mut buf, closed_round_id);
+    buf
+}
+
+/// Decodes any WAL payload produced by the `encode_*_record` functions.
+pub fn decode_record(mut buf: &[u8]) -> DecodeResult<WalRecord> {
     let kind = get_u8(&mut buf, "record kind")?;
-    if kind != RECORD_KIND_EPOCH {
-        return Err(DecodeError(format!("unknown WAL record kind {kind}")));
-    }
-    let pre_iteration = get_u64(&mut buf, "record pre_iteration")?;
-    let epoch = get_epoch(&mut buf)?;
-    let count = get_len(&mut buf, "charge count")?;
-    let mut charges = Vec::with_capacity(count);
-    for _ in 0..count {
-        let device_id = get_u64(&mut buf, "charge device id")?;
-        let eps = get_f64(&mut buf, "charge epsilon")?;
-        charges.push((device_id, eps));
-    }
+    let record = match kind {
+        RECORD_KIND_EPOCH => {
+            let pre_iteration = get_u64(&mut buf, "record pre_iteration")?;
+            let epoch = get_epoch(&mut buf)?;
+            let count = get_len(&mut buf, "charge count")?;
+            let mut charges = Vec::with_capacity(count);
+            for _ in 0..count {
+                let device_id = get_u64(&mut buf, "charge device id")?;
+                let eps = get_f64(&mut buf, "charge epsilon")?;
+                charges.push((device_id, eps));
+            }
+            WalRecord::Epoch(EpochRecord {
+                pre_iteration,
+                epoch,
+                charges,
+            })
+        }
+        RECORD_KIND_ROUND_SUBMIT => WalRecord::RoundSubmit {
+            round_id: get_u64(&mut buf, "record round id")?,
+            submission: get_submission(&mut buf)?,
+        },
+        RECORD_KIND_ROUND_ADVANCE => WalRecord::RoundAdvance {
+            closed_round_id: get_u64(&mut buf, "record closed round id")?,
+        },
+        other => return Err(DecodeError(format!("unknown WAL record kind {other}"))),
+    };
     if !buf.is_empty() {
         return Err(DecodeError(format!(
             "{} trailing bytes after WAL record",
             buf.len()
         )));
     }
-    Ok(EpochRecord {
-        pre_iteration,
-        epoch,
-        charges,
-    })
+    Ok(record)
+}
+
+/// Decodes a WAL payload produced by [`encode_epoch_record`].
+pub fn decode_epoch_record(buf: &[u8]) -> DecodeResult<EpochRecord> {
+    match decode_record(buf)? {
+        WalRecord::Epoch(record) => Ok(record),
+        other => Err(DecodeError(format!(
+            "expected an epoch record, found {other:?}"
+        ))),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -362,6 +465,24 @@ pub fn encode_state(state: &ServerState) -> Vec<u8> {
         put_u64(&mut buf, device_id);
         put_f64(&mut buf, spent);
     }
+    match &state.round {
+        None => put_u8(&mut buf, 0),
+        Some(round) => {
+            put_u8(&mut buf, 1);
+            put_u64(&mut buf, round.round_id);
+            put_u64(&mut buf, round.opened_iteration);
+            put_u32(&mut buf, round.pending.len() as u32);
+            for sub in &round.pending {
+                put_submission(&mut buf, sub);
+            }
+        }
+    }
+    put_u32(&mut buf, state.last_round.len() as u32);
+    for &(device_id, round_id, nonce) in &state.last_round {
+        put_u64(&mut buf, device_id);
+        put_u64(&mut buf, round_id);
+        put_u64(&mut buf, nonce);
+    }
     buf
 }
 
@@ -397,6 +518,32 @@ pub fn decode_state(mut buf: &[u8]) -> DecodeResult<ServerState> {
         let spent = get_f64(&mut buf, "ledger spent")?;
         budget_ledger.push((device_id, spent));
     }
+    let round = match get_u8(&mut buf, "round presence")? {
+        0 => None,
+        1 => {
+            let round_id = get_u64(&mut buf, "round id")?;
+            let opened_iteration = get_u64(&mut buf, "round opened iteration")?;
+            let count = get_len(&mut buf, "round pending count")?;
+            let mut pending = Vec::with_capacity(count);
+            for _ in 0..count {
+                pending.push(get_submission(&mut buf)?);
+            }
+            Some(RoundStateSnapshot {
+                round_id,
+                opened_iteration,
+                pending,
+            })
+        }
+        other => return Err(DecodeError(format!("invalid round presence byte {other}"))),
+    };
+    let entries = get_len(&mut buf, "last-round entry count")?;
+    let mut last_round = Vec::with_capacity(entries);
+    for _ in 0..entries {
+        let device_id = get_u64(&mut buf, "last-round device id")?;
+        let round_id = get_u64(&mut buf, "last-round round id")?;
+        let nonce = get_u64(&mut buf, "last-round nonce")?;
+        last_round.push((device_id, round_id, nonce));
+    }
     if !buf.is_empty() {
         return Err(DecodeError(format!(
             "{} trailing bytes after server state",
@@ -411,6 +558,8 @@ pub fn decode_state(mut buf: &[u8]) -> DecodeResult<ServerState> {
         progress,
         schedule,
         budget_ledger,
+        round,
+        last_round,
     })
 }
 
@@ -450,6 +599,20 @@ mod tests {
                 accumulated: Vector::from_vec(vec![0.125, 2.0, 0.0, 3.5]),
             },
             budget_ledger: vec![(3, 1.25), (9, 0.25)],
+            round: Some(RoundStateSnapshot {
+                round_id: 4,
+                opened_iteration: 40,
+                pending: vec![PendingSubmission {
+                    device_id: 9,
+                    nonce: 0x0102_0304,
+                    checkout_iteration: 41,
+                    words: vec![0, u64::MAX, 0x0807_0605_0403_0201],
+                    num_samples: 16,
+                    error_count: 3,
+                    label_counts: vec![7, 9],
+                }],
+            }),
+            last_round: vec![(3, 3, 99), (9, 4, 0x0102_0304)],
         }
     }
 
@@ -518,6 +681,45 @@ mod tests {
         let record = sample_record();
         let bytes = encode_epoch_record(record.pre_iteration, &record.epoch, &record.charges);
         assert_eq!(decode_epoch_record(&bytes).unwrap(), record);
+    }
+
+    #[test]
+    fn round_records_round_trip() {
+        let submission = PendingSubmission {
+            device_id: 12,
+            nonce: 777,
+            checkout_iteration: 55,
+            words: vec![1, 2, u64::MAX],
+            num_samples: 8,
+            error_count: -2,
+            label_counts: vec![3, 5],
+        };
+        let bytes = encode_round_submit_record(6, &submission);
+        assert_eq!(
+            decode_record(&bytes).unwrap(),
+            WalRecord::RoundSubmit {
+                round_id: 6,
+                submission,
+            }
+        );
+        // A submit record is not an epoch record.
+        assert!(decode_epoch_record(&bytes).is_err());
+
+        let bytes = encode_round_advance_record(6);
+        assert_eq!(
+            decode_record(&bytes).unwrap(),
+            WalRecord::RoundAdvance { closed_round_id: 6 }
+        );
+        assert!(decode_record(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn stateless_round_state_round_trips() {
+        let mut state = sample_state();
+        state.round = None;
+        state.last_round.clear();
+        let decoded = decode_state(&encode_state(&state)).unwrap();
+        assert_eq!(decoded, state);
     }
 
     #[test]

@@ -121,6 +121,8 @@ mod tests {
                 progress: vec![],
                 schedule: LearningRate::InvSqrt { c: 2.0 },
                 budget_ledger: vec![(0, 0.5)],
+                round: None,
+                last_round: vec![],
             },
         }
     }

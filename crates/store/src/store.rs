@@ -28,7 +28,7 @@ use crate::snapshot;
 use crate::wal::{self, WalWriter};
 use crate::{Result, StoreError};
 use crowd_core::config::ServerConfig;
-use crowd_core::server::{EpochAggregate, Server};
+use crowd_core::server::{EpochAggregate, PendingSubmission, RoundAdmission, Server};
 use crowd_core::ServerState;
 use crowd_learning::model::Model;
 use crowd_telemetry::{CounterId, HistogramId, Registry, Stage};
@@ -45,6 +45,10 @@ pub struct RecoveryReport {
     /// Logged epochs whose apply was refused (identically refused in the
     /// original run — e.g. malformed but logged; normally 0).
     pub skipped_epochs: u64,
+    /// Masked round submissions replayed into the open round.
+    pub replayed_submissions: u64,
+    /// Round boundaries (finalize or expiry) replayed.
+    pub replayed_rounds: u64,
     /// A torn WAL tail (the expected crash artifact) was truncated.
     pub torn_tail: bool,
 }
@@ -52,7 +56,11 @@ pub struct RecoveryReport {
 impl RecoveryReport {
     /// `true` when any prior state was recovered (vs. a fresh start).
     pub fn recovered(&self) -> bool {
-        self.from_snapshot || self.replayed_epochs > 0 || self.skipped_epochs > 0
+        self.from_snapshot
+            || self.replayed_epochs > 0
+            || self.skipped_epochs > 0
+            || self.replayed_submissions > 0
+            || self.replayed_rounds > 0
     }
 }
 
@@ -171,13 +179,41 @@ impl Store {
         charges: &[(u64, f64)],
     ) -> Result<()> {
         let record = codec::encode_epoch_record(pre_iteration, epoch, charges);
+        self.append_record(&record, Some(pre_iteration))
+    }
+
+    /// Appends one accepted round submission to the WAL. Must be called
+    /// *before* the submission is acknowledged — a crash mid-round then
+    /// recovers the pending cohort exactly, and the later finalization epoch
+    /// charges each contribution once.
+    pub fn log_round_submit(
+        &mut self,
+        round_id: u64,
+        submission: &PendingSubmission,
+    ) -> Result<()> {
+        let record = codec::encode_round_submit_record(round_id, submission);
+        self.append_record(&record, None)
+    }
+
+    /// Appends a round boundary (finalize or expiry) to the WAL. Logged
+    /// *before* the finalization epoch record, so replay advances the round
+    /// (clearing its pending cohort) and then applies the epoch the live run
+    /// produced from it.
+    pub fn log_round_advance(&mut self, closed_round_id: u64) -> Result<()> {
+        let record = codec::encode_round_advance_record(closed_round_id);
+        self.append_record(&record, None)
+    }
+
+    fn append_record(&mut self, record: &[u8], span_iteration: Option<u64>) -> Result<()> {
         let start = self.metrics.as_ref().map(|m| m.start());
-        self.wal.append(&record)?;
+        self.wal.append(record)?;
         if let (Some(metrics), Some(start)) = (&self.metrics, start) {
             metrics.incr(CounterId::WalAppends);
             metrics.add(CounterId::WalAppendBytes, record.len() as u64);
             metrics.observe_since(HistogramId::WalAppendUs, start);
-            metrics.span(Stage::WalAppend, pre_iteration);
+            if let Some(iteration) = span_iteration {
+                metrics.span(Stage::WalAppend, iteration);
+            }
         }
         Ok(())
     }
@@ -223,28 +259,58 @@ fn replay_record<M: Model>(
     payload: &[u8],
     report: &mut RecoveryReport,
 ) -> Result<()> {
-    let record = codec::decode_epoch_record(payload).map_err(|e| StoreError::CorruptWal(e.0))?;
-    if record.pre_iteration != server.iteration() {
-        return Err(StoreError::CorruptWal(format!(
-            "record expects pre-apply iteration {}, server is at {}",
-            record.pre_iteration,
-            server.iteration()
-        )));
-    }
-    let recomputed = server.epoch_charges(&record.epoch);
-    if !charges_bitwise_equal(&recomputed, &record.charges) {
-        return Err(StoreError::ReplayDiverged(format!(
-            "ε charges recomputed as {recomputed:?} but logged as {:?} — was the server \
-             restarted with a different budget configuration?",
-            record.charges
-        )));
-    }
-    match server.apply_aggregate(&record.epoch) {
-        Ok(_) => report.replayed_epochs += 1,
-        // The live run logged this epoch and then identically refused it;
-        // replay preserves that behavior (and its counter side effects are
-        // zero, because apply_aggregate validates before mutating).
-        Err(_) => report.skipped_epochs += 1,
+    match codec::decode_record(payload).map_err(|e| StoreError::CorruptWal(e.0))? {
+        codec::WalRecord::Epoch(record) => {
+            if record.pre_iteration != server.iteration() {
+                return Err(StoreError::CorruptWal(format!(
+                    "record expects pre-apply iteration {}, server is at {}",
+                    record.pre_iteration,
+                    server.iteration()
+                )));
+            }
+            let recomputed = server.epoch_charges(&record.epoch);
+            if !charges_bitwise_equal(&recomputed, &record.charges) {
+                return Err(StoreError::ReplayDiverged(format!(
+                    "ε charges recomputed as {recomputed:?} but logged as {:?} — was the \
+                     server restarted with a different budget configuration?",
+                    record.charges
+                )));
+            }
+            match server.apply_aggregate(&record.epoch) {
+                Ok(_) => report.replayed_epochs += 1,
+                // The live run logged this epoch and then identically refused
+                // it; replay preserves that behavior (and its counter side
+                // effects are zero, because apply_aggregate validates before
+                // mutating).
+                Err(_) => report.skipped_epochs += 1,
+            }
+        }
+        codec::WalRecord::RoundSubmit {
+            round_id,
+            submission,
+        } => {
+            // The live run accepted this submission before logging it; replay
+            // from the same pre-state must accept it identically.
+            match server.round_submit(round_id, submission) {
+                Ok(RoundAdmission::Accepted { .. }) => report.replayed_submissions += 1,
+                Ok(other) => {
+                    return Err(StoreError::CorruptWal(format!(
+                        "logged round-{round_id} submission replayed as {other:?}"
+                    )))
+                }
+                Err(e) => {
+                    return Err(StoreError::CorruptWal(format!(
+                        "logged round-{round_id} submission refused on replay: {e}"
+                    )))
+                }
+            }
+        }
+        codec::WalRecord::RoundAdvance { closed_round_id } => {
+            server.advance_round(closed_round_id).map_err(|e| {
+                StoreError::CorruptWal(format!("round advance refused on replay: {e}"))
+            })?;
+            report.replayed_rounds += 1;
+        }
     }
     Ok(())
 }
@@ -488,6 +554,128 @@ mod tests {
     fn open_without_data_dir_is_an_error() {
         let no_dir = ServerConfig::new();
         assert!(Store::open(model(), no_dir).is_err());
+    }
+
+    fn round_config(dir: &Path) -> ServerConfig {
+        config(dir).with_rounds(
+            crowd_core::RoundSettings::new(5)
+                .with_select_fraction(1.0)
+                .with_deadline_epochs(100),
+        )
+    }
+
+    /// A well-formed masked submission for the open round.
+    fn round_submission(server: &Server<MulticlassLogistic>, device_id: u64) -> PendingSubmission {
+        let info = server.round_info().unwrap();
+        let cohort = server.round_cohort().unwrap().to_vec();
+        let dim = DIM * CLASSES;
+        let gradient: Vec<f64> = (0..dim)
+            .map(|i| (device_id as f64 + 1.0) * 0.25 + i as f64 * 0.125)
+            .collect();
+        let masks = crowd_rounds::net_mask(info.seed, device_id, &cohort, dim);
+        PendingSubmission {
+            device_id,
+            nonce: 1000 + device_id,
+            checkout_iteration: server.iteration(),
+            words: crowd_rounds::mask(&gradient, &masks),
+            num_samples: 2,
+            error_count: 1,
+            label_counts: vec![1, 1],
+        }
+    }
+
+    /// Accepts a submission into the open round and logs it (the live
+    /// runtime's order: admit, then make durable, then acknowledge).
+    fn durable_round_submit(
+        store: &mut Store,
+        server: &mut Server<MulticlassLogistic>,
+        device_id: u64,
+    ) {
+        let info = server.round_info().unwrap();
+        let sub = round_submission(server, device_id);
+        match server.round_submit(info.round_id, sub.clone()).unwrap() {
+            RoundAdmission::Accepted { .. } => {}
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+        store.log_round_submit(info.round_id, &sub).unwrap();
+    }
+
+    /// Finalizes the open round through the store protocol: advance record,
+    /// then the finalization epoch, then the apply.
+    fn durable_round_finalize(store: &mut Store, server: &mut Server<MulticlassLogistic>) {
+        let (closed, epoch) = server.finalize_round().unwrap();
+        store.log_round_advance(closed).unwrap();
+        if let Some(epoch) = epoch {
+            let charges = server.epoch_charges(&epoch);
+            store
+                .log_epoch(server.iteration(), &epoch, &charges)
+                .unwrap();
+            server.apply_aggregate(&epoch).unwrap();
+        }
+    }
+
+    #[test]
+    fn mid_round_crash_recovers_the_pending_cohort() {
+        let dir = temp_dir("store-round-crash");
+        let (mut store, mut server, _) = Store::open(model(), round_config(&dir)).unwrap();
+        for device_id in 0..3u64 {
+            durable_round_submit(&mut store, &mut server, device_id);
+        }
+        let at_crash = server.export_state();
+        assert_eq!(at_crash.round.as_ref().unwrap().pending.len(), 3);
+        drop(store);
+        drop(server);
+
+        let (mut store, mut server, report) = Store::open(model(), round_config(&dir)).unwrap();
+        assert!(report.recovered());
+        assert_eq!(report.replayed_submissions, 3);
+        assert_eq!(server.export_state(), at_crash);
+
+        // The recovered round finalizes exactly as the uninterrupted one.
+        for device_id in 3..5u64 {
+            durable_round_submit(&mut store, &mut server, device_id);
+        }
+        durable_round_finalize(&mut store, &mut server);
+        let finalized = server.export_state();
+        assert_eq!(server.iteration(), 1);
+        assert_eq!(finalized.round.as_ref().unwrap().round_id, 2);
+        assert!(finalized.round.as_ref().unwrap().pending.is_empty());
+
+        // Crash again after finalization: advance + epoch replay on top of
+        // the submissions.
+        drop(store);
+        drop(server);
+        let (_store, server, report) = Store::open(model(), round_config(&dir)).unwrap();
+        assert_eq!(report.replayed_submissions, 5);
+        assert_eq!(report.replayed_rounds, 1);
+        assert_eq!(report.replayed_epochs, 1);
+        assert_eq!(server.export_state(), finalized);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_round_snapshot_captures_pending_submissions() {
+        let dir = temp_dir("store-round-snapshot");
+        let (mut store, mut server, _) = Store::open(model(), round_config(&dir)).unwrap();
+        for device_id in 0..2u64 {
+            durable_round_submit(&mut store, &mut server, device_id);
+        }
+        // Snapshot mid-round: the WAL compaction must not lose the cohort.
+        store.snapshot(&server.export_state()).unwrap();
+        let at_crash = server.export_state();
+        drop(store);
+        drop(server);
+
+        let (_store, server, report) = Store::open(model(), round_config(&dir)).unwrap();
+        assert!(report.from_snapshot);
+        assert_eq!(report.replayed_submissions, 0);
+        assert_eq!(server.export_state(), at_crash);
+        assert_eq!(
+            server.export_state().round.unwrap().pending.len(),
+            2,
+            "pending submissions must survive snapshot compaction"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

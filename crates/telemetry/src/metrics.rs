@@ -89,6 +89,14 @@ metric_ids! {
         QuantizedCheckins => "quantized_checkins",
         /// Wire bytes saved by quantized versus dense gradient encoding (net).
         QuantizedBytesSaved => "quantized_bytes_saved",
+        /// Masked round submissions accepted into a cohort (agg).
+        RoundSubmissions => "round_submissions",
+        /// Rounds finalized with at least one surviving submission (agg).
+        RoundsFinalized => "rounds_finalized",
+        /// Rounds that expired with an empty cohort (agg).
+        RoundsExpired => "rounds_expired",
+        /// Checkins refused because they named a closed round (agg).
+        RoundOutdatedRejections => "round_outdated_rejections",
     }
 }
 
@@ -127,6 +135,8 @@ metric_ids! {
         SnapshotUs => "snapshot_us",
         /// ε charged per checkin, in micro-ε (dp).
         EpsSpendMicroeps => "eps_spend_microeps",
+        /// Round finalization (unmask + fold + WAL + apply) latency (agg, µs).
+        RoundFinalizeUs => "round_finalize_us",
     }
 }
 

@@ -54,9 +54,11 @@ fn payloads() -> Vec<CheckinPayload> {
 
 fn drive(addr: std::net::SocketAddr, slice: &[CheckinPayload]) {
     for p in slice {
-        let client = DeviceClient::new(addr, p.device_id, AuthToken::derive(p.device_id, SECRET));
-        let (accepted, _) = client.checkin(p).expect("checkin over TCP");
-        assert!(accepted, "checkin must be accepted");
+        let client =
+            DeviceClient::builder(addr, p.device_id, AuthToken::derive(p.device_id, SECRET))
+                .build();
+        let outcome = client.checkin(p).expect("checkin over TCP");
+        assert!(outcome.applied(), "checkin must be accepted");
     }
 }
 
@@ -127,7 +129,7 @@ fn main() {
     // crowd-scope: scrape the live server's metric registry over the wire
     // (the same authenticated admin message an operator would send) and dump
     // it so the CI smoke step can grep the catalogue and archive it.
-    let scraper = DeviceClient::new(server.addr(), 0, AuthToken::derive(0, SECRET));
+    let scraper = DeviceClient::builder(server.addr(), 0, AuthToken::derive(0, SECRET)).build();
     let scraped = scraper.scrape_metrics().expect("metrics scrape over TCP");
     let counter = |name: &str| {
         scraped

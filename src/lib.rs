@@ -19,6 +19,9 @@
 //!   and experiment runners.
 //! * [`agg`] — the sharded, batched gradient-aggregation runtime the TCP server
 //!   serves from.
+//! * [`rounds`] — the round-based cohort protocol (wire v6): seed-derived
+//!   round/cohort/role derivation and the pairwise additive masking that
+//!   cancels bitwise in the finalized cohort sum.
 //! * [`store`] — durable server state: CRC-framed write-ahead log, atomic
 //!   snapshots, and bitwise crash recovery.
 //! * [`telemetry`] — crowd-scope observability: the typed metric registry,
@@ -43,6 +46,43 @@
 //! let outcome = CrowdMlExperiment::gaussian_mixture(spec, config).run().unwrap();
 //! assert!(outcome.final_test_error() < 0.9);
 //! ```
+//!
+//! ## Talking to a server: round sessions
+//!
+//! Against a round-running server (`ServerConfig::with_rounds`), the typed
+//! round session is the default client surface: one checkout yields the model
+//! parameters *and* the published round, the device derives its role locally,
+//! and every checkin resolves to a [`net::CheckinOutcome`] matched by name.
+//!
+//! ```no_run
+//! use crowd_ml::net::{CheckinOutcome, DeviceClient, Role};
+//! use crowd_ml::proto::auth::AuthToken;
+//!
+//! # fn run(addr: std::net::SocketAddr, payload: crowd_ml::core::device::CheckinPayload)
+//! # -> crowd_ml::net::Result<()> {
+//! let client = DeviceClient::builder(addr, 7, AuthToken::derive(7, 0xFEED)).build();
+//! let mut session = client.join_round()?;
+//! loop {
+//!     match session.role() {
+//!         // Selected: submit one masked contribution to the cohort sum.
+//!         Role::Selected => match session.submit(&payload)? {
+//!             // The round closed mid-computation; rejoin and go again.
+//!             CheckinOutcome::RoundOutdated { .. } => session = session.resync()?,
+//!             outcome => {
+//!                 assert!(outcome.applied());
+//!                 break;
+//!             }
+//!         },
+//!         // Unselected: free-run an ordinary checkin until the next round.
+//!         Role::Unselected => {
+//!             client.checkin(&payload)?;
+//!             break;
+//!         }
+//!     }
+//! }
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -55,6 +95,7 @@ pub use crowd_linalg as linalg;
 pub use crowd_net as net;
 pub use crowd_proto as proto;
 pub use crowd_reactor as reactor;
+pub use crowd_rounds as rounds;
 pub use crowd_sim as sim;
 pub use crowd_store as store;
 pub use crowd_telemetry as telemetry;

@@ -209,9 +209,77 @@ fn churn_crash_body(seed: u64) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn rounds_body(seed: u64) {
+    // Leg 1 — transport transparency with masking in the path: a rounds-mode
+    // run under transport-only faults must land bitwise on the rounds-mode
+    // fault-free reference. Masked shares ride the same retry + dedup
+    // machinery as free-run checkins (per-round, the server keys dedup on
+    // `(round, nonce)`), so faults must stay invisible.
+    let reference_cluster = ChaosCluster::new(FaultPlan::fault_free(seed)).with_rounds();
+    let eps = reference_cluster.per_checkin_epsilon;
+    let reference = reference_cluster
+        .run()
+        .expect("rounds reference run failed");
+    let chaotic = match ChaosCluster::new(FaultPlan::transport_only(seed))
+        .with_rounds()
+        .run()
+    {
+        Ok(r) => r,
+        Err(e) => panic!(
+            "{}",
+            dump_failure("rounds", seed, None, &format!("run error: {e}"))
+        ),
+    };
+    assert_ledger_integrity("rounds", seed, eps, &reference);
+    assert_ledger_integrity("rounds", seed, eps, &chaotic);
+    if chaotic.params.as_slice() != reference.params.as_slice()
+        || chaotic.iterations != reference.iterations
+        || chaotic.ledger != reference.ledger
+        || chaotic.acked_checkins != reference.acked_checkins
+    {
+        panic!(
+            "{}",
+            dump_failure(
+                "rounds",
+                seed,
+                Some(&chaotic),
+                &format!(
+                    "bitwise divergence from rounds-mode reference (invariant 3): \
+                     iterations {} vs {}, acked {:?} vs {:?}, params equal: {}",
+                    chaotic.iterations,
+                    reference.iterations,
+                    chaotic.acked_checkins,
+                    reference.acked_checkins,
+                    chaotic.params.as_slice() == reference.params.as_slice()
+                )
+            )
+        );
+    }
+    // Leg 2 — scripted mid-round dropouts plus churn: cohort members vanish
+    // without submitting and rounds finalize at their deadline from the
+    // survivors (mask compensation). The ledger invariant must still hold:
+    // only acknowledged contributions are ever charged.
+    let stormy = match ChaosCluster::new(FaultPlan::rounds(seed))
+        .with_rounds()
+        .run()
+    {
+        Ok(r) => r,
+        Err(e) => panic!(
+            "{}",
+            dump_failure("rounds", seed, None, &format!("dropout-leg run error: {e}"))
+        ),
+    };
+    assert_ledger_integrity("rounds", seed, eps, &stormy);
+}
+
 #[test]
 fn transport_only_plans_land_bitwise_on_the_reference() {
     sweep("transport_only", transport_only_body);
+}
+
+#[test]
+fn rounds_plans_hold_the_standing_invariants() {
+    sweep("rounds", rounds_body);
 }
 
 #[test]

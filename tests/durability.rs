@@ -237,9 +237,9 @@ fn tcp_server_killed_midway_resumes_identical_trajectory_body() {
     let drive = |addr, slice: &[CheckinPayload]| {
         for p in slice {
             let client =
-                DeviceClient::new(addr, p.device_id, AuthToken::derive(p.device_id, secret));
-            let (accepted, _) = client.checkin(p).unwrap();
-            assert!(accepted);
+                DeviceClient::builder(addr, p.device_id, AuthToken::derive(p.device_id, secret))
+                    .build();
+            assert!(client.checkin(p).unwrap().applied());
         }
     };
 

@@ -92,16 +92,17 @@ fn unauthenticated_devices_are_rejected_body() {
     let handle = NetServer::start(model, ServerConfig::new(), tokens).expect("server start");
 
     // Correct token works.
-    let good = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 1234));
+    let good = DeviceClient::builder(handle.addr(), 1, AuthToken::derive(1, 1234)).build();
     assert!(good.checkout().is_ok());
 
     // Wrong secret and unknown device id are both rejected with a server error.
-    let wrong_secret = DeviceClient::new(handle.addr(), 1, AuthToken::derive(1, 9999));
+    let wrong_secret = DeviceClient::builder(handle.addr(), 1, AuthToken::derive(1, 9999)).build();
     assert!(matches!(
         wrong_secret.checkout(),
         Err(NetError::ServerError { .. })
     ));
-    let unknown_device = DeviceClient::new(handle.addr(), 7, AuthToken::derive(7, 1234));
+    let unknown_device =
+        DeviceClient::builder(handle.addr(), 7, AuthToken::derive(7, 1234)).build();
     assert!(matches!(
         unknown_device.checkout(),
         Err(NetError::ServerError { .. })

@@ -16,7 +16,7 @@ use crowd_ml::proto::auth::AuthToken;
 use crowd_ml::proto::codec::{decode, encode};
 use crowd_ml::proto::message::{
     BatchAck, BatchCheckinAck, BatchCheckinRequest, BusyReply, CheckinRequest, CheckoutResponse,
-    ErrorCode, GradientPayload, Message,
+    ErrorCode, GradientPayload, Message, RoundParams,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -84,12 +84,15 @@ proptest! {
         num_samples in 0u32..10_000,
         error_count in -1000i64..1000,
         stopped in any::<bool>(),
+        round_id in any::<u64>(),
+        select_fraction in 0.01f64..=1.0,
     ) {
         let checkin = Message::CheckinRequest(CheckinRequest {
             device_id,
             token: AuthToken::derive(device_id, 99),
             checkout_iteration: iteration,
             nonce: 0,
+            round_id,
             gradient: GradientPayload::from_dense_auto(gradient.clone()),
             num_samples,
             error_count,
@@ -97,10 +100,20 @@ proptest! {
         });
         prop_assert_eq!(decode(&encode(&checkin)).unwrap(), checkin);
 
+        // Alternate between free-running (no round) and round-annotated
+        // checkouts so both wire shapes survive the trip.
+        let round = round_id.is_multiple_of(2).then(|| RoundParams {
+            round_id,
+            seed: device_id,
+            select_fraction,
+            deadline_epochs: (iteration % 64) as u32 + 1,
+            population: device_id % 100_000,
+        });
         let checkout = Message::CheckoutResponse(CheckoutResponse {
             iteration,
             params: gradient,
             stopped,
+            round,
         });
         prop_assert_eq!(decode(&encode(&checkout)).unwrap(), checkout);
     }
@@ -141,6 +154,7 @@ proptest! {
             token: AuthToken::derive(3, 9),
             checkout_iteration: 0,
             nonce: 0,
+            round_id: 0,
             gradient: GradientPayload::from_dense_auto(dense.clone()),
             num_samples: 2,
             error_count: 1,
@@ -156,8 +170,9 @@ proptest! {
             GradientPayload::Sparse { dim, indices, values } => GradientUpdate::Sparse(
                 SparseVector::new(dim as usize, indices, values).unwrap(),
             ),
-            // from_dense_auto never picks the lossy encoding.
+            // from_dense_auto never picks the lossy or round-only encodings.
             GradientPayload::Quantized { .. } => panic!("auto-selection produced Quantized"),
+            GradientPayload::Masked { .. } => panic!("auto-selection produced Masked"),
         };
         prop_assert_eq!(received.to_dense().as_slice(), &dense[..]);
 
@@ -208,6 +223,7 @@ proptest! {
                 token: AuthToken::derive(device_id, 42),
                 checkout_iteration: iteration,
                 nonce: 0,
+                round_id: 0,
                 gradient: GradientPayload::from_dense_auto(gradient.clone()),
                 num_samples,
                 error_count,
@@ -220,7 +236,7 @@ proptest! {
         // Cycle the reject field through "processed" and every error code.
         let reject = ErrorCode::from_u8(reject_selector);
         let acks: Vec<BatchAck> = (0..device_ids.len())
-            .map(|_| BatchAck { accepted, iteration, stopped, reject })
+            .map(|_| BatchAck { accepted, iteration, stopped, deduped: accepted ^ stopped, reject })
             .collect();
         let batch_ack = Message::BatchCheckinAck(BatchCheckinAck { acks });
         prop_assert_eq!(decode(&encode(&batch_ack)).unwrap(), batch_ack);
@@ -285,5 +301,99 @@ proptest! {
         prop_assert_eq!(out.gradient, g);
         prop_assert_eq!(out.error_count, errors as i64);
         prop_assert_eq!(out.label_counts, vec![errors as i64, 3]);
+    }
+}
+
+proptest! {
+    // Each case spins up two full aggregation runtimes (worker threads and
+    // all), so this sweep runs fewer cases than the pure-math properties.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Masked round finalization is shard-count independent: the same cohort
+    /// submissions with the same dropout subset land on bitwise-identical
+    /// parameters whatever the runtime's shard layout, because the pending
+    /// round buffer is folded in ascending device order outside the shard
+    /// path. Together with `crates/rounds/tests/mask_cancellation.rs` (masked
+    /// sum == unmasked sum) this closes the loop over cohorts, dropouts, and
+    /// shard counts.
+    #[test]
+    fn masked_round_finalization_is_shard_count_independent(
+        seed in 0u64..10_000,
+        population in 2u64..10,
+        shard_a in 1usize..8,
+        shard_b in 1usize..8,
+        drop_bits in any::<u32>(),
+    ) {
+        use crowd_ml::agg::AggRuntime;
+        use crowd_ml::core::config::{AggSettings, RoundSettings, ServerConfig};
+        use crowd_ml::core::server::{PendingSubmission, Server};
+
+        let dim = 4usize;
+        let classes = 3usize;
+        let param_dim = dim * classes;
+        let gradient = |device: u64| -> Vec<f64> {
+            let mut rng = StdRng::seed_from_u64(seed ^ device.wrapping_mul(0x9E37_79B9));
+            crowd_ml::linalg::random::normal_vector(&mut rng, param_dim).as_slice().to_vec()
+        };
+
+        let run = |shards: usize| {
+            let config = ServerConfig::new()
+                .with_agg(AggSettings {
+                    shard_count: shards,
+                    queue_bound: 64,
+                    epoch_size: 1,
+                    worker_threads: 2,
+                    retry_after_ms: 1,
+                    flush_idle_ms: 1,
+                })
+                .with_rounds(
+                    RoundSettings::new(population)
+                        .with_select_fraction(1.0)
+                        .with_deadline_epochs(1_000_000)
+                        .with_seed(seed),
+                );
+            let model = MulticlassLogistic::new(dim, classes).unwrap();
+            let runtime = AggRuntime::new(Server::new(model, config).unwrap()).unwrap();
+            let info = runtime.round_info().expect("rounds are enabled");
+            let members =
+                crowd_ml::rounds::cohort(info.seed, info.population, info.select_fraction);
+            // At least one survivor so the round finalizes with an epoch.
+            let survivors: Vec<u64> = members
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(i, _)| i == 0 || drop_bits & (1 << (i % 32)) != 0)
+                .map(|(_, d)| d)
+                .collect();
+            for &d in &survivors {
+                let mask_words =
+                    crowd_ml::rounds::net_mask(info.seed, d, &members, param_dim);
+                let words = crowd_ml::rounds::mask(&gradient(d), &mask_words);
+                runtime
+                    .submit_round(info.round_id, PendingSubmission {
+                        device_id: d,
+                        nonce: info.round_id + 1,
+                        checkout_iteration: 0,
+                        words,
+                        num_samples: 2 * classes as u32,
+                        error_count: 1,
+                        label_counts: vec![2; classes],
+                    })
+                    .unwrap();
+            }
+            // Dropped members never submit; settle finalizes the partial
+            // cohort with mask compensation (a full cohort finalized inline).
+            runtime.settle_rounds();
+            let bits: Vec<u64> = runtime.params().iter().map(|v| v.to_bits()).collect();
+            let iteration = runtime.iteration();
+            runtime.shutdown();
+            (bits, iteration)
+        };
+
+        let (bits_a, iter_a) = run(shard_a);
+        let (bits_b, iter_b) = run(shard_b);
+        prop_assert_eq!(iter_a, 1, "the finalized round applies exactly one epoch");
+        prop_assert_eq!(iter_a, iter_b);
+        prop_assert_eq!(bits_a, bits_b);
     }
 }

@@ -72,7 +72,7 @@ fn reactor_holds_2000_concurrent_devices() {
 
         // crowd-scope acceptance: the live server under fleet load answers a
         // wire scrape with per-stage latency histograms and pressure gauges.
-        let scraper = DeviceClient::new(handle.addr(), 0, AuthToken::derive(0, 99));
+        let scraper = DeviceClient::builder(handle.addr(), 0, AuthToken::derive(0, 99)).build();
         // Scrape twice: a scrape's own service time is recorded after its
         // snapshot was taken, so only the second scrape can observe the first.
         scraper.scrape_metrics().unwrap();
